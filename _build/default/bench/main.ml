@@ -1,0 +1,233 @@
+(* Benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe             # every figure and table + micro suite
+     dune exec bench/main.exe f2 t3       # selected experiments
+     dune exec bench/main.exe micro       # bechamel micro-benchmarks
+     dune exec bench/main.exe all micro   # both
+
+   Each experiment regenerates one figure/table of EXPERIMENTS.md; the
+   micro suite has one bechamel Test.make per table, covering that table's
+   core primitive. *)
+
+module Experiments = Lastcpu_core.Experiments
+
+(* --- micro-benchmarks (bechamel) ------------------------------------------- *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+
+  module Types = Lastcpu_proto.Types
+  module Message = Lastcpu_proto.Message
+  module Codec = Lastcpu_proto.Codec
+  module Token = Lastcpu_proto.Token
+  module Engine = Lastcpu_sim.Engine
+  module Sysbus = Lastcpu_bus.Sysbus
+  module Iommu = Lastcpu_iommu.Iommu
+  module Pagetable = Lastcpu_iommu.Pagetable
+  module Buddy = Lastcpu_mem.Buddy
+  module Physmem = Lastcpu_mem.Physmem
+  module Vq = Lastcpu_virtio.Virtqueue
+  module Dma = Lastcpu_virtio.Dma
+  module Store = Lastcpu_kv.Store
+  module Wal = Lastcpu_kv.Wal
+
+  let key = 0xFEEDL
+
+  let sample_token =
+    Token.mint ~key ~issuer:1 ~subject:2 ~pasid:3 ~resource:"dram"
+      ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L
+
+  let sample_msg =
+    Message.make ~src:1 ~dst:Lastcpu_proto.Types.Bus ~corr:42
+      (Message.Map_directive
+         {
+           device = 2;
+           pasid = 3;
+           va = 0x4000_0000L;
+           pa = 0x1000_0000L;
+           bytes = 65536L;
+           perm = Types.perm_rw;
+           auth = sample_token;
+         })
+
+  (* t1 primitive: one control message encoded + decoded (the bus's
+     protocol work). *)
+  let bench_codec =
+    Test.make ~name:"t1.codec-roundtrip"
+      (Staged.stage (fun () -> ignore (Codec.decode (Codec.encode sample_msg))))
+
+  (* t1 primitive: capability verification on the bus. *)
+  let bench_token =
+    Test.make ~name:"t1.token-verify"
+      (Staged.stage (fun () -> ignore (Token.verify ~key sample_token)))
+
+  (* t2/t7 primitive: a KVS get against the in-memory index. *)
+  let bench_store_get =
+    let store = Store.create (Store.memory_backend ()) in
+    Store.put store ~key:"bench" ~value:"value" (fun _ -> ());
+    Test.make ~name:"t2.store-get"
+      (Staged.stage (fun () -> Store.get store "bench" (fun _ -> ())))
+
+  (* t3 primitive: one message through the bus (hop + station + hop). *)
+  let bench_bus_route =
+    let engine = Engine.create () in
+    let bus = Sysbus.create engine in
+    let iommu = Iommu.create () in
+    let a = Sysbus.attach bus ~name:"a" ~iommu ~handler:(fun _ -> ()) in
+    let b = Sysbus.attach bus ~name:"b" ~iommu ~handler:(fun _ -> ()) in
+    Sysbus.send bus
+      (Message.make ~src:a ~dst:Types.Bus ~corr:0 (Message.Device_alive { services = [] }));
+    Sysbus.send bus
+      (Message.make ~src:b ~dst:Types.Bus ~corr:0 (Message.Device_alive { services = [] }));
+    Engine.run engine;
+    Test.make ~name:"t3.bus-route"
+      (Staged.stage (fun () ->
+           Sysbus.send bus
+             (Message.make ~src:a ~dst:(Types.Device b) ~corr:0 Message.Heartbeat);
+           Engine.run engine))
+
+  (* t4 primitive: WAL record encode (the recovery unit of work). *)
+  let bench_wal =
+    Test.make ~name:"t4.wal-encode"
+      (Staged.stage (fun () ->
+           ignore (Wal.encode (Wal.Put { key = "key-000042"; value = "value" }))))
+
+  (* t5 primitives: translation with a hot TLB, and a full table walk. *)
+  let bench_tlb_hit =
+    let iommu = Iommu.create () in
+    (match
+       Iommu.map iommu ~pasid:1 ~va:0x4000_0000L ~pa:0x1000L ~bytes:4096L
+         ~perm:Types.perm_rw
+     with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    ignore (Iommu.translate iommu ~pasid:1 ~va:0x4000_0000L ~access:Iommu.Read);
+    Test.make ~name:"t5.translate-tlb-hit"
+      (Staged.stage (fun () ->
+           ignore (Iommu.translate iommu ~pasid:1 ~va:0x4000_0000L ~access:Iommu.Read)))
+
+  let bench_walk =
+    let pt = Pagetable.create () in
+    (match Pagetable.map pt ~va:0x4000_0000L ~pa:0x1000L ~perm:Types.perm_rw with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    Test.make ~name:"t5.pagetable-walk"
+      (Staged.stage (fun () ->
+           ignore (Pagetable.walk pt ~va:0x4000_0000L ~access:Types.perm_r)))
+
+  (* t6 primitive: a full virtqueue cycle (add/pop/push/poll). *)
+  let bench_vq =
+    let mem = Physmem.create () in
+    let iommu = Iommu.create () in
+    (match
+       Iommu.map iommu ~pasid:1 ~va:0x1_0000L ~pa:0x10_0000L
+         ~bytes:(Int64.mul 16L 4096L) ~perm:Types.perm_rw
+     with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    let dma = Dma.create ~iommu ~pasid:1 ~mem in
+    let driver = Vq.Driver.create ~dma ~base:0x1_0000L ~size:8 in
+    let device = Vq.Device.create ~dma ~base:0x1_0000L ~size:8 in
+    let buf = { Vq.va = 0x1_8000L; len = 64; writable = false } in
+    Test.make ~name:"t6.virtqueue-cycle"
+      (Staged.stage (fun () ->
+           match Vq.Driver.add driver [ buf ] with
+           | Error e -> failwith e
+           | Ok _ -> (
+             match Vq.Device.pop device with
+             | None -> failwith "empty"
+             | Some { Vq.Device.head; _ } ->
+               Vq.Device.push_used device ~head ~written:0;
+               ignore (Vq.Driver.poll_used driver))))
+
+  (* t8 primitive: fault delivery path. *)
+  let bench_fault =
+    let iommu = Iommu.create () in
+    Iommu.attach_fault_handler iommu (fun _ -> ());
+    Test.make ~name:"t8.fault-delivery"
+      (Staged.stage (fun () ->
+           ignore (Iommu.translate iommu ~pasid:9 ~va:0xDEAD_0000L ~access:Iommu.Read)))
+
+  (* substrate: buddy allocator cycle. *)
+  let bench_buddy =
+    let b = Buddy.create ~base:0L ~pages:4096 in
+    Test.make ~name:"mem.buddy-alloc-free"
+      (Staged.stage (fun () ->
+           match Buddy.alloc b ~pages:4 with
+           | Some addr -> Buddy.free b ~addr ~pages:4
+           | None -> failwith "exhausted"))
+
+  let tests =
+    Test.make_grouped ~name:"lastcpu"
+      [
+        bench_codec;
+        bench_token;
+        bench_store_get;
+        bench_bus_route;
+        bench_wal;
+        bench_tlb_hit;
+        bench_walk;
+        bench_vq;
+        bench_fault;
+        bench_buddy;
+      ]
+
+  let run () =
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+    let ols =
+      Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols_result ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> Printf.sprintf "%.1f" e
+          | Some [] | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        rows := (name, est, r2) :: !rows)
+      results;
+    print_newline ();
+    print_endline "MICRO — bechamel micro-benchmarks (real ns/op on this host)";
+    Printf.printf "  %-28s %14s %10s\n" "benchmark" "ns/op" "r^2";
+    List.iter
+      (fun (name, est, r2) -> Printf.printf "  %-28s %14s %10s\n" name est r2)
+      (List.sort compare !rows)
+end
+
+(* --- driver ------------------------------------------------------------------- *)
+
+let all_ids =
+  [ "f1"; "f2"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9"; "t10";
+    "t11"; "t12" ]
+
+let run_experiment id =
+  match Experiments.by_id id with
+  | None -> Printf.eprintf "unknown experiment %S\n" id
+  | Some f ->
+    let t0 = Sys.time () in
+    let table = f () in
+    Format.printf "%a" Experiments.print_table table;
+    Printf.printf "  (harness cpu time: %.1fs)\n%!" (Sys.time () -. t0)
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> all_ids @ [ "micro" ]
+    | _ :: rest -> List.concat_map (fun a -> if a = "all" then all_ids else [ a ]) rest
+  in
+  print_endline "lastcpu experiment harness — see EXPERIMENTS.md for the index";
+  List.iter
+    (fun id -> if id = "micro" then Micro.run () else run_experiment id)
+    args

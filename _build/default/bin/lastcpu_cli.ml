@@ -1,0 +1,150 @@
+(* Command-line interface for the lastcpu emulator.
+
+   Subcommands:
+     lastcpu topology             print the booted system (Figure 1)
+     lastcpu figure2 [--trace]    run the KVS bring-up and show the sequence
+     lastcpu experiment <id>      run one experiment table (f1..t12)
+     lastcpu kv <n>               run n KV smoke operations end to end *)
+
+open Cmdliner
+
+module System = Lastcpu_core.System
+module Scenario = Lastcpu_core.Scenario_kvs
+module Experiments = Lastcpu_core.Experiments
+module Engine = Lastcpu_sim.Engine
+module Trace = Lastcpu_sim.Trace
+module Kv_app = Lastcpu_kv.Kv_app
+module Kv_proto = Lastcpu_kv.Kv_proto
+
+let seed_arg =
+  let doc = "Deterministic seed for the virtual machine room." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let spec_of_seed seed = { System.default_spec with System.seed }
+
+(* --- topology ------------------------------------------------------------- *)
+
+let topology seed =
+  let spec =
+    { (spec_of_seed seed) with System.with_auth = true; with_console = true }
+  in
+  let system = System.build ~spec () in
+  match System.boot system with
+  | Error e ->
+    Printf.eprintf "boot failed: %s\n" e;
+    1
+  | Ok () ->
+    print_string (System.topology system);
+    0
+
+let topology_cmd =
+  let doc = "Boot a CPU-less system and print its topology (paper Figure 1)." in
+  Cmd.v (Cmd.info "topology" ~doc) Term.(const topology $ seed_arg)
+
+(* --- figure2 --------------------------------------------------------------- *)
+
+let figure2 seed show_trace json_path =
+  match Scenario.run ~spec:(spec_of_seed seed) () with
+  | Error e ->
+    Printf.eprintf "scenario failed: %s\n" e;
+    1
+  | Ok outcome ->
+    print_endline "KV-store initialization sequence (paper Figure 2):";
+    Format.printf "%a" Scenario.pp_steps (Scenario.figure2_steps outcome);
+    let trace = Engine.trace (System.engine outcome.Scenario.system) in
+    if show_trace then begin
+      print_endline "\nfull bus trace:";
+      Format.printf "%a" Trace.pp trace
+    end;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Trace.to_json_lines trace);
+      close_out oc;
+      Printf.printf "trace written to %s (%d events, jsonl)\n" path
+        (Trace.length trace));
+    0
+
+let figure2_cmd =
+  let doc = "Run the paper's §3 KVS bring-up and print the Figure-2 steps." in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Also dump the full bus trace.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full trace as JSON lines.")
+  in
+  Cmd.v (Cmd.info "figure2" ~doc)
+    Term.(const figure2 $ seed_arg $ trace_arg $ json_arg)
+
+(* --- experiment ------------------------------------------------------------- *)
+
+let known_ids =
+  [ "f1"; "f2"; "t1"; "t1-notokens"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8";
+    "t9"; "t10"; "t11"; "t12" ]
+
+let experiment list ids =
+  if list then begin
+    List.iter print_endline known_ids;
+    0
+  end
+  else
+  let rc = ref 0 in
+  List.iter
+    (fun id ->
+      match Experiments.by_id id with
+      | None ->
+        Printf.eprintf "unknown experiment %S (see 'experiment --list')\n" id;
+        rc := 1
+      | Some f -> Format.printf "%a" Experiments.print_table (f ()))
+    ids;
+  !rc
+
+let experiment_cmd =
+  let doc = "Run experiment tables (see EXPERIMENTS.md for the index)." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List known experiment ids.")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const experiment $ list_arg $ ids)
+
+(* --- kv ----------------------------------------------------------------------- *)
+
+let kv seed n =
+  match Scenario.run ~spec:(spec_of_seed seed) ~smoke_ops:0 () with
+  | Error e ->
+    Printf.eprintf "scenario failed: %s\n" e;
+    1
+  | Ok outcome ->
+    let system = outcome.Scenario.system in
+    let app = outcome.Scenario.app in
+    let failures = ref 0 in
+    for i = 1 to n do
+      let key = Printf.sprintf "cli-%04d" i in
+      Kv_app.local_op app (Kv_proto.Put (key, "value-" ^ key)) (fun r ->
+          if r <> Kv_proto.Done then incr failures);
+      System.run_until_idle system;
+      Kv_app.local_op app (Kv_proto.Get key) (fun r ->
+          match r with
+          | Kv_proto.Value (Some _) -> ()
+          | _ -> incr failures);
+      System.run_until_idle system
+    done;
+    Printf.printf "%d put+get pairs, %d failures, %Ld virtual ns\n" n !failures
+      (Engine.now (System.engine system));
+    if !failures = 0 then 0 else 1
+
+let kv_cmd =
+  let doc = "Run N put+get pairs through the full CPU-less stack." in
+  let n = Arg.(value & pos 0 int 10 & info [] ~docv:"N" ~doc:"Operation pairs.") in
+  Cmd.v (Cmd.info "kv" ~doc) Term.(const kv $ seed_arg $ n)
+
+let () =
+  let doc = "emulator of the CPU-less system from 'The Last CPU' (HotOS '21)" in
+  let info = Cmd.info "lastcpu" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd ]))

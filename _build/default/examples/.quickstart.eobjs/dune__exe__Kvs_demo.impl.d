@@ -1,0 +1,1 @@
+examples/kvs_demo.ml: Format Hashtbl Int64 Lastcpu_bus Lastcpu_core Lastcpu_devices Lastcpu_flash Lastcpu_kv Lastcpu_net Lastcpu_sim Printf String

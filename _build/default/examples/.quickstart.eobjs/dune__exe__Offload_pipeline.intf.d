@@ -1,0 +1,1 @@
+examples/offload_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lastcpu_core Lastcpu_kv Lastcpu_sim Printf

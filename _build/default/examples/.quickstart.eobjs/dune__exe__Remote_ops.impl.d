@@ -1,0 +1,1 @@
+examples/remote_ops.ml: Hashtbl Lastcpu_core Lastcpu_device Lastcpu_devices Lastcpu_net Lastcpu_proto Option Printf Queue String

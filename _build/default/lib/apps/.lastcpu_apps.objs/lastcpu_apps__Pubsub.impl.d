@@ -1,0 +1,1 @@
+lib/apps/pubsub.ml: Hashtbl Lastcpu_device Lastcpu_devices List Pubsub_proto String

@@ -1,0 +1,1 @@
+lib/apps/pubsub.mli: Lastcpu_devices

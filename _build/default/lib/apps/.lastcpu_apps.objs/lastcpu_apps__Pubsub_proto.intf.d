@@ -1,0 +1,1 @@
+lib/apps/pubsub_proto.mli:

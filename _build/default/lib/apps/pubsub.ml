@@ -1,0 +1,100 @@
+module Smart_nic = Lastcpu_devices.Smart_nic
+module Device = Lastcpu_device.Device
+
+type t = {
+  nic : Smart_nic.t;
+  (* (subscriber network address, pattern) — kept as a list per pattern so
+     fan-out iterates once per matching pattern. *)
+  subs : (string, int list ref) Hashtbl.t;
+  retained : (string, string) Hashtbl.t;
+  mutable publish_count : int;
+  mutable event_count : int;
+}
+
+let send_frame t ~dst frame =
+  t.event_count <-
+    (match frame with
+    | Pubsub_proto.Event _ -> t.event_count + 1
+    | Pubsub_proto.Response _ -> t.event_count);
+  Smart_nic.send_packet t.nic ~dst (Pubsub_proto.encode_frame frame)
+
+let respond t ~dst ~corr reply =
+  send_frame t ~dst (Pubsub_proto.Response { corr; reply })
+
+let subscribe t ~src pattern =
+  let l =
+    match Hashtbl.find_opt t.subs pattern with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.subs pattern l;
+      l
+  in
+  if not (List.mem src !l) then l := src :: !l;
+  (* Retained replay: every retained topic the new pattern matches. *)
+  Hashtbl.iter
+    (fun topic payload ->
+      if Pubsub_proto.topic_matches ~pattern topic then
+        send_frame t ~dst:src (Pubsub_proto.Event { topic; payload }))
+    t.retained
+
+let unsubscribe t ~src pattern =
+  match Hashtbl.find_opt t.subs pattern with
+  | None -> ()
+  | Some l ->
+    l := List.filter (fun a -> a <> src) !l;
+    if !l = [] then Hashtbl.remove t.subs pattern
+
+let publish t ~topic ~payload ~retain =
+  t.publish_count <- t.publish_count + 1;
+  if retain then Hashtbl.replace t.retained topic payload;
+  let reached = ref [] in
+  Hashtbl.iter
+    (fun pattern l ->
+      if Pubsub_proto.topic_matches ~pattern topic then
+        List.iter
+          (fun dst -> if not (List.mem dst !reached) then reached := dst :: !reached)
+          !l)
+    t.subs;
+  List.iter
+    (fun dst -> send_frame t ~dst (Pubsub_proto.Event { topic; payload }))
+    !reached;
+  List.length !reached
+
+let launch ~nic ?(start_device = true) () =
+  let t =
+    {
+      nic;
+      subs = Hashtbl.create 16;
+      retained = Hashtbl.create 16;
+      publish_count = 0;
+      event_count = 0;
+    }
+  in
+  if start_device then Device.start (Smart_nic.device nic);
+  Smart_nic.on_packet nic (fun ~src frame ->
+      match Pubsub_proto.decode_request frame with
+      | Error _ -> () (* drop garbage, as a NIC would *)
+      | Ok { corr; op } -> (
+        match op with
+        | Pubsub_proto.Subscribe pattern ->
+          if String.length pattern = 0 then
+            respond t ~dst:src ~corr (Pubsub_proto.Rejected "empty pattern")
+          else begin
+            subscribe t ~src pattern;
+            respond t ~dst:src ~corr (Pubsub_proto.Acked 0)
+          end
+        | Pubsub_proto.Unsubscribe pattern ->
+          unsubscribe t ~src pattern;
+          respond t ~dst:src ~corr (Pubsub_proto.Acked 0)
+        | Pubsub_proto.Publish { topic; payload; retain } ->
+          let n = publish t ~topic ~payload ~retain in
+          respond t ~dst:src ~corr (Pubsub_proto.Acked n)));
+  t
+
+let subscriptions t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.subs 0
+
+let topics_retained t = Hashtbl.length t.retained
+let published t = t.publish_count
+let events_sent t = t.event_count

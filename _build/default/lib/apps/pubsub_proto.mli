@@ -1,0 +1,27 @@
+(** Wire protocol of the pub/sub broker (a second NIC-hosted application,
+    demonstrating that *entire applications* — plural — live on devices). *)
+
+type op =
+  | Subscribe of string  (** topic, or prefix ending in '*' *)
+  | Unsubscribe of string
+  | Publish of { topic : string; payload : string; retain : bool }
+
+type request = { corr : int; op : op }
+
+type reply =
+  | Acked of int  (** subscribers reached (for Publish) / 0 for sub ops *)
+  | Rejected of string
+
+type frame =
+  | Response of { corr : int; reply : reply }
+  | Event of { topic : string; payload : string }
+      (** pushed to subscribers, no correlation *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_frame : frame -> string
+val decode_frame : string -> (frame, string) result
+
+val topic_matches : pattern:string -> string -> bool
+(** ["a/b"] matches exactly; a trailing ['*'] matches any suffix:
+    ["sensors/*"] matches ["sensors/1/temp"]. *)

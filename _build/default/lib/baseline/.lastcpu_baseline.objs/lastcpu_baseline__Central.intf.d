@@ -1,0 +1,1 @@
+lib/baseline/central.mli: Kernel Lastcpu_flash Lastcpu_fs Lastcpu_kv Lastcpu_sim

@@ -1,0 +1,1 @@
+lib/baseline/kernel.ml: Array Int64 Lastcpu_sim

@@ -1,0 +1,162 @@
+module Engine = Lastcpu_sim.Engine
+module Costs = Lastcpu_sim.Costs
+module Nand = Lastcpu_flash.Nand
+module Ftl = Lastcpu_flash.Ftl
+module Fs = Lastcpu_fs.Fs
+module Store = Lastcpu_kv.Store
+
+type t = {
+  engine : Engine.t;
+  kern : Kernel.t;
+  ftl : Ftl.t;
+  filesystem : Fs.t;
+}
+
+let create engine ?cores ?geometry () =
+  let nand = Nand.create ?geometry () in
+  let ftl = Ftl.create ~nand () in
+  let filesystem =
+    match Fs.format ftl with
+    | Ok fs -> fs
+    | Error e -> invalid_arg ("Central.create: " ^ Fs.error_to_string e)
+  in
+  { engine; kern = Kernel.create engine ?cores (); ftl; filesystem }
+
+let kernel t = t.kern
+let fs t = t.filesystem
+let ftl t = t.ftl
+
+let nand_snapshot t =
+  let n = Ftl.nand t.ftl in
+  (Nand.reads n, Nand.programs n, Nand.total_erases n)
+
+let nand_cost t (r0, p0, e0) =
+  let costs = Engine.costs t.engine in
+  let r1, p1, e1 = nand_snapshot t in
+  Int64.add
+    (Int64.mul (Int64.of_int (r1 - r0)) costs.Costs.flash_read_page_ns)
+    (Int64.add
+       (Int64.mul (Int64.of_int (p1 - p0)) costs.Costs.flash_write_page_ns)
+       (Int64.mul (Int64.of_int (e1 - e0)) costs.Costs.flash_erase_block_ns))
+
+(* Control plane ------------------------------------------------------------ *)
+
+let discover t ~query k =
+  ignore query;
+  Kernel.syscall t.kern ~name:"discover" k
+
+let open_file t ~path ~user k =
+  Kernel.syscall t.kern ~name:"open" (fun () ->
+      let result =
+        match Fs.stat t.filesystem path with
+        | Ok _ -> Ok ()
+        | Error e -> Error (Fs.error_to_string e)
+      in
+      ignore user;
+      (* Device round trip to validate/open on the storage controller. *)
+      Kernel.interrupt t.kern ~name:"open-complete" (fun () -> k result))
+
+let setup_shared t ~bytes k =
+  ignore bytes;
+  let costs = Engine.costs t.engine in
+  (* mmap: kernel allocates frames and programs both devices' IOMMUs
+     itself (extra PTE-writing time on the CPU), then a grant syscall. *)
+  Kernel.syscall t.kern ~name:"mmap"
+    ~extra:(Int64.mul 4L costs.Costs.iommu_program_ns) (fun () ->
+      Kernel.syscall t.kern ~name:"grant"
+        ~extra:(Int64.mul 2L costs.Costs.iommu_program_ns) k)
+
+let teardown_shared t k =
+  Kernel.syscall t.kern ~name:"munmap" k
+
+(* Data plane ---------------------------------------------------------------- *)
+
+(* Kernel-mediated file operation: submission syscall, NAND time off-CPU,
+   completion interrupt. *)
+let mediated_io t ~name ~(run : unit -> 'a) (k : 'a -> unit) =
+  Kernel.syscall t.kern ~name (fun () ->
+      let snapshot = nand_snapshot t in
+      let result = run () in
+      let flash = nand_cost t snapshot in
+      Engine.schedule t.engine ~delay:flash (fun () ->
+          Kernel.interrupt t.kern ~name:(name ^ "-complete") (fun () -> k result)))
+
+let lift fs_result =
+  match fs_result with Ok v -> Ok v | Error e -> Error (Fs.error_to_string e)
+
+let file_read t ~path ~user ~off ~len k =
+  mediated_io t ~name:"read"
+    ~run:(fun () -> lift (Fs.read t.filesystem ~user path ~off ~len))
+    k
+
+let file_write t ~path ~user ~off ~data k =
+  mediated_io t ~name:"write"
+    ~run:(fun () -> lift (Fs.write t.filesystem ~user path ~off data))
+    k
+
+let file_create t ~path ~user k =
+  mediated_io t ~name:"create"
+    ~run:(fun () -> lift (Fs.create t.filesystem ~user path))
+    k
+
+let file_truncate t ~path ~user ~len k =
+  mediated_io t ~name:"truncate"
+    ~run:(fun () -> lift (Fs.truncate t.filesystem ~user path ~len))
+    k
+
+(* Store backend -------------------------------------------------------------- *)
+
+let store_backend t ~path ~user =
+  let log_end = ref 0 in
+  (match Fs.stat t.filesystem path with
+  | Ok s -> log_end := s.Fs.size
+  | Error _ -> (
+    match Fs.create t.filesystem ~user path with
+    | Ok () -> ()
+    | Error e ->
+      invalid_arg ("Central.store_backend: " ^ Fs.error_to_string e)));
+  {
+    Store.append =
+      (fun data k ->
+        let off = !log_end in
+        log_end := off + String.length data;
+        file_write t ~path ~user ~off ~data k);
+    Store.read_log =
+      (fun k ->
+        let size = !log_end in
+        file_read t ~path ~user ~off:0 ~len:size k);
+    Store.reset_log =
+      (fun k ->
+        log_end := 0;
+        file_truncate t ~path ~user ~len:0 k);
+    Store.replace_log =
+      (fun data k ->
+        (* Same sidecar-and-rename discipline, through the kernel. *)
+        let sidecar = path ^ ".new" in
+        let write_then_rename () =
+          file_write t ~path:sidecar ~user ~off:0 ~data (fun res ->
+              match res with
+              | Error _ as e -> k e
+              | Ok () ->
+                mediated_io t ~name:"rename"
+                  ~run:(fun () -> lift (Fs.rename t.filesystem ~user sidecar path))
+                  (fun res ->
+                    match res with
+                    | Error _ as e -> k e
+                    | Ok () ->
+                      log_end := String.length data;
+                      k (Ok ())))
+        in
+        match Fs.create t.filesystem ~user sidecar with
+        | Ok () | Error (Fs.Exists _) -> (
+          match Fs.truncate t.filesystem ~user sidecar ~len:0 with
+          | Ok () -> write_then_rename ()
+          | Error e -> k (Error (Fs.error_to_string e)))
+        | Error e -> k (Error (Fs.error_to_string e)));
+  }
+
+(* Network path ---------------------------------------------------------------- *)
+
+let kv_network_op t work k =
+  Kernel.interrupt t.kern ~name:"rx" (fun () ->
+      work (fun () -> Kernel.syscall t.kern ~name:"tx" k))

@@ -1,0 +1,64 @@
+module Engine = Lastcpu_sim.Engine
+module Station = Lastcpu_sim.Station
+module Costs = Lastcpu_sim.Costs
+
+type t = {
+  engine : Engine.t;
+  stations : Station.t array;
+  mutable syscall_count : int;
+  mutable interrupt_count : int;
+}
+
+let create engine ?(cores = 1) () =
+  if cores <= 0 then invalid_arg "Kernel.create: cores must be positive";
+  {
+    engine;
+    stations = Array.init cores (fun _ -> Station.create engine);
+    syscall_count = 0;
+    interrupt_count = 0;
+  }
+
+(* Least-loaded dispatch approximates an SMP scheduler. *)
+let pick t =
+  let best = ref t.stations.(0) in
+  Array.iter
+    (fun s -> if Station.queue_length s < Station.queue_length !best then best := s)
+    t.stations;
+  !best
+
+let syscall t ~name ?(extra = 0L) k =
+  ignore name;
+  t.syscall_count <- t.syscall_count + 1;
+  let costs = Engine.costs t.engine in
+  let service =
+    Int64.add costs.Costs.syscall_ns (Int64.add costs.Costs.kernel_op_ns extra)
+  in
+  Station.submit (pick t) ~service k
+
+let interrupt t ~name ?(extra = 0L) k =
+  ignore name;
+  t.interrupt_count <- t.interrupt_count + 1;
+  let costs = Engine.costs t.engine in
+  let service =
+    Int64.add costs.Costs.interrupt_ns (Int64.add costs.Costs.kernel_op_ns extra)
+  in
+  Station.submit (pick t) ~service k
+
+let syscalls t = t.syscall_count
+let interrupts t = t.interrupt_count
+let cores t = Array.length t.stations
+
+let busy_ns t =
+  Array.fold_left (fun acc s -> Int64.add acc (Station.busy_ns s)) 0L t.stations
+
+let total_wait_ns t =
+  Array.fold_left
+    (fun acc s -> Int64.add acc (Station.total_wait_ns s))
+    0L t.stations
+
+let utilization t =
+  let now = Engine.now t.engine in
+  if now <= 0L then 0.
+  else
+    Int64.to_float (busy_ns t)
+    /. (Int64.to_float now *. float_of_int (Array.length t.stations))

@@ -1,0 +1,37 @@
+(** The centralized comparator's CPU + OS kernel.
+
+    Models the architecture the paper wants to remove: one (or a few)
+    general-purpose cores running a monolithic kernel that mediates every
+    control operation (and, for the classic configuration, every I/O
+    completion) via syscalls and interrupts.
+
+    Each syscall costs a user/kernel crossing plus kernel service time *on
+    a CPU core*; cores are FIFO stations, so control operations from all
+    applications contend on them — exactly the serialization the
+    decentralized design distributes across devices and the bus. *)
+
+type t
+
+val create : Lastcpu_sim.Engine.t -> ?cores:int -> unit -> t
+(** [cores] defaults to 1 (the last CPU...). *)
+
+val syscall : t -> name:string -> ?extra:int64 -> (unit -> unit) -> unit
+(** [syscall t ~name k]: enter the kernel, run [kernel_op_ns + extra] of
+    service on the least-loaded core, then [k] at completion time. *)
+
+val interrupt : t -> name:string -> ?extra:int64 -> (unit -> unit) -> unit
+(** Device interrupt: costs [interrupt_ns + kernel_op_ns + extra] of core
+    time. *)
+
+val syscalls : t -> int
+val interrupts : t -> int
+val cores : t -> int
+
+val busy_ns : t -> int64
+(** Total core-time consumed. *)
+
+val total_wait_ns : t -> int64
+(** Total queueing delay experienced at the cores. *)
+
+val utilization : t -> float
+(** Mean core utilization at current virtual time. *)

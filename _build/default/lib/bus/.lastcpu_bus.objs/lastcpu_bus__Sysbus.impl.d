@@ -1,0 +1,1 @@
+lib/bus/sysbus.ml: Array Format Hashtbl Int64 Lastcpu_iommu Lastcpu_mem Lastcpu_proto Lastcpu_sim List Printf

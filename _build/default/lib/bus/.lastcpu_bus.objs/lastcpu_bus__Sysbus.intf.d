@@ -1,0 +1,1 @@
+lib/bus/sysbus.mli: Lastcpu_iommu Lastcpu_proto Lastcpu_sim

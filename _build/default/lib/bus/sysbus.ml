@@ -1,0 +1,411 @@
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Iommu = Lastcpu_iommu.Iommu
+module Engine = Lastcpu_sim.Engine
+module Station = Lastcpu_sim.Station
+module Costs = Lastcpu_sim.Costs
+
+type config = { enable_tokens : bool; heartbeat_timeout_ns : int64; lanes : int }
+
+let default_config =
+  { enable_tokens = true; heartbeat_timeout_ns = 0L (* sweeping off *); lanes = 1 }
+
+type device_slot = {
+  name : string;
+  iommu : Iommu.t;
+  handler : Message.t -> unit;
+  mutable live : bool;
+  mutable connected : bool;  (* false after fail_device *)
+  mutable services : Message.service_desc list;
+  mutable last_heartbeat : int64;
+}
+
+type counters = {
+  routed : int;
+  broadcasts : int;
+  maps_programmed : int;
+  unmaps : int;
+  token_failures : int;
+  undeliverable : int;
+  control_bytes : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  lanes : Station.t array;
+  mutable devices : device_slot array;
+  controller_keys : (Types.device_id * string, Token.key) Hashtbl.t;
+  mutable c : counters;
+}
+
+let bus_src = -1 (* messages originated by the bus itself *)
+
+let broadcast_from_bus t payload =
+  let costs = Engine.costs t.engine in
+  Array.iteri
+    (fun id slot ->
+      if slot.live then begin
+        let msg = Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0 payload in
+        t.c <- { t.c with broadcasts = t.c.broadcasts + 1 };
+        Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
+            if slot.live then slot.handler msg)
+      end)
+    t.devices
+
+let mark_failed t id =
+  let slot = t.devices.(id) in
+  if slot.live || slot.connected then begin
+    slot.live <- false;
+    slot.connected <- false;
+    (* Broadcast the failure so consumers can recover (§4). *)
+    broadcast_from_bus t (Message.Device_failed { device = id })
+  end
+
+let create ?(config = default_config) engine =
+  let t =
+    {
+      engine;
+      config;
+      lanes = Array.init (max 1 config.lanes) (fun _ -> Station.create engine);
+      devices = [||];
+      controller_keys = Hashtbl.create 8;
+      c =
+        {
+          routed = 0;
+          broadcasts = 0;
+          maps_programmed = 0;
+          unmaps = 0;
+          token_failures = 0;
+          undeliverable = 0;
+          control_bytes = 0;
+        };
+    }
+  in
+  (if config.heartbeat_timeout_ns > 0L then
+     let rec sweep () =
+       let now = Engine.now t.engine in
+       Array.iteri
+         (fun id slot ->
+           if
+             slot.live
+             && Int64.sub now slot.last_heartbeat > config.heartbeat_timeout_ns
+           then begin
+             Engine.trace_event t.engine ~actor:"bus" ~kind:"bus.liveness"
+               (Printf.sprintf "%s (dev%d) timed out" slot.name id);
+             mark_failed t id
+           end)
+         t.devices;
+       Engine.schedule t.engine ~delay:config.heartbeat_timeout_ns sweep
+     in
+     Engine.schedule t.engine ~delay:config.heartbeat_timeout_ns sweep);
+  t
+
+let engine t = t.engine
+
+let attach t ~name ~iommu ~handler =
+  let id = Array.length t.devices in
+  let slot =
+    {
+      name;
+      iommu;
+      handler;
+      live = false;
+      connected = true;
+      services = [];
+      last_heartbeat = 0L;
+    }
+  in
+  t.devices <- Array.append t.devices [| slot |];
+  id
+
+let slot t id =
+  if id < 0 || id >= Array.length t.devices then
+    invalid_arg (Printf.sprintf "Sysbus: unknown device %d" id)
+  else t.devices.(id)
+
+let device_name t id = (slot t id).name
+let is_live t id = (slot t id).live
+
+let live_devices t =
+  let acc = ref [] in
+  Array.iteri (fun id s -> if s.live then acc := id :: !acc) t.devices;
+  List.rev !acc
+
+let register_controller t id ~resource ~key =
+  Hashtbl.replace t.controller_keys (id, resource) key
+
+let services_of t id = (slot t id).services
+
+let counters t = t.c
+let station t = t.lanes.(0)
+let stations t = Array.to_list t.lanes
+
+let lane_for t src =
+  (* Hash by source so each device's messages stay ordered. *)
+  t.lanes.((max 0 src * 0x9E3779B1) land max_int mod Array.length t.lanes)
+
+(* --- privileged operations ---------------------------------------------- *)
+
+let trace t kind detail = Engine.trace_event t.engine ~actor:"bus" ~kind detail
+
+let reply t ~to_ ~corr payload =
+  (* Bus-originated response: one hop back to the device. *)
+  let costs = Engine.costs t.engine in
+  let s = slot t to_ in
+  if s.live then begin
+    let msg = Message.make ~src:bus_src ~dst:(Types.Device to_) ~corr payload in
+    t.c <-
+      {
+        t.c with
+        routed = t.c.routed + 1;
+        control_bytes = t.c.control_bytes + Message.wire_size msg;
+      };
+    Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
+        if s.live then s.handler msg)
+  end
+
+let verify_token t ~src ~expect_wielder (token : Token.t) =
+  if not t.config.enable_tokens then Ok ()
+  else begin
+    match Hashtbl.find_opt t.controller_keys (token.issuer, token.resource) with
+    | None -> Error "issuer is not a registered controller for this resource"
+    | Some key ->
+      if not (Token.verify ~key token) then Error "bad MAC"
+      else begin
+        match expect_wielder with
+        | `Issuer when src <> token.issuer -> Error "sender is not the issuer"
+        | `Subject when src <> token.subject -> Error "sender is not the subject"
+        | `Issuer | `Subject -> Ok ()
+      end
+  end
+
+let token_cost t =
+  if t.config.enable_tokens then (Engine.costs t.engine).Costs.token_verify_ns
+  else 0L
+
+let range_covered ~(token : Token.t) ~base ~bytes =
+  base >= token.base && Int64.add base bytes <= Int64.add token.base token.length
+
+let handle_map_directive t ~src ~corr ~device ~pasid ~va ~pa ~bytes ~perm
+    ~(auth : Token.t) =
+  let fail reason =
+    t.c <- { t.c with token_failures = t.c.token_failures + 1 };
+    trace t "bus.map-denied" reason;
+    reply t ~to_:src ~corr
+      (Message.Error_msg { code = Types.E_bad_token; detail = reason })
+  in
+  match verify_token t ~src ~expect_wielder:`Issuer auth with
+  | Error reason -> fail reason
+  | Ok () ->
+    if t.config.enable_tokens && auth.subject <> device then
+      fail "token subject does not match target device"
+    else if t.config.enable_tokens && auth.pasid <> pasid then
+      fail "token pasid mismatch"
+    else if t.config.enable_tokens && not (range_covered ~token:auth ~base:pa ~bytes)
+    then fail "physical range exceeds token grant"
+    else if
+      t.config.enable_tokens && not (Types.perm_subsumes auth.perm perm)
+    then fail "permissions exceed token grant"
+    else begin
+      let target = slot t device in
+      match Iommu.map target.iommu ~pasid ~va ~pa ~bytes ~perm with
+      | Error reason ->
+        trace t "bus.map-failed" reason;
+        reply t ~to_:src ~corr
+          (Message.Error_msg { code = Types.E_bad_address; detail = reason });
+        reply t ~to_:device ~corr (Message.Map_complete { pasid; va; ok = false })
+      | Ok () ->
+        let pages = Lastcpu_mem.Layout.pages_of_bytes bytes in
+        t.c <- { t.c with maps_programmed = t.c.maps_programmed + pages };
+        trace t "bus.map"
+          (Printf.sprintf "dev%d pasid=%d va=0x%Lx pa=0x%Lx pages=%d" device
+             pasid va pa pages);
+        reply t ~to_:device ~corr (Message.Map_complete { pasid; va; ok = true });
+        if src <> device then
+          reply t ~to_:src ~corr (Message.Map_complete { pasid; va; ok = true })
+    end
+
+let handle_grant t ~src ~corr ~to_device ~pasid ~va ~bytes ~perm
+    ~(auth : Token.t) =
+  let fail code reason =
+    t.c <- { t.c with token_failures = t.c.token_failures + 1 };
+    trace t "bus.grant-denied" reason;
+    reply t ~to_:src ~corr (Message.Error_msg { code; detail = reason })
+  in
+  match verify_token t ~src ~expect_wielder:`Subject auth with
+  | Error reason -> fail Types.E_bad_token reason
+  | Ok () ->
+    if t.config.enable_tokens && auth.pasid <> pasid then
+      fail Types.E_bad_token "token pasid mismatch"
+    else if t.config.enable_tokens && not (Types.perm_subsumes auth.perm perm)
+    then fail Types.E_bad_token "permissions exceed token grant"
+    else begin
+      (* Replicate the owner's current translations for [va, va+bytes) into
+         the grantee's IOMMU, page by page, validating each physical page
+         against the token's range. *)
+      let owner = slot t src in
+      let grantee = slot t to_device in
+      let page = Lastcpu_mem.Layout.page_size in
+      let npages = Lastcpu_mem.Layout.pages_of_bytes bytes in
+      let rec go i =
+        if i = npages then begin
+          t.c <- { t.c with maps_programmed = t.c.maps_programmed + npages };
+          trace t "bus.grant"
+            (Printf.sprintf "dev%d -> dev%d pasid=%d va=0x%Lx pages=%d" src
+               to_device pasid va npages);
+          reply t ~to_:src ~corr (Message.Map_complete { pasid; va; ok = true })
+        end
+        else begin
+          let va_i = Int64.add va (Int64.mul (Int64.of_int i) page) in
+          match Iommu.translate owner.iommu ~pasid ~va:va_i ~access:Iommu.Read with
+          | Iommu.Fault _ ->
+            fail Types.E_bad_address "owner has no mapping for granted range"
+          | Iommu.Ok_pa pa ->
+            if
+              t.config.enable_tokens
+              && not (range_covered ~token:auth ~base:pa ~bytes:page)
+            then fail Types.E_bad_token "granted page outside token range"
+            else begin
+              match
+                Iommu.map grantee.iommu ~pasid ~va:va_i ~pa ~bytes:page ~perm
+              with
+              | Error reason -> fail Types.E_bad_address reason
+              | Ok () -> go (i + 1)
+            end
+        end
+      in
+      go 0
+    end
+
+let handle_unmap t ~src ~corr ~device ~pasid ~va ~bytes ~(auth : Token.t) =
+  let wielder = if t.config.enable_tokens && src = auth.issuer then `Issuer else `Subject in
+  match verify_token t ~src ~expect_wielder:wielder auth with
+  | Error reason ->
+    t.c <- { t.c with token_failures = t.c.token_failures + 1 };
+    reply t ~to_:src ~corr
+      (Message.Error_msg { code = Types.E_bad_token; detail = reason })
+  | Ok () ->
+    (* Revocation must be global: the range may have been granted onward,
+       so remove the translation from every attached IOMMU, not just the
+       named device. *)
+    ignore device;
+    let removed = ref 0 in
+    Array.iter
+      (fun s -> removed := !removed + Iommu.unmap s.iommu ~pasid ~va ~bytes)
+      t.devices;
+    t.c <- { t.c with unmaps = t.c.unmaps + !removed };
+    trace t "bus.unmap"
+      (Printf.sprintf "pasid=%d va=0x%Lx pages=%d (all devices)" pasid va
+         !removed);
+    reply t ~to_:src ~corr (Message.Map_complete { pasid; va; ok = true })
+
+let handle_bus_message t (msg : Message.t) =
+  let src = msg.src in
+  match msg.payload with
+  | Message.Device_alive { services } ->
+    let s = slot t src in
+    if s.connected then begin
+      s.live <- true;
+      s.services <- services;
+      s.last_heartbeat <- Engine.now t.engine;
+      trace t "bus.alive"
+        (Printf.sprintf "%s (dev%d) with %d services" s.name src
+           (List.length services))
+    end
+  | Message.Heartbeat ->
+    let s = slot t src in
+    if s.live then s.last_heartbeat <- Engine.now t.engine
+  | Message.Map_directive { device; pasid; va; pa; bytes; perm; auth } ->
+    handle_map_directive t ~src ~corr:msg.corr ~device ~pasid ~va ~pa ~bytes
+      ~perm ~auth
+  | Message.Grant_request { to_device; pasid; va; bytes; perm; auth } ->
+    handle_grant t ~src ~corr:msg.corr ~to_device ~pasid ~va ~bytes ~perm ~auth
+  | Message.Unmap_directive { device; pasid; va; bytes; auth } ->
+    handle_unmap t ~src ~corr:msg.corr ~device ~pasid ~va ~bytes ~auth
+  | Message.Resource_failed { resource } ->
+    trace t "bus.resource-failed" resource;
+    broadcast_from_bus t (Message.Resource_failed { resource })
+  | _ ->
+    reply t ~to_:src ~corr:msg.corr
+      (Message.Error_msg
+         { code = Types.E_invalid; detail = "not a privileged operation" })
+
+(* --- transport ----------------------------------------------------------- *)
+
+let deliver_unicast t (msg : Message.t) dst =
+  let costs = Engine.costs t.engine in
+  let s = slot t dst in
+  if not s.live then begin
+    t.c <- { t.c with undeliverable = t.c.undeliverable + 1 };
+    (* Bounce an error to the sender so it can recover (§4). *)
+    if msg.src >= 0 && (slot t msg.src).live then
+      reply t ~to_:msg.src ~corr:msg.corr
+        (Message.Error_msg
+           {
+             code = Types.E_device_failed;
+             detail = Printf.sprintf "dev%d is not live" dst;
+           })
+  end
+  else begin
+    t.c <- { t.c with routed = t.c.routed + 1 };
+    Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
+        if s.live then s.handler msg)
+  end
+
+let send t (msg : Message.t) =
+  let costs = Engine.costs t.engine in
+  let size = Message.wire_size msg in
+  t.c <- { t.c with control_bytes = t.c.control_bytes + size };
+  Engine.trace_event t.engine
+    ~actor:(if msg.src >= 0 then device_name t msg.src else "bus")
+    ~kind:("msg." ^ Message.payload_tag msg.payload)
+    (Format.asprintf "%a" Message.pp msg);
+  (* One hop to the bus, then the bus's FIFO processor, then delivery. *)
+  Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
+      let service =
+        let base = costs.Costs.bus_process_ns in
+        match msg.payload with
+        | Message.Map_directive _ | Message.Grant_request _
+        | Message.Unmap_directive _ ->
+          (* Privileged ops pay token verification + PTE writes. *)
+          Int64.add base (Int64.add (token_cost t) costs.Costs.iommu_program_ns)
+        | _ -> base
+      in
+      Station.submit (lane_for t msg.src) ~service (fun () ->
+          match msg.dst with
+          | Types.Bus -> handle_bus_message t msg
+          | Types.Device dst -> deliver_unicast t msg dst
+          | Types.Broadcast ->
+            Array.iteri
+              (fun id s ->
+                if id <> msg.src && s.live then begin
+                  t.c <- { t.c with broadcasts = t.c.broadcasts + 1 };
+                  Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns
+                    (fun () -> if s.live then s.handler msg)
+                end)
+              t.devices))
+
+let notify t ~src ~dst ~queue =
+  let costs = Engine.costs t.engine in
+  let s = slot t dst in
+  if s.live then begin
+    let msg =
+      Message.make ~src ~dst:(Types.Device dst) ~corr:0
+        (Message.Doorbell { queue })
+    in
+    Engine.schedule t.engine ~delay:costs.Costs.doorbell_ns (fun () ->
+        if s.live then s.handler msg)
+  end
+
+(* --- failure injection --------------------------------------------------- *)
+
+let fail_device t id =
+  trace t "bus.fail-device" (Printf.sprintf "dev%d (%s)" id (device_name t id));
+  mark_failed t id
+
+let revive_device t id =
+  let s = slot t id in
+  s.connected <- true;
+  trace t "bus.revive" (Printf.sprintf "dev%d (%s)" id s.name)

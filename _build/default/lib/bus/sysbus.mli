@@ -1,0 +1,112 @@
+(** The system management bus: the privileged control plane (§2.2).
+
+    The bus is mechanism, not policy:
+    - it routes control messages between devices (unicast + broadcast
+      discovery) with a FIFO queueing model of its message processor;
+    - it tracks device liveness from [Device_alive]/[Heartbeat] messages and
+      broadcasts [Device_failed] on timeout or explicit failure (§4);
+    - it performs the only privileged operation in the system — programming
+      a device's IOMMU — and only when instructed by the controller of the
+      resource, proven by a capability token it verifies against the
+      controller's registered key.
+
+    No entity sees the whole system: the bus holds no allocation tables, no
+    file tables, no application state — only liveness, routes and keys. *)
+
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Iommu = Lastcpu_iommu.Iommu
+
+type t
+
+type config = {
+  enable_tokens : bool;
+      (** verify capability tokens (ablation: T1 --no-tokens) *)
+  heartbeat_timeout_ns : int64;
+      (** declare a device dead after this silence; 0 disables sweeping *)
+  lanes : int;
+      (** parallel message processors (a switched control fabric instead of
+          one shared bus); messages hash by source device. Default 1. *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Lastcpu_sim.Engine.t -> t
+val engine : t -> Lastcpu_sim.Engine.t
+
+(** {1 Attachment and liveness} *)
+
+val attach :
+  t ->
+  name:string ->
+  iommu:Iommu.t ->
+  handler:(Message.t -> unit) ->
+  Types.device_id
+(** Physically connect a device. It is not live (routable) until its
+    [Device_alive] is processed. The handler runs at message-delivery time. *)
+
+val device_name : t -> Types.device_id -> string
+val is_live : t -> Types.device_id -> bool
+val live_devices : t -> Types.device_id list
+
+val register_controller :
+  t -> Types.device_id -> resource:string -> key:Token.key -> unit
+(** A resource controller (e.g. the memory controller for "dram") deposits
+    its token-verification key at the bus. Minting stays on the device; the
+    bus can only verify. *)
+
+val fail_device : t -> Types.device_id -> unit
+(** Hard failure injection: stop delivering to the device, mark dead and
+    broadcast [Device_failed] (§4). *)
+
+val revive_device : t -> Types.device_id -> unit
+(** Reconnect after a reset: the device must re-announce [Device_alive]. *)
+
+(** {1 Messaging} *)
+
+val send : t -> Message.t -> unit
+(** Submit a message; it traverses src->bus, queues at the bus processor,
+    then bus->dst. Messages to dead devices turn into [Error_msg
+    E_device_failed] back to the sender. [dst = Bus] messages are handled by
+    the privileged logic below. *)
+
+(** {1 Privileged operations (performed on [dst = Bus] messages)}
+
+    - [Device_alive]: mark live, record services.
+    - [Heartbeat]: refresh liveness.
+    - [Map_directive]: verify the token (issuer key, subject, pasid, range,
+      perm), then program the target device's IOMMU and reply
+      [Map_complete].
+    - [Grant_request]: verify the token, read the *owner's* current
+      mappings for the range, and replicate them into the target device's
+      IOMMU at the same virtual addresses (same address space — §3 step 7).
+    - [Unmap_directive]: verify and remove mappings + TLB entries.
+    - [Discover_request] arrives with [dst = Broadcast] and is fanned out
+      to all live devices except the source. *)
+
+val services_of : t -> Types.device_id -> Message.service_desc list
+(** Services announced in the device's last [Device_alive]. *)
+
+(** {1 Counters} *)
+
+type counters = {
+  routed : int;  (** unicast messages delivered *)
+  broadcasts : int;  (** broadcast fan-out deliveries *)
+  maps_programmed : int;  (** pages mapped via directives/grants *)
+  unmaps : int;
+  token_failures : int;
+  undeliverable : int;
+  control_bytes : int;  (** wire bytes through the bus *)
+}
+
+val counters : t -> counters
+val station : t -> Lastcpu_sim.Station.t
+(** The bus's first message processor (for utilisation metrics in T3). *)
+
+val stations : t -> Lastcpu_sim.Station.t list
+
+val notify : t -> src:Types.device_id -> dst:Types.device_id -> queue:int -> unit
+(** Data-plane doorbell: an MSI-style memory write (§2.3 Notifications).
+    Delivered directly with only the doorbell cost — it does not occupy the
+    bus's message processor. Dropped if the target is not live. *)

@@ -1,0 +1,1 @@
+lib/core/scenario_kvs.ml: Format Lastcpu_device Lastcpu_devices Lastcpu_fs Lastcpu_kv Lastcpu_proto Lastcpu_sim List Printf String System

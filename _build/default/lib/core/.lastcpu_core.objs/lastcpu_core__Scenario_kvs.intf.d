@@ -1,0 +1,1 @@
+lib/core/scenario_kvs.mli: Format Lastcpu_kv System

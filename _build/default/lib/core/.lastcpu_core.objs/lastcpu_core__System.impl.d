@@ -1,0 +1,1 @@
+lib/core/system.ml: Buffer Int64 Lastcpu_bus Lastcpu_device Lastcpu_devices Lastcpu_flash Lastcpu_mem Lastcpu_net Lastcpu_proto Lastcpu_sim List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/system.mli: Lastcpu_bus Lastcpu_devices Lastcpu_flash Lastcpu_mem Lastcpu_net Lastcpu_proto Lastcpu_sim

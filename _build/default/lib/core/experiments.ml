@@ -1,0 +1,1406 @@
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Engine = Lastcpu_sim.Engine
+module Costs = Lastcpu_sim.Costs
+module Stats = Lastcpu_sim.Stats
+module Rng = Lastcpu_sim.Rng
+module Station = Lastcpu_sim.Station
+module Trace = Lastcpu_sim.Trace
+module Sysbus = Lastcpu_bus.Sysbus
+module Device = Lastcpu_device.Device
+module Iommu = Lastcpu_iommu.Iommu
+module Layout = Lastcpu_mem.Layout
+module Netsim = Lastcpu_net.Netsim
+module Fs = Lastcpu_fs.Fs
+module Memctl = Lastcpu_devices.Memctl
+module Smart_ssd = Lastcpu_devices.Smart_ssd
+module Smart_nic = Lastcpu_devices.Smart_nic
+module File_client = Lastcpu_devices.File_client
+module Kv_app = Lastcpu_kv.Kv_app
+module Kv_proto = Lastcpu_kv.Kv_proto
+module Store = Lastcpu_kv.Store
+module Kernel = Lastcpu_baseline.Kernel
+module Central = Lastcpu_baseline.Central
+
+type table = {
+  id : string;
+  title : string;
+  claim : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let print_table ppf t =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row ->
+            match List.nth_opt row i with
+            | Some cell -> max w (String.length cell)
+            | None -> w)
+          (String.length col) t.rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row cells =
+    let padded = List.map2 (fun c w -> pad c w) cells widths in
+    Format.fprintf ppf "  | %s |@." (String.concat " | " padded)
+  in
+  Format.fprintf ppf "@.%s — %s@." (String.uppercase_ascii t.id) t.title;
+  Format.fprintf ppf "claim: %s@." t.claim;
+  render_row t.columns;
+  Format.fprintf ppf "  |%s|@."
+    (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter render_row t.rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) t.notes
+
+(* --- helpers ---------------------------------------------------------------- *)
+
+let ns f = Printf.sprintf "%.0f" f
+let ns64 v = Printf.sprintf "%Ld" v
+let ratio a b = if a <= 0. then "-" else Printf.sprintf "%.1fx" (b /. a)
+
+(* Run [f i k] for i in [0, n), sequentially (each step's continuation
+   triggers the next); [k_done] runs after the last. *)
+let sequentially n f k_done =
+  let rec go i = if i = n then k_done () else f i (fun () -> go (i + 1)) in
+  go 0
+
+let measure engine (h : Stats.Histogram.t) (s : Stats.Summary.t) op k =
+  let t0 = Engine.now engine in
+  op (fun () ->
+      let dt = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+      Stats.Histogram.add h dt;
+      Stats.Summary.add s dt;
+      k ())
+
+let fresh_stats () = (Stats.Histogram.create (), Stats.Summary.create ())
+
+(* --- F1: architecture -------------------------------------------------------- *)
+
+let f1 () =
+  let spec =
+    {
+      System.default_spec with
+      with_auth = true;
+      with_console = true;
+      nic_count = 2;
+      accel_count = 1;
+    }
+  in
+  let system = System.build ~spec () in
+  (match System.boot system with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("f1: " ^ e));
+  let lines = String.split_on_char '\n' (System.topology system) in
+  {
+    id = "f1";
+    title = "Proposed architecture without a CPU (topology of a booted system)";
+    claim = "all OS functionality lives in self-managing devices + the system bus";
+    columns = [ "topology" ];
+    rows = List.filter_map (fun l -> if l = "" then None else Some [ l ]) lines;
+    notes = [];
+  }
+
+(* --- F2: KVS initialization sequence ----------------------------------------- *)
+
+let f2 () =
+  match Scenario_kvs.run () with
+  | Error e -> invalid_arg ("f2: " ^ e)
+  | Ok outcome ->
+    let steps = Scenario_kvs.figure2_steps outcome in
+    {
+      id = "f2";
+      title = "KV-store application initialization sequence (paper Figure 2)";
+      claim = "the seven-step bring-up works with no CPU involved";
+      columns = [ "step"; "virtual time (ns)"; "message"; "description" ];
+      rows =
+        List.map
+          (fun (s : Scenario_kvs.step) ->
+            [
+              string_of_int s.Scenario_kvs.n;
+              ns64 s.Scenario_kvs.at_ns;
+              s.Scenario_kvs.kind;
+              s.Scenario_kvs.description;
+            ])
+          steps;
+      notes =
+        [
+          Printf.sprintf "%d/7 steps observed; KVS smoke operations passed"
+            (List.length steps);
+        ];
+    }
+
+(* --- T1: control-plane operation latency -------------------------------------- *)
+
+let iters_t1 = 50
+
+let t1_decentralized ~enable_tokens =
+  let spec = { System.default_spec with enable_tokens } in
+  let system = System.build ~spec () in
+  (match System.boot system with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("t1: " ^ e));
+  let engine = System.engine system in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let mc = Memctl.id (System.memctl system) in
+  let ssd_id = Smart_ssd.id (System.ssd system 0) in
+  let pasid = System.fresh_pasid system in
+  let results = Hashtbl.create 8 in
+  let record name = fresh_stats () |> fun hs -> Hashtbl.replace results name hs; hs in
+  let service =
+    match
+      List.find_opt
+        (fun (s : Message.service_desc) -> s.Message.kind = Types.File_service)
+        (Sysbus.services_of (System.bus system) ssd_id)
+    with
+    | Some s -> s
+    | None -> invalid_arg "t1: ssd has no file service"
+  in
+  let discover_stats = record "discover" in
+  let open_stats = record "open" in
+  let alloc_stats = record "alloc+map" in
+  let grant_stats = record "grant" in
+  let free_stats = record "free" in
+  let tokens = Array.make iters_t1 None in
+  let va i = Int64.add 0x5000_0000L (Int64.of_int (i * 0x10000)) in
+  let done_ = ref false in
+  sequentially iters_t1
+    (fun _ k ->
+      let h, s = discover_stats in
+      measure engine h s
+        (fun k' ->
+          Device.discover dev ~kind:Types.File_service ~query:"" (fun _ -> k' ()))
+        k)
+    (fun () ->
+      sequentially iters_t1
+        (fun _ k ->
+          let h, s = open_stats in
+          measure engine h s
+            (fun k' ->
+              Device.open_service dev ~provider:ssd_id ~service ~pasid
+                ~params:[ ("user", "bench") ] (fun _ -> k' ()))
+            k)
+        (fun () ->
+          sequentially iters_t1
+            (fun i k ->
+              let h, s = alloc_stats in
+              measure engine h s
+                (fun k' ->
+                  Device.alloc dev ~memctl:mc ~pasid ~va:(va i) ~bytes:16384L
+                    ~perm:Types.perm_rw (fun res ->
+                      (match res with
+                      | Ok token -> tokens.(i) <- Some token
+                      | Error _ -> ());
+                      k' ()))
+                k)
+            (fun () ->
+              sequentially iters_t1
+                (fun i k ->
+                  match tokens.(i) with
+                  | None -> k ()
+                  | Some token ->
+                    let h, s = grant_stats in
+                    measure engine h s
+                      (fun k' ->
+                        Device.grant dev ~to_device:ssd_id ~pasid ~va:(va i)
+                          ~bytes:16384L ~perm:Types.perm_rw ~auth:token
+                          (fun _ -> k' ()))
+                      k)
+                (fun () ->
+                  sequentially iters_t1
+                    (fun i k ->
+                      let h, s = free_stats in
+                      measure engine h s
+                        (fun k' ->
+                          Device.free dev ~memctl:mc ~pasid ~va:(va i)
+                            ~bytes:16384L (fun _ -> k' ()))
+                        k)
+                    (fun () -> done_ := true)))));
+  System.run_until_idle system;
+  assert !done_;
+  results
+
+let t1_centralized () =
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  (match Fs.create (Central.fs central) ~user:"root" "/target" with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Fs.error_to_string e));
+  let results = Hashtbl.create 8 in
+  let record name = fresh_stats () |> fun hs -> Hashtbl.replace results name hs; hs in
+  let discover_stats = record "discover" in
+  let open_stats = record "open" in
+  let mmap_stats = record "alloc+map" in
+  let grant_stats = record "grant" in
+  let free_stats = record "free" in
+  let kern = Central.kernel central in
+  let done_ = ref false in
+  sequentially iters_t1
+    (fun _ k ->
+      let h, s = discover_stats in
+      measure engine h s (fun k' -> Central.discover central ~query:"" (fun () -> k' ())) k)
+    (fun () ->
+      sequentially iters_t1
+        (fun _ k ->
+          let h, s = open_stats in
+          measure engine h s
+            (fun k' ->
+              Central.open_file central ~path:"/target" ~user:"bench" (fun _ ->
+                  k' ()))
+            k)
+        (fun () ->
+          sequentially iters_t1
+            (fun _ k ->
+              let h, s = mmap_stats in
+              measure engine h s
+                (fun k' -> Central.setup_shared central ~bytes:16384L (fun () -> k' ()))
+                k)
+            (fun () ->
+              sequentially iters_t1
+                (fun _ k ->
+                  let h, s = grant_stats in
+                  measure engine h s
+                    (fun k' -> Kernel.syscall kern ~name:"grant" (fun () -> k' ()))
+                    k)
+                (fun () ->
+                  sequentially iters_t1
+                    (fun _ k ->
+                      let h, s = free_stats in
+                      measure engine h s
+                        (fun k' ->
+                          Central.teardown_shared central (fun () -> k' ()))
+                        k)
+                    (fun () -> done_ := true)))));
+  Engine.run engine;
+  assert !done_;
+  results
+
+let t1 ?(enable_tokens = true) () =
+  let dec = t1_decentralized ~enable_tokens in
+  let cen = t1_centralized () in
+  let ops = [ "discover"; "open"; "alloc+map"; "grant"; "free" ] in
+  let rows =
+    List.map
+      (fun op ->
+        let dh, ds = Hashtbl.find dec op in
+        let _, cs = Hashtbl.find cen op in
+        ignore dh;
+        let d = Stats.Summary.mean ds and c = Stats.Summary.mean cs in
+        [ op; ns d; ns c; ratio d c ])
+      ops
+  in
+  {
+    id = "t1";
+    title =
+      Printf.sprintf "control-plane operation latency (capability tokens %s)"
+        (if enable_tokens then "on" else "off");
+    claim =
+      "control tasks boil down to simple operations handled without a CPU \
+       (paper S1/S2)";
+    columns = [ "operation"; "CPU-less (ns)"; "centralized (ns)"; "centralized/CPU-less" ];
+    rows;
+    notes =
+      [
+        Printf.sprintf "%d iterations per op; mean one-way completion latency"
+          iters_t1;
+        "centralized = syscall + kernel service on one CPU core (+ device IRQ \
+         where applicable)";
+      ];
+  }
+
+(* --- KVS workload machinery (used by T2 and T7) ------------------------------- *)
+
+(* A closed-loop remote client on the simulated network. *)
+let client_counter = ref 0
+
+let kv_closed_loop_client system ~app_addr ~ops ~think_ns ~make_op ~h ~s ~on_done =
+  let engine = System.engine system in
+  let net = System.net system in
+  incr client_counter;
+  let ep = Netsim.endpoint net ~name:(Printf.sprintf "client-%d" !client_counter) in
+  let outstanding = Hashtbl.create 4 in
+  let sent = ref 0 in
+  let completed = ref 0 in
+  let send_next () =
+    if !sent < ops then begin
+      let corr = !sent in
+      incr sent;
+      Hashtbl.replace outstanding corr (Engine.now engine);
+      Netsim.send ep ~dst:app_addr
+        (Kv_proto.encode_request { Kv_proto.corr; op = make_op corr })
+    end
+  in
+  Netsim.set_receiver ep (fun ~src:_ frame ->
+      match Kv_proto.decode_response frame with
+      | Error _ -> ()
+      | Ok { Kv_proto.corr; _ } -> (
+        match Hashtbl.find_opt outstanding corr with
+        | None -> ()
+        | Some t0 ->
+          Hashtbl.remove outstanding corr;
+          let dt = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+          Stats.Histogram.add h dt;
+          Stats.Summary.add s dt;
+          incr completed;
+          if !completed = ops then on_done ()
+          else if think_ns > 0L then Engine.schedule engine ~delay:think_ns send_next
+          else send_next ()));
+  send_next ()
+
+let preload_store store ~keys ~value_bytes k_done =
+  let value = String.make value_bytes 'v' in
+  sequentially keys
+    (fun i k ->
+      Store.put store ~key:(Printf.sprintf "key-%06d" i) ~value (fun _ -> k ()))
+    k_done
+
+(* --- T2: performance isolation ------------------------------------------------ *)
+
+let t2_ops = 300
+let t2_keys = 128
+
+(* Decentralized: measure KVS get/put latency with and without a
+   control-plane-noisy neighbour (alloc/free closed loop on a second NIC). *)
+let t2_decentralized ~noisy =
+  let spec = { System.default_spec with nic_count = 2 } in
+  match Scenario_kvs.run ~spec () with
+  | Error e -> invalid_arg ("t2: " ^ e)
+  | Ok outcome ->
+    let system = outcome.Scenario_kvs.system in
+    let app = outcome.Scenario_kvs.app in
+    let engine = System.engine system in
+    let rng = Engine.fork_rng engine in
+    (* Preload. *)
+    let loaded = ref false in
+    preload_store (Kv_app.store app) ~keys:t2_keys ~value_bytes:64 (fun () ->
+        loaded := true);
+    System.run_until_idle system;
+    assert !loaded;
+    (* Noise: four closed alloc/free loops from nic1 (a control-plane-heavy
+       tenant churning mappings as fast as the system lets it). *)
+    let stop = ref false in
+    if noisy then begin
+      let noise_dev = Smart_nic.device (System.nic system 1) in
+      let mc = Memctl.id (System.memctl system) in
+      for j = 0 to 3 do
+        let noise_pasid = System.fresh_pasid system in
+        let va = Int64.add 0x7000_0000L (Int64.of_int (j * 0x100000)) in
+        let rec noise_loop () =
+          if not !stop then
+            Device.alloc noise_dev ~memctl:mc ~pasid:noise_pasid ~va
+              ~bytes:4096L ~perm:Types.perm_rw (fun _ ->
+                Device.free noise_dev ~memctl:mc ~pasid:noise_pasid ~va
+                  ~bytes:4096L (fun _ -> noise_loop ()))
+        in
+        noise_loop ()
+      done
+    end;
+    let h, s = fresh_stats () in
+    let finished = ref false in
+    let make_op _ =
+      (* Pure gets: isolates coordination latency from NAND program time,
+         which would otherwise dominate p99 identically in both designs. *)
+      Kv_proto.Get
+        (Printf.sprintf "key-%06d" (Rng.zipf rng ~n:t2_keys ~theta:0.99))
+    in
+    kv_closed_loop_client system
+      ~app_addr:(Smart_nic.endpoint_address (System.nic system 0))
+      ~ops:t2_ops ~think_ns:0L ~make_op ~h ~s
+      ~on_done:(fun () ->
+        finished := true;
+        stop := true);
+    System.run_until_idle system;
+    assert !finished;
+    Stats.latency_report h s
+
+(* Centralized: same store logic; network ops and noise share the CPU. *)
+let t2_centralized ~noisy =
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let rng = Engine.fork_rng engine in
+  let store = Store.create (Central.store_backend central ~path:"/kv.log" ~user:"kvs") in
+  let loaded = ref false in
+  preload_store store ~keys:t2_keys ~value_bytes:64 (fun () -> loaded := true);
+  Engine.run engine;
+  assert !loaded;
+  let stop = ref false in
+  if noisy then begin
+    let kern = Central.kernel central in
+    for _ = 1 to 4 do
+      let rec noise_loop () =
+        if not !stop then
+          Kernel.syscall kern ~name:"mmap" (fun () ->
+              Kernel.syscall kern ~name:"munmap" (fun () -> noise_loop ()))
+      in
+      noise_loop ()
+    done
+  end;
+  let h, s = fresh_stats () in
+  let finished = ref false in
+  let completed = ref 0 in
+  let rec next i =
+    if i = t2_ops then ()
+    else begin
+      let t0 = Engine.now engine in
+      let key = Printf.sprintf "key-%06d" (Rng.zipf rng ~n:t2_keys ~theta:0.99) in
+      let work k = Store.get store key (fun _ -> k ()) in
+      Central.kv_network_op central work (fun () ->
+          let dt = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+          Stats.Histogram.add h dt;
+          Stats.Summary.add s dt;
+          incr completed;
+          if !completed = t2_ops then begin
+            finished := true;
+            stop := true
+          end
+          else next (i + 1))
+    end
+  in
+  next 0;
+  Engine.run engine;
+  assert !finished;
+  Stats.latency_report h s
+
+let t2 () =
+  let d_quiet = t2_decentralized ~noisy:false in
+  let d_noisy = t2_decentralized ~noisy:true in
+  let c_quiet = t2_centralized ~noisy:false in
+  let c_noisy = t2_centralized ~noisy:true in
+  let row design (quiet : Stats.latency_report) (noisy : Stats.latency_report) =
+    [
+      design;
+      ns quiet.Stats.p50;
+      ns quiet.Stats.p99;
+      ns noisy.Stats.p50;
+      ns noisy.Stats.p99;
+      Printf.sprintf "%.2fx" (noisy.Stats.p99 /. quiet.Stats.p99);
+    ]
+  in
+  {
+    id = "t2";
+    title = "performance isolation under a control-plane-noisy neighbour";
+    claim = "decentralized control can improve performance isolation (paper S1)";
+    columns =
+      [
+        "design";
+        "quiet p50 (ns)";
+        "quiet p99 (ns)";
+        "noisy p50 (ns)";
+        "noisy p99 (ns)";
+        "p99 inflation";
+      ];
+    rows =
+      [
+        row "CPU-less" d_quiet d_noisy;
+        row "centralized" c_quiet c_noisy;
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "%d KVS gets (zipf 0.99 over %d keys), closed loop; measured tenant \
+           is read-only so coordination latency is visible"
+          t2_ops t2_keys;
+        "noise = closed-loop memory-mapping churn (alloc/free vs mmap/munmap)";
+      ];
+  }
+
+(* --- T3: control-plane scalability --------------------------------------------- *)
+
+let t3_duration = 20_000_000L (* 20 ms virtual *)
+
+let t3_decentralized ?(memctls = 1) ?(lanes = 1) ~apps () =
+  let spec =
+    {
+      System.default_spec with
+      nic_count = apps;
+      memctl_count = memctls;
+      bus_lanes = lanes;
+    }
+  in
+  let system = System.build ~spec () in
+  (match System.boot system with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("t3: " ^ e));
+  let mcs = Array.of_list (List.map Memctl.id (System.memctls system)) in
+  let completed = ref 0 in
+  let stop = ref false in
+  for i = 0 to apps - 1 do
+    let dev = Smart_nic.device (System.nic system i) in
+    let mc = mcs.(i mod Array.length mcs) in
+    let pasid = System.fresh_pasid system in
+    let va = Int64.add 0x6000_0000L (Int64.of_int (i * 0x100000)) in
+    let rec loop () =
+      if not !stop then
+        Device.alloc dev ~memctl:mc ~pasid ~va ~bytes:4096L ~perm:Types.perm_rw
+          (fun _ ->
+            Device.free dev ~memctl:mc ~pasid ~va ~bytes:4096L (fun _ ->
+                incr completed;
+                loop ()))
+    in
+    loop ()
+  done;
+  let engine = System.engine system in
+  let t0 = Engine.now engine in
+  Engine.run ~until:(Int64.add t0 t3_duration) engine;
+  stop := true;
+  let elapsed = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+  float_of_int !completed /. (elapsed *. 1e-9)
+
+let t3_centralized ?(cores = 1) ~apps () =
+  let engine = Engine.create () in
+  let kern = Kernel.create engine ~cores () in
+  let completed = ref 0 in
+  let stop = ref false in
+  for _ = 1 to apps do
+    let rec loop () =
+      if not !stop then
+        Kernel.syscall kern ~name:"mmap" (fun () ->
+            Kernel.syscall kern ~name:"munmap" (fun () ->
+                incr completed;
+                loop ()))
+    in
+    loop ()
+  done;
+  Engine.run ~until:t3_duration engine;
+  stop := true;
+  let elapsed = Int64.to_float (Engine.now engine) in
+  float_of_int !completed /. (elapsed *. 1e-9)
+
+let t3 () =
+  let app_counts = [ 1; 2; 4; 8; 16; 32 ] in
+  let rows =
+    List.map
+      (fun apps ->
+        let d1 = t3_decentralized ~apps () in
+        let d4 = t3_decentralized ~memctls:4 ~lanes:4 ~apps () in
+        let c1 = t3_centralized ~apps () in
+        let c4 = t3_centralized ~cores:4 ~apps () in
+        [
+          string_of_int apps;
+          Printf.sprintf "%.0f" d1;
+          Printf.sprintf "%.0f" d4;
+          Printf.sprintf "%.0f" c1;
+          Printf.sprintf "%.0f" c4;
+          Printf.sprintf "%.1fx" (d4 /. c1);
+        ])
+      app_counts
+  in
+  {
+    id = "t3";
+    title = "control-plane scalability: map/unmap pairs per second vs apps";
+    claim =
+      "decentralized control is an important factor in building a scalable \
+       system (paper S1)";
+    columns =
+      [
+        "apps";
+        "CPU-less 1 ctl/lane";
+        "CPU-less 4 ctl/lane";
+        "centralized 1 core";
+        "centralized 4 cores";
+        "4ctl / 1core";
+      ];
+    rows;
+    notes =
+      [
+        "closed-loop map+unmap pairs/s; the CPU-less plateau is the shared \
+         bus lane + memory controller, so a 4-lane control fabric with 4 \
+         controllers raises it, as 4 cores raise the baseline's";
+      ];
+  }
+
+(* --- T4: failure handling -------------------------------------------------------- *)
+
+let t4_decentralized () =
+  match Scenario_kvs.run () with
+  | Error e -> invalid_arg ("t4: " ^ e)
+  | Ok outcome ->
+    let system = outcome.Scenario_kvs.system in
+    let engine = System.engine system in
+    let bus = System.bus system in
+    let ssd = System.ssd system 0 in
+    let nic_dev = Smart_nic.device (System.nic system 0) in
+    (* Observe Device_failed at the NIC. *)
+    let detected_at = ref None in
+    Device.set_app_handler nic_dev (fun msg ->
+        match msg.Message.payload with
+        | Message.Device_failed _ when !detected_at = None ->
+          detected_at := Some (Engine.now engine)
+        | _ -> ());
+    let messages_before = (Sysbus.counters bus).Sysbus.routed in
+    let t_fail = Engine.now engine in
+    Sysbus.fail_device bus (Smart_ssd.id ssd);
+    System.run_until_idle system;
+    let detection =
+      match !detected_at with
+      | Some t -> Int64.sub t t_fail
+      | None -> -1L
+    in
+    (* Recovery: revive the device, re-announce, re-run the Figure-2
+       sequence, recover the store from the surviving log. *)
+    let t_revive = Engine.now engine in
+    Sysbus.revive_device bus (Smart_ssd.id ssd);
+    Device.reannounce (Smart_ssd.device ssd);
+    let recovered = ref None in
+    let pasid = System.fresh_pasid system in
+    File_client.connect nic_dev
+      ~memctl:(Memctl.id (System.memctl system))
+      ~pasid ~shm_va:0x9000_0000L ~user:"kvs" ~path_hint:"/kv/data.log"
+      (fun res ->
+        match res with
+        | Error e -> invalid_arg ("t4 reconnect: " ^ e)
+        | Ok fc ->
+          Lastcpu_kv.File_backend.create fc ~path:"/kv/data.log" (fun res ->
+              match res with
+              | Error e -> invalid_arg ("t4 backend: " ^ e)
+              | Ok fb ->
+                let store = Store.create (Lastcpu_kv.File_backend.backend fb) in
+                Store.recover store (fun res ->
+                    match res with
+                    | Error e -> invalid_arg ("t4 recover: " ^ e)
+                    | Ok n -> recovered := Some (n, Engine.now engine))));
+    System.run_until_idle system;
+    (match !recovered with
+    | None -> invalid_arg "t4: recovery never completed"
+    | Some (records, t_done) ->
+      let messages_after = (Sysbus.counters bus).Sysbus.routed in
+      ( detection,
+        Int64.sub t_done t_revive,
+        records,
+        messages_after - messages_before ))
+
+let t4_centralized () =
+  (* The kernel learns of the failure via an interrupt, resets the device
+     (device-side reset latency), re-opens and re-reads the log via
+     syscalls. Same storage implementation, so the same records surface. *)
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let store = Store.create (Central.store_backend central ~path:"/kv.log" ~user:"kvs") in
+  let loaded = ref false in
+  sequentially 3
+    (fun i k ->
+      Store.put store ~key:(Printf.sprintf "smoke-%d" (i + 1))
+        ~value:"value" (fun _ -> k ()))
+    (fun () -> loaded := true);
+  Engine.run engine;
+  assert !loaded;
+  let kern = Central.kernel central in
+  let t_fail = Engine.now engine in
+  let detected = ref 0L in
+  Kernel.interrupt kern ~name:"device-failed" (fun () ->
+      detected := Int64.sub (Engine.now engine) t_fail);
+  Engine.run engine;
+  let t_revive = Engine.now engine in
+  let finished = ref None in
+  Kernel.syscall kern ~name:"reset-device" (fun () ->
+      Central.open_file central ~path:"/kv.log" ~user:"kvs" (fun _ ->
+          Store.recover store (fun res ->
+              match res with
+              | Error e -> invalid_arg ("t4 central: " ^ e)
+              | Ok n -> finished := Some (n, Engine.now engine))));
+  Engine.run engine;
+  match !finished with
+  | None -> invalid_arg "t4 central: never finished"
+  | Some (records, t_done) ->
+    (!detected, Int64.sub t_done t_revive, records, Kernel.syscalls kern)
+
+let t4 () =
+  let d_detect, d_recover, d_records, d_msgs = t4_decentralized () in
+  let c_detect, c_recover, c_records, c_ops = t4_centralized () in
+  {
+    id = "t4";
+    title = "storage-device failure: detection and recovery";
+    claim = "the failure model is not worse than with a centralized CPU (paper S4)";
+    columns =
+      [ "design"; "detection (ns)"; "recovery (ns)"; "records recovered"; "control msgs/ops" ];
+    rows =
+      [
+        [
+          "CPU-less";
+          ns64 d_detect;
+          ns64 d_recover;
+          string_of_int d_records;
+          string_of_int d_msgs;
+        ];
+        [
+          "centralized";
+          ns64 c_detect;
+          ns64 c_recover;
+          string_of_int c_records;
+          string_of_int c_ops;
+        ];
+      ];
+    notes =
+      [
+        "CPU-less: bus broadcasts Device_failed; consumers re-run the Figure-2 \
+         sequence against the revived device; the WAL survives on flash";
+        "recovery includes re-discovery, re-open, re-map, queue re-attach and \
+         full log replay";
+      ];
+  }
+
+(* --- T5: address translation / TLB sweep ------------------------------------------ *)
+
+let t5 () =
+  let costs = Costs.default in
+  let pages = 1024 in
+  let accesses = 200_000 in
+  let configs =
+    [
+      ("no TLB", None);
+      ("16 sets x 2 ways (32)", Some (16, 2));
+      ("64 sets x 4 ways (256)", Some (64, 4));
+      ("256 sets x 8 ways (2048)", Some (256, 8));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, geometry) ->
+        let iommu =
+          match geometry with
+          | None -> Iommu.create ~no_tlb:true ()
+          | Some (sets, ways) -> Iommu.create ~tlb_sets:sets ~tlb_ways:ways ()
+        in
+        (* One mapped region of [pages] pages. *)
+        for i = 0 to pages - 1 do
+          let off = Int64.mul (Int64.of_int i) Layout.page_size in
+          match
+            Iommu.map iommu ~pasid:1 ~va:(Int64.add 0x1000_0000L off)
+              ~pa:(Int64.add 0x8000_0000L off) ~bytes:Layout.page_size
+              ~perm:Types.perm_rw
+          with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("t5: " ^ e)
+        done;
+        let rng = Rng.create ~seed:7L in
+        for _ = 1 to accesses do
+          let page = Rng.zipf rng ~n:pages ~theta:0.9 in
+          let va =
+            Int64.add 0x1000_0000L
+              (Int64.mul (Int64.of_int page) Layout.page_size)
+          in
+          match Iommu.translate iommu ~pasid:1 ~va ~access:Iommu.Read with
+          | Iommu.Ok_pa _ -> ()
+          | Iommu.Fault _ -> invalid_arg "t5: unexpected fault"
+        done;
+        let hits = Iommu.tlb_hits iommu in
+        let misses = Iommu.tlb_misses iommu in
+        let walks = Iommu.walks iommu in
+        let walk_levels = Iommu.walk_levels iommu in
+        let total = float_of_int accesses in
+        let hit_rate =
+          if hits + misses = 0 then 0. else float_of_int hits /. total *. 100.
+        in
+        let avg_cost =
+          (float_of_int (hits + misses) *. Int64.to_float costs.Costs.tlb_hit_ns
+          +. float_of_int walk_levels *. Int64.to_float costs.Costs.iommu_walk_level_ns)
+          /. total
+        in
+        [
+          label;
+          Printf.sprintf "%.1f%%" hit_rate;
+          string_of_int walks;
+          Printf.sprintf "%.1f" avg_cost;
+        ])
+      configs
+  in
+  {
+    id = "t5";
+    title = "IOMMU translation cost vs TLB geometry (zipf 0.9 over 1024 pages)";
+    claim =
+      "IOMMU-gated shared memory is viable as the cornerstone of data \
+       isolation (paper S2.2)";
+    columns = [ "TLB"; "hit rate"; "page-table walks"; "avg ns/access" ];
+    rows;
+    notes =
+      [ Printf.sprintf "%d accesses; 4-level table walk = 4 x %Ldns" accesses
+          costs.Costs.iommu_walk_level_ns ];
+  }
+
+(* --- T6: virtqueue throughput ------------------------------------------------------ *)
+
+let t6_one ~depth ~via_bus =
+  match Scenario_kvs.run () with
+  | Error e -> invalid_arg ("t6: " ^ e)
+  | Ok outcome ->
+    let system = outcome.Scenario_kvs.system in
+    let engine = System.engine system in
+    let nic_dev = Smart_nic.device (System.nic system 0) in
+    let ssd_dev = Smart_ssd.device (System.ssd system 0) in
+    if via_bus then begin
+      Device.route_doorbells_via_bus nic_dev true;
+      Device.route_doorbells_via_bus ssd_dev true
+    end;
+    let fc = Kv_app.client outcome.Scenario_kvs.app in
+    (* Closed loop of [depth] concurrent small reads of the log file. *)
+    let duration = 20_000_000L (* 20 ms *) in
+    let completed = ref 0 in
+    let stop = ref false in
+    let rec loop () =
+      if not !stop then
+        File_client.read fc "/kv/data.log" ~off:0 ~len:64 (fun _ ->
+            incr completed;
+            loop ())
+    in
+    for _ = 1 to depth do
+      loop ()
+    done;
+    let t0 = Engine.now engine in
+    Engine.run ~until:(Int64.add t0 duration) engine;
+    stop := true;
+    let elapsed = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+    float_of_int !completed /. (elapsed *. 1e-9)
+
+let t6 ?(doorbells_via_bus = false) () =
+  let depths = [ 1; 2; 4; 8; 16 ] in
+  let rows =
+    List.map
+      (fun depth ->
+        let direct = t6_one ~depth ~via_bus:false in
+        let conflated =
+          if doorbells_via_bus then t6_one ~depth ~via_bus:true else nan
+        in
+        [
+          string_of_int depth;
+          Printf.sprintf "%.0f" direct;
+          (if doorbells_via_bus then Printf.sprintf "%.0f" conflated else "-");
+        ])
+      depths
+  in
+  {
+    id = "t6";
+    title = "VIRTIO file-service throughput vs queue depth (64B reads)";
+    claim =
+      "VIRTIO queues in shared memory are consumable by modest hardware \
+       (paper S2.1); control and data planes should stay separate (S2.3)";
+    columns =
+      [ "queue depth"; "ops/s (doorbell direct)"; "ops/s (doorbell via bus)" ];
+    rows;
+    notes =
+      [
+        "reads are cache-hits in device DRAM: the measured path is pure \
+         queue + doorbell + device processing";
+      ];
+  }
+
+(* --- T7: end-to-end KVS ------------------------------------------------------------- *)
+
+let t7_keys = 256
+let t7_ops = 400
+let t7_clients = 4
+
+let t7_mix_op rng mix_get_pct =
+  let key = Printf.sprintf "key-%06d" (Rng.zipf rng ~n:t7_keys ~theta:0.99) in
+  if Rng.int rng 100 < mix_get_pct then Kv_proto.Get key
+  else Kv_proto.Put (key, String.make 100 'w')
+
+let t7_decentralized ~mix_get_pct =
+  match Scenario_kvs.run () with
+  | Error e -> invalid_arg ("t7: " ^ e)
+  | Ok outcome ->
+    let system = outcome.Scenario_kvs.system in
+    let engine = System.engine system in
+    let app = outcome.Scenario_kvs.app in
+    let loaded = ref false in
+    preload_store (Kv_app.store app) ~keys:t7_keys ~value_bytes:100 (fun () ->
+        loaded := true);
+    System.run_until_idle system;
+    assert !loaded;
+    let h, s = fresh_stats () in
+    let finished = ref 0 in
+    let t0 = Engine.now engine in
+    for c = 1 to t7_clients do
+      let rng = Rng.create ~seed:(Int64.of_int (1000 + c)) in
+      kv_closed_loop_client system
+        ~app_addr:(Smart_nic.endpoint_address (System.nic system 0))
+        ~ops:(t7_ops / t7_clients) ~think_ns:0L
+        ~make_op:(fun _ -> t7_mix_op rng mix_get_pct)
+        ~h ~s
+        ~on_done:(fun () -> incr finished)
+    done;
+    System.run_until_idle system;
+    assert (!finished = t7_clients);
+    let elapsed = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+    let throughput = float_of_int t7_ops /. (elapsed *. 1e-9) in
+    (throughput, Stats.latency_report h s)
+
+let t7_centralized ~mix_get_pct =
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let store = Store.create (Central.store_backend central ~path:"/kv.log" ~user:"kvs") in
+  let loaded = ref false in
+  preload_store store ~keys:t7_keys ~value_bytes:100 (fun () -> loaded := true);
+  Engine.run engine;
+  assert !loaded;
+  let h, s = fresh_stats () in
+  let finished = ref 0 in
+  let t0 = Engine.now engine in
+  for c = 1 to t7_clients do
+    let rng = Rng.create ~seed:(Int64.of_int (1000 + c)) in
+    let remaining = ref (t7_ops / t7_clients) in
+    let rec next () =
+      if !remaining = 0 then incr finished
+      else begin
+        decr remaining;
+        let t_start = Engine.now engine in
+        let op = t7_mix_op rng mix_get_pct in
+        let work k =
+          match op with
+          | Kv_proto.Get key -> Store.get store key (fun _ -> k ())
+          | Kv_proto.Put (key, value) -> Store.put store ~key ~value (fun _ -> k ())
+          | Kv_proto.Del key -> Store.delete store key (fun _ -> k ())
+          | Kv_proto.Scan p -> Store.scan_prefix store ~prefix:p (fun _ -> k ())
+        in
+        Central.kv_network_op central work (fun () ->
+            let dt = Int64.to_float (Int64.sub (Engine.now engine) t_start) in
+            Stats.Histogram.add h dt;
+            Stats.Summary.add s dt;
+            next ())
+      end
+    in
+    next ()
+  done;
+  Engine.run engine;
+  assert (!finished = t7_clients);
+  let elapsed = Int64.to_float (Int64.sub (Engine.now engine) t0) in
+  let throughput = float_of_int t7_ops /. (elapsed *. 1e-9) in
+  (throughput, Stats.latency_report h s)
+
+let t7 () =
+  let mixes = [ ("YCSB-C (100% get)", 100); ("YCSB-B (95% get)", 95); ("YCSB-A (50% get)", 50) ] in
+  let rows =
+    List.concat_map
+      (fun (label, pct) ->
+        let d_tp, d_lat = t7_decentralized ~mix_get_pct:pct in
+        let c_tp, c_lat = t7_centralized ~mix_get_pct:pct in
+        [
+          [
+            label;
+            "CPU-less";
+            Printf.sprintf "%.0f" d_tp;
+            ns d_lat.Stats.p50;
+            ns d_lat.Stats.p99;
+          ];
+          [
+            label;
+            "centralized";
+            Printf.sprintf "%.0f" c_tp;
+            ns c_lat.Stats.p50;
+            ns c_lat.Stats.p99;
+          ];
+        ])
+      mixes
+  in
+  {
+    id = "t7";
+    title = "end-to-end KVS: remote clients, NIC-hosted store, SSD-backed log";
+    claim = "an entire application runs with no CPU in the system (paper S3)";
+    columns = [ "mix"; "design"; "ops/s"; "p50 (ns)"; "p99 (ns)" ];
+    rows;
+    notes =
+      [
+        Printf.sprintf "%d ops over %d closed-loop clients, zipf 0.99 over %d keys"
+          t7_ops t7_clients t7_keys;
+        "puts pay NAND program time in both designs (same FTL/FS); the \
+         difference is coordination architecture";
+      ];
+  }
+
+(* --- T8: fault containment ------------------------------------------------------------ *)
+
+let t8 () =
+  match Scenario_kvs.run () with
+  | Error e -> invalid_arg ("t8: " ^ e)
+  | Ok outcome ->
+    let system = outcome.Scenario_kvs.system in
+    let app = outcome.Scenario_kvs.app in
+    let nic1_dev = Smart_nic.device (System.nic system 0) in
+    (* Bystander ops before/after each injected fault must all succeed. *)
+    let bystander_ok = ref 0 and bystander_fail = ref 0 in
+    let bystander_op k =
+      Kv_app.local_op app (Kv_proto.Put ("bystander", "alive")) (fun reply ->
+          (match reply with
+          | Kv_proto.Done -> incr bystander_ok
+          | _ -> incr bystander_fail);
+          k ())
+    in
+    (* Scenario A: DMA read of an unmapped address on a victim PASID. *)
+    let victim_pasid = System.fresh_pasid system in
+    let faults_before = Device.fault_count nic1_dev in
+    let dma = Device.dma nic1_dev ~pasid:victim_pasid in
+    let scenario_a =
+      match Lastcpu_virtio.Dma.read_u64 dma 0xDEAD_0000L with
+      | _ -> "no fault (BUG)"
+      | exception Lastcpu_virtio.Dma.Dma_fault f ->
+        Printf.sprintf "fault delivered to device (reason=%s)"
+          (match f.Iommu.reason with
+          | Iommu.Not_mapped -> "not-mapped"
+          | Iommu.Protection -> "protection")
+    in
+    let faults_a = Device.fault_count nic1_dev - faults_before in
+    let done1 = ref false in
+    bystander_op (fun () -> done1 := true);
+    System.run_until_idle system;
+    (* Scenario B: write through a read-only mapping. *)
+    let ro_pasid = System.fresh_pasid system in
+    let mc = Memctl.id (System.memctl system) in
+    let alloc_done = ref false in
+    Device.alloc nic1_dev ~memctl:mc ~pasid:ro_pasid ~va:0xA000_0000L
+      ~bytes:4096L ~perm:Types.perm_r (fun res ->
+        (match res with Ok _ -> () | Error e ->
+          invalid_arg ("t8 alloc: " ^ Types.error_code_to_string e));
+        alloc_done := true);
+    System.run_until_idle system;
+    assert !alloc_done;
+    let faults_before_b = Device.fault_count nic1_dev in
+    let dma_ro = Device.dma nic1_dev ~pasid:ro_pasid in
+    let scenario_b =
+      match Lastcpu_virtio.Dma.write_u8 dma_ro 0xA000_0000L 1 with
+      | () -> "no fault (BUG)"
+      | exception Lastcpu_virtio.Dma.Dma_fault f ->
+        Printf.sprintf "fault delivered to device (reason=%s)"
+          (match f.Iommu.reason with
+          | Iommu.Not_mapped -> "not-mapped"
+          | Iommu.Protection -> "protection")
+    in
+    let faults_b = Device.fault_count nic1_dev - faults_before_b in
+    let done2 = ref false in
+    bystander_op (fun () -> done2 := true);
+    System.run_until_idle system;
+    assert (!done1 && !done2);
+    {
+      id = "t8";
+      title = "fault containment: IOMMU faults stay on the faulting device";
+      claim =
+        "each device handles its own faults; no external entity is involved \
+         (paper S4 Error Handling)";
+      columns = [ "scenario"; "outcome"; "faults delivered"; "bystander app" ];
+      rows =
+        [
+          [
+            "read of unmapped VA";
+            scenario_a;
+            string_of_int faults_a;
+            Printf.sprintf "%d ok / %d failed" !bystander_ok !bystander_fail;
+          ];
+          [
+            "write via read-only grant";
+            scenario_b;
+            string_of_int faults_b;
+            Printf.sprintf "%d ok / %d failed" !bystander_ok !bystander_fail;
+          ];
+        ];
+      notes =
+        [ "bystander = the KVS application on its own PASID, same device" ];
+    }
+
+(* --- T9: boot / discovery scaling ------------------------------------------------------ *)
+
+let t9 () =
+  let boot_with ~ssds ~nics =
+    let spec = { System.default_spec with ssd_count = ssds; nic_count = nics } in
+    let system = System.build ~spec () in
+    match System.boot system with
+    | Error e -> invalid_arg ("t9: " ^ e)
+    | Ok () ->
+      let boot_ns = Engine.now (System.engine system) in
+      (* Then a discovery broadcast storm: every NIC discovers a file
+         service simultaneously. *)
+      let answered = ref 0 in
+      let engine = System.engine system in
+      let t0 = Engine.now engine in
+      let last_answer = ref t0 in
+      List.iter
+        (fun nic ->
+          Device.discover (Smart_nic.device nic) ~kind:Types.File_service
+            ~query:"" (fun r ->
+              if r <> None then begin
+                incr answered;
+                last_answer := Engine.now engine
+              end))
+        (System.nics system);
+      System.run_until_idle system;
+      let storm_ns = Int64.sub !last_answer t0 in
+      let c = Sysbus.counters (System.bus system) in
+      (boot_ns, storm_ns, !answered, c.Sysbus.broadcasts)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let boot_ns, storm_ns, answered, broadcasts = boot_with ~ssds:n ~nics:n in
+        [
+          string_of_int (2 * n);
+          ns64 boot_ns;
+          ns64 storm_ns;
+          Printf.sprintf "%d/%d" answered n;
+          string_of_int broadcasts;
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  {
+    id = "t9";
+    title = "initialization scaling: boot + discovery storm vs device count";
+    claim =
+      "system initialization (self-test, announce, discover) needs no \
+       central coordinator (paper S2.2 System Initialization)";
+    columns =
+      [
+        "devices (ssd+nic)";
+        "boot (ns)";
+        "discovery storm (ns)";
+        "answered";
+        "broadcast deliveries";
+      ];
+    rows;
+    notes =
+      [
+        "boot = virtual time until every device announced Device_alive";
+        "storm = all NICs broadcast file-service discovery at once";
+      ];
+  }
+
+(* --- T10: FTL characterization ---------------------------------------------------------- *)
+
+let t10 () =
+  let churn ~op_ratio =
+    let nand =
+      Lastcpu_flash.Nand.create
+        ~geometry:{ Lastcpu_flash.Nand.blocks = 64; pages_per_block = 32; page_size = 512 }
+        ()
+    in
+    let ftl = Lastcpu_flash.Ftl.create ~nand ~op_ratio () in
+    let logical = Lastcpu_flash.Ftl.logical_pages ftl in
+    let rng = Rng.create ~seed:11L in
+    (* Hot/cold: 90% of writes hit 10% of the space. *)
+    let hot = max 1 (logical / 10) in
+    let writes = 20_000 in
+    for i = 1 to writes do
+      let lpn =
+        if Rng.int rng 10 < 9 then Rng.int rng hot
+        else hot + Rng.int rng (max 1 (logical - hot))
+      in
+      match Lastcpu_flash.Ftl.write ftl ~lpn (Printf.sprintf "w%d" i) with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("t10: " ^ e)
+    done;
+    ( logical,
+      Lastcpu_flash.Ftl.write_amplification ftl,
+      Lastcpu_flash.Ftl.gc_runs ftl,
+      Lastcpu_flash.Ftl.max_erase_skew ftl )
+  in
+  let rows =
+    List.map
+      (fun op_ratio ->
+        let logical, wa, gc, skew = churn ~op_ratio in
+        [
+          Printf.sprintf "%.0f%%" (op_ratio *. 100.);
+          string_of_int logical;
+          Printf.sprintf "%.2f" wa;
+          string_of_int gc;
+          string_of_int skew;
+        ])
+      [ 0.07; 0.125; 0.25; 0.5 ]
+  in
+  {
+    id = "t10";
+    title = "smart-SSD FTL: write amplification vs over-provisioning";
+    claim =
+      "the SSD manages its own flash resources internally (paper S2.1 \
+       self-managing devices)";
+    columns =
+      [ "over-provision"; "logical pages"; "write amp"; "GC runs"; "erase skew" ];
+    rows;
+    notes = [ "20k writes, 90/10 hot/cold skew, 64x32x512B geometry" ];
+  }
+
+(* --- T11: offload crossover -------------------------------------------------------------- *)
+
+let t11 () =
+  let spec = { System.default_spec with accel_count = 1 } in
+  let system = System.build ~spec () in
+  (match System.boot system with Ok () -> () | Error e -> invalid_arg ("t11: " ^ e));
+  let engine = System.engine system in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let mc = Memctl.id (System.memctl system) in
+  let accel = Lastcpu_devices.Accel_dev.id (System.accel system 0) in
+  let pasid = System.fresh_pasid system in
+  let bytes = 1 lsl 20 in
+  let va = 0x4000_0000L in
+  let token = ref None in
+  Device.alloc dev ~memctl:mc ~pasid ~va ~bytes:(Int64.of_int bytes)
+    ~perm:Types.perm_rw (fun r -> token := Result.to_option r);
+  System.run_until_idle system;
+  let token = match !token with Some t -> t | None -> invalid_arg "t11: alloc" in
+  let dma = Device.dma dev ~pasid in
+  for i = 0 to (bytes / 4096) - 1 do
+    Lastcpu_virtio.Dma.write_bytes dma
+      (Int64.add va (Int64.of_int (i * 4096)))
+      (String.make 4096 (Char.chr (32 + (i mod 64))))
+  done;
+  let granted = ref false in
+  Device.grant dev ~to_device:accel ~pasid ~va ~bytes:(Int64.of_int bytes)
+    ~perm:Types.perm_rw ~auth:token (fun r -> granted := Result.is_ok r);
+  System.run_until_idle system;
+  if not !granted then invalid_arg "t11: grant";
+  let measure_one size =
+    let job = Lastcpu_devices.Accel_proto.Checksum { va; len = size } in
+    let t0 = Engine.now engine in
+    let off_ns = ref 0L in
+    Lastcpu_devices.Accel_dev.submit dev ~accel ~pasid job (fun _ ->
+        off_ns := Int64.sub (Engine.now engine) t0);
+    System.run_until_idle system;
+    let t1 = Engine.now engine in
+    let local_ns = ref 0L in
+    Lastcpu_devices.Accel_dev.run_locally dev ~pasid job (fun _ ->
+        local_ns := Int64.sub (Engine.now engine) t1);
+    System.run_until_idle system;
+    (!off_ns, !local_ns)
+  in
+  let rows =
+    List.map
+      (fun size ->
+        let off, local = measure_one size in
+        [
+          string_of_int size;
+          ns64 off;
+          ns64 local;
+          Printf.sprintf "%.2fx" (Int64.to_float local /. Int64.to_float off);
+        ])
+      [ 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+  in
+  {
+    id = "t11";
+    title = "offload crossover: accelerator vs on-device embedded core";
+    claim =
+      "application-specific hardware outperforms general cores once data is \
+       large enough to amortize coordination (paper S1)";
+    columns = [ "bytes"; "offload (ns)"; "local (ns)"; "offload speedup" ];
+    rows;
+    notes =
+      [
+        "offload = bus submission + accelerator streaming; local = the \
+         device's embedded core";
+        "crossover sits where submission overhead = per-byte advantage";
+      ];
+  }
+
+(* --- T12: recovery economics ------------------------------------------------------------ *)
+
+let t12 () =
+  let measure ~puts =
+    match Scenario_kvs.run ~smoke_ops:0 () with
+    | Error e -> invalid_arg ("t12: " ^ e)
+    | Ok outcome ->
+      let system = outcome.Scenario_kvs.system in
+      let engine = System.engine system in
+      let app = outcome.Scenario_kvs.app in
+      (* Churn a small live set so the log is mostly dead records. *)
+      let live_keys = 32 in
+      for i = 1 to puts do
+        Store.put (Kv_app.store app)
+          ~key:(Printf.sprintf "k%03d" (i mod live_keys))
+          ~value:(String.make 64 'v') (fun _ -> ())
+      done;
+      System.run_until_idle system;
+      let relaunch () =
+        let t0 = Engine.now engine in
+        let result = ref None in
+        Kv_app.launch ~nic:(System.nic system 0)
+          ~memctl:(Memctl.id (System.memctl system))
+          ~pasid:(System.fresh_pasid system)
+          ~shm_va:
+            (Int64.add 0x9000_0000L
+               (Int64.mul (Int64.of_int (System.fresh_pasid system)) 0x100_0000L))
+          ~user:"kvs" ~log_path:"/kv/data.log" ~start_device:false ()
+          (fun r -> result := Some (r, Engine.now engine));
+        System.run_until_idle system;
+        match !result with
+        | Some (Ok app', t_done) ->
+          (Kv_app.recovered_records app', Int64.sub t_done t0)
+        | _ -> invalid_arg "t12: relaunch failed"
+      in
+      let records_before, recovery_before = relaunch () in
+      let compacted = ref false in
+      Store.compact (Kv_app.store app) (fun r -> compacted := Result.is_ok r);
+      System.run_until_idle system;
+      if not !compacted then invalid_arg "t12: compaction failed";
+      let records_after, recovery_after = relaunch () in
+      (records_before, recovery_before, records_after, recovery_after)
+  in
+  let rows =
+    List.map
+      (fun puts ->
+        let rb, tb, ra, ta = measure ~puts in
+        [
+          string_of_int puts;
+          string_of_int rb;
+          ns64 tb;
+          string_of_int ra;
+          ns64 ta;
+          Printf.sprintf "%.1fx" (Int64.to_float tb /. Int64.to_float ta);
+        ])
+      [ 100; 400; 1000 ]
+  in
+  {
+    id = "t12";
+    title = "recovery economics: WAL replay time, before and after compaction";
+    claim =
+      "applications recover themselves from device-resident logs (paper S3 \
+       log file / S4 error handling); compaction bounds that cost";
+    columns =
+      [
+        "puts (32 live keys)";
+        "records replayed";
+        "recovery (ns)";
+        "records after compact";
+        "recovery after (ns)";
+        "speedup";
+      ];
+    rows;
+    notes =
+      [
+        "recovery = full Figure-2 re-attach + WAL read + replay, via the \
+         data plane; compaction uses the crash-safe sidecar + rename path";
+      ];
+  }
+
+(* --- registry ------------------------------------------------------------------------- *)
+
+let all () =
+  [
+    f1 ();
+    f2 ();
+    t1 ();
+    t2 ();
+    t3 ();
+    t4 ();
+    t5 ();
+    t6 ~doorbells_via_bus:true ();
+    t7 ();
+    t8 ();
+    t9 ();
+    t10 ();
+    t11 ();
+    t12 ();
+  ]
+
+let by_id = function
+  | "f1" -> Some f1
+  | "f2" -> Some f2
+  | "t1" -> Some (fun () -> t1 ())
+  | "t1-notokens" -> Some (fun () -> t1 ~enable_tokens:false ())
+  | "t2" -> Some t2
+  | "t3" -> Some (fun () -> t3 ())
+  | "t4" -> Some t4
+  | "t5" -> Some t5
+  | "t6" -> Some (fun () -> t6 ~doorbells_via_bus:true ())
+  | "t7" -> Some t7
+  | "t8" -> Some t8
+  | "t9" -> Some t9
+  | "t10" -> Some t10
+  | "t11" -> Some t11
+  | "t12" -> Some t12
+  | _ -> None

@@ -1,0 +1,73 @@
+(** Experiment harness: every figure and table of EXPERIMENTS.md.
+
+    The paper (a HotOS position paper) publishes no quantitative results;
+    each experiment here operationalises one of its claims, comparing the
+    CPU-less design against the centralized-CPU baseline where a comparison
+    is meaningful. All experiments are deterministic given the seed. *)
+
+type table = {
+  id : string;
+  title : string;
+  claim : string;  (** the paper claim the experiment tests *)
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print_table : Format.formatter -> table -> unit
+
+val f1 : unit -> table
+(** Figure 1: the architecture — topology of a booted CPU-less system. *)
+
+val f2 : unit -> table
+(** Figure 2: the seven-step KVS initialization sequence, with virtual
+    timestamps. *)
+
+val t1 : ?enable_tokens:bool -> unit -> table
+(** Control-plane operation latency, CPU-less vs centralized.
+    [enable_tokens:false] is the no-capability ablation. *)
+
+val t2 : unit -> table
+(** Performance isolation: KVS tail latency under a control-plane-noisy
+    neighbour, both designs. *)
+
+val t3 : unit -> table
+(** Control-plane scalability: aggregate throughput vs concurrent
+    applications. *)
+
+val t4 : unit -> table
+(** Failure handling: detection and recovery after a storage-device
+    failure, both designs. *)
+
+val t5 : unit -> table
+(** Address translation: TLB geometry sweep under a Zipfian working set. *)
+
+val t6 : ?doorbells_via_bus:bool -> unit -> table
+(** VIRTIO virtqueue throughput vs queue depth. [doorbells_via_bus:true]
+    adds the §2.3 ablation column: notifications conflated onto the
+    control bus instead of MSI-style memory writes. *)
+
+val t7 : unit -> table
+(** End-to-end KVS under YCSB-like mixes, both designs. *)
+
+val t8 : unit -> table
+(** Fault containment: IOMMU faults are delivered to the faulting device
+    only; bystander address spaces are unaffected. *)
+
+val t9 : unit -> table
+(** Initialization scaling: boot and discovery-storm time vs device count. *)
+
+val t10 : unit -> table
+(** FTL characterization: write amplification vs over-provisioning. *)
+
+val t11 : unit -> table
+(** Offload crossover: accelerator vs on-device embedded core. *)
+
+val t12 : unit -> table
+(** Recovery economics: WAL replay before/after compaction. *)
+
+val all : unit -> table list
+(** Every figure and table, in order. *)
+
+val by_id : string -> (unit -> table) option
+(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens", "t2".."t12"). *)

@@ -1,0 +1,1 @@
+lib/device/device.ml: Hashtbl Int64 Lastcpu_bus Lastcpu_iommu Lastcpu_mem Lastcpu_proto Lastcpu_sim Lastcpu_virtio List Option Printf String

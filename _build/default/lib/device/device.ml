@@ -1,0 +1,381 @@
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Iommu = Lastcpu_iommu.Iommu
+module Dma = Lastcpu_virtio.Dma
+module Sysbus = Lastcpu_bus.Sysbus
+module Engine = Lastcpu_sim.Engine
+module Station = Lastcpu_sim.Station
+module Costs = Lastcpu_sim.Costs
+
+type open_accept = { connection : int; shm_bytes : int64 }
+
+type service_impl = {
+  desc : Message.service_desc;
+  can_serve : query:string -> bool;
+  on_open :
+    client:Types.device_id ->
+    pasid:int ->
+    auth:Token.t option ->
+    params:(string * string) list ->
+    (open_accept, Types.error_code) result;
+  on_close : connection:int -> unit;
+}
+
+type connection_info = {
+  conn_id : int;
+  service : string;
+  client : Types.device_id;
+  conn_pasid : int;
+}
+
+type t = {
+  mutable dev_id : Types.device_id;
+  dev_name : string;
+  sysbus : Sysbus.t;
+  engine : Engine.t;
+  mem : Lastcpu_mem.Physmem.t;
+  iommu : Iommu.t;
+  station : Station.t;
+  mutable services : service_impl list;
+  mutable app_handler : (Message.t -> unit) option;
+  mutable fault_handler : (Iommu.fault -> unit) option;
+  mutable fault_total : int;
+  mutable is_started : bool;
+  mutable via_bus_doorbells : bool;
+  pending : (int, Message.payload -> unit) Hashtbl.t;
+  doorbells : (int, unit -> unit) Hashtbl.t;
+  dmas : (int, Dma.t) Hashtbl.t;
+  conns : (int, connection_info) Hashtbl.t;
+  mutable next_corr : int;
+  mutable next_conn : int;
+  mutable handled : int;
+  mutable sent : int;
+}
+
+let response_like (p : Message.payload) =
+  match p with
+  | Message.Discover_response _ | Message.Open_response _
+  | Message.Alloc_response _ | Message.Map_complete _ | Message.Auth_response _
+  | Message.Error_msg _ | Message.App_message _ ->
+    true
+  | _ -> false
+
+let dispatch t (msg : Message.t) =
+  t.handled <- t.handled + 1;
+  let to_app () = match t.app_handler with Some f -> f msg | None -> () in
+  (* 1. Correlated response? *)
+  let as_response =
+    if response_like msg.payload then
+      match Hashtbl.find_opt t.pending msg.corr with
+      | Some k ->
+        Hashtbl.remove t.pending msg.corr;
+        Some k
+      | None -> None
+    else None
+  in
+  match as_response with
+  | Some k -> k msg.payload
+  | None -> (
+    (* 2. Service plane. *)
+    match msg.payload with
+    | Message.Discover_request { kind; query } ->
+      List.iter
+        (fun s ->
+          if s.desc.Message.kind = kind && s.can_serve ~query then begin
+            t.sent <- t.sent + 1;
+            Sysbus.send t.sysbus
+              (Message.make ~src:t.dev_id ~dst:(Types.Device msg.src)
+                 ~corr:msg.corr
+                 (Message.Discover_response
+                    { provider = t.dev_id; service = s.desc; query }))
+          end)
+        t.services
+    | Message.Open_service { service; pasid; auth; params } -> (
+      let impl =
+        List.find_opt
+          (fun s -> String.equal s.desc.Message.name service.Message.name)
+          t.services
+      in
+      let respond payload =
+        t.sent <- t.sent + 1;
+        Sysbus.send t.sysbus
+          (Message.make ~src:t.dev_id ~dst:(Types.Device msg.src) ~corr:msg.corr
+             payload)
+      in
+      match impl with
+      | None ->
+        respond
+          (Message.Open_response
+             {
+               accepted = false;
+               connection = 0;
+               shm_bytes = 0L;
+               error = Some Types.E_no_such_service;
+             })
+      | Some s -> (
+        match s.on_open ~client:msg.src ~pasid ~auth ~params with
+        | Error code ->
+          respond
+            (Message.Open_response
+               { accepted = false; connection = 0; shm_bytes = 0L; error = Some code })
+        | Ok { connection; shm_bytes } ->
+          Hashtbl.replace t.conns connection
+            {
+              conn_id = connection;
+              service = s.desc.Message.name;
+              client = msg.src;
+              conn_pasid = pasid;
+            };
+          respond
+            (Message.Open_response
+               { accepted = true; connection; shm_bytes; error = None })))
+    | Message.Doorbell { queue } -> (
+      match Hashtbl.find_opt t.doorbells queue with
+      | Some f -> f ()
+      | None -> to_app ())
+    | Message.Close_service { connection } ->
+      (match Hashtbl.find_opt t.conns connection with
+      | None -> ()
+      | Some info ->
+        Hashtbl.remove t.conns connection;
+        List.iter
+          (fun s ->
+            if String.equal s.desc.Message.name info.service then
+              s.on_close ~connection)
+          t.services)
+    | _ -> to_app ())
+
+let handle t msg =
+  (* Per-device monitor: messages are processed serially with a fixed
+     per-message cost — the "modest hardware" of §2.2. *)
+  let costs = Engine.costs t.engine in
+  Station.submit t.station ~service:costs.Costs.device_process_ns (fun () ->
+      dispatch t msg)
+
+let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
+  let engine = Sysbus.engine sysbus in
+  let iommu = Iommu.create ?tlb_sets ?tlb_ways ~no_tlb () in
+  let t =
+    {
+      dev_id = -1;
+      dev_name = name;
+      sysbus;
+      engine;
+      mem;
+      iommu;
+      station = Station.create engine;
+      services = [];
+      app_handler = None;
+      fault_handler = None;
+      fault_total = 0;
+      is_started = false;
+      via_bus_doorbells = false;
+      pending = Hashtbl.create 16;
+      doorbells = Hashtbl.create 4;
+      dmas = Hashtbl.create 4;
+      conns = Hashtbl.create 8;
+      next_corr = 0;
+      next_conn = 1;
+      handled = 0;
+      sent = 0;
+    }
+  in
+  let id = Sysbus.attach sysbus ~name ~iommu ~handler:(fun msg -> handle t msg) in
+  t.dev_id <- id;
+  Iommu.attach_fault_handler iommu (fun fault ->
+      t.fault_total <- t.fault_total + 1;
+      Engine.trace_event engine ~actor:name ~kind:"device.fault"
+        (Printf.sprintf "pasid=%d va=0x%Lx %s" fault.Iommu.pasid fault.Iommu.va
+           (match fault.Iommu.reason with
+           | Iommu.Not_mapped -> "not-mapped"
+           | Iommu.Protection -> "protection"));
+      match t.fault_handler with Some f -> f fault | None -> ());
+  t
+
+let id t = t.dev_id
+let name t = t.dev_name
+let bus t = t.sysbus
+let engine t = t.engine
+
+let dma t ~pasid =
+  match Hashtbl.find_opt t.dmas pasid with
+  | Some d -> d
+  | None ->
+    let d = Dma.create ~iommu:t.iommu ~pasid ~mem:t.mem in
+    Hashtbl.replace t.dmas pasid d;
+    d
+
+let add_service t impl =
+  t.services <- t.services @ [ impl ];
+  (* A device that loads a new application after boot re-announces itself
+     so the bus's service registry stays current (§2.2). *)
+  if t.is_started then begin
+    t.sent <- t.sent + 1;
+    Sysbus.send t.sysbus
+      (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0
+         (Message.Device_alive
+            { services = List.map (fun s -> s.desc) t.services }))
+  end
+
+let fresh_corr t =
+  let c = (t.dev_id lsl 20) lor (t.next_corr land 0xfffff) in
+  t.next_corr <- t.next_corr + 1;
+  c
+
+let fresh_connection t =
+  let c = t.next_conn in
+  t.next_conn <- c + 1;
+  c
+
+let start t =
+  if not t.is_started then begin
+    t.is_started <- true;
+    let costs = Engine.costs t.engine in
+    (* Self-test: a short deterministic delay before announcing. *)
+    let self_test = Int64.mul 10L costs.Costs.device_process_ns in
+    Engine.schedule t.engine ~delay:self_test (fun () ->
+        t.sent <- t.sent + 1;
+        Sysbus.send t.sysbus
+          (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:(fresh_corr t)
+             (Message.Device_alive
+                { services = List.map (fun s -> s.desc) t.services })))
+  end
+
+let started t = t.is_started
+
+let reannounce t =
+  t.sent <- t.sent + 1;
+  Sysbus.send t.sysbus
+    (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0
+       (Message.Device_alive { services = List.map (fun s -> s.desc) t.services }))
+
+let on_doorbell t ~queue f = Hashtbl.replace t.doorbells queue f
+let clear_doorbell t ~queue = Hashtbl.remove t.doorbells queue
+let set_app_handler t f = t.app_handler <- Some f
+let on_fault t f = t.fault_handler <- Some f
+let fault_count t = t.fault_total
+
+let enable_heartbeat t ~period =
+  assert (period > 0L);
+  let rec beat () =
+    if Sysbus.is_live t.sysbus t.dev_id then begin
+      t.sent <- t.sent + 1;
+      Sysbus.send t.sysbus
+        (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0 Message.Heartbeat)
+    end;
+    Engine.schedule t.engine ~delay:period beat
+  in
+  Engine.schedule t.engine ~delay:period beat
+
+let send t ~dst payload =
+  t.sent <- t.sent + 1;
+  Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr:0 payload)
+
+let reply t ~to_ ~corr payload =
+  t.sent <- t.sent + 1;
+  Sysbus.send t.sysbus
+    (Message.make ~src:t.dev_id ~dst:(Types.Device to_) ~corr payload)
+
+let request t ?timeout ~dst payload k =
+  let corr = fresh_corr t in
+  Hashtbl.replace t.pending corr k;
+  t.sent <- t.sent + 1;
+  Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr payload);
+  match timeout with
+  | None -> ()
+  | Some delay ->
+    assert (delay > 0L);
+    Engine.schedule t.engine ~delay (fun () ->
+        match Hashtbl.find_opt t.pending corr with
+        | None -> () (* already answered *)
+        | Some k ->
+          Hashtbl.remove t.pending corr;
+          k
+            (Message.Error_msg
+               { code = Types.E_busy; detail = "request timed out" }))
+
+let default_discover_timeout = 1_000_000L (* 1 ms *)
+
+let discover t ~kind ~query ?(timeout = default_discover_timeout) k =
+  let corr = fresh_corr t in
+  let answered = ref false in
+  Hashtbl.replace t.pending corr (fun payload ->
+      if not !answered then begin
+        answered := true;
+        match payload with
+        | Message.Discover_response { provider; service; _ } ->
+          k (Some (provider, service))
+        | _ -> k None
+      end);
+  t.sent <- t.sent + 1;
+  Sysbus.send t.sysbus
+    (Message.make ~src:t.dev_id ~dst:Types.Broadcast ~corr
+       (Message.Discover_request { kind; query }));
+  Engine.schedule t.engine ~delay:timeout (fun () ->
+      if not !answered then begin
+        answered := true;
+        Hashtbl.remove t.pending corr;
+        k None
+      end)
+
+let open_service t ~provider ~service ~pasid ?auth ?(params = []) k =
+  request t ~dst:(Types.Device provider)
+    (Message.Open_service { service; pasid; auth; params })
+    (fun payload ->
+      match payload with
+      | Message.Open_response { accepted = true; connection; shm_bytes; _ } ->
+        k (Ok { connection; shm_bytes })
+      | Message.Open_response { accepted = false; error; _ } ->
+        k (Error (Option.value error ~default:Types.E_invalid))
+      | Message.Error_msg { code; _ } -> k (Error code)
+      | _ -> k (Error Types.E_invalid))
+
+let close_service t ~provider ~connection =
+  send t ~dst:(Types.Device provider) (Message.Close_service { connection })
+
+let alloc t ~memctl ~pasid ~va ~bytes ~perm k =
+  request t ~dst:(Types.Device memctl)
+    (Message.Alloc_request { pasid; va; bytes; perm })
+    (fun payload ->
+      match payload with
+      | Message.Alloc_response { ok = true; grant = Some token; _ } -> k (Ok token)
+      | Message.Alloc_response { ok = true; grant = None; _ } ->
+        k (Error Types.E_invalid)
+      | Message.Alloc_response { error; _ } ->
+        k (Error (Option.value error ~default:Types.E_no_memory))
+      | Message.Error_msg { code; _ } -> k (Error code)
+      | _ -> k (Error Types.E_invalid))
+
+let grant t ~to_device ~pasid ~va ~bytes ~perm ~auth k =
+  request t ~dst:Types.Bus
+    (Message.Grant_request { to_device; pasid; va; bytes; perm; auth })
+    (fun payload ->
+      match payload with
+      | Message.Map_complete { ok = true; _ } -> k (Ok ())
+      | Message.Map_complete { ok = false; _ } -> k (Error Types.E_bad_address)
+      | Message.Error_msg { code; _ } -> k (Error code)
+      | _ -> k (Error Types.E_invalid))
+
+let free t ~memctl ~pasid ~va ~bytes k =
+  request t ~dst:(Types.Device memctl)
+    (Message.Free_request { pasid; va; bytes })
+    (fun payload ->
+      match payload with
+      | Message.Alloc_response { ok = true; _ } -> k (Ok ())
+      | Message.Alloc_response { error; _ } ->
+        k (Error (Option.value error ~default:Types.E_invalid))
+      | Message.Error_msg { code; _ } -> k (Error code)
+      | _ -> k (Error Types.E_invalid))
+
+let route_doorbells_via_bus t v = t.via_bus_doorbells <- v
+
+let doorbell t ~dst ~queue =
+  if t.via_bus_doorbells then
+    send t ~dst:(Types.Device dst) (Message.Doorbell { queue })
+  else Sysbus.notify t.sysbus ~src:t.dev_id ~dst ~queue
+
+let connections t = Hashtbl.fold (fun _ v acc -> v :: acc) t.conns []
+let connection_count t = Hashtbl.length t.conns
+let messages_handled t = t.handled
+let requests_sent t = t.sent

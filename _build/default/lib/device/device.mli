@@ -1,0 +1,205 @@
+(** Self-managing device framework (§2.1).
+
+    A device in the CPU-less system must, on its own:
+    - run a self-test and announce itself to the bus ([start]);
+    - expose its resources as *services* in a standard way, multiplexing
+      them into isolated per-client connections ([add_service],
+      connection table);
+    - communicate autonomously: discover services it needs, open them,
+      request memory — all asynchronous, continuation-passing, over the
+      bus ([discover], [open_service], [alloc], [grant]);
+    - handle its own errors: IOMMU faults are delivered here, not to any
+      central entity ([on_fault], §4).
+
+    The framework owns the device's IOMMU and exposes memory only through
+    {!dma} views, so application code on a device cannot bypass
+    translation. *)
+
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Iommu = Lastcpu_iommu.Iommu
+module Dma = Lastcpu_virtio.Dma
+
+type t
+
+(** Outcome of opening a connection to one of this device's services. *)
+type open_accept = {
+  connection : int;
+  shm_bytes : int64;  (** shared memory the service needs (Fig. 2 step 4) *)
+}
+
+type service_impl = {
+  desc : Message.service_desc;
+  can_serve : query:string -> bool;
+      (** does this instance serve e.g. this file name? (Fig. 2 step 2) *)
+  on_open :
+    client:Types.device_id ->
+    pasid:int ->
+    auth:Token.t option ->
+    params:(string * string) list ->
+    (open_accept, Types.error_code) result;
+  on_close : connection:int -> unit;
+}
+
+val create :
+  Lastcpu_bus.Sysbus.t ->
+  mem:Lastcpu_mem.Physmem.t ->
+  name:string ->
+  ?tlb_sets:int ->
+  ?tlb_ways:int ->
+  ?no_tlb:bool ->
+  unit ->
+  t
+(** Attach a new device to the bus (not yet live; call [start]). *)
+
+val id : t -> Types.device_id
+val name : t -> string
+val bus : t -> Lastcpu_bus.Sysbus.t
+val engine : t -> Lastcpu_sim.Engine.t
+
+val dma : t -> pasid:int -> Dma.t
+(** This device's translated view of memory for one address space. *)
+
+val add_service : t -> service_impl -> unit
+(** Register a service. Before [start] it is announced with the initial
+    [Device_alive]; after [start] the device re-announces itself with the
+    updated service list (application loaded at runtime). *)
+
+val fresh_connection : t -> int
+(** Mint a connection id (for [on_open] implementations). *)
+
+val start : t -> unit
+(** Self-test (a short virtual delay), then announce [Device_alive] with
+    the registered services (§2.2 System Initialization). *)
+
+val started : t -> bool
+
+val reannounce : t -> unit
+(** Immediately resend [Device_alive] — used after a bus-side revive
+    (reset recovery, §4) to rejoin the live set. *)
+
+val on_doorbell : t -> queue:int -> (unit -> unit) -> unit
+(** Register a handler for data-plane doorbells aimed at [queue]. Doorbells
+    with no registered queue fall through to the app handler. *)
+
+val clear_doorbell : t -> queue:int -> unit
+
+val set_app_handler : t -> (Message.t -> unit) -> unit
+(** Receives messages the framework does not consume (e.g. [App_message],
+    [Doorbell], [Device_failed], [Resource_failed]). *)
+
+val on_fault : t -> (Iommu.fault -> unit) -> unit
+(** Device-local fault policy (§4): default is to count and trace. *)
+
+val fault_count : t -> int
+
+val enable_heartbeat : t -> period:int64 -> unit
+(** Periodically send [Heartbeat] (pairs with the bus's liveness sweep). *)
+
+(** {1 Client-side asynchronous operations}
+
+    All take a continuation; it runs when the response arrives (virtual
+    time has advanced by then). *)
+
+val discover :
+  t ->
+  kind:Types.service_kind ->
+  query:string ->
+  ?timeout:int64 ->
+  ((Types.device_id * Message.service_desc) option -> unit) ->
+  unit
+(** Broadcast discovery (Fig. 2 step 1); continuation gets the first
+    provider to answer, or [None] at [timeout] (default 1 ms). *)
+
+val open_service :
+  t ->
+  provider:Types.device_id ->
+  service:Message.service_desc ->
+  pasid:int ->
+  ?auth:Token.t ->
+  ?params:(string * string) list ->
+  ((open_accept, Types.error_code) result -> unit) ->
+  unit
+(** Fig. 2 step 3/4. *)
+
+val close_service : t -> provider:Types.device_id -> connection:int -> unit
+
+val alloc :
+  t ->
+  memctl:Types.device_id ->
+  pasid:int ->
+  va:int64 ->
+  bytes:int64 ->
+  perm:Types.perm ->
+  ((Token.t, Types.error_code) result -> unit) ->
+  unit
+(** Fig. 2 steps 5/6: ask the memory controller for memory at [va]; the
+    controller authorizes and instructs the bus to program this device's
+    IOMMU; the continuation receives the capability token (for later
+    grants) once the mapping is complete. *)
+
+val grant :
+  t ->
+  to_device:Types.device_id ->
+  pasid:int ->
+  va:int64 ->
+  bytes:int64 ->
+  perm:Types.perm ->
+  auth:Token.t ->
+  ((unit, Types.error_code) result -> unit) ->
+  unit
+(** Fig. 2 step 7: extend access to shared memory to another device. *)
+
+val free :
+  t ->
+  memctl:Types.device_id ->
+  pasid:int ->
+  va:int64 ->
+  bytes:int64 ->
+  ((unit, Types.error_code) result -> unit) ->
+  unit
+
+val request :
+  t ->
+  ?timeout:int64 ->
+  dst:Types.dest ->
+  Message.payload ->
+  (Message.payload -> unit) ->
+  unit
+(** Generic correlated request: continuation fires on the first response
+    bearing the same correlation id. When [timeout] is given and no
+    response arrives in time, the continuation receives a synthetic
+    [Error_msg E_busy] — devices must handle unresponsive peers themselves
+    (§4 error handling). *)
+
+val send : t -> dst:Types.dest -> Message.payload -> unit
+(** Fire-and-forget (no correlation). *)
+
+val reply : t -> to_:Types.device_id -> corr:int -> Message.payload -> unit
+(** Answer a request received in the app handler, echoing its correlation
+    id so the requester's continuation fires. *)
+
+val doorbell : t -> dst:Types.device_id -> queue:int -> unit
+(** Data-plane notification: modelled as a direct memory write (cheap,
+    does not transit the bus's message processor — §2.3). Set
+    [route_doorbells_via_bus] to conflate planes (T3 ablation). *)
+
+val route_doorbells_via_bus : t -> bool -> unit
+
+(** {1 Connection table introspection} *)
+
+type connection_info = {
+  conn_id : int;
+  service : string;
+  client : Types.device_id;
+  conn_pasid : int;
+}
+
+val connections : t -> connection_info list
+val connection_count : t -> int
+
+(** {1 Counters} *)
+
+val messages_handled : t -> int
+val requests_sent : t -> int

@@ -1,0 +1,1 @@
+lib/devices/accel_dev.ml: Accel_proto Array Char Int64 Lastcpu_device Lastcpu_iommu Lastcpu_proto Lastcpu_sim Lastcpu_virtio Printf String

@@ -1,0 +1,1 @@
+lib/devices/accel_dev.mli: Accel_proto Lastcpu_bus Lastcpu_device Lastcpu_mem Lastcpu_proto

@@ -1,0 +1,1 @@
+lib/devices/accel_proto.ml: Lastcpu_proto Printf

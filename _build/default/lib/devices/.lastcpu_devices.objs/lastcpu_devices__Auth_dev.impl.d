@@ -1,0 +1,1 @@
+lib/devices/auth_dev.ml: Char Hashtbl Int64 Lastcpu_bus Lastcpu_device Lastcpu_proto Lastcpu_sim List String

@@ -1,0 +1,1 @@
+lib/devices/console_dev.ml: Lastcpu_device Lastcpu_proto List String

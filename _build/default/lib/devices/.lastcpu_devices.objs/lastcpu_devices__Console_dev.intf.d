@@ -1,0 +1,1 @@
+lib/devices/console_dev.mli: Lastcpu_bus Lastcpu_device Lastcpu_mem Lastcpu_proto

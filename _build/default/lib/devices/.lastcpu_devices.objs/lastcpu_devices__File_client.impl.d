@@ -1,0 +1,1 @@
+lib/devices/file_client.ml: Hashtbl Int64 Lastcpu_device Lastcpu_proto Lastcpu_virtio List Printf Queue Smart_ssd Ssd_proto String

@@ -1,0 +1,1 @@
+lib/devices/file_client.mli: Lastcpu_device Lastcpu_proto Ssd_proto

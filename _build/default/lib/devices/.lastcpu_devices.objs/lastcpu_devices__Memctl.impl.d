@@ -1,0 +1,1 @@
+lib/devices/memctl.ml: Hashtbl Int64 Lastcpu_bus Lastcpu_device Lastcpu_mem Lastcpu_proto Lastcpu_sim List Option String

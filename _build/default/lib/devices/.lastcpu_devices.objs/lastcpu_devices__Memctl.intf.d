@@ -1,0 +1,1 @@
+lib/devices/memctl.mli: Lastcpu_bus Lastcpu_device Lastcpu_mem Lastcpu_proto

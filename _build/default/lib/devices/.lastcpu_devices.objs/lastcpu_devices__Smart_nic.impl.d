@@ -1,0 +1,1 @@
+lib/devices/smart_nic.ml: Lastcpu_device Lastcpu_net Lastcpu_proto

@@ -1,0 +1,1 @@
+lib/devices/smart_nic.mli: Lastcpu_bus Lastcpu_device Lastcpu_mem Lastcpu_net Lastcpu_proto

@@ -1,0 +1,1 @@
+lib/devices/smart_ssd.ml: Buffer Hashtbl Int64 Lastcpu_bus Lastcpu_device Lastcpu_flash Lastcpu_fs Lastcpu_proto Lastcpu_sim Lastcpu_virtio List Option Ssd_proto String

@@ -1,0 +1,1 @@
+lib/devices/smart_ssd.mli: Lastcpu_bus Lastcpu_device Lastcpu_flash Lastcpu_fs Lastcpu_mem Lastcpu_proto

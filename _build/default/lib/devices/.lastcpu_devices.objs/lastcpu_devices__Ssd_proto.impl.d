@@ -1,0 +1,1 @@
+lib/devices/ssd_proto.ml: Lastcpu_proto Printf

@@ -1,0 +1,29 @@
+(** Job descriptions for the programmable accelerator.
+
+    Jobs are submitted over the control plane ([App_message] tag
+    ["job-submit"]); all input and output data stays in shared memory the
+    submitter granted to the accelerator beforehand (the §2 flow, with a
+    compute device instead of storage). *)
+
+type job =
+  | Checksum of { va : int64; len : int }
+      (** FNV-1a over the region; result is the 64-bit digest *)
+  | Word_count of { va : int64; len : int }
+      (** whitespace-separated tokens; result is the count *)
+  | Upper of { src : int64; dst : int64; len : int }
+      (** ASCII uppercase transform from [src] into [dst] *)
+  | Histogram of { va : int64; len : int; dst : int64 }
+      (** 256 x u64 byte histogram written at [dst] *)
+
+type outcome =
+  | Value of int64  (** for Checksum / Word_count *)
+  | Written of int  (** bytes written, for Upper / Histogram *)
+  | Fault of string  (** the job faulted in the accelerator's IOMMU *)
+
+val job_bytes : job -> int
+(** Bytes the job touches (cost accounting). *)
+
+val encode_job : job -> string
+val decode_job : string -> (job, string) result
+val encode_outcome : outcome -> string
+val decode_outcome : string -> (outcome, string) result

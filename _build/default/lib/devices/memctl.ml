@@ -1,0 +1,216 @@
+module Types = Lastcpu_proto.Types
+module Device = Lastcpu_device.Device
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Sysbus = Lastcpu_bus.Sysbus
+module Engine = Lastcpu_sim.Engine
+module Buddy = Lastcpu_mem.Buddy
+module Layout = Lastcpu_mem.Layout
+module Rng = Lastcpu_sim.Rng
+
+type allocation = {
+  va : int64;
+  pa : int64;
+  bytes : int64;
+  pages : int;
+  subject : Types.device_id;
+}
+
+type t = {
+  dev : Device.t;
+  buddy : Buddy.t;
+  key : Token.key;
+  rng : Rng.t;
+  quota : int option;  (* max pages per pasid *)
+  charged : (int, int) Hashtbl.t;  (* pasid -> pages in use *)
+  (* Per-application allocation tables (the paper's mComponent-style
+     internal state, §2.2 Memory management). *)
+  allocations : (int * int64, allocation) Hashtbl.t;  (* (pasid, va) -> alloc *)
+  by_pasid : (int, int64 list ref) Hashtbl.t;
+}
+
+let default_dram_base = 0x1000_0000L
+let default_dram_pages = 65536
+
+let mint t ~subject ~pasid ~pa ~bytes ~perm =
+  Token.mint ~key:t.key ~issuer:(Device.id t.dev) ~subject ~pasid
+    ~resource:"dram" ~base:pa ~length:bytes ~perm ~nonce:(Rng.int64 t.rng)
+
+let record t ~pasid alloc =
+  Hashtbl.replace t.allocations (pasid, alloc.va) alloc;
+  let l =
+    match Hashtbl.find_opt t.by_pasid pasid with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace t.by_pasid pasid l;
+      l
+  in
+  l := alloc.va :: !l
+
+let pages_of t ~pasid = Option.value (Hashtbl.find_opt t.charged pasid) ~default:0
+let quota_pages t = t.quota
+
+let charge t ~pasid pages =
+  Hashtbl.replace t.charged pasid (pages_of t ~pasid + pages)
+
+let refund t ~pasid pages =
+  let left = max 0 (pages_of t ~pasid - pages) in
+  if left = 0 then Hashtbl.remove t.charged pasid
+  else Hashtbl.replace t.charged pasid left
+
+let within_quota t ~pasid pages =
+  match t.quota with
+  | None -> true
+  | Some q -> pages_of t ~pasid + pages <= q
+
+let forget t ~pasid ~va =
+  Hashtbl.remove t.allocations (pasid, va);
+  match Hashtbl.find_opt t.by_pasid pasid with
+  | None -> ()
+  | Some l -> l := List.filter (fun v -> not (Int64.equal v va)) !l
+
+let handle_alloc t ~src ~corr ~pasid ~va ~bytes ~perm =
+  let respond payload = Device.reply t.dev ~to_:src ~corr payload in
+  let fail code =
+    respond
+      (Message.Alloc_response
+         { ok = false; va; bytes; grant = None; error = Some code })
+  in
+  if bytes <= 0L || not (Layout.is_page_aligned va) then fail Types.E_bad_address
+  else if Hashtbl.mem t.allocations (pasid, va) then fail Types.E_exists
+  else if not (within_quota t ~pasid (Layout.pages_of_bytes bytes)) then
+    fail Types.E_no_memory
+  else begin
+    let pages = Layout.pages_of_bytes bytes in
+    match Buddy.alloc t.buddy ~pages with
+    | None -> fail Types.E_no_memory
+    | Some pa ->
+      let rounded = Layout.align_up bytes in
+      let token = mint t ~subject:src ~pasid ~pa ~bytes:rounded ~perm in
+      (* Instruct the bus to program the requester's IOMMU (step 6), then
+         hand the capability back (the response is only sent once the
+         mapping is in place). *)
+      Device.request t.dev ~dst:Types.Bus
+        (Message.Map_directive
+           { device = src; pasid; va; pa; bytes = rounded; perm; auth = token })
+        (fun payload ->
+          match payload with
+          | Message.Map_complete { ok = true; _ } ->
+            record t ~pasid { va; pa; bytes = rounded; pages; subject = src };
+            charge t ~pasid pages;
+            respond
+              (Message.Alloc_response
+                 { ok = true; va; bytes = rounded; grant = Some token; error = None })
+          | Message.Map_complete { ok = false; _ } | Message.Error_msg _ | _ ->
+            Buddy.free t.buddy ~addr:pa ~pages;
+            fail Types.E_bad_address)
+  end
+
+let handle_free t ~src ~corr ~pasid ~va =
+  let respond payload = Device.reply t.dev ~to_:src ~corr payload in
+  match Hashtbl.find_opt t.allocations (pasid, va) with
+  | None ->
+    respond
+      (Message.Alloc_response
+         { ok = false; va; bytes = 0L; grant = None; error = Some Types.E_not_found })
+  | Some alloc ->
+    let token =
+      mint t ~subject:alloc.subject ~pasid ~pa:alloc.pa ~bytes:alloc.bytes
+        ~perm:Types.perm_rwx
+    in
+    Device.request t.dev ~dst:Types.Bus
+      (Message.Unmap_directive
+         { device = alloc.subject; pasid; va; bytes = alloc.bytes; auth = token })
+      (fun _payload ->
+        Buddy.free t.buddy ~addr:alloc.pa ~pages:alloc.pages;
+        refund t ~pasid alloc.pages;
+        forget t ~pasid ~va;
+        respond
+          (Message.Alloc_response
+             { ok = true; va; bytes = alloc.bytes; grant = None; error = None }))
+
+let create sysbus ~mem ?(name = "memctl") ?(dram_base = default_dram_base)
+    ?(dram_pages = default_dram_pages) ?quota_pages () =
+  let dev = Device.create sysbus ~mem ~name () in
+  let engine = Sysbus.engine sysbus in
+  let t =
+    {
+      dev;
+      buddy = Buddy.create ~base:dram_base ~pages:dram_pages;
+      key = Rng.int64 (Engine.rng engine);
+      rng = Engine.fork_rng engine;
+      quota = quota_pages;
+      charged = Hashtbl.create 16;
+      allocations = Hashtbl.create 64;
+      by_pasid = Hashtbl.create 16;
+    }
+  in
+  Device.add_service dev
+    {
+      desc =
+        { Message.kind = Types.Memory_service; name = name ^ ".dram"; version = 1 };
+      can_serve = (fun ~query -> String.equal query "" || String.equal query "dram");
+      on_open =
+        (fun ~client:_ ~pasid:_ ~auth:_ ~params:_ ->
+          (* Memory is consumed via Alloc_request messages, not an open
+             connection; accept opens trivially for discovery symmetry. *)
+          Ok { Device.connection = Device.fresh_connection dev; shm_bytes = 0L });
+      on_close = (fun ~connection:_ -> ());
+    };
+  Device.set_app_handler dev (fun msg ->
+      match msg.Message.payload with
+      | Message.Alloc_request { pasid; va; bytes; perm } ->
+        handle_alloc t ~src:msg.Message.src ~corr:msg.Message.corr ~pasid ~va
+          ~bytes ~perm
+      | Message.Free_request { pasid; va; bytes = _ } ->
+        handle_free t ~src:msg.Message.src ~corr:msg.Message.corr ~pasid ~va
+      | _ -> ());
+  Sysbus.register_controller sysbus (Device.id dev) ~resource:"dram" ~key:t.key;
+  Device.start dev;
+  t
+
+let device t = t.dev
+let id t = Device.id t.dev
+let free_pages t = Buddy.free_pages t.buddy
+let used_pages t = Buddy.used_pages t.buddy
+
+let allocations_of t ~pasid =
+  match Hashtbl.find_opt t.by_pasid pasid with
+  | None -> []
+  | Some l ->
+    List.filter_map
+      (fun va ->
+        Option.map
+          (fun a -> (a.va, a.bytes))
+          (Hashtbl.find_opt t.allocations (pasid, va)))
+      !l
+
+let release_pasid t ~pasid =
+  match Hashtbl.find_opt t.by_pasid pasid with
+  | None -> ()
+  | Some l ->
+    List.iter
+      (fun va ->
+        match Hashtbl.find_opt t.allocations (pasid, va) with
+        | None -> ()
+        | Some alloc ->
+          let token =
+            mint t ~subject:alloc.subject ~pasid ~pa:alloc.pa ~bytes:alloc.bytes
+              ~perm:Types.perm_rwx
+          in
+          Device.request t.dev ~dst:Types.Bus
+            (Message.Unmap_directive
+               {
+                 device = alloc.subject;
+                 pasid;
+                 va = alloc.va;
+                 bytes = alloc.bytes;
+                 auth = token;
+               })
+            (fun _ -> ());
+          Buddy.free t.buddy ~addr:alloc.pa ~pages:alloc.pages;
+          refund t ~pasid alloc.pages;
+          Hashtbl.remove t.allocations (pasid, va))
+      !l;
+    Hashtbl.remove t.by_pasid pasid

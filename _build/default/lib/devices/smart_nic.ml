@@ -1,0 +1,43 @@
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Device = Lastcpu_device.Device
+module Netsim = Lastcpu_net.Netsim
+
+type t = {
+  dev : Device.t;
+  endpoint : Netsim.endpoint;
+  mutable rx_handler : (src:int -> string -> unit) option;
+  mutable rx_count : int;
+  mutable tx_count : int;
+}
+
+let create sysbus ~mem ~net ~name ?(auto_start = true) () =
+  let dev = Device.create sysbus ~mem ~name () in
+  let endpoint = Netsim.endpoint net ~name in
+  let t = { dev; endpoint; rx_handler = None; rx_count = 0; tx_count = 0 } in
+  Netsim.set_receiver endpoint (fun ~src frame ->
+      t.rx_count <- t.rx_count + 1;
+      match t.rx_handler with None -> () | Some f -> f ~src frame);
+  Device.add_service dev
+    {
+      desc = { Message.kind = Types.Socket_service; name = name ^ ".sock"; version = 1 };
+      can_serve = (fun ~query:_ -> true);
+      on_open =
+        (fun ~client:_ ~pasid:_ ~auth:_ ~params:_ ->
+          Ok { Device.connection = Device.fresh_connection dev; shm_bytes = 0L });
+      on_close = (fun ~connection:_ -> ());
+    };
+  if auto_start then Device.start dev;
+  t
+
+let device t = t.dev
+let id t = Device.id t.dev
+let endpoint_address t = Netsim.address t.endpoint
+let on_packet t f = t.rx_handler <- Some f
+
+let send_packet t ~dst frame =
+  t.tx_count <- t.tx_count + 1;
+  Netsim.send t.endpoint ~dst frame
+
+let packets_received t = t.rx_count
+let packets_sent t = t.tx_count

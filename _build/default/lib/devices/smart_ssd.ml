@@ -1,0 +1,411 @@
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Wire = Lastcpu_proto.Wire
+module Device = Lastcpu_device.Device
+module Sysbus = Lastcpu_bus.Sysbus
+module Engine = Lastcpu_sim.Engine
+module Costs = Lastcpu_sim.Costs
+module Nand = Lastcpu_flash.Nand
+module Ftl = Lastcpu_flash.Ftl
+module Fs = Lastcpu_fs.Fs
+module Vq = Lastcpu_virtio.Virtqueue
+module Dma = Lastcpu_virtio.Dma
+
+type block_handle = { backing : string; block_size : int }
+
+type queue_state = {
+  vq : Vq.Device.t;
+  client : Types.device_id;
+  user : string;
+  q_pasid : int;
+  (* Per-connection block-device contexts: handles are only valid on the
+     queue that opened them (isolation between instances, §2.1). *)
+  handles : (int, block_handle) Hashtbl.t;
+  mutable next_handle : int;
+}
+
+type t = {
+  dev : Device.t;
+  ftl : Ftl.t;
+  filesystem : Fs.t;
+  auth_key : Token.key option;
+  queues : (int, queue_state) Hashtbl.t;
+  mutable served : int;
+}
+
+(* vq-attach body codec ---------------------------------------------------- *)
+
+let encode_vq_attach ~queue ~base ~size ~pasid ~user =
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w queue;
+  Wire.Writer.int64 w base;
+  Wire.Writer.varint w size;
+  Wire.Writer.varint w pasid;
+  Wire.Writer.string w user;
+  Wire.Writer.contents w
+
+let decode_vq_attach s =
+  match
+    let r = Wire.Reader.create s in
+    let queue = Wire.Reader.varint r in
+    let base = Wire.Reader.int64 r in
+    let size = Wire.Reader.varint r in
+    let pasid = Wire.Reader.varint r in
+    let user = Wire.Reader.string r in
+    (queue, base, size, pasid, user)
+  with
+  | v -> Ok v
+  | exception Wire.Malformed m -> Error m
+
+(* NAND cost accounting ----------------------------------------------------- *)
+
+let nand_snapshot t =
+  let n = Ftl.nand t.ftl in
+  (Nand.reads n, Nand.programs n, Nand.total_erases n)
+
+let nand_cost t (r0, p0, e0) =
+  let costs = Engine.costs (Device.engine t.dev) in
+  let r1, p1, e1 = nand_snapshot t in
+  Int64.add
+    (Int64.mul (Int64.of_int (r1 - r0)) costs.Costs.flash_read_page_ns)
+    (Int64.add
+       (Int64.mul (Int64.of_int (p1 - p0)) costs.Costs.flash_write_page_ns)
+       (Int64.mul (Int64.of_int (e1 - e0)) costs.Costs.flash_erase_block_ns))
+
+(* Request execution -------------------------------------------------------- *)
+
+let exec_request t ~(qs : queue_state) (req : Ssd_proto.request) :
+    Ssd_proto.response =
+  let user = qs.user in
+  let fs = t.filesystem in
+  let wrap = function
+    | Ok () -> Ssd_proto.Ok_unit
+    | Error e -> Ssd_proto.Err (Fs.error_to_string e)
+  in
+  match req with
+  | Ssd_proto.Create { path; mode } -> wrap (Fs.create fs ~user ~mode path)
+  | Ssd_proto.Unlink { path } -> wrap (Fs.unlink fs ~user path)
+  | Ssd_proto.Mkdir { path; mode } -> wrap (Fs.mkdir fs ~user ~mode path)
+  | Ssd_proto.Read { path; off; len } -> (
+    match Fs.read fs ~user path ~off ~len with
+    | Ok data -> Ssd_proto.Ok_data data
+    | Error e -> Ssd_proto.Err (Fs.error_to_string e))
+  | Ssd_proto.Write { path; off; data } -> wrap (Fs.write fs ~user path ~off data)
+  | Ssd_proto.Stat { path } -> (
+    match Fs.stat fs path with
+    | Ok s ->
+      Ssd_proto.Ok_stat
+        {
+          size = s.Fs.size;
+          kind_dir = s.Fs.kind = Fs.Directory;
+          owner = s.Fs.owner;
+          mode = s.Fs.mode;
+        }
+    | Error e -> Ssd_proto.Err (Fs.error_to_string e))
+  | Ssd_proto.Readdir { path } -> (
+    match Fs.readdir fs ~user path with
+    | Ok names -> Ssd_proto.Ok_names names
+    | Error e -> Ssd_proto.Err (Fs.error_to_string e))
+  | Ssd_proto.Truncate { path; len } -> wrap (Fs.truncate fs ~user path ~len)
+  | Ssd_proto.Fsync { path } ->
+    (* All writes are synchronous through the FTL already. *)
+    ignore path;
+    Ssd_proto.Ok_unit
+  | Ssd_proto.Rename { from_path; to_path } ->
+    wrap (Fs.rename fs ~user from_path to_path)
+  | Ssd_proto.Bopen { path; block_size } ->
+    if block_size <= 0 || block_size > 65536 then Ssd_proto.Err "bad block size"
+    else begin
+      (* The backing file must exist and be accessible to this user. *)
+      let probe =
+        match Fs.stat fs path with
+        | Error (Fs.Not_found_e _) -> Fs.create fs ~user path
+        | Error e -> Error e
+        | Ok s when s.Fs.kind = Fs.Directory -> Error (Fs.Is_a_directory path)
+        | Ok _ -> Ok ()
+      in
+      match probe with
+      | Error e -> Ssd_proto.Err (Fs.error_to_string e)
+      | Ok () -> (
+        (* Verify access now so Bread/Bwrite fail early. *)
+        match Fs.read fs ~user path ~off:0 ~len:0 with
+        | Error e -> Ssd_proto.Err (Fs.error_to_string e)
+        | Ok _ ->
+          let h = qs.next_handle in
+          qs.next_handle <- h + 1;
+          Hashtbl.replace qs.handles h { backing = path; block_size };
+          Ssd_proto.Ok_handle h)
+    end
+  | Ssd_proto.Bread { handle; lba; count } -> (
+    match Hashtbl.find_opt qs.handles handle with
+    | None -> Ssd_proto.Err "bad handle"
+    | Some { backing; block_size } ->
+      if lba < 0 || count <= 0 then Ssd_proto.Err "bad lba/count"
+      else begin
+        match
+          Fs.read fs ~user backing ~off:(lba * block_size)
+            ~len:(count * block_size)
+        with
+        | Ok data ->
+          (* Short reads at the end of the device are zero-padded to whole
+             blocks, as a real block device would return. *)
+          let want = count * block_size in
+          let data =
+            if String.length data < want then
+              data ^ String.make (want - String.length data) '\000'
+            else data
+          in
+          Ssd_proto.Ok_data data
+        | Error e -> Ssd_proto.Err (Fs.error_to_string e)
+      end)
+  | Ssd_proto.Bwrite { handle; lba; data } -> (
+    match Hashtbl.find_opt qs.handles handle with
+    | None -> Ssd_proto.Err "bad handle"
+    | Some { backing; block_size } ->
+      if lba < 0 || String.length data mod block_size <> 0 then
+        Ssd_proto.Err "write must be whole blocks"
+      else begin
+        match Fs.write fs ~user backing ~off:(lba * block_size) data with
+        | Ok () -> Ssd_proto.Ok_unit
+        | Error e -> Ssd_proto.Err (Fs.error_to_string e)
+      end)
+  | Ssd_proto.Bclose { handle } ->
+    if Hashtbl.mem qs.handles handle then begin
+      Hashtbl.remove qs.handles handle;
+      Ssd_proto.Ok_unit
+    end
+    else Ssd_proto.Err "bad handle"
+
+(* Chain helpers ------------------------------------------------------------ *)
+
+let read_chain_out dma (buffers : Vq.buffer list) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (b : Vq.buffer) ->
+      if not b.Vq.writable then
+        Buffer.add_string buf (Dma.read_bytes dma b.Vq.va b.Vq.len))
+    buffers;
+  Buffer.contents buf
+
+let write_chain_in dma (buffers : Vq.buffer list) data =
+  (* Scatter the response across device-writable segments; returns bytes
+     written or an error when capacity is insufficient. *)
+  let len = String.length data in
+  let rec go pos = function
+    | [] -> if pos >= len then Ok len else Error "response exceeds buffer space"
+    | (b : Vq.buffer) :: rest ->
+      if not b.Vq.writable || pos >= len then go pos rest
+      else begin
+        let chunk = min b.Vq.len (len - pos) in
+        Dma.write_bytes dma b.Vq.va (String.sub data pos chunk);
+        go (pos + chunk) rest
+      end
+  in
+  go 0 buffers
+
+(* Doorbell service --------------------------------------------------------- *)
+
+let process_queue t ~queue =
+  match Hashtbl.find_opt t.queues queue with
+  | None -> ()
+  | Some qs ->
+    let dma = Device.dma t.dev ~pasid:qs.q_pasid in
+    let rec drain total_cost completions =
+      match Vq.Device.pop qs.vq with
+      | None -> (total_cost, completions)
+      | Some { Vq.Device.head; buffers } ->
+        let snapshot = nand_snapshot t in
+        let response =
+          match Ssd_proto.decode_request (read_chain_out dma buffers) with
+          | Error m -> Ssd_proto.Err ("malformed request: " ^ m)
+          | Ok req ->
+            t.served <- t.served + 1;
+            exec_request t ~qs req
+        in
+        let encoded = Ssd_proto.encode_response response in
+        let written =
+          match write_chain_in dma buffers encoded with
+          | Ok n -> n
+          | Error m ->
+            let err = Ssd_proto.encode_response (Ssd_proto.Err m) in
+            (match write_chain_in dma buffers err with Ok n -> n | Error _ -> 0)
+        in
+        let cost = nand_cost t snapshot in
+        drain (Int64.add total_cost cost) ((head, written) :: completions)
+    in
+    (match drain 0L [] with
+    | _, [] -> ()
+    | total_cost, completions ->
+      (* Completions surface after the flash work is done. *)
+      Engine.schedule (Device.engine t.dev) ~delay:total_cost (fun () ->
+          List.iter
+            (fun (head, written) -> Vq.Device.push_used qs.vq ~head ~written)
+            (List.rev completions);
+          Device.doorbell t.dev ~dst:qs.client ~queue))
+
+(* Control plane ------------------------------------------------------------ *)
+
+let verify_session t ~user auth =
+  match t.auth_key with
+  | None -> true
+  | Some key -> (
+    match auth with
+    | None -> false
+    | Some token ->
+      Token.verify ~key token
+      && String.equal token.Token.resource ("session:" ^ user))
+
+let handle_vq_attach t (msg : Message.t) body =
+  let respond tag body' =
+    Device.reply t.dev ~to_:msg.Message.src ~corr:msg.Message.corr
+      (Message.App_message { tag; body = body' })
+  in
+  match decode_vq_attach body with
+  | Error m -> respond "vq-err" m
+  | Ok (queue, base, size, pasid, user) ->
+    if Hashtbl.mem t.queues queue then respond "vq-err" "queue id in use"
+    else begin
+      match
+        Vq.Device.create ~dma:(Device.dma t.dev ~pasid) ~base ~size
+      with
+      | vq ->
+        Hashtbl.replace t.queues queue
+          {
+            vq;
+            client = msg.Message.src;
+            user;
+            q_pasid = pasid;
+            handles = Hashtbl.create 4;
+            next_handle = 1;
+          };
+        Device.on_doorbell t.dev ~queue (fun () -> process_queue t ~queue);
+        respond "vq-ok" ""
+      | exception Invalid_argument m -> respond "vq-err" m
+    end
+
+let handle_vq_detach t (msg : Message.t) body =
+  (match int_of_string_opt body with
+  | Some queue ->
+    Hashtbl.remove t.queues queue;
+    Device.clear_doorbell t.dev ~queue
+  | None -> ());
+  Device.reply t.dev ~to_:msg.Message.src ~corr:msg.Message.corr
+    (Message.App_message { tag = "vq-ok"; body = "" })
+
+let create sysbus ~mem ~name ?geometry ?auth_key () =
+  let nand = Nand.create ?geometry () in
+  let ftl = Ftl.create ~nand () in
+  let filesystem =
+    match Fs.format ftl with
+    | Ok fs -> fs
+    | Error e -> invalid_arg ("Smart_ssd.create: format failed: " ^ Fs.error_to_string e)
+  in
+  let dev = Device.create sysbus ~mem ~name () in
+  let t =
+    { dev; ftl; filesystem; auth_key; queues = Hashtbl.create 8; served = 0 }
+  in
+  (match Fs.mkdir filesystem ~user:"root" "/images" with
+  | Ok () -> ()
+  | Error _ -> ());
+  Device.add_service dev
+    {
+      desc = { Message.kind = Types.File_service; name = name ^ ".fs"; version = 1 };
+      can_serve =
+        (fun ~query ->
+          (* Serve existing files, or paths this FS could create (their
+             parent directory exists). *)
+          String.equal query ""
+          || Fs.exists filesystem query
+          ||
+          match String.rindex_opt query '/' with
+          | Some 0 -> true (* parent is the root *)
+          | Some i -> Fs.exists filesystem (String.sub query 0 i)
+          | None -> false);
+      on_open =
+        (fun ~client:_ ~pasid:_ ~auth ~params ->
+          let user =
+            Option.value (List.assoc_opt "user" params) ~default:"anonymous"
+          in
+          if not (verify_session t ~user auth) then Error Types.E_access_denied
+          else begin
+            let creatable path =
+              Fs.exists filesystem path
+              ||
+              match String.rindex_opt path '/' with
+              | Some 0 -> true
+              | Some i -> Fs.exists filesystem (String.sub path 0 i)
+              | None -> false
+            in
+            match List.assoc_opt "path" params with
+            | Some path when not (creatable path) -> Error Types.E_not_found
+            | Some _ | None ->
+              (* Shared memory for one ring of 64 descriptors plus request
+                 and response buffers (Fig. 2 step 4). *)
+              Ok
+                {
+                  Device.connection = Device.fresh_connection dev;
+                  shm_bytes = 65536L;
+                }
+          end);
+      on_close = (fun ~connection:_ -> ());
+    };
+  Device.add_service dev
+    {
+      desc =
+        { Message.kind = Types.Block_service; name = name ^ ".blk"; version = 1 };
+      can_serve = (fun ~query:_ -> true);
+      on_open =
+        (fun ~client:_ ~pasid:_ ~auth ~params ->
+          let user =
+            Option.value (List.assoc_opt "user" params) ~default:"anonymous"
+          in
+          if not (verify_session t ~user auth) then Error Types.E_access_denied
+          else
+            Ok { Device.connection = Device.fresh_connection dev; shm_bytes = 65536L });
+      on_close = (fun ~connection:_ -> ());
+    };
+  Device.add_service dev
+    {
+      desc =
+        { Message.kind = Types.Loader_service; name = name ^ ".loader"; version = 1 };
+      can_serve = (fun ~query:_ -> true);
+      on_open =
+        (fun ~client:_ ~pasid:_ ~auth ~params ->
+          let user =
+            Option.value (List.assoc_opt "user" params) ~default:"anonymous"
+          in
+          if not (verify_session t ~user auth) then Error Types.E_access_denied
+          else Ok { Device.connection = Device.fresh_connection dev; shm_bytes = 0L });
+      on_close = (fun ~connection:_ -> ());
+    };
+  Device.set_app_handler dev (fun msg ->
+      match msg.Message.payload with
+      | Message.App_message { tag = "vq-attach"; body } -> handle_vq_attach t msg body
+      | Message.App_message { tag = "vq-detach"; body } -> handle_vq_detach t msg body
+      | Message.Load_image { image; bytes } ->
+        let path = "/images/" ^ image in
+        let result =
+          match Fs.create t.filesystem ~user:"root" path with
+          | Ok () | Error (Fs.Exists _) ->
+            Fs.truncate t.filesystem ~user:"root" path ~len:(Int64.to_int bytes)
+          | Error _ as e -> e
+        in
+        (match result with
+        | Ok () ->
+          Device.reply t.dev ~to_:msg.Message.src ~corr:msg.Message.corr
+            (Message.App_message { tag = "load-ok"; body = image })
+        | Error e ->
+          Device.reply t.dev ~to_:msg.Message.src ~corr:msg.Message.corr
+            (Message.Error_msg
+               { code = Types.E_invalid; detail = Fs.error_to_string e }))
+      | _ -> ());
+  Device.start dev;
+  t
+
+let device t = t.dev
+let id t = Device.id t.dev
+let fs t = t.filesystem
+let ftl t = t.ftl
+let requests_served t = t.served
+let active_queues t = Hashtbl.length t.queues

@@ -1,0 +1,198 @@
+module Wire = Lastcpu_proto.Wire
+
+type request =
+  | Create of { path : string; mode : int }
+  | Unlink of { path : string }
+  | Mkdir of { path : string; mode : int }
+  | Read of { path : string; off : int; len : int }
+  | Write of { path : string; off : int; data : string }
+  | Stat of { path : string }
+  | Readdir of { path : string }
+  | Truncate of { path : string; len : int }
+  | Fsync of { path : string }
+  | Rename of { from_path : string; to_path : string }
+  | Bopen of { path : string; block_size : int }
+  | Bread of { handle : int; lba : int; count : int }
+  | Bwrite of { handle : int; lba : int; data : string }
+  | Bclose of { handle : int }
+
+type response =
+  | Ok_unit
+  | Ok_data of string
+  | Ok_names of string list
+  | Ok_stat of { size : int; kind_dir : bool; owner : string; mode : int }
+  | Ok_handle of int
+  | Err of string
+
+let encode_request r =
+  let w = Wire.Writer.create () in
+  (match r with
+  | Create { path; mode } ->
+    Wire.Writer.byte w 0;
+    Wire.Writer.string w path;
+    Wire.Writer.varint w mode
+  | Unlink { path } ->
+    Wire.Writer.byte w 1;
+    Wire.Writer.string w path
+  | Mkdir { path; mode } ->
+    Wire.Writer.byte w 2;
+    Wire.Writer.string w path;
+    Wire.Writer.varint w mode
+  | Read { path; off; len } ->
+    Wire.Writer.byte w 3;
+    Wire.Writer.string w path;
+    Wire.Writer.varint w off;
+    Wire.Writer.varint w len
+  | Write { path; off; data } ->
+    Wire.Writer.byte w 4;
+    Wire.Writer.string w path;
+    Wire.Writer.varint w off;
+    Wire.Writer.string w data
+  | Stat { path } ->
+    Wire.Writer.byte w 5;
+    Wire.Writer.string w path
+  | Readdir { path } ->
+    Wire.Writer.byte w 6;
+    Wire.Writer.string w path
+  | Truncate { path; len } ->
+    Wire.Writer.byte w 7;
+    Wire.Writer.string w path;
+    Wire.Writer.varint w len
+  | Fsync { path } ->
+    Wire.Writer.byte w 8;
+    Wire.Writer.string w path
+  | Bopen { path; block_size } ->
+    Wire.Writer.byte w 9;
+    Wire.Writer.string w path;
+    Wire.Writer.varint w block_size
+  | Bread { handle; lba; count } ->
+    Wire.Writer.byte w 10;
+    Wire.Writer.varint w handle;
+    Wire.Writer.varint w lba;
+    Wire.Writer.varint w count
+  | Bwrite { handle; lba; data } ->
+    Wire.Writer.byte w 11;
+    Wire.Writer.varint w handle;
+    Wire.Writer.varint w lba;
+    Wire.Writer.string w data
+  | Bclose { handle } ->
+    Wire.Writer.byte w 12;
+    Wire.Writer.varint w handle
+  | Rename { from_path; to_path } ->
+    Wire.Writer.byte w 13;
+    Wire.Writer.string w from_path;
+    Wire.Writer.string w to_path);
+  Wire.Writer.contents w
+
+let decode_request s =
+  match
+    let r = Wire.Reader.create s in
+    match Wire.Reader.byte r with
+    | 0 ->
+      let path = Wire.Reader.string r in
+      let mode = Wire.Reader.varint r in
+      Create { path; mode }
+    | 1 -> Unlink { path = Wire.Reader.string r }
+    | 2 ->
+      let path = Wire.Reader.string r in
+      let mode = Wire.Reader.varint r in
+      Mkdir { path; mode }
+    | 3 ->
+      let path = Wire.Reader.string r in
+      let off = Wire.Reader.varint r in
+      let len = Wire.Reader.varint r in
+      Read { path; off; len }
+    | 4 ->
+      let path = Wire.Reader.string r in
+      let off = Wire.Reader.varint r in
+      let data = Wire.Reader.string r in
+      Write { path; off; data }
+    | 5 -> Stat { path = Wire.Reader.string r }
+    | 6 -> Readdir { path = Wire.Reader.string r }
+    | 7 ->
+      let path = Wire.Reader.string r in
+      let len = Wire.Reader.varint r in
+      Truncate { path; len }
+    | 8 -> Fsync { path = Wire.Reader.string r }
+    | 9 ->
+      let path = Wire.Reader.string r in
+      let block_size = Wire.Reader.varint r in
+      Bopen { path; block_size }
+    | 10 ->
+      let handle = Wire.Reader.varint r in
+      let lba = Wire.Reader.varint r in
+      let count = Wire.Reader.varint r in
+      Bread { handle; lba; count }
+    | 11 ->
+      let handle = Wire.Reader.varint r in
+      let lba = Wire.Reader.varint r in
+      let data = Wire.Reader.string r in
+      Bwrite { handle; lba; data }
+    | 12 -> Bclose { handle = Wire.Reader.varint r }
+    | 13 ->
+      let from_path = Wire.Reader.string r in
+      let to_path = Wire.Reader.string r in
+      Rename { from_path; to_path }
+    | n -> raise (Wire.Malformed (Printf.sprintf "bad request tag %d" n))
+  with
+  | r -> Ok r
+  | exception Wire.Malformed m -> Error m
+
+let encode_response resp =
+  let w = Wire.Writer.create () in
+  (match resp with
+  | Ok_unit -> Wire.Writer.byte w 0
+  | Ok_data d ->
+    Wire.Writer.byte w 1;
+    Wire.Writer.string w d
+  | Ok_names names ->
+    Wire.Writer.byte w 2;
+    Wire.Writer.list w Wire.Writer.string names
+  | Ok_stat { size; kind_dir; owner; mode } ->
+    Wire.Writer.byte w 3;
+    Wire.Writer.varint w size;
+    Wire.Writer.bool w kind_dir;
+    Wire.Writer.string w owner;
+    Wire.Writer.varint w mode
+  | Ok_handle h ->
+    Wire.Writer.byte w 5;
+    Wire.Writer.varint w h
+  | Err m ->
+    Wire.Writer.byte w 4;
+    Wire.Writer.string w m);
+  Wire.Writer.contents w
+
+let decode_response s =
+  match
+    let r = Wire.Reader.create s in
+    match Wire.Reader.byte r with
+    | 0 -> Ok_unit
+    | 1 -> Ok_data (Wire.Reader.string r)
+    | 2 -> Ok_names (Wire.Reader.list r Wire.Reader.string)
+    | 3 ->
+      let size = Wire.Reader.varint r in
+      let kind_dir = Wire.Reader.bool r in
+      let owner = Wire.Reader.string r in
+      let mode = Wire.Reader.varint r in
+      Ok_stat { size; kind_dir; owner; mode }
+    | 4 -> Err (Wire.Reader.string r)
+    | 5 -> Ok_handle (Wire.Reader.varint r)
+    | n -> raise (Wire.Malformed (Printf.sprintf "bad response tag %d" n))
+  with
+  | r -> Ok r
+  | exception Wire.Malformed m -> Error m
+
+let request_path = function
+  | Create { path; _ }
+  | Unlink { path }
+  | Mkdir { path; _ }
+  | Read { path; _ }
+  | Write { path; _ }
+  | Stat { path }
+  | Readdir { path }
+  | Truncate { path; _ }
+  | Fsync { path } ->
+    path
+  | Bopen { path; _ } -> path
+  | Rename { from_path; _ } -> from_path
+  | Bread _ | Bwrite _ | Bclose _ -> "<handle>"

@@ -1,0 +1,1 @@
+lib/flash/ftl.ml: Array List Nand Option String

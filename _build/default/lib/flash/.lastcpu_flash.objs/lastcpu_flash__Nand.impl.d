@@ -1,0 +1,1 @@
+lib/flash/nand.ml: Array Bytes String

@@ -1,0 +1,231 @@
+(* Page-level mapping FTL.
+
+   State per physical page: free (erased), valid (holds a live lpn) or
+   invalid (superseded, awaiting GC). Writes go to the current "active"
+   block, append-style. When free blocks fall below a low watermark, GC
+   picks a victim by greedy benefit (most invalid pages), breaking ties
+   toward low erase count for wear leveling, relocates live pages into the
+   active stream, and erases the victim. *)
+
+type page_info = Free | Valid of int (* lpn *) | Invalid
+
+type t = {
+  nand : Nand.t;
+  geo : Nand.geometry;
+  logical : int;
+  map : int array;  (* lpn -> physical page number, -1 = unmapped *)
+  state : page_info array;  (* ppn -> state *)
+  free_in_block : int array;  (* block -> next unprogrammed page index *)
+  invalid_in_block : int array;
+  mutable active : int;  (* block receiving new writes *)
+  mutable free_blocks : int list;  (* fully erased, not active *)
+  mutable free_block_count : int;
+  mutable host_writes : int;
+  mutable gc_moves : int;
+  mutable gc_count : int;
+}
+
+let ppn ~geo ~block ~page = (block * geo.Nand.pages_per_block) + page
+let block_of ~geo p = p / geo.Nand.pages_per_block
+let page_of ~geo p = p mod geo.Nand.pages_per_block
+
+let create ?nand ?(op_ratio = 0.125) () =
+  let nand = match nand with Some n -> n | None -> Nand.create () in
+  let geo = Nand.geometry nand in
+  if geo.blocks < 4 then invalid_arg "Ftl.create: need at least 4 blocks";
+  let reserve =
+    let r = int_of_float (ceil (float_of_int geo.blocks *. op_ratio)) in
+    max 2 r
+  in
+  let logical = (geo.blocks - reserve) * geo.pages_per_block in
+  let total_pages = geo.blocks * geo.pages_per_block in
+  let free_blocks = List.init (geo.blocks - 1) (fun i -> i + 1) in
+  {
+    nand;
+    geo;
+    logical;
+    map = Array.make logical (-1);
+    state = Array.make total_pages Free;
+    free_in_block = Array.make geo.blocks 0;
+    invalid_in_block = Array.make geo.blocks 0;
+    active = 0;
+    free_blocks;
+    free_block_count = geo.blocks - 1;
+    host_writes = 0;
+    gc_moves = 0;
+    gc_count = 0;
+  }
+
+let logical_pages t = t.logical
+let page_size t = t.geo.page_size
+let nand t = t.nand
+
+let check_lpn t lpn =
+  if lpn < 0 || lpn >= t.logical then Error "lpn out of range" else Ok ()
+
+let read t ~lpn =
+  match check_lpn t lpn with
+  | Error _ as e -> e
+  | Ok () ->
+    let p = t.map.(lpn) in
+    if p < 0 then Ok (String.make t.geo.page_size '\000')
+    else
+      Nand.read_page t.nand ~block:(block_of ~geo:t.geo p)
+        ~page:(page_of ~geo:t.geo p)
+
+let take_free_block t =
+  match t.free_blocks with
+  | [] -> None
+  | b :: rest ->
+    t.free_blocks <- rest;
+    t.free_block_count <- t.free_block_count - 1;
+    Some b
+
+(* Program [data] into the next free page of the active block, advancing to
+   a fresh block when the active one fills. Returns the ppn used. *)
+let rec append t data =
+  let blk = t.active in
+  let page = t.free_in_block.(blk) in
+  if page >= t.geo.pages_per_block then begin
+    match take_free_block t with
+    | None -> Error "no free blocks (GC failed to reclaim)"
+    | Some b ->
+      t.active <- b;
+      append t data
+  end
+  else begin
+    match Nand.program_page t.nand ~block:blk ~page data with
+    | Error _ as e -> e
+    | Ok () ->
+      t.free_in_block.(blk) <- page + 1;
+      Ok (ppn ~geo:t.geo ~block:blk ~page)
+  end
+
+let invalidate t p =
+  t.state.(p) <- Invalid;
+  t.invalid_in_block.(block_of ~geo:t.geo p) <-
+    t.invalid_in_block.(block_of ~geo:t.geo p) + 1
+
+(* Victim selection: maximize invalid pages; tie-break on lower erase count
+   (wear leveling). Only fully-programmed, non-active blocks qualify. *)
+let pick_victim t =
+  let best = ref None in
+  for b = 0 to t.geo.blocks - 1 do
+    if b <> t.active && t.free_in_block.(b) = t.geo.pages_per_block then begin
+      let inv = t.invalid_in_block.(b) in
+      if inv > 0 then begin
+        let better =
+          match !best with
+          | None -> true
+          | Some (b', inv') ->
+            inv > inv'
+            || (inv = inv'
+               && Nand.erase_count t.nand ~block:b
+                  < Nand.erase_count t.nand ~block:b')
+        in
+        if better then best := Some (b, inv)
+      end
+    end
+  done;
+  Option.map fst !best
+
+let gc_low_watermark = 1
+
+let rec gc t =
+  match pick_victim t with
+  | None -> Error "gc: no victim with invalid pages"
+  | Some victim ->
+    t.gc_count <- t.gc_count + 1;
+    (* Relocate live pages. *)
+    let rec move page res =
+      if page >= t.geo.pages_per_block then res
+      else begin
+        let p = ppn ~geo:t.geo ~block:victim ~page in
+        match t.state.(p) with
+        | Valid lpn -> (
+          match Nand.read_page t.nand ~block:victim ~page with
+          | Error e -> Error e
+          | Ok data -> (
+            match append t data with
+            | Error e -> Error e
+            | Ok p' ->
+              t.state.(p') <- Valid lpn;
+              t.map.(lpn) <- p';
+              t.gc_moves <- t.gc_moves + 1;
+              move (page + 1) res))
+        | Free | Invalid -> move (page + 1) res
+      end
+    in
+    (match move 0 (Ok ()) with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Nand.erase_block t.nand ~block:victim with
+      | Error _ as e -> e
+      | Ok () ->
+        Array.iteri
+          (fun i s ->
+            ignore s;
+            let p = ppn ~geo:t.geo ~block:victim ~page:i in
+            t.state.(p) <- Free)
+          (Array.make t.geo.pages_per_block ());
+        t.free_in_block.(victim) <- 0;
+        t.invalid_in_block.(victim) <- 0;
+        t.free_blocks <- t.free_blocks @ [ victim ];
+        t.free_block_count <- t.free_block_count + 1;
+        if t.free_block_count <= gc_low_watermark then gc t else Ok ()))
+
+let ensure_space t =
+  if t.free_block_count <= gc_low_watermark then
+    match gc t with
+    | Ok () -> Ok ()
+    | Error _ when t.free_block_count > 0 -> Ok () (* still usable *)
+    | Error _ as e -> e
+  else Ok ()
+
+let write t ~lpn data =
+  match check_lpn t lpn with
+  | Error _ as e -> e
+  | Ok () ->
+    if String.length data > t.geo.page_size then Error "data exceeds page size"
+    else begin
+      match ensure_space t with
+      | Error _ as e -> e
+      | Ok () -> (
+        match append t data with
+        | Error _ as e -> e
+        | Ok p ->
+          t.host_writes <- t.host_writes + 1;
+          let old = t.map.(lpn) in
+          if old >= 0 then invalidate t old;
+          t.map.(lpn) <- p;
+          t.state.(p) <- Valid lpn;
+          Ok ())
+    end
+
+let trim t ~lpn =
+  match check_lpn t lpn with
+  | Error _ -> ()
+  | Ok () ->
+    let p = t.map.(lpn) in
+    if p >= 0 then begin
+      invalidate t p;
+      t.map.(lpn) <- -1
+    end
+
+let flush_stats _t = ()
+
+let gc_runs t = t.gc_count
+let moved_pages t = t.gc_moves
+
+let write_amplification t =
+  if t.host_writes = 0 then 1.0
+  else float_of_int (t.host_writes + t.gc_moves) /. float_of_int t.host_writes
+
+let max_erase_skew t =
+  let mn = ref max_int and mx = ref 0 in
+  for b = 0 to t.geo.blocks - 1 do
+    let e = Nand.erase_count t.nand ~block:b in
+    if e < !mn then mn := e;
+    if e > !mx then mx := e
+  done;
+  !mx - !mn

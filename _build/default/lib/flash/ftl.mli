@@ -1,0 +1,45 @@
+(** Page-mapped flash translation layer.
+
+    Presents a logical block device (read/write 4 KiB logical pages) over
+    raw NAND: out-of-place writes, invalidation of superseded pages,
+    greedy-with-wear-awareness garbage collection, and write-amplification
+    accounting. This is the "smart" in the smart SSD: it runs on the device
+    itself, with no host involvement — a concrete instance of the paper's
+    self-managed device resource (§2.1). *)
+
+type t
+
+val create : ?nand:Nand.t -> ?op_ratio:float -> unit -> t
+(** [op_ratio] is over-provisioning: the fraction of physical blocks
+    reserved beyond the exported logical capacity (default 0.125). *)
+
+val logical_pages : t -> int
+(** Number of addressable logical pages. *)
+
+val page_size : t -> int
+
+val read : t -> lpn:int -> (string, string) result
+(** Unwritten logical pages read as zeroes. *)
+
+val write : t -> lpn:int -> string -> (unit, string) result
+(** Out-of-place write; triggers GC when free blocks run low. *)
+
+val trim : t -> lpn:int -> unit
+(** Drop the mapping (logical delete). *)
+
+val flush_stats : t -> unit
+
+(** Accounting: *)
+
+val gc_runs : t -> int
+val moved_pages : t -> int
+(** Valid pages relocated by GC. *)
+
+val write_amplification : t -> float
+(** (host writes + GC moves) / host writes; [1.0] when no GC has run. *)
+
+val max_erase_skew : t -> int
+(** Difference between max and min per-block erase counts (wear-leveling
+    quality). *)
+
+val nand : t -> Nand.t

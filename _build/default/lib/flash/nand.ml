@@ -1,0 +1,88 @@
+type geometry = { blocks : int; pages_per_block : int; page_size : int }
+
+let default_geometry = { blocks = 256; pages_per_block = 64; page_size = 4096 }
+
+type page_state = Erased | Programmed
+
+type block = {
+  pages : Bytes.t option array;  (* None = erased *)
+  mutable erases : int;
+}
+
+type t = {
+  geo : geometry;
+  data : block array;
+  mutable read_count : int;
+  mutable program_count : int;
+  mutable erase_total : int;
+}
+
+let create ?(geometry = default_geometry) () =
+  if geometry.blocks <= 0 || geometry.pages_per_block <= 0 || geometry.page_size <= 0
+  then invalid_arg "Nand.create: bad geometry";
+  {
+    geo = geometry;
+    data =
+      Array.init geometry.blocks (fun _ ->
+          { pages = Array.make geometry.pages_per_block None; erases = 0 });
+    read_count = 0;
+    program_count = 0;
+    erase_total = 0;
+  }
+
+let geometry t = t.geo
+
+let check t ~block ~page =
+  if block < 0 || block >= t.geo.blocks then Error "block out of range"
+  else if page < 0 || page >= t.geo.pages_per_block then Error "page out of range"
+  else Ok ()
+
+let page_state t ~block ~page =
+  match check t ~block ~page with
+  | Error _ -> invalid_arg "Nand.page_state: out of range"
+  | Ok () -> (
+    match t.data.(block).pages.(page) with None -> Erased | Some _ -> Programmed)
+
+let read_page t ~block ~page =
+  match check t ~block ~page with
+  | Error _ as e -> e
+  | Ok () ->
+    t.read_count <- t.read_count + 1;
+    (match t.data.(block).pages.(page) with
+    | None -> Ok (String.make t.geo.page_size '\xff')
+    | Some b -> Ok (Bytes.to_string b))
+
+let program_page t ~block ~page data =
+  match check t ~block ~page with
+  | Error _ as e -> e
+  | Ok () ->
+    if String.length data > t.geo.page_size then Error "data exceeds page size"
+    else begin
+      match t.data.(block).pages.(page) with
+      | Some _ -> Error "page not erased"
+      | None ->
+        t.program_count <- t.program_count + 1;
+        let b = Bytes.make t.geo.page_size '\xff' in
+        Bytes.blit_string data 0 b 0 (String.length data);
+        t.data.(block).pages.(page) <- Some b;
+        Ok ()
+    end
+
+let erase_block t ~block =
+  match check t ~block ~page:0 with
+  | Error _ as e -> e
+  | Ok () ->
+    let blk = t.data.(block) in
+    Array.fill blk.pages 0 t.geo.pages_per_block None;
+    blk.erases <- blk.erases + 1;
+    t.erase_total <- t.erase_total + 1;
+    Ok ()
+
+let erase_count t ~block =
+  match check t ~block ~page:0 with
+  | Error _ -> invalid_arg "Nand.erase_count: out of range"
+  | Ok () -> t.data.(block).erases
+
+let total_erases t = t.erase_total
+let reads t = t.read_count
+let programs t = t.program_count

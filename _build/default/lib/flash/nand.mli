@@ -1,0 +1,33 @@
+(** Raw NAND flash model.
+
+    Geometry: [blocks] erase blocks of [pages_per_block] pages of
+    [page_size] bytes. Semantics enforced: a page must be erased before it
+    can be programmed, programming is page-at-once, erase is block-at-once,
+    and each block tracks its erase count (wear). *)
+
+type t
+
+type geometry = { blocks : int; pages_per_block : int; page_size : int }
+
+val default_geometry : geometry
+(** 256 blocks x 64 pages x 4 KiB = 64 MiB. *)
+
+val create : ?geometry:geometry -> unit -> t
+val geometry : t -> geometry
+
+type page_state = Erased | Programmed
+
+val page_state : t -> block:int -> page:int -> page_state
+
+val read_page : t -> block:int -> page:int -> (string, string) result
+(** Reading an erased page returns all-0xFF bytes (as real NAND does). *)
+
+val program_page : t -> block:int -> page:int -> string -> (unit, string) result
+(** Fails if the page is not erased or data exceeds the page size (short
+    data is padded with 0xFF). *)
+
+val erase_block : t -> block:int -> (unit, string) result
+val erase_count : t -> block:int -> int
+val total_erases : t -> int
+val reads : t -> int
+val programs : t -> int

@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Buffer Bytes Char Format Hashtbl Lastcpu_flash List Option Printf Result String

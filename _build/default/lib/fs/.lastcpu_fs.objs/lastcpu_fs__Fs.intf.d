@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Format Lastcpu_flash

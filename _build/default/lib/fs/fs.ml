@@ -1,0 +1,914 @@
+module Ftl = Lastcpu_flash.Ftl
+
+type file_kind = Regular | Directory
+
+type stat = {
+  ino : int;
+  kind : file_kind;
+  size : int;
+  owner : string;
+  mode : int;
+}
+
+type error =
+  | Not_found_e of string
+  | Exists of string
+  | Not_a_directory of string
+  | Is_a_directory of string
+  | Permission of string
+  | No_space
+  | Invalid of string
+  | Io of string
+
+let error_to_string = function
+  | Not_found_e p -> Printf.sprintf "not found: %s" p
+  | Exists p -> Printf.sprintf "already exists: %s" p
+  | Not_a_directory p -> Printf.sprintf "not a directory: %s" p
+  | Is_a_directory p -> Printf.sprintf "is a directory: %s" p
+  | Permission p -> Printf.sprintf "permission denied: %s" p
+  | No_space -> "no space left on device"
+  | Invalid m -> Printf.sprintf "invalid: %s" m
+  | Io m -> Printf.sprintf "io error: %s" m
+
+(* On-disk geometry ------------------------------------------------------ *)
+
+let magic = "LCFS1\000"
+let inode_size = 256
+let ndirect = 12
+let owner_max = 31
+
+type t = {
+  ftl : Ftl.t;
+  block_size : int;
+  total_blocks : int;
+  bitmap_start : int;  (* = 1 *)
+  bitmap_blocks : int;
+  itable_start : int;
+  itable_blocks : int;
+  data_start : int;
+  ninodes : int;
+  root_ino : int;
+  (* Device-DRAM block cache (write-through): models the on-device cache
+     hierarchy of §2.3. Reads served from here cost no NAND operation;
+     every write still programs flash (durability preserved). *)
+  cache : (int, Bytes.t) Hashtbl.t option;
+}
+
+type inode = {
+  mutable used : bool;
+  mutable kind : file_kind;
+  mutable size : int;
+  mutable mode : int;
+  mutable owner : string;
+  direct : int array;  (* block numbers, 0 = hole *)
+  mutable indirect : int;  (* block holding u32 block numbers, 0 = none *)
+}
+
+(* Low-level block IO ----------------------------------------------------- *)
+
+let read_block t b =
+  let from_flash () =
+    match Ftl.read t.ftl ~lpn:b with
+    | Ok s -> Ok (Bytes.of_string s)
+    | Error e -> Error (Io e)
+  in
+  match t.cache with
+  | None -> from_flash ()
+  | Some cache -> (
+    match Hashtbl.find_opt cache b with
+    | Some cached -> Ok (Bytes.copy cached)
+    | None -> (
+      match from_flash () with
+      | Ok data ->
+        Hashtbl.replace cache b (Bytes.copy data);
+        Ok data
+      | Error _ as e -> e))
+
+let write_block t b data =
+  match Ftl.write t.ftl ~lpn:b (Bytes.to_string data) with
+  | Ok () ->
+    (match t.cache with
+    | None -> ()
+    | Some cache -> Hashtbl.replace cache b (Bytes.copy data));
+    Ok ()
+  | Error e -> Error (Io e)
+
+let ( let* ) = Result.bind
+
+(* u32 little-endian in a bytes buffer *)
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u16 b off =
+  Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+(* Inode (de)serialisation ------------------------------------------------ *)
+
+let inode_to_bytes ino =
+  let b = Bytes.make inode_size '\000' in
+  Bytes.set b 0 (if ino.used then '\001' else '\000');
+  Bytes.set b 1 (match ino.kind with Regular -> '\000' | Directory -> '\001');
+  set_u32 b 2 ino.size;
+  set_u16 b 6 ino.mode;
+  let olen = min owner_max (String.length ino.owner) in
+  Bytes.set b 8 (Char.chr olen);
+  Bytes.blit_string ino.owner 0 b 9 olen;
+  for i = 0 to ndirect - 1 do
+    set_u32 b (48 + (4 * i)) ino.direct.(i)
+  done;
+  set_u32 b (48 + (4 * ndirect)) ino.indirect;
+  b
+
+let inode_of_bytes b =
+  let used = Bytes.get b 0 = '\001' in
+  let kind = if Bytes.get b 1 = '\001' then Directory else Regular in
+  let size = get_u32 b 2 in
+  let mode = get_u16 b 6 in
+  let olen = Char.code (Bytes.get b 8) in
+  let owner = Bytes.sub_string b 9 olen in
+  let direct = Array.init ndirect (fun i -> get_u32 b (48 + (4 * i))) in
+  let indirect = get_u32 b (48 + (4 * ndirect)) in
+  { used; kind; size; mode; owner; direct; indirect }
+
+let inodes_per_block t = t.block_size / inode_size
+
+let read_inode t ino =
+  if ino < 0 || ino >= t.ninodes then Error (Invalid "bad inode number")
+  else begin
+    let blk = t.itable_start + (ino / inodes_per_block t) in
+    let off = ino mod inodes_per_block t * inode_size in
+    let* b = read_block t blk in
+    Ok (inode_of_bytes (Bytes.sub b off inode_size))
+  end
+
+let write_inode t ino node =
+  let blk = t.itable_start + (ino / inodes_per_block t) in
+  let off = ino mod inodes_per_block t * inode_size in
+  let* b = read_block t blk in
+  Bytes.blit (inode_to_bytes node) 0 b off inode_size;
+  write_block t blk b
+
+let alloc_inode t =
+  let rec scan ino =
+    if ino >= t.ninodes then Error No_space
+    else
+      let* node = read_inode t ino in
+      if node.used then scan (ino + 1) else Ok ino
+  in
+  scan 0
+
+(* Block bitmap ----------------------------------------------------------- *)
+
+let bit_get b i = Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let bit_set b i v =
+  let cur = Char.code (Bytes.get b (i / 8)) in
+  let mask = 1 lsl (i mod 8) in
+  Bytes.set b (i / 8) (Char.chr (if v then cur lor mask else cur land lnot mask))
+
+let bits_per_block t = t.block_size * 8
+
+let alloc_block t =
+  (* First-fit over the data region. *)
+  let rec scan_block bi =
+    if bi >= t.bitmap_blocks then Error No_space
+    else begin
+      let* b = read_block t (t.bitmap_start + bi) in
+      let base = bi * bits_per_block t in
+      let rec scan_bit i =
+        if i >= bits_per_block t then scan_block (bi + 1)
+        else begin
+          let blk = base + i in
+          if blk >= t.total_blocks then Error No_space
+          else if blk >= t.data_start && not (bit_get b i) then begin
+            bit_set b i true;
+            let* () = write_block t (t.bitmap_start + bi) b in
+            (* Zero the block so stale contents never leak between files —
+               the isolation property §2.1 demands of a multi-client
+               device. *)
+            let* () = write_block t blk (Bytes.make t.block_size '\000') in
+            Ok blk
+          end
+          else scan_bit (i + 1)
+        end
+      in
+      scan_bit 0
+    end
+  in
+  scan_block 0
+
+let free_block t blk =
+  if blk < t.data_start || blk >= t.total_blocks then
+    Error (Invalid "free of metadata block")
+  else begin
+    let bi = blk / bits_per_block t in
+    let i = blk mod bits_per_block t in
+    let* b = read_block t (t.bitmap_start + bi) in
+    if not (bit_get b i) then Error (Invalid "double free of block")
+    else begin
+      bit_set b i false;
+      let* () = write_block t (t.bitmap_start + bi) b in
+      Ftl.trim t.ftl ~lpn:blk;
+      Ok ()
+    end
+  end
+
+let count_free_blocks t =
+  let count = ref 0 in
+  (try
+     for bi = 0 to t.bitmap_blocks - 1 do
+       match read_block t (t.bitmap_start + bi) with
+       | Error _ -> raise Exit
+       | Ok b ->
+         let base = bi * bits_per_block t in
+         for i = 0 to bits_per_block t - 1 do
+           let blk = base + i in
+           if blk >= t.data_start && blk < t.total_blocks && not (bit_get b i)
+           then incr count
+         done
+     done
+   with Exit -> ());
+  !count
+
+(* File block mapping ----------------------------------------------------- *)
+
+let ptrs_per_block t = t.block_size / 4
+
+let max_file_blocks t = ndirect + ptrs_per_block t
+
+(* Get the data block for file-block index [n]; allocate if [grow]. Returns
+   0 (a hole) only when not growing. *)
+let bmap t node n ~grow =
+  if n < 0 || n >= max_file_blocks t then Error (Invalid "file too large")
+  else if n < ndirect then begin
+    if node.direct.(n) <> 0 then Ok node.direct.(n)
+    else if not grow then Ok 0
+    else
+      let* blk = alloc_block t in
+      node.direct.(n) <- blk;
+      Ok blk
+  end
+  else begin
+    let idx = n - ndirect in
+    let* ind_blk =
+      if node.indirect <> 0 then Ok node.indirect
+      else if not grow then Ok 0
+      else
+        let* blk = alloc_block t in
+        node.indirect <- blk;
+        Ok blk
+    in
+    if ind_blk = 0 then Ok 0
+    else begin
+      let* ind = read_block t ind_blk in
+      let cur = get_u32 ind (4 * idx) in
+      if cur <> 0 then Ok cur
+      else if not grow then Ok 0
+      else begin
+        let* blk = alloc_block t in
+        set_u32 ind (4 * idx) blk;
+        let* () = write_block t ind_blk ind in
+        Ok blk
+      end
+    end
+  end
+
+(* Generic file read/write over an inode (works for directories too). *)
+
+let read_inode_data t node ~off ~len =
+  let len = max 0 (min len (node.size - off)) in
+  if len = 0 then Ok ""
+  else begin
+    let out = Bytes.create len in
+    let rec go pos =
+      if pos >= len then Ok (Bytes.unsafe_to_string out)
+      else begin
+        let fpos = off + pos in
+        let n = fpos / t.block_size in
+        let boff = fpos mod t.block_size in
+        let chunk = min (len - pos) (t.block_size - boff) in
+        let* blk = bmap t node n ~grow:false in
+        if blk = 0 then begin
+          Bytes.fill out pos chunk '\000';
+          go (pos + chunk)
+        end
+        else
+          let* b = read_block t blk in
+          Bytes.blit b boff out pos chunk;
+          go (pos + chunk)
+      end
+    in
+    go 0
+  end
+
+let write_inode_data t ino node ~off data =
+  let len = String.length data in
+  if len = 0 then Ok ()
+  else begin
+    let rec go pos =
+      if pos >= len then Ok ()
+      else begin
+        let fpos = off + pos in
+        let n = fpos / t.block_size in
+        let boff = fpos mod t.block_size in
+        let chunk = min (len - pos) (t.block_size - boff) in
+        let* blk = bmap t node n ~grow:true in
+        let* b = read_block t blk in
+        Bytes.blit_string data pos b boff chunk;
+        let* () = write_block t blk b in
+        go (pos + chunk)
+      end
+    in
+    let* () = go 0 in
+    if off + len > node.size then node.size <- off + len;
+    write_inode t ino node
+  end
+
+(* Directories ------------------------------------------------------------ *)
+
+(* Entry: u16 name_len | name | u32 ino. Whole directory is parsed and
+   rewritten on mutation; directories are small. *)
+
+let parse_dir data =
+  let len = String.length data in
+  let rec go pos acc =
+    if pos + 2 > len then List.rev acc
+    else begin
+      let nlen = Char.code data.[pos] lor (Char.code data.[pos + 1] lsl 8) in
+      if nlen = 0 || pos + 2 + nlen + 4 > len then List.rev acc
+      else begin
+        let name = String.sub data (pos + 2) nlen in
+        let ino =
+          Char.code data.[pos + 2 + nlen]
+          lor (Char.code data.[pos + 2 + nlen + 1] lsl 8)
+          lor (Char.code data.[pos + 2 + nlen + 2] lsl 16)
+          lor (Char.code data.[pos + 2 + nlen + 3] lsl 24)
+        in
+        go (pos + 2 + nlen + 4) ((name, ino) :: acc)
+      end
+    end
+  in
+  go 0 []
+
+let render_dir entries =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, ino) ->
+      let n = String.length name in
+      Buffer.add_char buf (Char.chr (n land 0xff));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+      Buffer.add_string buf name;
+      Buffer.add_char buf (Char.chr (ino land 0xff));
+      Buffer.add_char buf (Char.chr ((ino lsr 8) land 0xff));
+      Buffer.add_char buf (Char.chr ((ino lsr 16) land 0xff));
+      Buffer.add_char buf (Char.chr ((ino lsr 24) land 0xff)))
+    entries;
+  Buffer.contents buf
+
+let read_dir_entries t node =
+  let* data = read_inode_data t node ~off:0 ~len:node.size in
+  Ok (parse_dir data)
+
+(* Free any data blocks past the first [keep_blocks] of the file, clearing
+   their pointers (shared by truncate-shrink and directory rewrites). *)
+let free_blocks_beyond t node ~keep_blocks =
+  let rec free_from n res =
+    match res with
+    | Error _ as e -> e
+    | Ok () ->
+      if n >= max_file_blocks t then Ok ()
+      else begin
+        match bmap t node n ~grow:false with
+        | Error _ as e -> e
+        | Ok 0 -> free_from (n + 1) (Ok ())
+        | Ok blk ->
+          if n < ndirect then node.direct.(n) <- 0;
+          free_from (n + 1) (free_block t blk)
+      end
+  in
+  let* () = free_from keep_blocks (Ok ()) in
+  if node.indirect = 0 then Ok ()
+  else if keep_blocks <= ndirect then begin
+    let blk = node.indirect in
+    node.indirect <- 0;
+    free_block t blk
+  end
+  else begin
+    let* ind = read_block t node.indirect in
+    for i = keep_blocks - ndirect to ptrs_per_block t - 1 do
+      set_u32 ind (4 * i) 0
+    done;
+    write_block t node.indirect ind
+  end
+
+let write_dir_entries t ino node entries =
+  let data = render_dir entries in
+  node.size <- 0;
+  (* Overwrite from 0, set the size, and release blocks the smaller
+     directory no longer needs. *)
+  let* () = write_inode_data t ino node ~off:0 data in
+  node.size <- String.length data;
+  let keep_blocks = (node.size + t.block_size - 1) / t.block_size in
+  let* () = free_blocks_beyond t node ~keep_blocks in
+  write_inode t ino node
+
+(* Path resolution -------------------------------------------------------- *)
+
+let split_path path =
+  if String.length path = 0 || path.[0] <> '/' then None
+  else
+    Some (List.filter (fun c -> String.length c > 0) (String.split_on_char '/' path))
+
+let lookup t path =
+  match split_path path with
+  | None -> Error (Invalid (Printf.sprintf "bad path %S" path))
+  | Some components ->
+    let rec walk ino = function
+      | [] -> Ok ino
+      | name :: rest ->
+        let* node = read_inode t ino in
+        if node.kind <> Directory then Error (Not_a_directory path)
+        else
+          let* entries = read_dir_entries t node in
+          (match List.assoc_opt name entries with
+          | None -> Error (Not_found_e path)
+          | Some child -> walk child rest)
+    in
+    walk t.root_ino components
+
+let parent_of t path =
+  match split_path path with
+  | None | Some [] -> Error (Invalid (Printf.sprintf "bad path %S" path))
+  | Some components ->
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    let dirs, name = split_last [] components in
+    let dir_path = "/" ^ String.concat "/" dirs in
+    let* dir_ino = lookup t dir_path in
+    Ok (dir_ino, name)
+
+(* Permissions ------------------------------------------------------------ *)
+
+let can node ~user ~want =
+  (* want: 0o4 read, 0o2 write, 0o1 exec/search *)
+  if String.equal user "root" then true
+  else begin
+    let bits =
+      if String.equal user node.owner then (node.mode lsr 6) land 0o7
+      else node.mode land 0o7
+    in
+    bits land want = want
+  end
+
+let require node ~user ~want path =
+  if can node ~user ~want then Ok () else Error (Permission path)
+
+(* Superblock ------------------------------------------------------------- *)
+
+let write_superblock t =
+  let b = Bytes.make t.block_size '\000' in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  set_u32 b 8 t.total_blocks;
+  set_u32 b 12 t.bitmap_blocks;
+  set_u32 b 16 t.itable_blocks;
+  set_u32 b 20 t.root_ino;
+  write_block t 0 b
+
+let layout ?(cache = true) ftl =
+  let block_size = Ftl.page_size ftl in
+  let total_blocks = Ftl.logical_pages ftl in
+  let bitmap_blocks = ((total_blocks + (block_size * 8) - 1) / (block_size * 8)) in
+  (* 1 inode per 16 data blocks, at least one table block. *)
+  let ninodes_wanted = max 64 (total_blocks / 16) in
+  let itable_blocks =
+    (ninodes_wanted + (block_size / inode_size) - 1) / (block_size / inode_size)
+  in
+  let itable_start = 1 + bitmap_blocks in
+  let data_start = itable_start + itable_blocks in
+  {
+    ftl;
+    block_size;
+    total_blocks;
+    bitmap_start = 1;
+    bitmap_blocks;
+    itable_start;
+    itable_blocks;
+    data_start;
+    ninodes = itable_blocks * (block_size / inode_size);
+    root_ino = 0;
+    cache = (if cache then Some (Hashtbl.create 1024) else None);
+  }
+
+let format ?cache ftl =
+  let t = layout ?cache ftl in
+  if t.data_start >= t.total_blocks then Error No_space
+  else begin
+    let* () = write_superblock t in
+    (* Mark metadata blocks used in the bitmap. *)
+    let* () =
+      let rec init bi res =
+        match res with
+        | Error _ as e -> e
+        | Ok () ->
+          if bi >= t.bitmap_blocks then Ok ()
+          else begin
+            let b = Bytes.make t.block_size '\000' in
+            let base = bi * (t.block_size * 8) in
+            for i = 0 to (t.block_size * 8) - 1 do
+              let blk = base + i in
+              if blk < t.data_start && blk < t.total_blocks then bit_set b i true
+            done;
+            init (bi + 1) (write_block t (t.bitmap_start + bi) b)
+          end
+      in
+      init 0 (Ok ())
+    in
+    (* Zero the inode table. *)
+    let* () =
+      let rec zero i res =
+        match res with
+        | Error _ as e -> e
+        | Ok () ->
+          if i >= t.itable_blocks then Ok ()
+          else
+            zero (i + 1)
+              (write_block t (t.itable_start + i) (Bytes.make t.block_size '\000'))
+      in
+      zero 0 (Ok ())
+    in
+    (* Root directory. *)
+    let root =
+      {
+        used = true;
+        kind = Directory;
+        size = 0;
+        mode = 0o777;
+        owner = "root";
+        direct = Array.make ndirect 0;
+        indirect = 0;
+      }
+    in
+    let* () = write_inode t t.root_ino root in
+    Ok t
+  end
+
+let mount ?cache ftl =
+  let t = layout ?cache ftl in
+  let* b = read_block t 0 in
+  if not (String.equal (Bytes.sub_string b 0 (String.length magic)) magic) then
+    Error (Invalid "bad superblock magic")
+  else if get_u32 b 8 <> t.total_blocks then
+    Error (Invalid "superblock geometry mismatch")
+  else Ok t
+
+(* Public operations ------------------------------------------------------ *)
+
+let create_node t ~user ~mode ~kind path =
+  let* dir_ino, name = parent_of t path in
+  let* dir = read_inode t dir_ino in
+  if dir.kind <> Directory then Error (Not_a_directory path)
+  else
+    let* () = require dir ~user ~want:0o2 path in
+    let* entries = read_dir_entries t dir in
+    if List.mem_assoc name entries then Error (Exists path)
+    else begin
+      let* ino = alloc_inode t in
+      let node =
+        {
+          used = true;
+          kind;
+          size = 0;
+          mode;
+          owner = user;
+          direct = Array.make ndirect 0;
+          indirect = 0;
+        }
+      in
+      let* () = write_inode t ino node in
+      write_dir_entries t dir_ino dir (entries @ [ (name, ino) ])
+    end
+
+let create t ~user ?(mode = 0o644) path = create_node t ~user ~mode ~kind:Regular path
+let mkdir t ~user ?(mode = 0o755) path = create_node t ~user ~mode ~kind:Directory path
+
+let free_file_blocks t node =
+  let rec free_direct i res =
+    match res with
+    | Error _ as e -> e
+    | Ok () ->
+      if i >= ndirect then Ok ()
+      else if node.direct.(i) = 0 then free_direct (i + 1) (Ok ())
+      else begin
+        let blk = node.direct.(i) in
+        node.direct.(i) <- 0;
+        free_direct (i + 1) (free_block t blk)
+      end
+  in
+  let* () = free_direct 0 (Ok ()) in
+  if node.indirect = 0 then Ok ()
+  else begin
+    let* ind = read_block t node.indirect in
+    let rec free_ind i res =
+      match res with
+      | Error _ as e -> e
+      | Ok () ->
+        if i >= ptrs_per_block t then Ok ()
+        else begin
+          let blk = get_u32 ind (4 * i) in
+          if blk = 0 then free_ind (i + 1) (Ok ())
+          else free_ind (i + 1) (free_block t blk)
+        end
+    in
+    let* () = free_ind 0 (Ok ()) in
+    let blk = node.indirect in
+    node.indirect <- 0;
+    free_block t blk
+  end
+
+let unlink t ~user path =
+  let* dir_ino, name = parent_of t path in
+  let* dir = read_inode t dir_ino in
+  let* () = require dir ~user ~want:0o2 path in
+  let* entries = read_dir_entries t dir in
+  match List.assoc_opt name entries with
+  | None -> Error (Not_found_e path)
+  | Some ino ->
+    let* node = read_inode t ino in
+    let* () =
+      if node.kind = Directory then begin
+        let* children = read_dir_entries t node in
+        if children <> [] then Error (Invalid "directory not empty") else Ok ()
+      end
+      else Ok ()
+    in
+    let* () = free_file_blocks t node in
+    node.used <- false;
+    node.size <- 0;
+    let* () = write_inode t ino node in
+    write_dir_entries t dir_ino dir (List.remove_assoc name entries)
+
+let stat t path =
+  let* ino = lookup t path in
+  let* node = read_inode t ino in
+  Ok { ino; kind = node.kind; size = node.size; owner = node.owner; mode = node.mode }
+
+let exists t path = Result.is_ok (lookup t path)
+
+let readdir t ~user path =
+  let* ino = lookup t path in
+  let* node = read_inode t ino in
+  if node.kind <> Directory then Error (Not_a_directory path)
+  else
+    let* () = require node ~user ~want:0o4 path in
+    let* entries = read_dir_entries t node in
+    Ok (List.map fst entries)
+
+let read t ~user path ~off ~len =
+  if off < 0 || len < 0 then Error (Invalid "negative offset or length")
+  else
+    let* ino = lookup t path in
+    let* node = read_inode t ino in
+    if node.kind = Directory then Error (Is_a_directory path)
+    else
+      let* () = require node ~user ~want:0o4 path in
+      read_inode_data t node ~off ~len
+
+let write t ~user path ~off data =
+  if off < 0 then Error (Invalid "negative offset")
+  else
+    let* ino = lookup t path in
+    let* node = read_inode t ino in
+    if node.kind = Directory then Error (Is_a_directory path)
+    else
+      let* () = require node ~user ~want:0o2 path in
+      write_inode_data t ino node ~off data
+
+let file_size t path =
+  let* s = stat t path in
+  Ok s.size
+
+let truncate t ~user path ~len =
+  if len < 0 then Error (Invalid "negative length")
+  else
+    let* ino = lookup t path in
+    let* node = read_inode t ino in
+    if node.kind = Directory then Error (Is_a_directory path)
+    else
+      let* () = require node ~user ~want:0o2 path in
+      if len >= node.size then begin
+        node.size <- len;
+        write_inode t ino node
+      end
+      else begin
+        let keep_blocks = (len + t.block_size - 1) / t.block_size in
+        let* () = free_blocks_beyond t node ~keep_blocks in
+        node.size <- len;
+        write_inode t ino node
+      end
+
+let rename t ~user old_path new_path =
+  if String.equal old_path new_path then Ok ()
+  else
+    let* old_dir_ino, old_name = parent_of t old_path in
+    let* new_dir_ino, new_name = parent_of t new_path in
+    let* old_dir = read_inode t old_dir_ino in
+    let* () = require old_dir ~user ~want:0o2 old_path in
+    let* old_entries = read_dir_entries t old_dir in
+    match List.assoc_opt old_name old_entries with
+    | None -> Error (Not_found_e old_path)
+    | Some ino ->
+      let* new_dir = read_inode t new_dir_ino in
+      let* () = require new_dir ~user ~want:0o2 new_path in
+      let* new_entries = read_dir_entries t new_dir in
+      (* POSIX: silently replace an existing regular file at the target. *)
+      let* () =
+        match List.assoc_opt new_name new_entries with
+        | None -> Ok ()
+        | Some target_ino ->
+          let* target = read_inode t target_ino in
+          if target.kind = Directory then Error (Is_a_directory new_path)
+          else begin
+            let* () = free_file_blocks t target in
+            target.used <- false;
+            target.size <- 0;
+            write_inode t target_ino target
+          end
+      in
+      if old_dir_ino = new_dir_ino then begin
+        (* Same directory: one entry-list rewrite keeps it atomic. *)
+        let entries =
+          (new_name, ino)
+          :: List.filter
+               (fun (n, _) -> n <> old_name && n <> new_name)
+               old_entries
+        in
+        write_dir_entries t old_dir_ino old_dir entries
+      end
+      else begin
+        let* () =
+          write_dir_entries t new_dir_ino new_dir
+            ((new_name, ino) :: List.remove_assoc new_name new_entries)
+        in
+        (* Re-read the source directory: the target rewrite may have moved
+           shared state (different inodes, so safe, but re-read anyway for
+           clarity). *)
+        let* old_dir = read_inode t old_dir_ino in
+        let* old_entries = read_dir_entries t old_dir in
+        write_dir_entries t old_dir_ino old_dir
+          (List.remove_assoc old_name old_entries)
+      end
+
+let chmod t ~user path ~mode =
+  let* ino = lookup t path in
+  let* node = read_inode t ino in
+  if not (String.equal user "root") && not (String.equal user node.owner) then
+    Error (Permission path)
+  else begin
+    node.mode <- mode land 0o777;
+    write_inode t ino node
+  end
+
+let chown t ~user path ~owner =
+  let* ino = lookup t path in
+  let* node = read_inode t ino in
+  if not (String.equal user "root") then Error (Permission path)
+  else begin
+    node.owner <- owner;
+    write_inode t ino node
+  end
+
+let free_blocks = count_free_blocks
+let total_blocks t = t.total_blocks
+
+(* Consistency checking ---------------------------------------------------- *)
+
+type fsck_report = {
+  files : int;
+  directories : int;
+  used_blocks : int;
+  leaked_blocks : int;
+  shared_blocks : int;
+  unmarked_blocks : int;
+  orphan_inodes : int;
+}
+
+let fsck t =
+  (* Pass 1: walk the tree from the root, collecting reachable inodes and
+     block references. *)
+  let ref_count = Hashtbl.create 256 in
+  let reachable_inodes = Hashtbl.create 64 in
+  let files = ref 0 and directories = ref 0 in
+  let note_block blk =
+    if blk <> 0 then
+      Hashtbl.replace ref_count blk
+        (1 + Option.value (Hashtbl.find_opt ref_count blk) ~default:0)
+  in
+  let note_inode_blocks node =
+    Array.iter note_block node.direct;
+    if node.indirect <> 0 then begin
+      note_block node.indirect;
+      match read_block t node.indirect with
+      | Error _ -> ()
+      | Ok ind ->
+        for i = 0 to ptrs_per_block t - 1 do
+          note_block (get_u32 ind (4 * i))
+        done
+    end
+  in
+  let rec walk ino =
+    if not (Hashtbl.mem reachable_inodes ino) then begin
+      Hashtbl.replace reachable_inodes ino ();
+      match read_inode t ino with
+      | Error _ -> Ok ()
+      | Ok node ->
+        note_inode_blocks node;
+        (match node.kind with
+        | Regular ->
+          incr files;
+          Ok ()
+        | Directory ->
+          incr directories;
+          let* entries = read_dir_entries t node in
+          List.fold_left
+            (fun res (_, child) ->
+              match res with Error _ as e -> e | Ok () -> walk child)
+            (Ok ()) entries)
+    end
+    else Ok ()
+  in
+  let* () = walk t.root_ino in
+  (* Pass 2: cross-check the bitmap. *)
+  let leaked = ref 0 and unmarked = ref 0 in
+  let* () =
+    let rec scan bi res =
+      match res with
+      | Error _ as e -> e
+      | Ok () ->
+        if bi >= t.bitmap_blocks then Ok ()
+        else
+          let* b = read_block t (t.bitmap_start + bi) in
+          let base = bi * bits_per_block t in
+          for i = 0 to bits_per_block t - 1 do
+            let blk = base + i in
+            if blk >= t.data_start && blk < t.total_blocks then begin
+              let marked = bit_get b i in
+              let referenced = Hashtbl.mem ref_count blk in
+              if marked && not referenced then incr leaked;
+              if referenced && not marked then incr unmarked
+            end
+          done;
+          scan (bi + 1) (Ok ())
+    in
+    scan 0 (Ok ())
+  in
+  (* Pass 3: multiply-referenced blocks and orphan inodes. *)
+  let shared =
+    Hashtbl.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) ref_count 0
+  in
+  let orphans = ref 0 in
+  let* () =
+    let rec scan ino res =
+      match res with
+      | Error _ as e -> e
+      | Ok () ->
+        if ino >= t.ninodes then Ok ()
+        else
+          let* node = read_inode t ino in
+          if node.used && not (Hashtbl.mem reachable_inodes ino) then
+            incr orphans;
+          scan (ino + 1) (Ok ())
+    in
+    scan 0 (Ok ())
+  in
+  Ok
+    {
+      files = !files;
+      directories = !directories;
+      used_blocks = Hashtbl.length ref_count;
+      leaked_blocks = !leaked;
+      shared_blocks = shared;
+      unmarked_blocks = !unmarked;
+      orphan_inodes = !orphans;
+    }
+
+let pp_fsck_report ppf r =
+  Format.fprintf ppf
+    "files=%d dirs=%d used=%d leaked=%d shared=%d unmarked=%d orphans=%d"
+    r.files r.directories r.used_blocks r.leaked_blocks r.shared_blocks
+    r.unmarked_blocks r.orphan_inodes

@@ -1,0 +1,1 @@
+lib/iommu/iommu.ml: Hashtbl Int64 Lastcpu_mem Lastcpu_proto Pagetable Proto_perm Tlb

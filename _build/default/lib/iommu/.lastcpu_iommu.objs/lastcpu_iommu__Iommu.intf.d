@@ -1,0 +1,1 @@
+lib/iommu/iommu.mli: Proto_perm

@@ -1,0 +1,1 @@
+lib/iommu/pagetable.ml: Array Int64 Lastcpu_mem Lastcpu_proto Proto_perm

@@ -1,0 +1,1 @@
+lib/iommu/pagetable.mli: Proto_perm

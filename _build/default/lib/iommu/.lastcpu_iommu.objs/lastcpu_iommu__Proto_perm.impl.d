@@ -1,0 +1,1 @@
+lib/iommu/proto_perm.ml: Lastcpu_proto

@@ -1,0 +1,1 @@
+lib/iommu/tlb.ml: Array Int64 Lastcpu_proto Proto_perm

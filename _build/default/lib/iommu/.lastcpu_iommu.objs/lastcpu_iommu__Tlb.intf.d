@@ -1,0 +1,1 @@
+lib/iommu/tlb.mli: Proto_perm

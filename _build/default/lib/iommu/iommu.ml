@@ -1,0 +1,136 @@
+module Layout = Lastcpu_mem.Layout
+module Types = Lastcpu_proto.Types
+
+type access = Read | Write | Exec
+
+type fault = {
+  pasid : int;
+  va : int64;
+  access : access;
+  reason : fault_reason;
+}
+
+and fault_reason = Not_mapped | Protection
+
+type translate_result = Ok_pa of int64 | Fault of fault
+
+type t = {
+  tables : (int, Pagetable.t) Hashtbl.t;  (* pasid -> table *)
+  tlb : Tlb.t option;
+  mutable fault_handler : (fault -> unit) option;
+  mutable walk_count : int;
+  mutable walk_level_count : int;
+  mutable fault_count : int;
+}
+
+let create ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
+  {
+    tables = Hashtbl.create 8;
+    tlb = (if no_tlb then None else Some (Tlb.create ?sets:tlb_sets ?ways:tlb_ways ()));
+    fault_handler = None;
+    walk_count = 0;
+    walk_level_count = 0;
+    fault_count = 0;
+  }
+
+let attach_fault_handler t f =
+  assert (t.fault_handler = None);
+  t.fault_handler <- Some f
+
+let table t ~pasid =
+  match Hashtbl.find_opt t.tables pasid with
+  | Some pt -> pt
+  | None ->
+    let pt = Pagetable.create () in
+    Hashtbl.replace t.tables pasid pt;
+    pt
+
+let map t ~pasid ~va ~pa ~bytes ~perm =
+  Pagetable.map_range (table t ~pasid) ~va ~pa ~bytes ~perm
+
+let unmap t ~pasid ~va ~bytes =
+  match Hashtbl.find_opt t.tables pasid with
+  | None -> 0
+  | Some pt ->
+    let removed = Pagetable.unmap_range pt ~va ~bytes in
+    (match t.tlb with
+    | None -> ()
+    | Some tlb ->
+      let npages = Layout.pages_of_bytes bytes in
+      for i = 0 to npages - 1 do
+        let vpn =
+          Layout.page_of_addr (Int64.add va (Layout.addr_of_page (Int64.of_int i)))
+        in
+        Tlb.invalidate_page tlb ~pasid ~vpn
+      done);
+    removed
+
+let clear_pasid t ~pasid =
+  Hashtbl.remove t.tables pasid;
+  match t.tlb with
+  | None -> ()
+  | Some tlb -> Tlb.invalidate_pasid tlb ~pasid
+
+let access_perm = function
+  | Read -> Types.perm_r
+  | Write -> { Types.read = false; write = true; exec = false }
+  | Exec -> { Types.read = false; write = false; exec = true }
+
+let deliver_fault t fault =
+  t.fault_count <- t.fault_count + 1;
+  (match t.fault_handler with Some f -> f fault | None -> ());
+  Fault fault
+
+let translate t ~pasid ~va ~access =
+  let vpn = Layout.page_of_addr va in
+  let need = access_perm access in
+  let from_tlb =
+    match t.tlb with
+    | None -> None
+    | Some tlb -> Tlb.lookup tlb ~pasid ~vpn
+  in
+  match from_tlb with
+  | Some { ppn; perm } when Proto_perm.subsumes perm need ->
+    let off = Int64.of_int (Layout.offset_in_page va) in
+    Ok_pa (Int64.add (Layout.addr_of_page ppn) off)
+  | Some { perm = _; _ } ->
+    (* Cached translation exists but lacks rights: protection fault. *)
+    deliver_fault t { pasid; va; access; reason = Protection }
+  | None -> (
+    match Hashtbl.find_opt t.tables pasid with
+    | None -> deliver_fault t { pasid; va; access; reason = Not_mapped }
+    | Some pt -> (
+      t.walk_count <- t.walk_count + 1;
+      match Pagetable.walk pt ~va ~access:need with
+      | Pagetable.Translated { pa; levels; perm } ->
+        t.walk_level_count <- t.walk_level_count + levels;
+        (match t.tlb with
+        | None -> ()
+        | Some tlb ->
+          Tlb.insert tlb ~pasid ~vpn { Tlb.ppn = Layout.page_of_addr pa; perm });
+        Ok_pa pa
+      | Pagetable.No_mapping { level } ->
+        t.walk_level_count <- t.walk_level_count + level;
+        deliver_fault t { pasid; va; access; reason = Not_mapped }
+      | Pagetable.Permission_denied _ ->
+        t.walk_level_count <- t.walk_level_count + 4;
+        deliver_fault t { pasid; va; access; reason = Protection }))
+
+let pasids t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+
+let mapped_pages t ~pasid =
+  match Hashtbl.find_opt t.tables pasid with
+  | None -> 0
+  | Some pt -> Pagetable.mapped_pages pt
+
+let tlb_hits t = match t.tlb with None -> 0 | Some tlb -> Tlb.hits tlb
+let tlb_misses t = match t.tlb with None -> 0 | Some tlb -> Tlb.misses tlb
+let walks t = t.walk_count
+let walk_levels t = t.walk_level_count
+let faults t = t.fault_count
+
+let reset_counters t =
+  t.walk_count <- 0;
+  t.walk_level_count <- 0;
+  t.fault_count <- 0;
+  match t.tlb with None -> () | Some tlb -> Tlb.reset_counters tlb

@@ -1,0 +1,68 @@
+(** The per-device IOMMU unit.
+
+    Gates every memory access a device makes. Holds one page table per
+    PASID (application address space, §2.3), a TLB, and a fault hook: the
+    paper's error model (§4) delivers translation faults to the *attached
+    device*, which must handle them itself.
+
+    Only the privileged system bus calls [map]/[unmap] — devices have no
+    handle on their own IOMMU (enforced structurally: the device framework
+    never exposes it). *)
+
+type t
+
+type access = Read | Write | Exec
+
+type fault = {
+  pasid : int;
+  va : int64;
+  access : access;
+  reason : fault_reason;
+}
+
+and fault_reason = Not_mapped | Protection
+
+type translate_result = Ok_pa of int64 | Fault of fault
+
+val create : ?tlb_sets:int -> ?tlb_ways:int -> ?no_tlb:bool -> unit -> t
+(** [no_tlb:true] bypasses the TLB entirely (ablation for T5). *)
+
+val attach_fault_handler : t -> (fault -> unit) -> unit
+(** The attached device's fault queue. At most one handler. *)
+
+val map :
+  t -> pasid:int -> va:int64 -> pa:int64 -> bytes:int64 -> perm:Proto_perm.t ->
+  (unit, string) result
+(** Privileged: program a contiguous mapping. Creates the PASID's table on
+    first use. *)
+
+val unmap : t -> pasid:int -> va:int64 -> bytes:int64 -> int
+(** Privileged: remove mappings and invalidate the TLB. Returns pages
+    removed. *)
+
+val clear_pasid : t -> pasid:int -> unit
+(** Tear down an entire address space (application teardown). *)
+
+val translate : t -> pasid:int -> va:int64 -> access:access -> translate_result
+(** Translate one access; on fault, the fault handler (if any) runs before
+    this returns. *)
+
+val pasids : t -> int list
+val mapped_pages : t -> pasid:int -> int
+
+(** Counters for the cost model and T5: *)
+
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+val walks : t -> int
+(** Completed page-table walks (== TLB misses that found a mapping, plus
+    walks with no TLB). *)
+
+val walk_levels : t -> int
+(** Total levels touched across all walks (each full walk adds 4). *)
+
+val faults : t -> int
+val reset_counters : t -> unit
+
+val access_perm : access -> Proto_perm.t
+(** The minimal permission required for an access. *)

@@ -1,0 +1,6 @@
+(* Shared alias so the IOMMU modules use the protocol's permission type
+   without repeating the full path everywhere. *)
+type t = Lastcpu_proto.Types.perm
+
+let subsumes = Lastcpu_proto.Types.perm_subsumes
+let to_string = Lastcpu_proto.Types.perm_to_string

@@ -1,0 +1,9 @@
+(** Alias of the protocol's permission type, so the IOMMU modules share one
+    short name for it. *)
+
+type t = Lastcpu_proto.Types.perm
+
+val subsumes : t -> t -> bool
+(** [subsumes held wanted]: see {!Lastcpu_proto.Types.perm_subsumes}. *)
+
+val to_string : t -> string

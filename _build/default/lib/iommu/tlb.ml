@@ -1,0 +1,104 @@
+type entry = { ppn : int64; perm : Proto_perm.t }
+
+type slot = {
+  mutable valid : bool;
+  mutable pasid : int;
+  mutable vpn : int64;
+  mutable data : entry;
+  mutable lru : int;  (* higher = more recently used *)
+}
+
+type t = {
+  sets : int;
+  ways : int;
+  slots : slot array array;  (* sets x ways *)
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let dummy_entry = { ppn = 0L; perm = Lastcpu_proto.Types.perm_none }
+
+let create ?(sets = 64) ?(ways = 4) () =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Tlb.create: sets must be a power of two";
+  if ways <= 0 then invalid_arg "Tlb.create: ways must be positive";
+  let mk_slot () =
+    { valid = false; pasid = -1; vpn = -1L; data = dummy_entry; lru = 0 }
+  in
+  {
+    sets;
+    ways;
+    slots = Array.init sets (fun _ -> Array.init ways (fun _ -> mk_slot ()));
+    clock = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let set_index t ~pasid ~vpn =
+  (* Mix pasid into the index so different address spaces do not collide
+     on identical low page numbers. *)
+  let h = Int64.to_int (Int64.logxor vpn (Int64.of_int (pasid * 0x9E3779B1))) in
+  h land (t.sets - 1)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let lookup t ~pasid ~vpn =
+  let set = t.slots.(set_index t ~pasid ~vpn) in
+  let found = ref None in
+  Array.iter
+    (fun s ->
+      if s.valid && s.pasid = pasid && Int64.equal s.vpn vpn then begin
+        s.lru <- tick t;
+        found := Some s.data
+      end)
+    set;
+  (match !found with
+  | Some _ -> t.hit_count <- t.hit_count + 1
+  | None -> t.miss_count <- t.miss_count + 1);
+  !found
+
+let insert t ~pasid ~vpn data =
+  let set = t.slots.(set_index t ~pasid ~vpn) in
+  (* Reuse an existing slot for the same page, else the LRU victim. *)
+  let victim = ref set.(0) in
+  Array.iter
+    (fun s ->
+      if s.valid && s.pasid = pasid && Int64.equal s.vpn vpn then victim := s
+      else if not s.valid && !victim.valid then victim := s
+      else if s.lru < !victim.lru && !victim.valid && s.valid then victim := s)
+    set;
+  let s = !victim in
+  s.valid <- true;
+  s.pasid <- pasid;
+  s.vpn <- vpn;
+  s.data <- data;
+  s.lru <- tick t
+
+let invalidate_page t ~pasid ~vpn =
+  let set = t.slots.(set_index t ~pasid ~vpn) in
+  Array.iter
+    (fun s ->
+      if s.valid && s.pasid = pasid && Int64.equal s.vpn vpn then
+        s.valid <- false)
+    set
+
+let invalidate_pasid t ~pasid =
+  Array.iter
+    (fun set ->
+      Array.iter (fun s -> if s.valid && s.pasid = pasid then s.valid <- false) set)
+    t.slots
+
+let invalidate_all t =
+  Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.slots
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_counters t =
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let capacity t = t.sets * t.ways

@@ -1,0 +1,26 @@
+(** Set-associative translation lookaside buffer.
+
+    Caches (pasid, virtual page) → (physical page, perm). The IOMMU
+    consults it before walking page tables; the bus invalidates entries on
+    unmap/revoke. LRU replacement within each set. *)
+
+type t
+
+type entry = { ppn : int64; perm : Proto_perm.t }
+
+val create : ?sets:int -> ?ways:int -> unit -> t
+(** Default geometry: 64 sets x 4 ways = 256 entries. [sets] must be a
+    power of two. *)
+
+val lookup : t -> pasid:int -> vpn:int64 -> entry option
+(** Updates LRU state on hit. *)
+
+val insert : t -> pasid:int -> vpn:int64 -> entry -> unit
+val invalidate_page : t -> pasid:int -> vpn:int64 -> unit
+val invalidate_pasid : t -> pasid:int -> unit
+val invalidate_all : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit
+val capacity : t -> int

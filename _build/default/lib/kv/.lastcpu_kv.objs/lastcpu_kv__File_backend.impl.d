@@ -1,0 +1,1 @@
+lib/kv/file_backend.ml: Buffer Lastcpu_devices Store String

@@ -1,0 +1,1 @@
+lib/kv/file_backend.mli: Lastcpu_devices Store

@@ -1,0 +1,1 @@
+lib/kv/kv_app.ml: File_backend Kv_proto Lastcpu_device Lastcpu_devices Lastcpu_proto Store

@@ -1,0 +1,1 @@
+lib/kv/kv_app.mli: Kv_proto Lastcpu_devices Lastcpu_proto Store

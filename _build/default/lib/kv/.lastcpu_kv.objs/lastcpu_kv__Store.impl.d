@@ -1,0 +1,1 @@
+lib/kv/store.ml: Buffer Hashtbl List String Wal

@@ -1,0 +1,1 @@
+lib/kv/wal.ml: Bytes Char Lastcpu_proto List String

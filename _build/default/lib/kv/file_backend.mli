@@ -1,0 +1,18 @@
+(** Store backend over the smart SSD's file service.
+
+    Appends go through the VIRTIO data plane ({!Lastcpu_devices.File_client});
+    large appends are chunked to the client's slot size. Offsets are
+    reserved at submission so concurrent appends land disjoint. *)
+
+type t
+
+val create :
+  Lastcpu_devices.File_client.t ->
+  path:string ->
+  ((t, string) result -> unit) ->
+  unit
+(** Creates the log file if missing and learns its current size. *)
+
+val backend : t -> Store.backend
+val log_bytes : t -> int
+(** Current end-of-log offset. *)

@@ -1,0 +1,82 @@
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Device = Lastcpu_device.Device
+module Smart_nic = Lastcpu_devices.Smart_nic
+module File_client = Lastcpu_devices.File_client
+
+type t = {
+  nic : Smart_nic.t;
+  kv : Store.t;
+  fc : File_client.t;
+  mutable served : int;
+  mutable recovered : int;
+}
+
+let execute t op (k : Kv_proto.reply -> unit) =
+  match op with
+  | Kv_proto.Get key -> Store.get t.kv key (fun v -> k (Kv_proto.Value v))
+  | Kv_proto.Put (key, value) ->
+    Store.put t.kv ~key ~value (function
+      | Ok () -> k Kv_proto.Done
+      | Error m -> k (Kv_proto.Failed m))
+  | Kv_proto.Del key ->
+    Store.delete t.kv key (function
+      | Ok b -> k (Kv_proto.Deleted b)
+      | Error m -> k (Kv_proto.Failed m))
+  | Kv_proto.Scan prefix ->
+    Store.scan_prefix t.kv ~prefix (fun pairs -> k (Kv_proto.Pairs pairs))
+
+let install_fast_path t =
+  Smart_nic.on_packet t.nic (fun ~src frame ->
+      match Kv_proto.decode_request frame with
+      | Error _ -> () (* garbage frame: drop, as a NIC would *)
+      | Ok { corr; op } ->
+        t.served <- t.served + 1;
+        execute t op (fun reply ->
+            Smart_nic.send_packet t.nic ~dst:src
+              (Kv_proto.encode_response { corr; reply })))
+
+let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
+    ?(start_device = true) () k =
+  let dev = Smart_nic.device nic in
+  if start_device then begin
+    Device.add_service dev
+      {
+        desc =
+          {
+            Message.kind = Types.Kv_service;
+            name = Device.name dev ^ ".kv";
+            version = 1;
+          };
+        can_serve = (fun ~query:_ -> true);
+        on_open =
+          (fun ~client:_ ~pasid:_ ~auth:_ ~params:_ ->
+            Ok { Device.connection = Device.fresh_connection dev; shm_bytes = 0L });
+        on_close = (fun ~connection:_ -> ());
+      };
+    Device.start dev
+  end;
+  File_client.connect dev ~memctl ~pasid ~shm_va ~user ~path_hint:log_path ?auth
+    (fun res ->
+      match res with
+      | Error m -> k (Error ("file service: " ^ m))
+      | Ok fc ->
+        File_backend.create fc ~path:log_path (fun res ->
+            match res with
+            | Error m -> k (Error ("log: " ^ m))
+            | Ok fb ->
+              let store = Store.create (File_backend.backend fb) in
+              let t = { nic; kv = store; fc; served = 0; recovered = 0 } in
+              Store.recover store (fun res ->
+                  match res with
+                  | Error m -> k (Error ("recover: " ^ m))
+                  | Ok n ->
+                    t.recovered <- n;
+                    install_fast_path t;
+                    k (Ok t))))
+
+let store t = t.kv
+let client t = t.fc
+let ops_served t = t.served
+let recovered_records t = t.recovered
+let local_op t op k = execute t op k

@@ -1,0 +1,37 @@
+(** The complete §3 application: a key-value store hosted on the smart NIC,
+    persisting through the smart SSD, serving remote network clients.
+
+    [launch] performs the whole bring-up: announce a
+    {!Lastcpu_proto.Types.Kv_service} on the NIC, run the Figure-2
+    initialization against the SSD ({!Lastcpu_devices.File_client.connect}),
+    create/recover the write-ahead log, and install the network fast path.
+    After that the CPU... does not exist, and nothing misses it. *)
+
+module Types = Lastcpu_proto.Types
+
+type t
+
+val launch :
+  nic:Lastcpu_devices.Smart_nic.t ->
+  memctl:Types.device_id ->
+  pasid:int ->
+  shm_va:int64 ->
+  user:string ->
+  log_path:string ->
+  ?auth:Lastcpu_proto.Token.t ->
+  ?start_device:bool ->
+  unit ->
+  ((t, string) result -> unit) ->
+  unit
+(** [start_device] (default true) also starts the NIC device; pass [false]
+    if it was already started. The log file is created on first launch and
+    replayed on relaunch. *)
+
+val store : t -> Store.t
+val client : t -> Lastcpu_devices.File_client.t
+val ops_served : t -> int
+val recovered_records : t -> int
+
+val local_op : t -> Kv_proto.op -> (Kv_proto.reply -> unit) -> unit
+(** Execute an operation directly (console/examples), same path as network
+    requests minus the network. *)

@@ -1,0 +1,27 @@
+(** Network protocol between remote clients and the NIC-hosted KVS (§3:
+    "The NIC exposes a KVS interface to other machines over the network").
+
+    One request or response per network frame, correlated by a client-chosen
+    id. *)
+
+type op =
+  | Get of string
+  | Put of string * string
+  | Del of string
+  | Scan of string  (** prefix *)
+
+type request = { corr : int; op : op }
+
+type reply =
+  | Value of string option
+  | Done
+  | Deleted of bool
+  | Pairs of (string * string) list
+  | Failed of string
+
+type response = { corr : int; reply : reply }
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

@@ -1,0 +1,101 @@
+type backend = {
+  append : string -> ((unit, string) result -> unit) -> unit;
+  read_log : ((string, string) result -> unit) -> unit;
+  reset_log : ((unit, string) result -> unit) -> unit;
+  replace_log : string -> ((unit, string) result -> unit) -> unit;
+}
+
+let memory_backend () =
+  let log = Buffer.create 1024 in
+  {
+    append =
+      (fun data k ->
+        Buffer.add_string log data;
+        k (Ok ()));
+    read_log = (fun k -> k (Ok (Buffer.contents log)));
+    reset_log =
+      (fun k ->
+        Buffer.clear log;
+        k (Ok ()));
+    replace_log =
+      (fun data k ->
+        Buffer.clear log;
+        Buffer.add_string log data;
+        k (Ok ()));
+  }
+
+type t = {
+  backend : backend;
+  index : (string, string) Hashtbl.t;
+  mutable put_count : int;
+  mutable get_count : int;
+  mutable del_count : int;
+}
+
+let create backend =
+  { backend; index = Hashtbl.create 256; put_count = 0; get_count = 0; del_count = 0 }
+
+let apply_record t = function
+  | Wal.Put { key; value } -> Hashtbl.replace t.index key value
+  | Wal.Del { key } -> Hashtbl.remove t.index key
+
+let recover t k =
+  t.backend.read_log (fun res ->
+      match res with
+      | Error e -> k (Error e)
+      | Ok data ->
+        let records, _valid = Wal.decode_all data in
+        Hashtbl.reset t.index;
+        List.iter (apply_record t) records;
+        k (Ok (List.length records)))
+
+let get t key k =
+  t.get_count <- t.get_count + 1;
+  k (Hashtbl.find_opt t.index key)
+
+let put t ~key ~value k =
+  t.put_count <- t.put_count + 1;
+  (* Log first, apply on durability (write-ahead). *)
+  t.backend.append (Wal.encode (Wal.Put { key; value })) (fun res ->
+      match res with
+      | Error _ as e -> k e
+      | Ok () ->
+        Hashtbl.replace t.index key value;
+        k (Ok ()))
+
+let delete t key k =
+  t.del_count <- t.del_count + 1;
+  if not (Hashtbl.mem t.index key) then k (Ok false)
+  else
+    t.backend.append (Wal.encode (Wal.Del { key })) (fun res ->
+        match res with
+        | Error e -> k (Error e)
+        | Ok () ->
+          Hashtbl.remove t.index key;
+          k (Ok true))
+
+let scan_prefix t ~prefix k =
+  let matches key =
+    String.length key >= String.length prefix
+    && String.equal (String.sub key 0 (String.length prefix)) prefix
+  in
+  let pairs =
+    Hashtbl.fold
+      (fun key value acc -> if matches key then (key, value) :: acc else acc)
+      t.index []
+  in
+  k (List.sort (fun (a, _) (b, _) -> String.compare a b) pairs)
+
+let size t = Hashtbl.length t.index
+
+let compact t k =
+  let snapshot =
+    Hashtbl.fold
+      (fun key value acc -> Wal.encode (Wal.Put { key; value }) :: acc)
+      t.index []
+  in
+  t.backend.replace_log (String.concat "" snapshot) k
+
+let puts t = t.put_count
+let gets t = t.get_count
+let deletes t = t.del_count

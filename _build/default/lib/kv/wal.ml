@@ -1,0 +1,56 @@
+module Wire = Lastcpu_proto.Wire
+
+type record = Put of { key : string; value : string } | Del of { key : string }
+
+let encode r =
+  let w = Wire.Writer.create () in
+  (match r with
+  | Put { key; value } ->
+    Wire.Writer.byte w 0;
+    Wire.Writer.string w key;
+    Wire.Writer.string w value
+  | Del { key } ->
+    Wire.Writer.byte w 1;
+    Wire.Writer.string w key);
+  let body = Wire.Writer.contents w in
+  let len = String.length body in
+  let prefix = Bytes.create 4 in
+  Bytes.set prefix 0 (Char.chr (len land 0xff));
+  Bytes.set prefix 1 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set prefix 2 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set prefix 3 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.to_string prefix ^ body
+
+let decode_body body =
+  let r = Wire.Reader.create body in
+  match Wire.Reader.byte r with
+  | 0 ->
+    let key = Wire.Reader.string r in
+    let value = Wire.Reader.string r in
+    if Wire.Reader.at_end r then Some (Put { key; value }) else None
+  | 1 ->
+    let key = Wire.Reader.string r in
+    if Wire.Reader.at_end r then Some (Del { key }) else None
+  | _ -> None
+  | exception Wire.Malformed _ -> None
+
+let decode_all data =
+  let total = String.length data in
+  let rec go pos acc =
+    if pos + 4 > total then (List.rev acc, pos)
+    else begin
+      let len =
+        Char.code data.[pos]
+        lor (Char.code data.[pos + 1] lsl 8)
+        lor (Char.code data.[pos + 2] lsl 16)
+        lor (Char.code data.[pos + 3] lsl 24)
+      in
+      if len = 0 || pos + 4 + len > total then (List.rev acc, pos)
+      else begin
+        match decode_body (String.sub data (pos + 4) len) with
+        | None -> (List.rev acc, pos)
+        | Some r -> go (pos + 4 + len) (r :: acc)
+      end
+    end
+  in
+  go 0 []

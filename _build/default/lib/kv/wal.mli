@@ -1,0 +1,15 @@
+(** Write-ahead-log record format for the key-value store.
+
+    Records are length-prefixed so that recovery can stop cleanly at a
+    torn tail (crash mid-append): [u32 body-length | body], where body =
+    [op byte | key | value] in wire encoding. *)
+
+type record = Put of { key : string; value : string } | Del of { key : string }
+
+val encode : record -> string
+(** The full framed record (including the length prefix). *)
+
+val decode_all : string -> record list * int
+(** [decode_all data] parses consecutive records, returning them plus the
+    byte offset where parsing stopped (end of data or start of a torn /
+    corrupt tail — everything before it is durable). *)

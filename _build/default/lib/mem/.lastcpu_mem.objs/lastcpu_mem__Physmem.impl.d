@@ -1,0 +1,1 @@
+lib/mem/physmem.ml: Bytes Char Hashtbl Int64 Layout Printf String

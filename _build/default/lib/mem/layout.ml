@@ -1,0 +1,15 @@
+let page_bits = 12
+let page_size = Int64.shift_left 1L page_bits
+let page_mask = Int64.sub page_size 1L
+
+let is_page_aligned a = Int64.logand a page_mask = 0L
+let align_up a = Int64.logand (Int64.add a page_mask) (Int64.lognot page_mask)
+let align_down a = Int64.logand a (Int64.lognot page_mask)
+
+let pages_of_bytes bytes =
+  assert (bytes >= 0L);
+  Int64.to_int (Int64.shift_right_logical (align_up bytes) page_bits)
+
+let page_of_addr a = Int64.shift_right_logical a page_bits
+let addr_of_page p = Int64.shift_left p page_bits
+let offset_in_page a = Int64.to_int (Int64.logand a page_mask)

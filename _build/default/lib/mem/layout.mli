@@ -1,0 +1,21 @@
+(** Address arithmetic shared by the memory subsystem and the IOMMU. *)
+
+val page_bits : int
+(** 12: 4 KiB pages/frames. *)
+
+val page_size : int64
+val page_mask : int64
+
+val is_page_aligned : int64 -> bool
+val align_up : int64 -> int64
+(** Round a byte count or address up to the next page boundary. *)
+
+val align_down : int64 -> int64
+val pages_of_bytes : int64 -> int
+(** Number of pages covering [bytes] ([>= 1] for any positive count). *)
+
+val page_of_addr : int64 -> int64
+(** Page number containing the address. *)
+
+val addr_of_page : int64 -> int64
+val offset_in_page : int64 -> int

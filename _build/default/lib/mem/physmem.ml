@@ -1,0 +1,88 @@
+type t = {
+  size : int64;
+  frames : (int64, Bytes.t) Hashtbl.t;  (* frame number -> contents *)
+}
+
+let default_size = Int64.shift_left 1L 30 (* 1 GiB *)
+
+let create ?(size = default_size) () =
+  if size <= 0L then invalid_arg "Physmem.create: size must be positive";
+  { size; frames = Hashtbl.create 1024 }
+
+let size t = t.size
+
+let check t addr len =
+  if addr < 0L || Int64.add addr (Int64.of_int len) > t.size then
+    invalid_arg
+      (Printf.sprintf "Physmem: access [0x%Lx, +%d) out of range" addr len)
+
+let frame_size = Int64.to_int Layout.page_size
+
+let frame t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make frame_size '\000' in
+    Hashtbl.replace t.frames page b;
+    b
+
+let read_u8 t addr =
+  check t addr 1;
+  let page = Layout.page_of_addr addr in
+  match Hashtbl.find_opt t.frames page with
+  | None -> 0
+  | Some b -> Char.code (Bytes.get b (Layout.offset_in_page addr))
+
+let write_u8 t addr v =
+  check t addr 1;
+  let b = frame t (Layout.page_of_addr addr) in
+  Bytes.set b (Layout.offset_in_page addr) (Char.chr (v land 0xff))
+
+let read_u64 t addr =
+  check t addr 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    let byte = read_u8 t (Int64.add addr (Int64.of_int i)) in
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int byte) (i * 8))
+  done;
+  !v
+
+let write_u64 t addr v =
+  check t addr 8;
+  for i = 0 to 7 do
+    write_u8 t
+      (Int64.add addr (Int64.of_int i))
+      (Int64.to_int (Int64.shift_right_logical v (i * 8)) land 0xff)
+  done
+
+let read_bytes t addr len =
+  check t addr len;
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = Layout.offset_in_page a in
+    let chunk = min (len - !pos) (frame_size - off) in
+    (match Hashtbl.find_opt t.frames (Layout.page_of_addr a) with
+    | None -> Bytes.fill out !pos chunk '\000'
+    | Some b -> Bytes.blit b off out !pos chunk);
+    pos := !pos + chunk
+  done;
+  Bytes.unsafe_to_string out
+
+let write_bytes t addr s =
+  let len = String.length s in
+  check t addr len;
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = Layout.offset_in_page a in
+    let chunk = min (len - !pos) (frame_size - off) in
+    let b = frame t (Layout.page_of_addr a) in
+    Bytes.blit_string s !pos b off chunk;
+    pos := !pos + chunk
+  done
+
+let fill t addr len c = write_bytes t addr (String.make len c)
+
+let touched_frames t = Hashtbl.length t.frames

@@ -1,0 +1,26 @@
+(** Simulated physical memory (DRAM).
+
+    Sparse, frame-granular byte store: frames are materialised on first
+    write so multi-GiB address spaces cost only what is touched. All device
+    DMA in the emulation lands here (after IOMMU translation). *)
+
+type t
+
+val create : ?size:int64 -> unit -> t
+(** [create ~size ()] models [size] bytes of DRAM (default 1 GiB). Accesses
+    beyond [size] raise [Invalid_argument]. *)
+
+val size : t -> int64
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u64 : t -> int64 -> int64
+(** Little-endian, may span frames. *)
+
+val write_u64 : t -> int64 -> int64 -> unit
+val read_bytes : t -> int64 -> int -> string
+val write_bytes : t -> int64 -> string -> unit
+val fill : t -> int64 -> int -> char -> unit
+
+val touched_frames : t -> int
+(** Number of frames materialised so far (memory-footprint metric). *)

@@ -1,0 +1,1 @@
+lib/net/netsim.ml: Array Hashtbl Int64 Lastcpu_sim Printf String

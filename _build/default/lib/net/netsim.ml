@@ -1,0 +1,81 @@
+module Engine = Lastcpu_sim.Engine
+module Station = Lastcpu_sim.Station
+
+type endpoint = {
+  net : t;
+  addr : int;
+  ep_name : string;
+  egress : Station.t;  (* serialisation port: models finite link bandwidth *)
+  mutable rx : (src:int -> string -> unit) option;
+}
+
+and t = {
+  engine : Engine.t;
+  mutable endpoints : endpoint array;
+  names : (string, int) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create engine =
+  {
+    engine;
+    endpoints = [||];
+    names = Hashtbl.create 8;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let endpoint t ~name =
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "Netsim.endpoint: duplicate name %S" name);
+  let addr = Array.length t.endpoints in
+  let ep =
+    { net = t; addr; ep_name = name; egress = Station.create t.engine; rx = None }
+  in
+  t.endpoints <- Array.append t.endpoints [| ep |];
+  Hashtbl.replace t.names name addr;
+  ep
+
+let address ep = ep.addr
+let name ep = ep.ep_name
+let set_receiver ep f = ep.rx <- Some f
+
+let serialisation_ns t frame =
+  let costs = Engine.costs t.engine in
+  Int64.mul costs.Lastcpu_sim.Costs.net_byte_ns
+    (Int64.of_int (String.length frame))
+
+let link_ns t = (Engine.costs t.engine).Lastcpu_sim.Costs.net_link_ns
+
+let deliver t ~src ~dst frame =
+  if dst < 0 || dst >= Array.length t.endpoints then t.dropped <- t.dropped + 1
+  else begin
+    match t.endpoints.(dst).rx with
+    | None -> t.dropped <- t.dropped + 1
+    | Some rx ->
+      t.delivered <- t.delivered + 1;
+      t.bytes <- t.bytes + String.length frame;
+      rx ~src frame
+  end
+
+let send ep ~dst frame =
+  let t = ep.net in
+  let src = ep.addr in
+  (* Serialise through the egress port (queueing under load), then fly the
+     link. *)
+  Station.submit ep.egress ~service:(serialisation_ns t frame) (fun () ->
+      Engine.schedule t.engine ~delay:(link_ns t) (fun () ->
+          deliver t ~src ~dst frame))
+
+let broadcast ep frame =
+  let t = ep.net in
+  Array.iter
+    (fun other -> if other.addr <> ep.addr then send ep ~dst:other.addr frame)
+    t.endpoints
+
+let frames_delivered t = t.delivered
+let frames_dropped t = t.dropped
+let bytes_carried t = t.bytes

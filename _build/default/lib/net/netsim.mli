@@ -1,0 +1,34 @@
+(** Simulated network: a single switch connecting named endpoints.
+
+    The smart NIC attaches here to serve remote KVS clients (§3: "the NIC
+    exposes a KVS interface to other machines over the network"). Delivery
+    is scheduled on the simulation engine with a per-link latency plus a
+    per-byte serialisation cost from the engine's cost model. Frames to
+    unknown endpoints are counted and dropped. *)
+
+type t
+type endpoint
+
+val create : Lastcpu_sim.Engine.t -> t
+
+val endpoint : t -> name:string -> endpoint
+(** Attach a new endpoint; names must be unique. *)
+
+val address : endpoint -> int
+val name : endpoint -> string
+
+val set_receiver : endpoint -> (src:int -> string -> unit) -> unit
+(** Frame-arrival handler (at most one; replaces any previous). *)
+
+val send : endpoint -> dst:int -> string -> unit
+(** Transmit a frame: it first serialises through the sender's egress port
+    (a FIFO station at [net_byte_ns] per byte — concurrent sends from one
+    endpoint queue behind each other), then traverses the link
+    ([net_link_ns]). In-order per sender. *)
+
+val broadcast : endpoint -> string -> unit
+(** Deliver to every other endpoint. *)
+
+val frames_delivered : t -> int
+val frames_dropped : t -> int
+val bytes_carried : t -> int

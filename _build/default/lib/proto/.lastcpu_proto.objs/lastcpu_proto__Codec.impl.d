@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Message Printf Reader String Token Types Wire Writer

@@ -1,0 +1,1 @@
+lib/proto/token.ml: Char Format Int64 String Types

@@ -1,0 +1,1 @@
+lib/proto/token.mli: Format Types

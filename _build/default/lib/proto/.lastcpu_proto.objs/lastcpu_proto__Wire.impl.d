@@ -1,0 +1,1 @@
+lib/proto/wire.ml: Buffer Char Int64 List Printf String

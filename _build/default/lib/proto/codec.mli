@@ -1,0 +1,12 @@
+(** Encode/decode bus messages to their binary wire form.
+
+    The codec exists so that "protocol support" (§2.2) is a real byte-level
+    protocol with a conformance surface: property tests round-trip every
+    message constructor, and decoding rejects malformed frames. *)
+
+val encode : Message.t -> string
+val decode : string -> Message.t
+(** @raise Wire.Malformed on any framing or tag error. *)
+
+val encoded_size : Message.t -> int
+(** [encoded_size m] is [String.length (encode m)]. *)

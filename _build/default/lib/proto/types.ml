@@ -1,0 +1,96 @@
+type device_id = int
+type pasid = int
+type app_id = int
+
+type service_kind =
+  | File_service
+  | Block_service
+  | Memory_service
+  | Socket_service
+  | Console_service
+  | Auth_service
+  | Loader_service
+  | Kv_service
+  | Compute_service
+
+let service_kind_to_string = function
+  | File_service -> "file"
+  | Block_service -> "block"
+  | Memory_service -> "memory"
+  | Socket_service -> "socket"
+  | Console_service -> "console"
+  | Auth_service -> "auth"
+  | Loader_service -> "loader"
+  | Kv_service -> "kv"
+  | Compute_service -> "compute"
+
+let all_service_kinds =
+  [
+    File_service;
+    Block_service;
+    Memory_service;
+    Socket_service;
+    Console_service;
+    Auth_service;
+    Loader_service;
+    Kv_service;
+    Compute_service;
+  ]
+
+let service_kind_of_string s =
+  List.find_opt
+    (fun k -> String.equal (service_kind_to_string k) s)
+    all_service_kinds
+
+type perm = { read : bool; write : bool; exec : bool }
+
+let perm_r = { read = true; write = false; exec = false }
+let perm_rw = { read = true; write = true; exec = false }
+let perm_rwx = { read = true; write = true; exec = true }
+let perm_none = { read = false; write = false; exec = false }
+
+let perm_subsumes held wanted =
+  (held.read || not wanted.read)
+  && (held.write || not wanted.write)
+  && (held.exec || not wanted.exec)
+
+let perm_to_string p =
+  let c b ch = if b then ch else '-' in
+  Printf.sprintf "%c%c%c" (c p.read 'r') (c p.write 'w') (c p.exec 'x')
+
+type addr = int64
+
+let pp_addr ppf a = Format.fprintf ppf "0x%Lx" a
+
+type dest = Device of device_id | Bus | Broadcast
+
+let dest_to_string = function
+  | Device d -> Printf.sprintf "dev%d" d
+  | Bus -> "bus"
+  | Broadcast -> "broadcast"
+
+type error_code =
+  | E_no_such_service
+  | E_access_denied
+  | E_no_memory
+  | E_bad_address
+  | E_bad_token
+  | E_device_failed
+  | E_resource_failed
+  | E_busy
+  | E_not_found
+  | E_exists
+  | E_invalid
+
+let error_code_to_string = function
+  | E_no_such_service -> "no-such-service"
+  | E_access_denied -> "access-denied"
+  | E_no_memory -> "no-memory"
+  | E_bad_address -> "bad-address"
+  | E_bad_token -> "bad-token"
+  | E_device_failed -> "device-failed"
+  | E_resource_failed -> "resource-failed"
+  | E_busy -> "busy"
+  | E_not_found -> "not-found"
+  | E_exists -> "exists"
+  | E_invalid -> "invalid"

@@ -1,0 +1,69 @@
+(** Base identifier and permission types shared across the system.
+
+    The system bus addresses devices by a small integer id (the paper's
+    "physical address" for the control plane); applications are identified
+    by their virtual address space, i.e. a PASID (§2.3). *)
+
+type device_id = int
+(** Stable id assigned at bus registration. *)
+
+type pasid = int
+(** Process address space id: one per application context (§2.3). An
+    application distributed over many devices shares one PASID. *)
+
+type app_id = int
+(** Application instance id; maps 1:1 to a PASID in this system. *)
+
+type service_kind =
+  | File_service  (** file access on a smart SSD *)
+  | Block_service  (** raw block access *)
+  | Memory_service  (** physical memory allocation (memory controller) *)
+  | Socket_service  (** network sockets on a smart NIC *)
+  | Console_service  (** operator console *)
+  | Auth_service  (** access control / login (§4) *)
+  | Loader_service  (** binary image upload (§2.1) *)
+  | Kv_service  (** key-value store exposed by an application *)
+  | Compute_service  (** offloaded computation on an accelerator (§1) *)
+
+val service_kind_to_string : service_kind -> string
+val service_kind_of_string : string -> service_kind option
+val all_service_kinds : service_kind list
+
+type perm = { read : bool; write : bool; exec : bool }
+
+val perm_r : perm
+val perm_rw : perm
+val perm_rwx : perm
+val perm_none : perm
+
+val perm_subsumes : perm -> perm -> bool
+(** [perm_subsumes held wanted] is true when [held] allows every access in
+    [wanted]. *)
+
+val perm_to_string : perm -> string
+
+type addr = int64
+(** Byte address, virtual or physical depending on context. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type dest = Device of device_id | Bus | Broadcast
+(** Control-message destination: a specific device, the privileged bus
+    itself, or all devices (discovery). *)
+
+val dest_to_string : dest -> string
+
+type error_code =
+  | E_no_such_service
+  | E_access_denied
+  | E_no_memory
+  | E_bad_address
+  | E_bad_token
+  | E_device_failed
+  | E_resource_failed
+  | E_busy
+  | E_not_found
+  | E_exists
+  | E_invalid
+
+val error_code_to_string : error_code -> string

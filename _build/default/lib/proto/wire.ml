@@ -1,0 +1,92 @@
+exception Malformed of string
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let byte t b = Buffer.add_char t (Char.chr (b land 0xff))
+
+  let varint t v =
+    assert (v >= 0);
+    let rec go v =
+      if v < 0x80 then byte t v
+      else begin
+        byte t (v land 0x7f lor 0x80);
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let int64 t v =
+    for shift = 0 to 7 do
+      byte t (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+    done
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let bool t b = byte t (if b then 1 else 0)
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> bool t false
+    | Some x ->
+      bool t true;
+      f t x
+
+  let contents = Buffer.contents
+  let length = Buffer.length
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let create data = { data; pos = 0 }
+
+  let byte t =
+    if t.pos >= String.length t.data then raise (Malformed "truncated");
+    let b = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    b
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then raise (Malformed "varint too long");
+      let b = byte t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int64 t =
+    let v = ref 0L in
+    for shift = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte t)) (shift * 8))
+    done;
+    !v
+
+  let string t =
+    let len = varint t in
+    if t.pos + len > String.length t.data then raise (Malformed "truncated string");
+    let s = String.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Malformed (Printf.sprintf "bad bool %d" n))
+
+  let list t f =
+    let n = varint t in
+    List.init n (fun _ -> f t)
+
+  let option t f = if bool t then Some (f t) else None
+
+  let at_end t = t.pos = String.length t.data
+end

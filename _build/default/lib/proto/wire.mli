@@ -1,0 +1,38 @@
+(** Binary wire primitives for the bus protocol codec.
+
+    Little-endian fixed ints, LEB128 varints, length-prefixed strings and
+    lists, over a growable write buffer and a cursor-based reader. Decoding
+    failures raise [Malformed]. *)
+
+exception Malformed of string
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; requires the value to be non-negative. *)
+
+  val int64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val bool : t -> bool -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val contents : t -> string
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  val create : string -> t
+  val byte : t -> int
+  val varint : t -> int
+  val int64 : t -> int64
+  val string : t -> string
+  val bool : t -> bool
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val at_end : t -> bool
+end

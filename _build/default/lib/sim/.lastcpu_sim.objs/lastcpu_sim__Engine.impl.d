@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Costs Heap Int64 Rng Trace

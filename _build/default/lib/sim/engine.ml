@@ -1,0 +1,65 @@
+type t = {
+  mutable clock : int64;
+  queue : (unit -> unit) Heap.t;
+  costs : Costs.t;
+  trace : Trace.t;
+  rng : Rng.t;
+}
+
+let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity () =
+  {
+    clock = 0L;
+    queue = Heap.create ();
+    costs;
+    trace = Trace.create ?capacity:trace_capacity ();
+    rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+let costs t = t.costs
+let trace t = t.trace
+let rng t = t.rng
+let fork_rng t = Rng.split t.rng
+
+let schedule_at t ~time f =
+  assert (time >= t.clock);
+  Heap.push t.queue ~priority:time f
+
+let schedule t ~delay f =
+  assert (delay >= 0L);
+  schedule_at t ~time:(Int64.add t.clock delay) f
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until ?max_events t =
+  let executed = ref 0 in
+  let budget_left () =
+    match max_events with None -> true | Some m -> !executed < m
+  in
+  let rec loop () =
+    if budget_left () then
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some (time, _) ->
+        (match until with
+        | Some stop when time > stop -> t.clock <- stop
+        | Some _ | None ->
+          ignore (step t);
+          incr executed;
+          loop ())
+  in
+  loop ();
+  match until with
+  | Some stop when Heap.is_empty t.queue && t.clock < stop -> t.clock <- stop
+  | Some _ | None -> ()
+
+let trace_event t ~actor ~kind detail =
+  Trace.append t.trace ~time:t.clock ~actor ~kind detail

@@ -1,0 +1,43 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns the virtual clock and an event queue. Components
+    schedule closures at future virtual times; [run] executes them in
+    (time, insertion-order) order, so identical inputs give identical runs.
+    The engine also carries the run-wide trace and root PRNG so that every
+    subsystem shares one deterministic context. *)
+
+type t
+
+val create : ?seed:int64 -> ?costs:Costs.t -> ?trace_capacity:int -> unit -> t
+(** Fresh engine at time 0. [seed] defaults to [42L]. *)
+
+val now : t -> int64
+(** Current virtual time in nanoseconds. *)
+
+val costs : t -> Costs.t
+val trace : t -> Trace.t
+val rng : t -> Rng.t
+(** The engine's root generator; prefer [fork_rng] per component. *)
+
+val fork_rng : t -> Rng.t
+(** An independent stream derived from the root. *)
+
+val schedule : t -> delay:int64 -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay >= 0]. *)
+
+val schedule_at : t -> time:int64 -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run : ?until:int64 -> ?max_events:int -> t -> unit
+(** [run t] executes events until the queue is empty, [until] (inclusive)
+    is passed, or [max_events] have run. The clock advances to each event's
+    time; when stopped by [until], the clock is left at [until]. *)
+
+val step : t -> bool
+(** Execute exactly one event. [false] if the queue was empty. *)
+
+val trace_event : t -> actor:string -> kind:string -> string -> unit
+(** Append to the run trace at the current virtual time. *)

@@ -1,0 +1,94 @@
+(* Binary min-heap over (priority, seq) keys stored in a growable array.
+   The [seq] counter guarantees FIFO order among equal priorities, which in
+   turn makes the simulation engine deterministic. *)
+
+type 'a entry = { prio : int64; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let lt a b =
+  match Int64.compare a.prio b.prio with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow h entry =
+  let capacity = Array.length h.data in
+  if h.size = capacity then begin
+    let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+    let data = Array.make new_capacity entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < h.size && lt h.data.(left) h.data.(i) then left else i in
+  let smallest =
+    if right < h.size && lt h.data.(right) h.data.(smallest) then right
+    else smallest
+  in
+  if smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(smallest);
+    h.data.(smallest) <- tmp;
+    sift_down h smallest
+  end
+
+let push h ~priority value =
+  let entry = { prio = priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.prio, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0
+
+let to_sorted_list h =
+  let rec drain acc =
+    match pop h with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []

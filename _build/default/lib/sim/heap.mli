@@ -1,0 +1,33 @@
+(** Binary min-heap specialised for the event queue.
+
+    Elements are ordered by a [priority] given at insertion time; ties are
+    broken by insertion order (FIFO among equal priorities), which the
+    simulation engine relies on for determinism. *)
+
+type 'a t
+(** A mutable min-heap holding values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> priority:int64 -> 'a -> unit
+(** [push h ~priority v] inserts [v] with the given priority. Lower
+    priorities pop first; equal priorities pop in insertion order. *)
+
+val pop : 'a t -> (int64 * 'a) option
+(** [pop h] removes and returns the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (int64 * 'a) option
+(** [peek h] is the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes all elements. *)
+
+val to_sorted_list : 'a t -> (int64 * 'a) list
+(** [to_sorted_list h] drains [h], returning elements in pop order. *)

@@ -1,0 +1,41 @@
+type t = {
+  engine : Engine.t;
+  mutable busy_until : int64;
+  mutable in_flight : int;
+  mutable completed : int;
+  mutable busy_total : int64;
+  mutable wait_total : int64;
+}
+
+let create engine =
+  {
+    engine;
+    busy_until = 0L;
+    in_flight = 0;
+    completed = 0;
+    busy_total = 0L;
+    wait_total = 0L;
+  }
+
+let submit t ~service k =
+  assert (service >= 0L);
+  let now = Engine.now t.engine in
+  let start = if t.busy_until > now then t.busy_until else now in
+  let finish = Int64.add start service in
+  t.busy_until <- finish;
+  t.in_flight <- t.in_flight + 1;
+  t.busy_total <- Int64.add t.busy_total service;
+  t.wait_total <- Int64.add t.wait_total (Int64.sub start now);
+  Engine.schedule_at t.engine ~time:finish (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      t.completed <- t.completed + 1;
+      k ())
+
+let queue_length t = t.in_flight
+let jobs_completed t = t.completed
+let busy_ns t = t.busy_total
+let total_wait_ns t = t.wait_total
+
+let utilization t ~now =
+  if now <= 0L then 0.
+  else Int64.to_float t.busy_total /. Int64.to_float now

@@ -1,0 +1,28 @@
+(** FIFO single-server queueing station.
+
+    Models a serial resource in the emulation: the system management bus's
+    message processor, or the baseline's single CPU running the kernel.
+    Jobs submitted while the server is busy wait; each job's completion
+    callback runs at its virtual finish time. Utilisation and waiting-time
+    statistics feed the scalability experiments (T3). *)
+
+type t
+
+val create : Engine.t -> t
+
+val submit : t -> service:int64 -> (unit -> unit) -> unit
+(** [submit t ~service k] enqueues a job needing [service] ns; [k] runs at
+    completion time. *)
+
+val queue_length : t -> int
+(** Jobs submitted but not yet completed (including the one in service). *)
+
+val jobs_completed : t -> int
+val busy_ns : t -> int64
+(** Total service time accumulated. *)
+
+val total_wait_ns : t -> int64
+(** Sum over jobs of (start - submit): pure queueing delay. *)
+
+val utilization : t -> now:int64 -> float
+(** [busy_ns / now]; 0 when [now = 0]. *)

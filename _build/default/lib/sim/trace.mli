@@ -1,0 +1,34 @@
+(** Structured trace of simulation events.
+
+    The trace is the observable record of a run: every bus message, device
+    state change and fault can be appended with its virtual timestamp. Tests
+    assert on traces (e.g. the Figure-2 sequence) and the CLI pretty-prints
+    them. *)
+
+type entry = {
+  time : int64;  (** virtual nanoseconds *)
+  actor : string;  (** which component produced the event *)
+  kind : string;  (** short machine-readable tag, e.g. "bus.route" *)
+  detail : string;  (** human-readable description *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] is an empty trace. [capacity] bounds retained
+    entries (oldest dropped first); default keeps everything. *)
+
+val append : t -> time:int64 -> actor:string -> kind:string -> string -> unit
+val length : t -> int
+val entries : t -> entry list
+(** Entries in chronological (append) order. *)
+
+val find_all : t -> kind:string -> entry list
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_json_lines : t -> string
+(** One JSON object per line ({i jsonl}), chronological: for offline
+    analysis of runs. Strings are escaped per RFC 8259. *)

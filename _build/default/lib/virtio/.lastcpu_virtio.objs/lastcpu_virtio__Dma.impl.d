@@ -1,0 +1,1 @@
+lib/virtio/dma.ml: Bytes Int64 Lastcpu_iommu Lastcpu_mem String

@@ -1,0 +1,1 @@
+lib/virtio/dma.mli: Lastcpu_iommu Lastcpu_mem

@@ -1,0 +1,1 @@
+lib/virtio/virtqueue.ml: Array Dma Int64 List

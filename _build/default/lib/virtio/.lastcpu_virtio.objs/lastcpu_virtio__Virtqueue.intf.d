@@ -1,0 +1,1 @@
+lib/virtio/virtqueue.mli: Dma

@@ -1,0 +1,93 @@
+module Iommu = Lastcpu_iommu.Iommu
+module Physmem = Lastcpu_mem.Physmem
+module Layout = Lastcpu_mem.Layout
+
+exception Dma_fault of Iommu.fault
+
+type t = {
+  iommu : Iommu.t;
+  pasid : int;
+  mem : Physmem.t;
+  mutable access_count : int;
+}
+
+let create ~iommu ~pasid ~mem = { iommu; pasid; mem; access_count = 0 }
+
+let pasid t = t.pasid
+
+let translate t va access =
+  t.access_count <- t.access_count + 1;
+  match Iommu.translate t.iommu ~pasid:t.pasid ~va ~access with
+  | Iommu.Ok_pa pa -> pa
+  | Iommu.Fault f -> raise (Dma_fault f)
+
+let read_u8 t va =
+  let pa = translate t va Iommu.Read in
+  Physmem.read_u8 t.mem pa
+
+let write_u8 t va v =
+  let pa = translate t va Iommu.Write in
+  Physmem.write_u8 t.mem pa v
+
+let read_uint t va n =
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    v := !v lor (read_u8 t (Int64.add va (Int64.of_int i)) lsl (i * 8))
+  done;
+  !v
+
+let write_uint t va n v =
+  for i = 0 to n - 1 do
+    write_u8 t (Int64.add va (Int64.of_int i)) ((v lsr (i * 8)) land 0xff)
+  done
+
+let read_u16 t va = read_uint t va 2
+let write_u16 t va v = write_uint t va 2 v
+let read_u32 t va = read_uint t va 4
+let write_u32 t va v = write_uint t va 4 v
+
+let read_u64 t va =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    let b = read_u8 t (Int64.add va (Int64.of_int i)) in
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int b) (i * 8))
+  done;
+  !v
+
+let write_u64 t va v =
+  for i = 0 to 7 do
+    write_u8 t
+      (Int64.add va (Int64.of_int i))
+      (Int64.to_int (Int64.shift_right_logical v (i * 8)) land 0xff)
+  done
+
+let read_bytes t va len =
+  let out = Bytes.create len in
+  let write_frag ~va ~dst_off ~len =
+    let pa = translate t va Iommu.Read in
+    Bytes.blit_string (Physmem.read_bytes t.mem pa len) 0 out dst_off len
+  in
+  let rec go va dst_off remaining =
+    if remaining > 0 then begin
+      let off = Layout.offset_in_page va in
+      let chunk = min remaining (Int64.to_int Layout.page_size - off) in
+      write_frag ~va ~dst_off ~len:chunk;
+      go (Int64.add va (Int64.of_int chunk)) (dst_off + chunk) (remaining - chunk)
+    end
+  in
+  go va 0 len;
+  Bytes.unsafe_to_string out
+
+let write_bytes t va s =
+  let rec go va src_off remaining =
+    if remaining > 0 then begin
+      let off = Layout.offset_in_page va in
+      let chunk = min remaining (Int64.to_int Layout.page_size - off) in
+      let pa = translate t va Iommu.Write in
+      Physmem.write_bytes t.mem pa (String.sub s src_off chunk);
+      go (Int64.add va (Int64.of_int chunk)) (src_off + chunk) (remaining - chunk)
+    end
+  in
+  go va 0 (String.length s)
+
+let accesses t = t.access_count

@@ -1,0 +1,34 @@
+(** A device's DMA view of memory: every access is translated by that
+    device's IOMMU for a given PASID before touching simulated DRAM.
+
+    This is the only way devices read or write memory in the emulation, so
+    isolation violations are structurally impossible to express — exactly
+    the property §2.2 assigns to the IOMMU. *)
+
+exception Dma_fault of Lastcpu_iommu.Iommu.fault
+
+type t
+
+val create :
+  iommu:Lastcpu_iommu.Iommu.t ->
+  pasid:int ->
+  mem:Lastcpu_mem.Physmem.t ->
+  t
+
+val pasid : t -> int
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u16 : t -> int64 -> int
+val write_u16 : t -> int64 -> int -> unit
+val read_u32 : t -> int64 -> int
+val write_u32 : t -> int64 -> int -> unit
+val read_u64 : t -> int64 -> int64
+val write_u64 : t -> int64 -> int64 -> unit
+val read_bytes : t -> int64 -> int -> string
+val write_bytes : t -> int64 -> string -> unit
+
+val accesses : t -> int
+(** Number of translated accesses performed (cost accounting: each is at
+    most one DRAM touch after translation; multi-byte accesses within one
+    page count once). *)

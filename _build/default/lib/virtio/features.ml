@@ -1,0 +1,23 @@
+type bit = int
+
+let version_1 = 32
+let indirect_desc = 28
+let event_idx = 29
+let notification_data = 38
+
+let mask bits =
+  List.fold_left (fun acc b -> Int64.logor acc (Int64.shift_left 1L b)) 0L bits
+
+type negotiated = { features : int64 }
+
+let negotiate ~offered ~wanted ~required =
+  if Int64.logand wanted (Int64.lognot offered) <> 0L then
+    Error "driver wants features the device did not offer"
+  else begin
+    let agreed = Int64.logand offered wanted in
+    if Int64.logand required (Int64.lognot agreed) <> 0L then
+      Error "required features not accepted"
+    else Ok { features = agreed }
+  end
+
+let has t bit = Int64.logand t.features (Int64.shift_left 1L bit) <> 0L

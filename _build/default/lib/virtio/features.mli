@@ -1,0 +1,27 @@
+(** VIRTIO feature negotiation.
+
+    A device offers a 64-bit feature mask; the driver accepts a subset.
+    Negotiation fails when a driver demands a feature the device did not
+    offer, or omits a feature the device requires. *)
+
+type bit = int
+(** Bit position in the 64-bit feature word. *)
+
+val version_1 : bit
+(** VIRTIO_F_VERSION_1 (bit 32): always required here. *)
+
+val indirect_desc : bit
+val event_idx : bit
+val notification_data : bit
+
+val mask : bit list -> int64
+
+type negotiated = { features : int64 }
+
+val negotiate :
+  offered:int64 -> wanted:int64 -> required:int64 -> (negotiated, string) result
+(** [negotiate ~offered ~wanted ~required]: the result carries
+    [offered land wanted]; fails when [wanted] exceeds [offered] or the
+    intersection misses a [required] bit. *)
+
+val has : negotiated -> bit -> bool

@@ -1,0 +1,286 @@
+(* Split-queue offsets, mirroring the VIRTIO 1.1 layout:
+     desc table : base,                16 * size bytes
+     avail      : base + 16*size,      2 + 2 + 2*size bytes (flags, idx, ring)
+     used       : avail_end aligned 4, 2 + 2 + 8*size bytes (flags, idx, ring)
+   Descriptor: addr u64 | len u32 | flags u16 | next u16. *)
+
+let desc_f_next = 1
+let desc_f_write = 2
+let desc_f_indirect = 4
+
+type buffer = { va : int64; len : int; writable : bool }
+
+let check_size size =
+  if size <= 0 || size > 32768 || size land (size - 1) <> 0 then
+    invalid_arg "Virtqueue: size must be a power of two in [1, 32768]"
+
+let desc_off i = Int64.of_int (16 * i)
+let avail_off size = Int64.of_int (16 * size)
+let avail_ring_off size i = Int64.add (avail_off size) (Int64.of_int (4 + (2 * i)))
+
+let used_off size =
+  let avail_end = (16 * size) + 4 + (2 * size) in
+  Int64.of_int ((avail_end + 3) land lnot 3)
+
+let used_ring_off size i = Int64.add (used_off size) (Int64.of_int (4 + (8 * i)))
+
+let layout_bytes ~size =
+  check_size size;
+  Int64.to_int (used_off size) + 4 + (8 * size)
+
+(* Shared accessors over a DMA view rooted at [base]. *)
+module Raw = struct
+  type t = { dma : Dma.t; base : int64; size : int }
+
+  let addr t off = Int64.add t.base off
+  let read_u16 t off = Dma.read_u16 t.dma (addr t off)
+  let write_u16 t off v = Dma.write_u16 t.dma (addr t off) v
+  let read_u32 t off = Dma.read_u32 t.dma (addr t off)
+  let write_u32 t off v = Dma.write_u32 t.dma (addr t off) v
+  let read_u64 t off = Dma.read_u64 t.dma (addr t off)
+  let write_u64 t off v = Dma.write_u64 t.dma (addr t off) v
+
+  let read_desc t i =
+    let off = desc_off i in
+    let va = read_u64 t off in
+    let len = read_u32 t (Int64.add off 8L) in
+    let flags = read_u16 t (Int64.add off 12L) in
+    let next = read_u16 t (Int64.add off 14L) in
+    (va, len, flags, next)
+
+  let write_desc t i ~va ~len ~flags ~next =
+    let off = desc_off i in
+    write_u64 t off va;
+    write_u32 t (Int64.add off 8L) len;
+    write_u16 t (Int64.add off 12L) flags;
+    write_u16 t (Int64.add off 14L) next
+
+  let avail_idx t = read_u16 t (Int64.add (avail_off t.size) 2L)
+  let set_avail_idx t v = write_u16 t (Int64.add (avail_off t.size) 2L) (v land 0xffff)
+  let avail_ring t i = read_u16 t (avail_ring_off t.size i)
+  let set_avail_ring t i v = write_u16 t (avail_ring_off t.size i) v
+  let used_idx t = read_u16 t (Int64.add (used_off t.size) 2L)
+  let set_used_idx t v = write_u16 t (Int64.add (used_off t.size) 2L) (v land 0xffff)
+  let used_flags t = read_u16 t (used_off t.size)
+
+  let used_ring t i =
+    let off = used_ring_off t.size i in
+    (read_u32 t off, read_u32 t (Int64.add off 4L))
+
+  let set_used_ring t i ~id ~len =
+    let off = used_ring_off t.size i in
+    write_u32 t off id;
+    write_u32 t (Int64.add off 4L) len
+end
+
+module Driver = struct
+  type t = {
+    raw : Raw.t;
+    mutable free_head : int;  (* head of the local free-descriptor list *)
+    mutable free_count : int;
+    next_free : int array;  (* local chain of free descriptors *)
+    chain_len : int array;  (* descriptors in the chain headed by i *)
+    mutable avail_shadow : int;  (* our copy of avail.idx (unwrapped) *)
+    mutable used_seen : int;  (* used.idx we have consumed (unwrapped) *)
+    mutable completion_count : int;
+  }
+
+  let create ~dma ~base ~size =
+    check_size size;
+    let raw = { Raw.dma; base; size } in
+    (* Zero the ring indices; descriptor contents are written on add. *)
+    Raw.write_u16 raw (avail_off size) 0;
+    Raw.set_avail_idx raw 0;
+    Raw.write_u16 raw (used_off size) 0;
+    Raw.set_used_idx raw 0;
+    let next_free = Array.init size (fun i -> (i + 1) mod size) in
+    {
+      raw;
+      free_head = 0;
+      free_count = size;
+      next_free;
+      chain_len = Array.make size 0;
+      avail_shadow = 0;
+      used_seen = 0;
+      completion_count = 0;
+    }
+
+  let size t = t.raw.Raw.size
+  let num_free t = t.free_count
+
+  let add t buffers =
+    let n = List.length buffers in
+    if n = 0 then Error "empty chain"
+    else if n > t.free_count then Error "out of descriptors"
+    else begin
+      (* VIRTIO requires read-only segments before device-writable ones. *)
+      let rec ordered seen_writable = function
+        | [] -> true
+        | b :: rest ->
+          if b.writable then ordered true rest
+          else if seen_writable then false
+          else ordered false rest
+      in
+      if not (ordered false buffers) then
+        Error "read-only segment after writable segment"
+      else begin
+        let head = t.free_head in
+        let rec fill i = function
+          | [] -> assert false
+          | [ b ] ->
+            Raw.write_desc t.raw i ~va:b.va ~len:b.len
+              ~flags:(if b.writable then desc_f_write else 0)
+              ~next:0;
+            t.free_head <- t.next_free.(i)
+          | b :: rest ->
+            let next = t.next_free.(i) in
+            Raw.write_desc t.raw i ~va:b.va ~len:b.len
+              ~flags:(desc_f_next lor if b.writable then desc_f_write else 0)
+              ~next;
+            fill next rest
+        in
+        fill head buffers;
+        t.free_count <- t.free_count - n;
+        t.chain_len.(head) <- n;
+        (* Publish on the available ring, then bump idx (the ordering that
+           makes the lock-free handoff correct on real hardware). *)
+        Raw.set_avail_ring t.raw (t.avail_shadow mod size t) head;
+        t.avail_shadow <- t.avail_shadow + 1;
+        Raw.set_avail_idx t.raw t.avail_shadow;
+        Ok head
+      end
+    end
+
+  let add_indirect t ~table_va buffers =
+    let n = List.length buffers in
+    if n = 0 then Error "empty chain"
+    else if 1 > t.free_count then Error "out of descriptors"
+    else begin
+      let rec ordered seen_writable = function
+        | [] -> true
+        | b :: rest ->
+          if b.writable then ordered true rest
+          else if seen_writable then false
+          else ordered false rest
+      in
+      if not (ordered false buffers) then
+        Error "read-only segment after writable segment"
+      else begin
+        (* Write the indirect table into driver memory: sequential
+           entries, NEXT-chained as the spec requires. *)
+        List.iteri
+          (fun i b ->
+            let off = Int64.add table_va (Int64.of_int (16 * i)) in
+            Dma.write_u64 t.raw.Raw.dma off b.va;
+            Dma.write_u32 t.raw.Raw.dma (Int64.add off 8L) b.len;
+            Dma.write_u16 t.raw.Raw.dma (Int64.add off 12L)
+              ((if i < n - 1 then desc_f_next else 0)
+              lor if b.writable then desc_f_write else 0);
+            Dma.write_u16 t.raw.Raw.dma (Int64.add off 14L)
+              (if i < n - 1 then i + 1 else 0))
+          buffers;
+        let head = t.free_head in
+        Raw.write_desc t.raw head ~va:table_va ~len:(16 * n)
+          ~flags:desc_f_indirect ~next:0;
+        t.free_head <- t.next_free.(head);
+        t.free_count <- t.free_count - 1;
+        t.chain_len.(head) <- 1;
+        Raw.set_avail_ring t.raw (t.avail_shadow mod size t) head;
+        t.avail_shadow <- t.avail_shadow + 1;
+        Raw.set_avail_idx t.raw t.avail_shadow;
+        Ok head
+      end
+    end
+
+  let kick_needed t = Raw.used_flags t.raw land 1 = 0
+
+  let poll_used t =
+    let used = Raw.used_idx t.raw in
+    if used land 0xffff = t.used_seen land 0xffff then None
+    else begin
+      let slot = t.used_seen mod size t in
+      let id, written = Raw.used_ring t.raw slot in
+      t.used_seen <- t.used_seen + 1;
+      t.completion_count <- t.completion_count + 1;
+      (* Recycle the chain's descriptors onto the free list. *)
+      let n = t.chain_len.(id) in
+      assert (n > 0);
+      let rec last i k = if k = 1 then i else last t.next_free.(i) (k - 1) in
+      (* Walk the stored shared-memory chain links to rebuild locality:
+         next pointers in the desc table are still intact. *)
+      let rec relink i k =
+        if k > 1 then begin
+          let _, _, _, next = Raw.read_desc t.raw i in
+          t.next_free.(i) <- next;
+          relink next (k - 1)
+        end
+      in
+      relink id n;
+      let tail = last id n in
+      t.next_free.(tail) <- t.free_head;
+      t.free_head <- id;
+      t.free_count <- t.free_count + n;
+      t.chain_len.(id) <- 0;
+      Some (id, written)
+    end
+
+  let completions t = t.completion_count
+end
+
+module Device = struct
+  type t = { raw : Raw.t; mutable avail_seen : int }
+
+  type chain = { head : int; buffers : buffer list }
+
+  let create ~dma ~base ~size =
+    check_size size;
+    { raw = { Raw.dma; base; size }; avail_seen = 0 }
+
+  let pending t =
+    let avail = Raw.avail_idx t.raw in
+    (avail - t.avail_seen) land 0xffff
+
+  let pop t =
+    if pending t = 0 then None
+    else begin
+      let slot = t.avail_seen mod t.raw.Raw.size in
+      let head = Raw.avail_ring t.raw slot in
+      t.avail_seen <- t.avail_seen + 1;
+      let read_indirect table_va bytes =
+        let entries = bytes / 16 in
+        let rec go i acc =
+          if i >= entries then List.rev acc
+          else begin
+            let off = Int64.add table_va (Int64.of_int (16 * i)) in
+            let va = Dma.read_u64 t.raw.Raw.dma off in
+            let len = Dma.read_u32 t.raw.Raw.dma (Int64.add off 8L) in
+            let flags = Dma.read_u16 t.raw.Raw.dma (Int64.add off 12L) in
+            let buf = { va; len; writable = flags land desc_f_write <> 0 } in
+            if flags land desc_f_next <> 0 then go (i + 1) (buf :: acc)
+            else List.rev (buf :: acc)
+          end
+        in
+        go 0 []
+      in
+      let rec walk i acc guard =
+        if guard > t.raw.Raw.size then
+          invalid_arg "Virtqueue.Device.pop: descriptor chain loop"
+        else begin
+          let va, len, flags, next = Raw.read_desc t.raw i in
+          if flags land desc_f_indirect <> 0 then
+            List.rev_append acc (read_indirect va len)
+          else begin
+            let buf = { va; len; writable = flags land desc_f_write <> 0 } in
+            if flags land desc_f_next <> 0 then walk next (buf :: acc) (guard + 1)
+            else List.rev (buf :: acc)
+          end
+        end
+      in
+      Some { head; buffers = walk head [] 0 }
+    end
+
+  let push_used t ~head ~written =
+    let used = Raw.used_idx t.raw in
+    Raw.set_used_ring t.raw (used mod t.raw.Raw.size) ~id:head ~len:written;
+    Raw.set_used_idx t.raw (used + 1)
+end

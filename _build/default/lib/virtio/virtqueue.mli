@@ -1,0 +1,73 @@
+(** VIRTIO 1.1-style split virtqueue.
+
+    The standard interface the paper proposes for exposing services from
+    self-managing devices (§2.1). A queue lives in *shared memory at virtual
+    addresses*: the driver half (the client application, e.g. the KVS on the
+    NIC) and the device half (the provider, e.g. the SSD) each access it
+    through their own IOMMU view ({!Dma.t}), as in Figure 2 step 7 where the
+    NIC "programs the VIRTIO queues in the SSD using virtual addresses".
+
+    Memory layout (split queue):
+    - descriptor table: 16 bytes x size
+    - available ring: 4 + 2 x size bytes
+    - used ring: 4 + 8 x size bytes
+    Descriptor flags: NEXT=1, WRITE=2. *)
+
+type buffer = {
+  va : int64;  (** virtual address of the segment *)
+  len : int;
+  writable : bool;  (** true = device writes (an "in" buffer) *)
+}
+
+val layout_bytes : size:int -> int
+(** Total bytes a queue of [size] descriptors occupies. [size] must be a
+    power of two <= 32768. *)
+
+module Driver : sig
+  type t
+
+  val create : dma:Dma.t -> base:int64 -> size:int -> t
+  (** Initialise ring memory (zeroes indices, builds the free list). *)
+
+  val size : t -> int
+  val num_free : t -> int
+
+  val add : t -> buffer list -> (int, string) result
+  (** Post a descriptor chain; returns the head descriptor id. Fails when
+      the chain is empty or descriptors are exhausted. Read-only segments
+      must precede device-writable ones (VIRTIO convention). *)
+
+  val add_indirect : t -> table_va:int64 -> buffer list -> (int, string) result
+  (** Post a chain through an indirect descriptor table
+      (VIRTIO_F_INDIRECT_DESC): the segment descriptors are written to
+      driver-owned memory at [table_va] (16 bytes per segment) and a single
+      ring descriptor points at them — long chains cost one ring slot. *)
+
+  val kick_needed : t -> bool
+  (** True when the device asked for notification (used-ring flags). *)
+
+  val poll_used : t -> (int * int) option
+  (** [(head, written)] for the next completion, recycling its
+      descriptors. *)
+
+  val completions : t -> int
+end
+
+module Device : sig
+  type t
+
+  val create : dma:Dma.t -> base:int64 -> size:int -> t
+  (** Attach to an already-initialised queue (driver side creates it). *)
+
+  type chain = { head : int; buffers : buffer list }
+
+  val pop : t -> chain option
+  (** Next posted chain from the available ring, walking descriptor
+      links. *)
+
+  val push_used : t -> head:int -> written:int -> unit
+  (** Complete a chain, making it visible on the used ring. *)
+
+  val pending : t -> int
+  (** Chains posted but not yet popped. *)
+end

@@ -1,0 +1,1 @@
+test/test_accel.ml: Alcotest Char Int64 Lastcpu_core Lastcpu_device Lastcpu_devices Lastcpu_proto Lastcpu_sim Lastcpu_virtio List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Int64 Lastcpu_baseline Lastcpu_fs Lastcpu_kv Lastcpu_sim List Printf

@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Char Lastcpu_core Lastcpu_devices Lastcpu_fs List Result String

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Int64 Lastcpu_bus Lastcpu_iommu Lastcpu_proto Lastcpu_sim List Printf QCheck QCheck_alcotest String

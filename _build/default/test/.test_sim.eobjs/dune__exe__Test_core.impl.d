@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Int64 Lastcpu_bus Lastcpu_core Lastcpu_device Lastcpu_devices Lastcpu_fs Lastcpu_kv Lastcpu_proto Lastcpu_sim List Printf Result String

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Int64 Lastcpu_bus Lastcpu_device Lastcpu_devices Lastcpu_iommu Lastcpu_mem Lastcpu_proto Lastcpu_sim Lastcpu_virtio List Printf Result

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lastcpu_core List Option Printf String

@@ -1,0 +1,1 @@
+test/test_flash.ml: Alcotest Gen Hashtbl Lastcpu_flash List Printf QCheck QCheck_alcotest String

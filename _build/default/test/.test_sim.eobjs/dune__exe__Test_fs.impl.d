@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Format Gen Lastcpu_flash Lastcpu_fs List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_iommu.ml: Alcotest Gen Int64 Lastcpu_iommu Lastcpu_mem Lastcpu_proto List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Gen Hashtbl Lastcpu_core Lastcpu_device Lastcpu_devices Lastcpu_fs Lastcpu_kv Lastcpu_net Lastcpu_proto List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Char Fun Gen Int64 Lastcpu_mem List QCheck QCheck_alcotest String

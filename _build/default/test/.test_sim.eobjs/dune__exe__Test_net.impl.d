@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Int64 Lastcpu_net Lastcpu_sim List Printf String

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Char Format Int64 Lastcpu_proto List Option Printf QCheck QCheck_alcotest String

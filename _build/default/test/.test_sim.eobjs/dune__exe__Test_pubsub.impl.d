@@ -1,0 +1,1 @@
+test/test_pubsub.ml: Alcotest Lastcpu_apps Lastcpu_core Lastcpu_devices Lastcpu_kv Lastcpu_net List Printf String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Int64 Lastcpu_sim List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_virtio.ml: Alcotest Char Int64 Lastcpu_iommu Lastcpu_mem Lastcpu_proto Lastcpu_virtio List Printf QCheck QCheck_alcotest Queue Result String

@@ -1,0 +1,150 @@
+(* Tests for the centralized comparator: kernel queueing and the
+   syscall-mediated storage path. *)
+
+module Engine = Lastcpu_sim.Engine
+module Costs = Lastcpu_sim.Costs
+module Kernel = Lastcpu_baseline.Kernel
+module Central = Lastcpu_baseline.Central
+module Fs = Lastcpu_fs.Fs
+module Store = Lastcpu_kv.Store
+
+let test_syscall_cost_model () =
+  let engine = Engine.create () in
+  let kern = Kernel.create engine () in
+  let finished = ref 0L in
+  Kernel.syscall kern ~name:"x" (fun () -> finished := Engine.now engine);
+  Engine.run engine;
+  let costs = Costs.default in
+  Alcotest.(check int64) "syscall + kernel_op"
+    (Int64.add costs.Costs.syscall_ns costs.Costs.kernel_op_ns)
+    !finished;
+  Alcotest.(check int) "counted" 1 (Kernel.syscalls kern)
+
+let test_kernel_serializes_on_one_core () =
+  let engine = Engine.create () in
+  let kern = Kernel.create engine ~cores:1 () in
+  let finishes = ref [] in
+  for _ = 1 to 3 do
+    Kernel.syscall kern ~name:"x" (fun () -> finishes := Engine.now engine :: !finishes)
+  done;
+  Engine.run engine;
+  let costs = Costs.default in
+  let per = Int64.add costs.Costs.syscall_ns costs.Costs.kernel_op_ns in
+  Alcotest.(check (list int64)) "back to back"
+    [ per; Int64.mul 2L per; Int64.mul 3L per ]
+    (List.rev !finishes)
+
+let test_multicore_parallelism () =
+  let engine = Engine.create () in
+  let kern = Kernel.create engine ~cores:2 () in
+  let finishes = ref [] in
+  for _ = 1 to 2 do
+    Kernel.syscall kern ~name:"x" (fun () -> finishes := Engine.now engine :: !finishes)
+  done;
+  Engine.run engine;
+  match !finishes with
+  | [ a; b ] -> Alcotest.(check int64) "parallel completion" a b
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_interrupt_cost () =
+  let engine = Engine.create () in
+  let kern = Kernel.create engine () in
+  let finished = ref 0L in
+  Kernel.interrupt kern ~name:"irq" (fun () -> finished := Engine.now engine);
+  Engine.run engine;
+  let costs = Costs.default in
+  Alcotest.(check int64) "interrupt + kernel_op"
+    (Int64.add costs.Costs.interrupt_ns costs.Costs.kernel_op_ns)
+    !finished
+
+let test_central_file_io () =
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let done1 = ref None in
+  Central.file_create central ~path:"/f" ~user:"u" (fun r -> done1 := Some r);
+  Engine.run engine;
+  (match !done1 with
+  | Some (Ok ()) -> ()
+  | _ -> Alcotest.fail "create failed");
+  let wrote = ref None in
+  Central.file_write central ~path:"/f" ~user:"u" ~off:0 ~data:"central data"
+    (fun r -> wrote := Some r);
+  Engine.run engine;
+  (match !wrote with Some (Ok ()) -> () | _ -> Alcotest.fail "write failed");
+  let got = ref None in
+  Central.file_read central ~path:"/f" ~user:"u" ~off:0 ~len:12 (fun r ->
+      got := Some r);
+  Engine.run engine;
+  (match !got with
+  | Some (Ok data) -> Alcotest.(check string) "data" "central data" data
+  | _ -> Alcotest.fail "read failed");
+  (* Each mediated op = 1 syscall + 1 completion interrupt. *)
+  Alcotest.(check int) "syscalls" 3 (Kernel.syscalls (Central.kernel central));
+  Alcotest.(check int) "interrupts" 3 (Kernel.interrupts (Central.kernel central))
+
+let test_central_io_charges_flash_time () =
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let t_done = ref 0L in
+  Central.file_create central ~path:"/f" ~user:"u" (fun _ -> ());
+  Engine.run engine;
+  let t0 = Engine.now engine in
+  Central.file_write central ~path:"/f" ~user:"u" ~off:0 ~data:"x" (fun _ ->
+      t_done := Engine.now engine);
+  Engine.run engine;
+  let costs = Costs.default in
+  Alcotest.(check bool) "write pays NAND program time" true
+    (Int64.sub !t_done t0 >= costs.Costs.flash_write_page_ns)
+
+let test_central_store_backend_recovery () =
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let backend = Central.store_backend central ~path:"/kv.log" ~user:"kvs" in
+  let store = Store.create backend in
+  let pending = ref 0 in
+  for i = 1 to 10 do
+    incr pending;
+    Store.put store ~key:(Printf.sprintf "k%d" i) ~value:"v" (fun _ -> decr pending)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all applied" 0 !pending;
+  let store2 = Store.create backend in
+  let n = ref None in
+  Store.recover store2 (fun r -> n := Some r);
+  Engine.run engine;
+  (match !n with
+  | Some (Ok records) -> Alcotest.(check int) "recovered" 10 records
+  | _ -> Alcotest.fail "recover failed");
+  Alcotest.(check int) "index size" 10 (Store.size store2)
+
+let test_central_same_fs_semantics () =
+  (* The baseline uses the same FS implementation: permissions etc. hold. *)
+  let engine = Engine.create () in
+  let central = Central.create engine () in
+  let fs = Central.fs central in
+  (match Fs.create fs ~user:"alice" ~mode:0o600 "/secret" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Fs.error_to_string e));
+  match Fs.read fs ~user:"bob" "/secret" ~off:0 ~len:1 with
+  | Error (Fs.Permission _) -> ()
+  | _ -> Alcotest.fail "baseline lost permission semantics"
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "syscall cost" `Quick test_syscall_cost_model;
+          Alcotest.test_case "serialization" `Quick test_kernel_serializes_on_one_core;
+          Alcotest.test_case "multicore" `Quick test_multicore_parallelism;
+          Alcotest.test_case "interrupt cost" `Quick test_interrupt_cost;
+        ] );
+      ( "central",
+        [
+          Alcotest.test_case "file io" `Quick test_central_file_io;
+          Alcotest.test_case "flash time charged" `Quick test_central_io_charges_flash_time;
+          Alcotest.test_case "store backend recovery" `Quick
+            test_central_store_backend_recovery;
+          Alcotest.test_case "same fs semantics" `Quick test_central_same_fs_semantics;
+        ] );
+    ]

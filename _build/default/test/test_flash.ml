@@ -1,0 +1,211 @@
+(* Tests for the NAND model and the FTL. *)
+
+module Nand = Lastcpu_flash.Nand
+module Ftl = Lastcpu_flash.Ftl
+
+let small_geometry = { Nand.blocks = 16; pages_per_block = 8; page_size = 512 }
+
+(* --- Nand ----------------------------------------------------------------- *)
+
+let test_nand_erased_reads_ff () =
+  let n = Nand.create ~geometry:small_geometry () in
+  match Nand.read_page n ~block:0 ~page:0 with
+  | Ok data ->
+    Alcotest.(check int) "size" 512 (String.length data);
+    Alcotest.(check char) "0xff" '\xff' data.[0]
+  | Error e -> Alcotest.fail e
+
+let test_nand_program_read () =
+  let n = Nand.create ~geometry:small_geometry () in
+  (match Nand.program_page n ~block:1 ~page:2 "hello" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Nand.read_page n ~block:1 ~page:2 with
+  | Ok data ->
+    Alcotest.(check string) "data" "hello" (String.sub data 0 5);
+    Alcotest.(check char) "padding is ff" '\xff' data.[5]
+  | Error e -> Alcotest.fail e
+
+let test_nand_no_overwrite () =
+  let n = Nand.create ~geometry:small_geometry () in
+  (match Nand.program_page n ~block:0 ~page:0 "a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Nand.program_page n ~block:0 ~page:0 "b" with
+  | Error "page not erased" -> ()
+  | Ok () -> Alcotest.fail "overwrite accepted"
+  | Error e -> Alcotest.fail ("unexpected: " ^ e)
+
+let test_nand_erase_cycle () =
+  let n = Nand.create ~geometry:small_geometry () in
+  (match Nand.program_page n ~block:0 ~page:0 "a" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Nand.erase_block n ~block:0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "erase count" 1 (Nand.erase_count n ~block:0);
+  Alcotest.(check bool) "page erased" true
+    (Nand.page_state n ~block:0 ~page:0 = Nand.Erased);
+  match Nand.program_page n ~block:0 ~page:0 "b" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("reprogram after erase: " ^ e)
+
+let test_nand_bounds () =
+  let n = Nand.create ~geometry:small_geometry () in
+  (match Nand.read_page n ~block:99 ~page:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oob block accepted");
+  (match Nand.read_page n ~block:0 ~page:99 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oob page accepted");
+  match Nand.program_page n ~block:0 ~page:0 (String.make 1000 'x') with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oversized program accepted"
+
+(* --- Ftl -------------------------------------------------------------------- *)
+
+let test_ftl_read_unwritten_zero () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  match Ftl.read ftl ~lpn:0 with
+  | Ok data -> Alcotest.(check char) "zero" '\000' data.[0]
+  | Error e -> Alcotest.fail e
+
+let test_ftl_write_read_roundtrip () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  (match Ftl.write ftl ~lpn:5 "payload" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Ftl.read ftl ~lpn:5 with
+  | Ok data -> Alcotest.(check string) "data" "payload" (String.sub data 0 7)
+  | Error e -> Alcotest.fail e
+
+let test_ftl_overwrite_updates () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  (match Ftl.write ftl ~lpn:3 "one" with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Ftl.write ftl ~lpn:3 "two" with Ok () -> () | Error e -> Alcotest.fail e);
+  match Ftl.read ftl ~lpn:3 with
+  | Ok data -> Alcotest.(check string) "latest wins" "two" (String.sub data 0 3)
+  | Error e -> Alcotest.fail e
+
+let test_ftl_gc_under_churn () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  let logical = Ftl.logical_pages ftl in
+  (* Overwrite a small working set many times: forces GC. *)
+  for round = 1 to 40 do
+    for lpn = 0 to min 9 (logical - 1) do
+      match Ftl.write ftl ~lpn (Printf.sprintf "r%d-l%d" round lpn) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "round %d: %s" round e)
+    done
+  done;
+  Alcotest.(check bool) "gc ran" true (Ftl.gc_runs ftl > 0);
+  Alcotest.(check bool) "write amp sane" true (Ftl.write_amplification ftl >= 1.0);
+  (* Data still correct after GC. *)
+  for lpn = 0 to min 9 (logical - 1) do
+    match Ftl.read ftl ~lpn with
+    | Ok data ->
+      let expect = Printf.sprintf "r40-l%d" lpn in
+      Alcotest.(check string) "survives gc" expect
+        (String.sub data 0 (String.length expect))
+    | Error e -> Alcotest.fail e
+  done
+
+let test_ftl_trim () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  (match Ftl.write ftl ~lpn:1 "data" with Ok () -> () | Error e -> Alcotest.fail e);
+  Ftl.trim ftl ~lpn:1;
+  match Ftl.read ftl ~lpn:1 with
+  | Ok data -> Alcotest.(check char) "trimmed reads zero" '\000' data.[0]
+  | Error e -> Alcotest.fail e
+
+let test_ftl_full_capacity () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  let logical = Ftl.logical_pages ftl in
+  for lpn = 0 to logical - 1 do
+    match Ftl.write ftl ~lpn (Printf.sprintf "p%d" lpn) with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "lpn %d: %s" lpn e)
+  done;
+  for lpn = 0 to logical - 1 do
+    match Ftl.read ftl ~lpn with
+    | Ok data ->
+      let expect = Printf.sprintf "p%d" lpn in
+      Alcotest.(check string) "full device intact" expect
+        (String.sub data 0 (String.length expect))
+    | Error e -> Alcotest.fail e
+  done
+
+let test_ftl_bounds () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  (match Ftl.write ftl ~lpn:(-1) "x" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative lpn accepted");
+  match Ftl.write ftl ~lpn:(Ftl.logical_pages ftl) "x" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oob lpn accepted"
+
+let ftl_model_prop =
+  QCheck.Test.make ~name:"ftl matches a simple map model under churn" ~count:30
+    QCheck.(list (pair (int_bound 19) (string_of_size (Gen.return 8))))
+    (fun script ->
+      let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (lpn, data) ->
+          match Ftl.write ftl ~lpn data with
+          | Error _ -> false
+          | Ok () ->
+            Hashtbl.replace model lpn data;
+            Hashtbl.fold
+              (fun lpn expect acc ->
+                acc
+                &&
+                match Ftl.read ftl ~lpn with
+                | Ok got -> String.sub got 0 (String.length expect) = expect
+                | Error _ -> false)
+              model true)
+        script)
+
+let test_ftl_wear_leveling_bounded_skew () =
+  let ftl = Ftl.create ~nand:(Nand.create ~geometry:small_geometry ()) () in
+  for round = 1 to 100 do
+    for lpn = 0 to 9 do
+      match Ftl.write ftl ~lpn (Printf.sprintf "%d" round) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e
+    done
+  done;
+  (* With tie-breaking on erase count, skew should stay well below the
+     total erase count. *)
+  let skew = Ftl.max_erase_skew ftl in
+  let n = Ftl.nand ftl in
+  Alcotest.(check bool)
+    (Printf.sprintf "skew %d bounded vs %d total erases" skew (Nand.total_erases n))
+    true
+    (skew <= Nand.total_erases n / 2)
+
+let () =
+  Alcotest.run "flash"
+    [
+      ( "nand",
+        [
+          Alcotest.test_case "erased reads ff" `Quick test_nand_erased_reads_ff;
+          Alcotest.test_case "program/read" `Quick test_nand_program_read;
+          Alcotest.test_case "no overwrite" `Quick test_nand_no_overwrite;
+          Alcotest.test_case "erase cycle" `Quick test_nand_erase_cycle;
+          Alcotest.test_case "bounds" `Quick test_nand_bounds;
+        ] );
+      ( "ftl",
+        [
+          Alcotest.test_case "unwritten reads zero" `Quick test_ftl_read_unwritten_zero;
+          Alcotest.test_case "write/read roundtrip" `Quick test_ftl_write_read_roundtrip;
+          Alcotest.test_case "overwrite updates" `Quick test_ftl_overwrite_updates;
+          Alcotest.test_case "gc under churn" `Quick test_ftl_gc_under_churn;
+          Alcotest.test_case "trim" `Quick test_ftl_trim;
+          Alcotest.test_case "full capacity" `Quick test_ftl_full_capacity;
+          Alcotest.test_case "bounds" `Quick test_ftl_bounds;
+          Alcotest.test_case "wear leveling" `Quick test_ftl_wear_leveling_bounded_skew;
+          QCheck_alcotest.to_alcotest ftl_model_prop;
+        ] );
+    ]

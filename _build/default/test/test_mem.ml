@@ -1,0 +1,201 @@
+(* Tests for the memory substrate: layout arithmetic, buddy allocator,
+   simulated physical memory. *)
+
+module Layout = Lastcpu_mem.Layout
+module Buddy = Lastcpu_mem.Buddy
+module Physmem = Lastcpu_mem.Physmem
+
+(* --- Layout ----------------------------------------------------------- *)
+
+let test_layout_alignment () =
+  Alcotest.(check int64) "align_up 0" 0L (Layout.align_up 0L);
+  Alcotest.(check int64) "align_up 1" 4096L (Layout.align_up 1L);
+  Alcotest.(check int64) "align_up 4096" 4096L (Layout.align_up 4096L);
+  Alcotest.(check int64) "align_up 4097" 8192L (Layout.align_up 4097L);
+  Alcotest.(check int64) "align_down 4097" 4096L (Layout.align_down 4097L);
+  Alcotest.(check bool) "aligned" true (Layout.is_page_aligned 8192L);
+  Alcotest.(check bool) "unaligned" false (Layout.is_page_aligned 8193L)
+
+let test_layout_pages () =
+  Alcotest.(check int) "0 bytes" 0 (Layout.pages_of_bytes 0L);
+  Alcotest.(check int) "1 byte" 1 (Layout.pages_of_bytes 1L);
+  Alcotest.(check int) "4096" 1 (Layout.pages_of_bytes 4096L);
+  Alcotest.(check int) "4097" 2 (Layout.pages_of_bytes 4097L);
+  Alcotest.(check int64) "page of addr" 2L (Layout.page_of_addr 8193L);
+  Alcotest.(check int) "offset" 1 (Layout.offset_in_page 8193L)
+
+(* --- Buddy -------------------------------------------------------------- *)
+
+let test_buddy_alloc_free () =
+  let b = Buddy.create ~base:0L ~pages:64 in
+  Alcotest.(check int) "all free" 64 (Buddy.free_pages b);
+  let a1 = Buddy.alloc b ~pages:1 in
+  Alcotest.(check bool) "allocated" true (a1 <> None);
+  Alcotest.(check int) "one used" 63 (Buddy.free_pages b);
+  (match a1 with
+  | Some addr -> Buddy.free b ~addr ~pages:1
+  | None -> ());
+  Alcotest.(check int) "freed" 64 (Buddy.free_pages b);
+  Alcotest.(check int) "coalesced back" 64 (Buddy.largest_free_block b)
+
+let test_buddy_rounds_to_power_of_two () =
+  let b = Buddy.create ~base:0L ~pages:64 in
+  (match Buddy.alloc b ~pages:3 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "alloc 3 failed");
+  (* 3 pages round to 4. *)
+  Alcotest.(check int) "used 4" 4 (Buddy.used_pages b)
+
+let test_buddy_exhaustion () =
+  let b = Buddy.create ~base:0L ~pages:16 in
+  let blocks = List.filter_map (fun _ -> Buddy.alloc b ~pages:4) [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "four blocks" 4 (List.length blocks);
+  Alcotest.(check (option int64)) "exhausted" None (Buddy.alloc b ~pages:1);
+  List.iter (fun addr -> Buddy.free b ~addr ~pages:4) blocks;
+  Alcotest.(check int) "all back" 16 (Buddy.free_pages b)
+
+let test_buddy_distinct_addresses () =
+  let b = Buddy.create ~base:0x10000L ~pages:128 in
+  let addrs = List.filter_map (fun _ -> Buddy.alloc b ~pages:2) (List.init 32 Fun.id) in
+  let sorted = List.sort_uniq compare addrs in
+  Alcotest.(check int) "no duplicates" (List.length addrs) (List.length sorted);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "within range" true
+        (a >= 0x10000L && a < Int64.add 0x10000L (Int64.mul 128L 4096L)))
+    addrs
+
+let test_buddy_double_free_rejected () =
+  let b = Buddy.create ~base:0L ~pages:8 in
+  match Buddy.alloc b ~pages:2 with
+  | None -> Alcotest.fail "alloc failed"
+  | Some addr ->
+    Buddy.free b ~addr ~pages:2;
+    Alcotest.check_raises "double free"
+      (Invalid_argument "Buddy.free: not allocated (double free?)") (fun () ->
+        Buddy.free b ~addr ~pages:2)
+
+let test_buddy_size_mismatch_rejected () =
+  let b = Buddy.create ~base:0L ~pages:8 in
+  match Buddy.alloc b ~pages:4 with
+  | None -> Alcotest.fail "alloc failed"
+  | Some addr ->
+    Alcotest.check_raises "size mismatch"
+      (Invalid_argument "Buddy.free: size mismatch with allocation") (fun () ->
+        Buddy.free b ~addr ~pages:1)
+
+let test_buddy_fragmentation_then_coalesce () =
+  let b = Buddy.create ~base:0L ~pages:16 in
+  let a = List.filter_map (fun _ -> Buddy.alloc b ~pages:1) (List.init 16 Fun.id) in
+  Alcotest.(check int) "largest block 0" 0 (Buddy.largest_free_block b);
+  (* Free every other page: buddies cannot coalesce. *)
+  List.iteri (fun i addr -> if i mod 2 = 0 then Buddy.free b ~addr ~pages:1) a;
+  Alcotest.(check int) "fragmented" 1 (Buddy.largest_free_block b);
+  List.iteri (fun i addr -> if i mod 2 = 1 then Buddy.free b ~addr ~pages:1) a;
+  Alcotest.(check int) "fully coalesced" 16 (Buddy.largest_free_block b)
+
+let buddy_invariant_prop =
+  QCheck.Test.make ~name:"buddy invariants hold under random alloc/free" ~count:100
+    QCheck.(list (pair (int_bound 4) bool))
+    (fun script ->
+      let b = Buddy.create ~base:0L ~pages:256 in
+      let live = ref [] in
+      List.iter
+        (fun (order, do_alloc) ->
+          if do_alloc || !live = [] then begin
+            let pages = 1 lsl order in
+            match Buddy.alloc b ~pages with
+            | Some addr -> live := (addr, pages) :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | (addr, pages) :: rest ->
+              Buddy.free b ~addr ~pages;
+              live := rest
+            | [] -> ()
+          end)
+        script;
+      Buddy.check_invariants b)
+
+(* --- Physmem ------------------------------------------------------------- *)
+
+let test_physmem_rw () =
+  let m = Physmem.create ~size:(Int64.mul 16L 4096L) () in
+  Physmem.write_u8 m 0L 0x42;
+  Alcotest.(check int) "u8" 0x42 (Physmem.read_u8 m 0L);
+  Physmem.write_u64 m 100L 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Physmem.read_u64 m 100L);
+  Alcotest.(check int) "u64 little-endian low byte" 0x88 (Physmem.read_u8 m 100L)
+
+let test_physmem_zero_fill () =
+  let m = Physmem.create () in
+  Alcotest.(check int) "untouched reads zero" 0 (Physmem.read_u8 m 12345L);
+  Alcotest.(check string) "bytes zero" (String.make 8 '\000')
+    (Physmem.read_bytes m 99999L 8)
+
+let test_physmem_cross_page () =
+  let m = Physmem.create () in
+  let data = String.init 100 (fun i -> Char.chr (i land 0xff)) in
+  let addr = Int64.sub 8192L 50L in
+  Physmem.write_bytes m addr data;
+  Alcotest.(check string) "straddling read" data (Physmem.read_bytes m addr 100);
+  Physmem.write_u64 m (Int64.sub 4096L 4L) 0x0102030405060708L;
+  Alcotest.(check int64) "straddling u64" 0x0102030405060708L
+    (Physmem.read_u64 m (Int64.sub 4096L 4L))
+
+let test_physmem_bounds () =
+  let m = Physmem.create ~size:4096L () in
+  Alcotest.(check bool) "oob write raises" true
+    (match Physmem.write_u8 m 4096L 1 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "oob span raises" true
+    (match Physmem.read_bytes m 4090L 10 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_physmem_sparse () =
+  let m = Physmem.create ~size:(Int64.shift_left 1L 30) () in
+  Physmem.write_u8 m 0L 1;
+  Physmem.write_u8 m (Int64.shift_left 1L 29) 1;
+  Alcotest.(check int) "only touched frames" 2 (Physmem.touched_frames m)
+
+let physmem_roundtrip_prop =
+  QCheck.Test.make ~name:"physmem write/read roundtrip" ~count:200
+    QCheck.(pair (int_bound 100_000) (string_of_size Gen.(int_range 1 300)))
+    (fun (addr, data) ->
+      let m = Physmem.create ~size:1_000_000L () in
+      let addr = Int64.of_int addr in
+      Physmem.write_bytes m addr data;
+      String.equal (Physmem.read_bytes m addr (String.length data)) data)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "alignment" `Quick test_layout_alignment;
+          Alcotest.test_case "pages" `Quick test_layout_pages;
+        ] );
+      ( "buddy",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_buddy_alloc_free;
+          Alcotest.test_case "power-of-two rounding" `Quick test_buddy_rounds_to_power_of_two;
+          Alcotest.test_case "exhaustion" `Quick test_buddy_exhaustion;
+          Alcotest.test_case "distinct addresses" `Quick test_buddy_distinct_addresses;
+          Alcotest.test_case "double free rejected" `Quick test_buddy_double_free_rejected;
+          Alcotest.test_case "size mismatch rejected" `Quick test_buddy_size_mismatch_rejected;
+          Alcotest.test_case "fragmentation/coalesce" `Quick test_buddy_fragmentation_then_coalesce;
+          QCheck_alcotest.to_alcotest buddy_invariant_prop;
+        ] );
+      ( "physmem",
+        [
+          Alcotest.test_case "read/write" `Quick test_physmem_rw;
+          Alcotest.test_case "zero fill" `Quick test_physmem_zero_fill;
+          Alcotest.test_case "cross page" `Quick test_physmem_cross_page;
+          Alcotest.test_case "bounds" `Quick test_physmem_bounds;
+          Alcotest.test_case "sparse" `Quick test_physmem_sparse;
+          QCheck_alcotest.to_alcotest physmem_roundtrip_prop;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for the pub/sub broker: a second complete application hosted on a
+   smart NIC. *)
+
+module System = Lastcpu_core.System
+module Netsim = Lastcpu_net.Netsim
+module Smart_nic = Lastcpu_devices.Smart_nic
+module Pubsub = Lastcpu_apps.Pubsub
+module Proto = Lastcpu_apps.Pubsub_proto
+
+let test_topic_matching () =
+  let cases =
+    [
+      ("a/b", "a/b", true);
+      ("a/b", "a/c", false);
+      ("a/*", "a/b/c", true);
+      ("a/*", "a", false);
+      ("*", "anything", true);
+      ("", "x", false);
+      ("exact", "exact", true);
+    ]
+  in
+  List.iter
+    (fun (pattern, topic, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ~ %s" pattern topic)
+        expect
+        (Proto.topic_matches ~pattern topic))
+    cases
+
+let test_proto_roundtrips () =
+  let reqs =
+    [
+      { Proto.corr = 1; op = Proto.Subscribe "a/*" };
+      { Proto.corr = 2; op = Proto.Unsubscribe "a/*" };
+      { Proto.corr = 3; op = Proto.Publish { topic = "t"; payload = "p"; retain = true } };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.decode_request (Proto.encode_request r) with
+      | Ok r' -> Alcotest.(check bool) "req" true (r = r')
+      | Error e -> Alcotest.fail e)
+    reqs;
+  let frames =
+    [
+      Proto.Response { corr = 9; reply = Proto.Acked 3 };
+      Proto.Response { corr = 9; reply = Proto.Rejected "no" };
+      Proto.Event { topic = "t"; payload = String.make 100 'x' };
+    ]
+  in
+  List.iter
+    (fun f ->
+      match Proto.decode_frame (Proto.encode_frame f) with
+      | Ok f' -> Alcotest.(check bool) "frame" true (f = f')
+      | Error e -> Alcotest.fail e)
+    frames
+
+(* A little remote client for the broker. *)
+type client = {
+  ep : Netsim.endpoint;
+  mutable acks : (int * Proto.reply) list;
+  mutable events : (string * string) list;
+}
+
+let make_client system name =
+  let ep = Netsim.endpoint (System.net system) ~name in
+  let c = { ep; acks = []; events = [] } in
+  Netsim.set_receiver ep (fun ~src:_ frame ->
+      match Proto.decode_frame frame with
+      | Ok (Proto.Response { corr; reply }) -> c.acks <- (corr, reply) :: c.acks
+      | Ok (Proto.Event { topic; payload }) ->
+        c.events <- (topic, payload) :: c.events
+      | Error _ -> ());
+  c
+
+let send c ~broker req = Netsim.send c.ep ~dst:broker (Proto.encode_request req)
+
+let rig () =
+  let system = System.build () in
+  (match System.boot system with Ok () -> () | Error e -> Alcotest.fail e);
+  let nic = System.nic system 0 in
+  let broker_app = Pubsub.launch ~nic ~start_device:false () in
+  let broker = Smart_nic.endpoint_address nic in
+  (system, broker_app, broker)
+
+let test_fanout_and_unsubscribe () =
+  let system, app, broker = rig () in
+  let alice = make_client system "alice" in
+  let bob = make_client system "bob" in
+  let carol = make_client system "carol" in
+  send alice ~broker { Proto.corr = 1; op = Proto.Subscribe "news/*" };
+  send bob ~broker { Proto.corr = 1; op = Proto.Subscribe "news/tech" };
+  System.run_until_idle system;
+  Alcotest.(check int) "two subscriptions" 2 (Pubsub.subscriptions app);
+  (* carol publishes; both match. *)
+  send carol ~broker
+    { Proto.corr = 5; op = Proto.Publish { topic = "news/tech"; payload = "ocaml 6"; retain = false } };
+  System.run_until_idle system;
+  (match List.assoc_opt 5 carol.acks with
+  | Some (Proto.Acked 2) -> ()
+  | _ -> Alcotest.fail "publish not acked with 2 receivers");
+  Alcotest.(check (list (pair string string))) "alice got it"
+    [ ("news/tech", "ocaml 6") ] alice.events;
+  Alcotest.(check (list (pair string string))) "bob got it"
+    [ ("news/tech", "ocaml 6") ] bob.events;
+  Alcotest.(check (list (pair string string))) "carol got nothing" [] carol.events;
+  (* bob unsubscribes; next publish reaches only alice. *)
+  send bob ~broker { Proto.corr = 2; op = Proto.Unsubscribe "news/tech" };
+  System.run_until_idle system;
+  send carol ~broker
+    { Proto.corr = 6; op = Proto.Publish { topic = "news/tech"; payload = "again"; retain = false } };
+  System.run_until_idle system;
+  Alcotest.(check int) "bob still has 1 event" 1 (List.length bob.events);
+  Alcotest.(check int) "alice has 2" 2 (List.length alice.events)
+
+let test_no_duplicate_delivery_on_overlapping_patterns () =
+  let system, _, broker = rig () in
+  let alice = make_client system "alice" in
+  send alice ~broker { Proto.corr = 1; op = Proto.Subscribe "a/*" };
+  send alice ~broker { Proto.corr = 2; op = Proto.Subscribe "a/b" };
+  System.run_until_idle system;
+  let carol = make_client system "carol" in
+  send carol ~broker
+    { Proto.corr = 3; op = Proto.Publish { topic = "a/b"; payload = "x"; retain = false } };
+  System.run_until_idle system;
+  Alcotest.(check int) "delivered once despite two matches" 1
+    (List.length alice.events)
+
+let test_retained_replay () =
+  let system, app, broker = rig () in
+  let sensor = make_client system "sensor" in
+  send sensor ~broker
+    { Proto.corr = 1; op = Proto.Publish { topic = "sensors/1"; payload = "21C"; retain = true } };
+  System.run_until_idle system;
+  Alcotest.(check int) "retained" 1 (Pubsub.topics_retained app);
+  (* A late subscriber gets the retained value immediately. *)
+  let dashboard = make_client system "dashboard" in
+  send dashboard ~broker { Proto.corr = 2; op = Proto.Subscribe "sensors/*" };
+  System.run_until_idle system;
+  Alcotest.(check (list (pair string string))) "replayed"
+    [ ("sensors/1", "21C") ] dashboard.events;
+  (* Retained value updates on the next retain-publish. *)
+  send sensor ~broker
+    { Proto.corr = 3; op = Proto.Publish { topic = "sensors/1"; payload = "22C"; retain = true } };
+  System.run_until_idle system;
+  let late = make_client system "late" in
+  send late ~broker { Proto.corr = 4; op = Proto.Subscribe "sensors/1" };
+  System.run_until_idle system;
+  Alcotest.(check (list (pair string string))) "latest retained"
+    [ ("sensors/1", "22C") ] late.events
+
+let test_rejects_empty_pattern_and_garbage () =
+  let system, _, broker = rig () in
+  let c = make_client system "c" in
+  send c ~broker { Proto.corr = 1; op = Proto.Subscribe "" };
+  System.run_until_idle system;
+  (match List.assoc_opt 1 c.acks with
+  | Some (Proto.Rejected _) -> ()
+  | _ -> Alcotest.fail "empty pattern accepted");
+  (* Garbage frames are dropped without killing the broker. *)
+  Netsim.send c.ep ~dst:broker "\xff\xfe\xfd";
+  System.run_until_idle system;
+  send c ~broker { Proto.corr = 2; op = Proto.Subscribe "ok" };
+  System.run_until_idle system;
+  match List.assoc_opt 2 c.acks with
+  | Some (Proto.Acked 0) -> ()
+  | _ -> Alcotest.fail "broker died on garbage"
+
+let test_coexists_with_kvs () =
+  (* Both applications on one machine: the KVS on nic0, the broker on nic1
+     — the multi-app deployment the paper implies. *)
+  let spec = { System.default_spec with System.nic_count = 2 } in
+  match Lastcpu_core.Scenario_kvs.run ~spec () with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+    let system = outcome.Lastcpu_core.Scenario_kvs.system in
+    let broker_app = Pubsub.launch ~nic:(System.nic system 1) () in
+    System.run_until_idle system;
+    let broker = Smart_nic.endpoint_address (System.nic system 1) in
+    let c = make_client system "dual" in
+    send c ~broker { Proto.corr = 1; op = Proto.Subscribe "t" };
+    System.run_until_idle system;
+    send c ~broker
+      { Proto.corr = 2; op = Proto.Publish { topic = "t"; payload = "hi"; retain = false } };
+    System.run_until_idle system;
+    Alcotest.(check int) "event delivered" 1 (List.length c.events);
+    Alcotest.(check int) "broker stats" 1 (Pubsub.published broker_app);
+    (* And the KVS still works. *)
+    let ok = ref false in
+    Lastcpu_kv.Kv_app.local_op outcome.Lastcpu_core.Scenario_kvs.app
+      (Lastcpu_kv.Kv_proto.Put ("co", "exist"))
+      (fun r -> ok := r = Lastcpu_kv.Kv_proto.Done);
+    System.run_until_idle system;
+    Alcotest.(check bool) "kvs unaffected" true !ok
+
+let () =
+  Alcotest.run "pubsub"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "topic matching" `Quick test_topic_matching;
+          Alcotest.test_case "roundtrips" `Quick test_proto_roundtrips;
+        ] );
+      ( "broker",
+        [
+          Alcotest.test_case "fanout + unsubscribe" `Quick test_fanout_and_unsubscribe;
+          Alcotest.test_case "no duplicate delivery" `Quick
+            test_no_duplicate_delivery_on_overlapping_patterns;
+          Alcotest.test_case "retained replay" `Quick test_retained_replay;
+          Alcotest.test_case "rejects garbage" `Quick test_rejects_empty_pattern_and_garbage;
+          Alcotest.test_case "coexists with kvs" `Quick test_coexists_with_kvs;
+        ] );
+    ]

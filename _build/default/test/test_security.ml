@@ -1,0 +1,252 @@
+(* Security tests: the isolation properties §2.2 assigns to the bus/IOMMU
+   split, exercised end to end against a booted system. *)
+
+module Types = Lastcpu_proto.Types
+module Message = Lastcpu_proto.Message
+module Token = Lastcpu_proto.Token
+module Engine = Lastcpu_sim.Engine
+module System = Lastcpu_core.System
+module Scenario = Lastcpu_core.Scenario_kvs
+module Sysbus = Lastcpu_bus.Sysbus
+module Device = Lastcpu_device.Device
+module Smart_nic = Lastcpu_devices.Smart_nic
+module Smart_ssd = Lastcpu_devices.Smart_ssd
+module Memctl = Lastcpu_devices.Memctl
+module Auth_dev = Lastcpu_devices.Auth_dev
+module Dma = Lastcpu_virtio.Dma
+module Iommu = Lastcpu_iommu.Iommu
+module File_client = Lastcpu_devices.File_client
+
+let booted ?spec () =
+  let system = System.build ?spec () in
+  match System.boot system with
+  | Ok () -> system
+  | Error e -> Alcotest.fail e
+
+let test_cross_pasid_no_access () =
+  (* App A allocates memory; app B (same device, different PASID) cannot
+     read it: the address is simply unmapped in B's address space. *)
+  let system = booted () in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let mc = Memctl.id (System.memctl system) in
+  let pasid_a = System.fresh_pasid system in
+  let pasid_b = System.fresh_pasid system in
+  let allocated = ref false in
+  Device.alloc dev ~memctl:mc ~pasid:pasid_a ~va:0x4000_0000L ~bytes:4096L
+    ~perm:Types.perm_rw (fun r -> allocated := Result.is_ok r);
+  System.run_until_idle system;
+  Alcotest.(check bool) "A allocated" true !allocated;
+  let dma_a = Device.dma dev ~pasid:pasid_a in
+  Dma.write_u64 dma_a 0x4000_0000L 0x5EC2E7L;
+  let dma_b = Device.dma dev ~pasid:pasid_b in
+  match Dma.read_u64 dma_b 0x4000_0000L with
+  | _ -> Alcotest.fail "PASID isolation breached"
+  | exception Dma.Dma_fault f ->
+    Alcotest.(check bool) "not mapped for B" true (f.Iommu.reason = Iommu.Not_mapped)
+
+let test_forged_alloc_response_cannot_map () =
+  (* A malicious device sends a Map_directive with a token it minted
+     itself (it is not the registered controller): the bus refuses. *)
+  let system = booted () in
+  let bus = System.bus system in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let evil_key = 0xE717L in
+  let token =
+    Token.mint ~key:evil_key ~issuer:(Device.id dev) ~subject:(Device.id dev)
+      ~pasid:33 ~resource:"dram" ~base:0x1000_0000L ~length:4096L
+      ~perm:Types.perm_rw ~nonce:1L
+  in
+  Device.request dev ~dst:Types.Bus
+    (Message.Map_directive
+       {
+         device = Device.id dev;
+         pasid = 33;
+         va = 0x4000_0000L;
+         pa = 0x1000_0000L;
+         bytes = 4096L;
+         perm = Types.perm_rw;
+         auth = token;
+       })
+    (fun _ -> ());
+  System.run_until_idle system;
+  Alcotest.(check bool) "token failure recorded" true
+    ((Sysbus.counters bus).Sysbus.token_failures > 0);
+  let dma = Device.dma dev ~pasid:33 in
+  match Dma.read_u8 dma 0x4000_0000L with
+  | _ -> Alcotest.fail "forged mapping installed"
+  | exception Dma.Dma_fault _ -> ()
+
+let test_replayed_token_for_wrong_range () =
+  (* A legitimate token cannot be stretched: mapping outside its physical
+     range is refused even with a valid MAC. *)
+  let system = booted () in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let mc = Memctl.id (System.memctl system) in
+  let pasid = System.fresh_pasid system in
+  let token = ref None in
+  Device.alloc dev ~memctl:mc ~pasid ~va:0x4000_0000L ~bytes:4096L
+    ~perm:Types.perm_rw (fun r -> token := Result.to_option r);
+  System.run_until_idle system;
+  match !token with
+  | None -> Alcotest.fail "alloc failed"
+  | Some tok ->
+    (* Try to wield the token for a *different* virtual range with no
+       backing mapping: grant must fail (owner has no mapping there). *)
+    let denied = ref false in
+    Device.grant dev
+      ~to_device:(Smart_ssd.id (System.ssd system 0))
+      ~pasid ~va:0x7777_0000L ~bytes:4096L ~perm:Types.perm_rw ~auth:tok
+      (fun r -> denied := Result.is_error r);
+    System.run_until_idle system;
+    Alcotest.(check bool) "grant outside mapping denied" true !denied
+
+let test_grant_perm_cannot_exceed_token () =
+  let system = booted () in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let mc = Memctl.id (System.memctl system) in
+  let pasid = System.fresh_pasid system in
+  let token = ref None in
+  (* Read-only allocation. *)
+  Device.alloc dev ~memctl:mc ~pasid ~va:0x4000_0000L ~bytes:4096L
+    ~perm:Types.perm_r (fun r -> token := Result.to_option r);
+  System.run_until_idle system;
+  match !token with
+  | None -> Alcotest.fail "alloc failed"
+  | Some tok ->
+    let denied = ref false in
+    Device.grant dev
+      ~to_device:(Smart_ssd.id (System.ssd system 0))
+      ~pasid ~va:0x4000_0000L ~bytes:4096L ~perm:Types.perm_rw ~auth:tok
+      (fun r -> denied := Result.is_error r);
+    System.run_until_idle system;
+    Alcotest.(check bool) "rw grant from r token denied" true !denied
+
+let test_fs_access_control_cross_user () =
+  (* §4 access control: per-file enforcement happens on the SSD. *)
+  match Scenario.run ~smoke_ops:0 () with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+    let system = outcome.Scenario.system in
+    let fs = Smart_ssd.fs (System.ssd system 0) in
+    (match Lastcpu_fs.Fs.chmod fs ~user:"root" "/kv/data.log" ~mode:0o600 with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Lastcpu_fs.Fs.error_to_string e));
+    (* A second client under a different user cannot read the KVS log. *)
+    let dev = Smart_nic.device (System.nic system 0) in
+    let fc = ref None in
+    File_client.connect dev
+      ~memctl:(Memctl.id (System.memctl system))
+      ~pasid:(System.fresh_pasid system)
+      ~shm_va:0xB000_0000L ~user:"mallory" ~path_hint:"/kv/data.log"
+      (fun r -> fc := Result.to_option r);
+    System.run_until_idle system;
+    (match !fc with
+    | None -> Alcotest.fail "connect failed"
+    | Some fc ->
+      let result = ref None in
+      File_client.read fc "/kv/data.log" ~off:0 ~len:16 (fun r -> result := Some r);
+      System.run_until_idle system;
+      match !result with
+      | Some (Error _) -> ()
+      | Some (Ok _) -> Alcotest.fail "mallory read the log"
+      | None -> Alcotest.fail "read never completed")
+
+let test_session_tokens_required_when_auth_enabled () =
+  let spec =
+    {
+      System.default_spec with
+      with_auth = true;
+      users = [ ("alice", "pw") ];
+    }
+  in
+  let system = booted ~spec () in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let mc = Memctl.id (System.memctl system) in
+  (* Without a session token, opening the file service is denied. *)
+  let fc = ref None in
+  File_client.connect dev ~memctl:mc ~pasid:(System.fresh_pasid system)
+    ~shm_va:0x4000_0000L ~user:"alice" ~path_hint:"" (fun r -> fc := Some r);
+  System.run_until_idle system;
+  (match !fc with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "open accepted without session"
+  | None -> Alcotest.fail "connect never completed");
+  (* Authenticate, then retry with the session token. *)
+  let auth =
+    match System.auth system with Some a -> a | None -> Alcotest.fail "no auth dev"
+  in
+  let session = ref None in
+  Device.request dev ~dst:(Types.Device (Auth_dev.id auth))
+    (Message.Auth_request { user = "alice"; credential = "pw" })
+    (fun p ->
+      match p with
+      | Message.Auth_response { ok = true; session = Some s } -> session := Some s
+      | _ -> ());
+  System.run_until_idle system;
+  match !session with
+  | None -> Alcotest.fail "authentication failed"
+  | Some s ->
+    let fc2 = ref None in
+    File_client.connect dev ~memctl:mc ~pasid:(System.fresh_pasid system)
+      ~shm_va:0x4800_0000L ~user:"alice" ~path_hint:"" ~auth:s (fun r ->
+        fc2 := Some r);
+    System.run_until_idle system;
+    (match !fc2 with
+    | Some (Ok _) -> ()
+    | Some (Error e) -> Alcotest.fail ("authorized open failed: " ^ e)
+    | None -> Alcotest.fail "connect never completed")
+
+let test_session_token_wrong_user_rejected () =
+  let spec =
+    {
+      System.default_spec with
+      with_auth = true;
+      users = [ ("alice", "pw"); ("bob", "pw2") ];
+    }
+  in
+  let system = booted ~spec () in
+  let dev = Smart_nic.device (System.nic system 0) in
+  let auth = Option.get (System.auth system) in
+  let session = ref None in
+  Device.request dev ~dst:(Types.Device (Auth_dev.id auth))
+    (Message.Auth_request { user = "bob"; credential = "pw2" })
+    (fun p ->
+      match p with
+      | Message.Auth_response { session = s; _ } -> session := s
+      | _ -> ());
+  System.run_until_idle system;
+  match !session with
+  | None -> Alcotest.fail "bob auth failed"
+  | Some bob_session ->
+    (* Present bob's session while claiming to be alice. *)
+    let fc = ref None in
+    File_client.connect dev
+      ~memctl:(Memctl.id (System.memctl system))
+      ~pasid:(System.fresh_pasid system)
+      ~shm_va:0x4000_0000L ~user:"alice" ~path_hint:"" ~auth:bob_session
+      (fun r -> fc := Some r);
+    System.run_until_idle system;
+    (match !fc with
+    | Some (Error _) -> ()
+    | Some (Ok _) -> Alcotest.fail "identity confusion accepted"
+    | None -> Alcotest.fail "connect never completed")
+
+let () =
+  Alcotest.run "security"
+    [
+      ( "memory isolation",
+        [
+          Alcotest.test_case "cross-pasid" `Quick test_cross_pasid_no_access;
+          Alcotest.test_case "forged directive" `Quick test_forged_alloc_response_cannot_map;
+          Alcotest.test_case "token range pinned" `Quick test_replayed_token_for_wrong_range;
+          Alcotest.test_case "grant perm bounded" `Quick test_grant_perm_cannot_exceed_token;
+        ] );
+      ( "access control",
+        [
+          Alcotest.test_case "fs cross-user" `Quick test_fs_access_control_cross_user;
+          Alcotest.test_case "session required" `Quick
+            test_session_tokens_required_when_auth_enabled;
+          Alcotest.test_case "session user binding" `Quick
+            test_session_token_wrong_user_rejected;
+        ] );
+    ]
