@@ -5,6 +5,7 @@
      dune exec bench/main.exe f2 t3       # selected experiments
      dune exec bench/main.exe micro       # bechamel micro-benchmarks
      dune exec bench/main.exe all micro   # both
+     dune exec bench/main.exe metrics     # telemetry JSON snapshot of a KVS run
 
    Each experiment regenerates one figure/table of EXPERIMENTS.md; the
    micro suite has one bechamel Test.make per table, covering that table's
@@ -206,6 +207,30 @@ module Micro = struct
       (List.sort compare !rows)
 end
 
+(* --- metrics snapshot ---------------------------------------------------------- *)
+
+(* One machine-readable telemetry dump: boot the KVS scenario, run a short
+   workload, and print the engine registry as JSON (one line, parseable). *)
+let metrics_snapshot () =
+  let module System = Lastcpu_core.System in
+  let module Scenario = Lastcpu_core.Scenario_kvs in
+  let module Engine = Lastcpu_sim.Engine in
+  let module Metrics = Lastcpu_sim.Metrics in
+  let module Kv_app = Lastcpu_kv.Kv_app in
+  let module Kv_proto = Lastcpu_kv.Kv_proto in
+  match Scenario.run () with
+  | Error e -> Printf.eprintf "metrics: scenario failed: %s\n" e
+  | Ok outcome ->
+    let system = outcome.Scenario.system in
+    let app = outcome.Scenario.app in
+    for i = 1 to 25 do
+      let key = Printf.sprintf "bench-%04d" i in
+      Kv_app.local_op app (Kv_proto.Put (key, "value-" ^ key)) (fun _ -> ());
+      Kv_app.local_op app (Kv_proto.Get key) (fun _ -> ())
+    done;
+    System.run_until_idle system;
+    print_endline (Metrics.to_json (Engine.metrics (System.engine system)))
+
 (* --- driver ------------------------------------------------------------------- *)
 
 let all_ids =
@@ -229,5 +254,8 @@ let () =
   in
   print_endline "lastcpu experiment harness — see EXPERIMENTS.md for the index";
   List.iter
-    (fun id -> if id = "micro" then Micro.run () else run_experiment id)
+    (fun id ->
+      if id = "micro" then Micro.run ()
+      else if id = "metrics" then metrics_snapshot ()
+      else run_experiment id)
     args

@@ -4,7 +4,8 @@
      lastcpu topology             print the booted system (Figure 1)
      lastcpu figure2 [--trace]    run the KVS bring-up and show the sequence
      lastcpu experiment <id>      run one experiment table (f1..t12)
-     lastcpu kv <n>               run n KV smoke operations end to end *)
+     lastcpu kv <n>               run n KV smoke operations end to end
+     lastcpu metrics [--json]     run a booted KVS workload, dump telemetry *)
 
 open Cmdliner
 
@@ -12,6 +13,7 @@ module System = Lastcpu_core.System
 module Scenario = Lastcpu_core.Scenario_kvs
 module Experiments = Lastcpu_core.Experiments
 module Engine = Lastcpu_sim.Engine
+module Metrics = Lastcpu_sim.Metrics
 module Trace = Lastcpu_sim.Trace
 module Kv_app = Lastcpu_kv.Kv_app
 module Kv_proto = Lastcpu_kv.Kv_proto
@@ -144,7 +146,45 @@ let kv_cmd =
   let n = Arg.(value & pos 0 int 10 & info [] ~docv:"N" ~doc:"Operation pairs.") in
   Cmd.v (Cmd.info "kv" ~doc) Term.(const kv $ seed_arg $ n)
 
+(* --- metrics -------------------------------------------------------------------- *)
+
+let metrics seed n json =
+  match Scenario.run ~spec:(spec_of_seed seed) ~smoke_ops:0 () with
+  | Error e ->
+    Printf.eprintf "scenario failed: %s\n" e;
+    1
+  | Ok outcome ->
+    let system = outcome.Scenario.system in
+    let app = outcome.Scenario.app in
+    (* Drive some traffic so the registry has something to show. *)
+    for i = 1 to n do
+      let key = Printf.sprintf "metrics-%04d" i in
+      Kv_app.local_op app (Kv_proto.Put (key, "value-" ^ key)) (fun _ -> ());
+      System.run_until_idle system;
+      Kv_app.local_op app (Kv_proto.Get key) (fun _ -> ());
+      System.run_until_idle system
+    done;
+    let m = Engine.metrics (System.engine system) in
+    print_string (if json then Metrics.to_json m else Metrics.to_prometheus m);
+    0
+
+let metrics_cmd =
+  let doc =
+    "Boot the KVS scenario, run a small workload and print the telemetry \
+     registry (Prometheus text exposition by default)."
+  in
+  let n =
+    Arg.(value & opt int 25 & info [ "ops" ] ~docv:"N" ~doc:"KV put+get pairs to drive.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON snapshot instead.")
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const metrics $ seed_arg $ n $ json_arg)
+
 let () =
   let doc = "emulator of the CPU-less system from 'The Last CPU' (HotOS '21)" in
   let info = Cmd.info "lastcpu" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd; metrics_cmd ]))

@@ -5,6 +5,7 @@ module Iommu = Lastcpu_iommu.Iommu
 module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
 module Costs = Lastcpu_sim.Costs
+module Metrics = Lastcpu_sim.Metrics
 
 type config = { enable_tokens : bool; heartbeat_timeout_ns : int64; lanes : int }
 
@@ -37,7 +38,16 @@ type t = {
   lanes : Station.t array;
   mutable devices : device_slot array;
   controller_keys : (Types.device_id * string, Token.key) Hashtbl.t;
-  mutable c : counters;
+  actor : string;
+  (* Instrument handles into the engine's registry; [counters] rebuilds the
+     legacy record from these, so existing call sites read unchanged. *)
+  m_routed : Metrics.counter;
+  m_broadcasts : Metrics.counter;
+  m_maps : Metrics.counter;
+  m_unmaps : Metrics.counter;
+  m_token_failures : Metrics.counter;
+  m_undeliverable : Metrics.counter;
+  m_control_bytes : Metrics.counter;
 }
 
 let bus_src = -1 (* messages originated by the bus itself *)
@@ -48,7 +58,7 @@ let broadcast_from_bus t payload =
     (fun id slot ->
       if slot.live then begin
         let msg = Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0 payload in
-        t.c <- { t.c with broadcasts = t.c.broadcasts + 1 };
+        Metrics.incr t.m_broadcasts;
         Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
             if slot.live then slot.handler msg)
       end)
@@ -64,6 +74,9 @@ let mark_failed t id =
   end
 
 let create ?(config = default_config) engine =
+  let m = Engine.metrics engine in
+  let actor = Metrics.claim_actor m "bus" in
+  let counter name = Metrics.counter m ~actor ~name in
   let t =
     {
       engine;
@@ -71,16 +84,14 @@ let create ?(config = default_config) engine =
       lanes = Array.init (max 1 config.lanes) (fun _ -> Station.create engine);
       devices = [||];
       controller_keys = Hashtbl.create 8;
-      c =
-        {
-          routed = 0;
-          broadcasts = 0;
-          maps_programmed = 0;
-          unmaps = 0;
-          token_failures = 0;
-          undeliverable = 0;
-          control_bytes = 0;
-        };
+      actor;
+      m_routed = counter "routed";
+      m_broadcasts = counter "broadcasts";
+      m_maps = counter "maps_programmed";
+      m_unmaps = counter "unmaps";
+      m_token_failures = counter "token_failures";
+      m_undeliverable = counter "undeliverable";
+      m_control_bytes = counter "control_bytes";
     }
   in
   (if config.heartbeat_timeout_ns > 0L then
@@ -138,7 +149,18 @@ let register_controller t id ~resource ~key =
 
 let services_of t id = (slot t id).services
 
-let counters t = t.c
+let counters t =
+  {
+    routed = Metrics.counter_value t.m_routed;
+    broadcasts = Metrics.counter_value t.m_broadcasts;
+    maps_programmed = Metrics.counter_value t.m_maps;
+    unmaps = Metrics.counter_value t.m_unmaps;
+    token_failures = Metrics.counter_value t.m_token_failures;
+    undeliverable = Metrics.counter_value t.m_undeliverable;
+    control_bytes = Metrics.counter_value t.m_control_bytes;
+  }
+
+let actor t = t.actor
 let station t = t.lanes.(0)
 let stations t = Array.to_list t.lanes
 
@@ -156,12 +178,8 @@ let reply t ~to_ ~corr payload =
   let s = slot t to_ in
   if s.live then begin
     let msg = Message.make ~src:bus_src ~dst:(Types.Device to_) ~corr payload in
-    t.c <-
-      {
-        t.c with
-        routed = t.c.routed + 1;
-        control_bytes = t.c.control_bytes + Message.wire_size msg;
-      };
+    Metrics.incr t.m_routed;
+    Metrics.incr ~by:(Message.wire_size msg) t.m_control_bytes;
     Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
         if s.live then s.handler msg)
   end
@@ -191,7 +209,7 @@ let range_covered ~(token : Token.t) ~base ~bytes =
 let handle_map_directive t ~src ~corr ~device ~pasid ~va ~pa ~bytes ~perm
     ~(auth : Token.t) =
   let fail reason =
-    t.c <- { t.c with token_failures = t.c.token_failures + 1 };
+    Metrics.incr t.m_token_failures;
     trace t "bus.map-denied" reason;
     reply t ~to_:src ~corr
       (Message.Error_msg { code = Types.E_bad_token; detail = reason })
@@ -218,7 +236,7 @@ let handle_map_directive t ~src ~corr ~device ~pasid ~va ~pa ~bytes ~perm
         reply t ~to_:device ~corr (Message.Map_complete { pasid; va; ok = false })
       | Ok () ->
         let pages = Lastcpu_mem.Layout.pages_of_bytes bytes in
-        t.c <- { t.c with maps_programmed = t.c.maps_programmed + pages };
+        Metrics.incr ~by:pages t.m_maps;
         trace t "bus.map"
           (Printf.sprintf "dev%d pasid=%d va=0x%Lx pa=0x%Lx pages=%d" device
              pasid va pa pages);
@@ -230,7 +248,7 @@ let handle_map_directive t ~src ~corr ~device ~pasid ~va ~pa ~bytes ~perm
 let handle_grant t ~src ~corr ~to_device ~pasid ~va ~bytes ~perm
     ~(auth : Token.t) =
   let fail code reason =
-    t.c <- { t.c with token_failures = t.c.token_failures + 1 };
+    Metrics.incr t.m_token_failures;
     trace t "bus.grant-denied" reason;
     reply t ~to_:src ~corr (Message.Error_msg { code; detail = reason })
   in
@@ -251,7 +269,7 @@ let handle_grant t ~src ~corr ~to_device ~pasid ~va ~bytes ~perm
       let npages = Lastcpu_mem.Layout.pages_of_bytes bytes in
       let rec go i =
         if i = npages then begin
-          t.c <- { t.c with maps_programmed = t.c.maps_programmed + npages };
+          Metrics.incr ~by:npages t.m_maps;
           trace t "bus.grant"
             (Printf.sprintf "dev%d -> dev%d pasid=%d va=0x%Lx pages=%d" src
                to_device pasid va npages);
@@ -283,7 +301,7 @@ let handle_unmap t ~src ~corr ~device ~pasid ~va ~bytes ~(auth : Token.t) =
   let wielder = if t.config.enable_tokens && src = auth.issuer then `Issuer else `Subject in
   match verify_token t ~src ~expect_wielder:wielder auth with
   | Error reason ->
-    t.c <- { t.c with token_failures = t.c.token_failures + 1 };
+    Metrics.incr t.m_token_failures;
     reply t ~to_:src ~corr
       (Message.Error_msg { code = Types.E_bad_token; detail = reason })
   | Ok () ->
@@ -295,7 +313,7 @@ let handle_unmap t ~src ~corr ~device ~pasid ~va ~bytes ~(auth : Token.t) =
     Array.iter
       (fun s -> removed := !removed + Iommu.unmap s.iommu ~pasid ~va ~bytes)
       t.devices;
-    t.c <- { t.c with unmaps = t.c.unmaps + !removed };
+    Metrics.incr ~by:!removed t.m_unmaps;
     trace t "bus.unmap"
       (Printf.sprintf "pasid=%d va=0x%Lx pages=%d (all devices)" pasid va
          !removed);
@@ -338,7 +356,7 @@ let deliver_unicast t (msg : Message.t) dst =
   let costs = Engine.costs t.engine in
   let s = slot t dst in
   if not s.live then begin
-    t.c <- { t.c with undeliverable = t.c.undeliverable + 1 };
+    Metrics.incr t.m_undeliverable;
     (* Bounce an error to the sender so it can recover (§4). *)
     if msg.src >= 0 && (slot t msg.src).live then
       reply t ~to_:msg.src ~corr:msg.corr
@@ -349,7 +367,7 @@ let deliver_unicast t (msg : Message.t) dst =
            })
   end
   else begin
-    t.c <- { t.c with routed = t.c.routed + 1 };
+    Metrics.incr t.m_routed;
     Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
         if s.live then s.handler msg)
   end
@@ -357,7 +375,7 @@ let deliver_unicast t (msg : Message.t) dst =
 let send t (msg : Message.t) =
   let costs = Engine.costs t.engine in
   let size = Message.wire_size msg in
-  t.c <- { t.c with control_bytes = t.c.control_bytes + size };
+  Metrics.incr ~by:size t.m_control_bytes;
   Engine.trace_event t.engine
     ~actor:(if msg.src >= 0 then device_name t msg.src else "bus")
     ~kind:("msg." ^ Message.payload_tag msg.payload)
@@ -381,7 +399,7 @@ let send t (msg : Message.t) =
             Array.iteri
               (fun id s ->
                 if id <> msg.src && s.live then begin
-                  t.c <- { t.c with broadcasts = t.c.broadcasts + 1 };
+                  Metrics.incr t.m_broadcasts;
                   Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns
                     (fun () -> if s.live then s.handler msg)
                 end)

@@ -101,6 +101,13 @@ type counters = {
 }
 
 val counters : t -> counters
+(** Snapshot of the bus's registry counters as the legacy record. The
+    live values are the [actor t] instruments in [Engine.metrics]. *)
+
+val actor : t -> string
+(** Registry actor name this bus claimed (["bus"], or ["bus#2"], … when
+    several buses share an engine). *)
+
 val station : t -> Lastcpu_sim.Station.t
 (** The bus's first message processor (for utilisation metrics in T3). *)
 

@@ -3,6 +3,7 @@ module Message = Lastcpu_proto.Message
 module Engine = Lastcpu_sim.Engine
 module Costs = Lastcpu_sim.Costs
 module Stats = Lastcpu_sim.Stats
+module Metrics = Lastcpu_sim.Metrics
 module Rng = Lastcpu_sim.Rng
 module Station = Lastcpu_sim.Station
 module Trace = Lastcpu_sim.Trace
@@ -68,15 +69,17 @@ let sequentially n f k_done =
   let rec go i = if i = n then k_done () else f i (fun () -> go (i + 1)) in
   go 0
 
-let measure engine (h : Stats.Histogram.t) (s : Stats.Summary.t) op k =
+(* Experiment tallies live in the engine's telemetry registry, under the
+   "experiment" actor, alongside the subsystem counters they are compared
+   against; [lat] is a {!Metrics.histogram} handle. *)
+let measure engine lat op k =
   let t0 = Engine.now engine in
   op (fun () ->
-      let dt = Int64.to_float (Int64.sub (Engine.now engine) t0) in
-      Stats.Histogram.add h dt;
-      Stats.Summary.add s dt;
+      Metrics.observe lat (Int64.to_float (Int64.sub (Engine.now engine) t0));
       k ())
 
-let fresh_stats () = (Stats.Histogram.create (), Stats.Summary.create ())
+let experiment_hist engine name =
+  Metrics.histogram (Engine.metrics engine) ~actor:"experiment" ~name
 
 (* --- F1: architecture -------------------------------------------------------- *)
 
@@ -149,7 +152,11 @@ let t1_decentralized ~enable_tokens =
   let ssd_id = Smart_ssd.id (System.ssd system 0) in
   let pasid = System.fresh_pasid system in
   let results = Hashtbl.create 8 in
-  let record name = fresh_stats () |> fun hs -> Hashtbl.replace results name hs; hs in
+  let record name =
+    let h = experiment_hist engine name in
+    Hashtbl.replace results name h;
+    h
+  in
   let service =
     match
       List.find_opt
@@ -169,16 +176,14 @@ let t1_decentralized ~enable_tokens =
   let done_ = ref false in
   sequentially iters_t1
     (fun _ k ->
-      let h, s = discover_stats in
-      measure engine h s
+      measure engine discover_stats
         (fun k' ->
           Device.discover dev ~kind:Types.File_service ~query:"" (fun _ -> k' ()))
         k)
     (fun () ->
       sequentially iters_t1
         (fun _ k ->
-          let h, s = open_stats in
-          measure engine h s
+          measure engine open_stats
             (fun k' ->
               Device.open_service dev ~provider:ssd_id ~service ~pasid
                 ~params:[ ("user", "bench") ] (fun _ -> k' ()))
@@ -186,8 +191,7 @@ let t1_decentralized ~enable_tokens =
         (fun () ->
           sequentially iters_t1
             (fun i k ->
-              let h, s = alloc_stats in
-              measure engine h s
+              measure engine alloc_stats
                 (fun k' ->
                   Device.alloc dev ~memctl:mc ~pasid ~va:(va i) ~bytes:16384L
                     ~perm:Types.perm_rw (fun res ->
@@ -202,8 +206,7 @@ let t1_decentralized ~enable_tokens =
                   match tokens.(i) with
                   | None -> k ()
                   | Some token ->
-                    let h, s = grant_stats in
-                    measure engine h s
+                    measure engine grant_stats
                       (fun k' ->
                         Device.grant dev ~to_device:ssd_id ~pasid ~va:(va i)
                           ~bytes:16384L ~perm:Types.perm_rw ~auth:token
@@ -212,8 +215,7 @@ let t1_decentralized ~enable_tokens =
                 (fun () ->
                   sequentially iters_t1
                     (fun i k ->
-                      let h, s = free_stats in
-                      measure engine h s
+                      measure engine free_stats
                         (fun k' ->
                           Device.free dev ~memctl:mc ~pasid ~va:(va i)
                             ~bytes:16384L (fun _ -> k' ()))
@@ -230,7 +232,11 @@ let t1_centralized () =
   | Ok () -> ()
   | Error e -> invalid_arg (Fs.error_to_string e));
   let results = Hashtbl.create 8 in
-  let record name = fresh_stats () |> fun hs -> Hashtbl.replace results name hs; hs in
+  let record name =
+    let h = experiment_hist engine name in
+    Hashtbl.replace results name h;
+    h
+  in
   let discover_stats = record "discover" in
   let open_stats = record "open" in
   let mmap_stats = record "alloc+map" in
@@ -240,13 +246,13 @@ let t1_centralized () =
   let done_ = ref false in
   sequentially iters_t1
     (fun _ k ->
-      let h, s = discover_stats in
-      measure engine h s (fun k' -> Central.discover central ~query:"" (fun () -> k' ())) k)
+      measure engine discover_stats
+        (fun k' -> Central.discover central ~query:"" (fun () -> k' ()))
+        k)
     (fun () ->
       sequentially iters_t1
         (fun _ k ->
-          let h, s = open_stats in
-          measure engine h s
+          measure engine open_stats
             (fun k' ->
               Central.open_file central ~path:"/target" ~user:"bench" (fun _ ->
                   k' ()))
@@ -254,22 +260,19 @@ let t1_centralized () =
         (fun () ->
           sequentially iters_t1
             (fun _ k ->
-              let h, s = mmap_stats in
-              measure engine h s
+              measure engine mmap_stats
                 (fun k' -> Central.setup_shared central ~bytes:16384L (fun () -> k' ()))
                 k)
             (fun () ->
               sequentially iters_t1
                 (fun _ k ->
-                  let h, s = grant_stats in
-                  measure engine h s
+                  measure engine grant_stats
                     (fun k' -> Kernel.syscall kern ~name:"grant" (fun () -> k' ()))
                     k)
                 (fun () ->
                   sequentially iters_t1
                     (fun _ k ->
-                      let h, s = free_stats in
-                      measure engine h s
+                      measure engine free_stats
                         (fun k' ->
                           Central.teardown_shared central (fun () -> k' ()))
                         k)
@@ -285,10 +288,8 @@ let t1 ?(enable_tokens = true) () =
   let rows =
     List.map
       (fun op ->
-        let dh, ds = Hashtbl.find dec op in
-        let _, cs = Hashtbl.find cen op in
-        ignore dh;
-        let d = Stats.Summary.mean ds and c = Stats.Summary.mean cs in
+        let d = Stats.Summary.mean (Metrics.summary (Hashtbl.find dec op))
+        and c = Stats.Summary.mean (Metrics.summary (Hashtbl.find cen op)) in
         [ op; ns d; ns c; ratio d c ])
       ops
   in
@@ -316,7 +317,7 @@ let t1 ?(enable_tokens = true) () =
 (* A closed-loop remote client on the simulated network. *)
 let client_counter = ref 0
 
-let kv_closed_loop_client system ~app_addr ~ops ~think_ns ~make_op ~h ~s ~on_done =
+let kv_closed_loop_client system ~app_addr ~ops ~think_ns ~make_op ~lat ~on_done =
   let engine = System.engine system in
   let net = System.net system in
   incr client_counter;
@@ -341,9 +342,7 @@ let kv_closed_loop_client system ~app_addr ~ops ~think_ns ~make_op ~h ~s ~on_don
         | None -> ()
         | Some t0 ->
           Hashtbl.remove outstanding corr;
-          let dt = Int64.to_float (Int64.sub (Engine.now engine) t0) in
-          Stats.Histogram.add h dt;
-          Stats.Summary.add s dt;
+          Metrics.observe lat (Int64.to_float (Int64.sub (Engine.now engine) t0));
           incr completed;
           if !completed = ops then on_done ()
           else if think_ns > 0L then Engine.schedule engine ~delay:think_ns send_next
@@ -398,7 +397,7 @@ let t2_decentralized ~noisy =
         noise_loop ()
       done
     end;
-    let h, s = fresh_stats () in
+    let lat = experiment_hist engine "kv_get" in
     let finished = ref false in
     let make_op _ =
       (* Pure gets: isolates coordination latency from NAND program time,
@@ -408,13 +407,13 @@ let t2_decentralized ~noisy =
     in
     kv_closed_loop_client system
       ~app_addr:(Smart_nic.endpoint_address (System.nic system 0))
-      ~ops:t2_ops ~think_ns:0L ~make_op ~h ~s
+      ~ops:t2_ops ~think_ns:0L ~make_op ~lat
       ~on_done:(fun () ->
         finished := true;
         stop := true);
     System.run_until_idle system;
     assert !finished;
-    Stats.latency_report h s
+    Metrics.report lat
 
 (* Centralized: same store logic; network ops and noise share the CPU. *)
 let t2_centralized ~noisy =
@@ -438,7 +437,7 @@ let t2_centralized ~noisy =
       noise_loop ()
     done
   end;
-  let h, s = fresh_stats () in
+  let lat = experiment_hist engine "kv_get" in
   let finished = ref false in
   let completed = ref 0 in
   let rec next i =
@@ -448,9 +447,7 @@ let t2_centralized ~noisy =
       let key = Printf.sprintf "key-%06d" (Rng.zipf rng ~n:t2_keys ~theta:0.99) in
       let work k = Store.get store key (fun _ -> k ()) in
       Central.kv_network_op central work (fun () ->
-          let dt = Int64.to_float (Int64.sub (Engine.now engine) t0) in
-          Stats.Histogram.add h dt;
-          Stats.Summary.add s dt;
+          Metrics.observe lat (Int64.to_float (Int64.sub (Engine.now engine) t0));
           incr completed;
           if !completed = t2_ops then begin
             finished := true;
@@ -462,7 +459,7 @@ let t2_centralized ~noisy =
   next 0;
   Engine.run engine;
   assert !finished;
-  Stats.latency_report h s
+  Metrics.report lat
 
 let t2 () =
   let d_quiet = t2_decentralized ~noisy:false in
@@ -630,7 +627,11 @@ let t4_decentralized () =
         | Message.Device_failed _ when !detected_at = None ->
           detected_at := Some (Engine.now engine)
         | _ -> ());
-    let messages_before = (Sysbus.counters bus).Sysbus.routed in
+    let routed () =
+      Metrics.counter_read (Engine.metrics engine) ~actor:(Sysbus.actor bus)
+        ~name:"routed"
+    in
+    let messages_before = routed () in
     let t_fail = Engine.now engine in
     Sysbus.fail_device bus (Smart_ssd.id ssd);
     System.run_until_idle system;
@@ -666,7 +667,7 @@ let t4_decentralized () =
     (match !recovered with
     | None -> invalid_arg "t4: recovery never completed"
     | Some (records, t_done) ->
-      let messages_after = (Sysbus.counters bus).Sysbus.routed in
+      let messages_after = routed () in
       ( detection,
         Int64.sub t_done t_revive,
         records,
@@ -909,7 +910,7 @@ let t7_decentralized ~mix_get_pct =
         loaded := true);
     System.run_until_idle system;
     assert !loaded;
-    let h, s = fresh_stats () in
+    let lat = experiment_hist engine "kv_mixed" in
     let finished = ref 0 in
     let t0 = Engine.now engine in
     for c = 1 to t7_clients do
@@ -918,14 +919,14 @@ let t7_decentralized ~mix_get_pct =
         ~app_addr:(Smart_nic.endpoint_address (System.nic system 0))
         ~ops:(t7_ops / t7_clients) ~think_ns:0L
         ~make_op:(fun _ -> t7_mix_op rng mix_get_pct)
-        ~h ~s
+        ~lat
         ~on_done:(fun () -> incr finished)
     done;
     System.run_until_idle system;
     assert (!finished = t7_clients);
     let elapsed = Int64.to_float (Int64.sub (Engine.now engine) t0) in
     let throughput = float_of_int t7_ops /. (elapsed *. 1e-9) in
-    (throughput, Stats.latency_report h s)
+    (throughput, Metrics.report lat)
 
 let t7_centralized ~mix_get_pct =
   let engine = Engine.create () in
@@ -935,7 +936,7 @@ let t7_centralized ~mix_get_pct =
   preload_store store ~keys:t7_keys ~value_bytes:100 (fun () -> loaded := true);
   Engine.run engine;
   assert !loaded;
-  let h, s = fresh_stats () in
+  let lat = experiment_hist engine "kv_mixed" in
   let finished = ref 0 in
   let t0 = Engine.now engine in
   for c = 1 to t7_clients do
@@ -955,9 +956,8 @@ let t7_centralized ~mix_get_pct =
           | Kv_proto.Scan p -> Store.scan_prefix store ~prefix:p (fun _ -> k ())
         in
         Central.kv_network_op central work (fun () ->
-            let dt = Int64.to_float (Int64.sub (Engine.now engine) t_start) in
-            Stats.Histogram.add h dt;
-            Stats.Summary.add s dt;
+            Metrics.observe lat
+              (Int64.to_float (Int64.sub (Engine.now engine) t_start));
             next ())
       end
     in
@@ -967,7 +967,7 @@ let t7_centralized ~mix_get_pct =
   assert (!finished = t7_clients);
   let elapsed = Int64.to_float (Int64.sub (Engine.now engine) t0) in
   let throughput = float_of_int t7_ops /. (elapsed *. 1e-9) in
-  (throughput, Stats.latency_report h s)
+  (throughput, Metrics.report lat)
 
 let t7 () =
   let mixes = [ ("YCSB-C (100% get)", 100); ("YCSB-B (95% get)", 95); ("YCSB-A (50% get)", 50) ] in
@@ -1124,8 +1124,12 @@ let t9 () =
         (System.nics system);
       System.run_until_idle system;
       let storm_ns = Int64.sub !last_answer t0 in
-      let c = Sysbus.counters (System.bus system) in
-      (boot_ns, storm_ns, !answered, c.Sysbus.broadcasts)
+      let broadcasts =
+        Metrics.counter_read (Engine.metrics engine)
+          ~actor:(Sysbus.actor (System.bus system))
+          ~name:"broadcasts"
+      in
+      (boot_ns, storm_ns, !answered, broadcasts)
   in
   let rows =
     List.map

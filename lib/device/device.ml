@@ -7,6 +7,7 @@ module Sysbus = Lastcpu_bus.Sysbus
 module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
 module Costs = Lastcpu_sim.Costs
+module Metrics = Lastcpu_sim.Metrics
 
 type open_accept = { connection : int; shm_bytes : int64 }
 
@@ -40,7 +41,6 @@ type t = {
   mutable services : service_impl list;
   mutable app_handler : (Message.t -> unit) option;
   mutable fault_handler : (Iommu.fault -> unit) option;
-  mutable fault_total : int;
   mutable is_started : bool;
   mutable via_bus_doorbells : bool;
   pending : (int, Message.payload -> unit) Hashtbl.t;
@@ -49,8 +49,11 @@ type t = {
   conns : (int, connection_info) Hashtbl.t;
   mutable next_corr : int;
   mutable next_conn : int;
-  mutable handled : int;
-  mutable sent : int;
+  actor : string;
+  m_handled : Metrics.counter;
+  m_sent : Metrics.counter;
+  m_faults : Metrics.counter;
+  m_discover_late : Metrics.counter;
 }
 
 let response_like (p : Message.payload) =
@@ -62,7 +65,7 @@ let response_like (p : Message.payload) =
   | _ -> false
 
 let dispatch t (msg : Message.t) =
-  t.handled <- t.handled + 1;
+  Metrics.incr t.m_handled;
   let to_app () = match t.app_handler with Some f -> f msg | None -> () in
   (* 1. Correlated response? *)
   let as_response =
@@ -83,7 +86,7 @@ let dispatch t (msg : Message.t) =
       List.iter
         (fun s ->
           if s.desc.Message.kind = kind && s.can_serve ~query then begin
-            t.sent <- t.sent + 1;
+            Metrics.incr t.m_sent;
             Sysbus.send t.sysbus
               (Message.make ~src:t.dev_id ~dst:(Types.Device msg.src)
                  ~corr:msg.corr
@@ -98,7 +101,7 @@ let dispatch t (msg : Message.t) =
           t.services
       in
       let respond payload =
-        t.sent <- t.sent + 1;
+        Metrics.incr t.m_sent;
         Sysbus.send t.sysbus
           (Message.make ~src:t.dev_id ~dst:(Types.Device msg.src) ~corr:msg.corr
              payload)
@@ -155,7 +158,13 @@ let handle t msg =
 
 let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
   let engine = Sysbus.engine sysbus in
-  let iommu = Iommu.create ?tlb_sets ?tlb_ways ~no_tlb () in
+  let m = Engine.metrics engine in
+  let actor = Metrics.claim_actor m name in
+  let iommu =
+    Iommu.create ?tlb_sets ?tlb_ways ~no_tlb ~metrics:m
+      ~actor:(actor ^ ".iommu") ()
+  in
+  let counter n = Metrics.counter m ~actor ~name:n in
   let t =
     {
       dev_id = -1;
@@ -168,7 +177,6 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       services = [];
       app_handler = None;
       fault_handler = None;
-      fault_total = 0;
       is_started = false;
       via_bus_doorbells = false;
       pending = Hashtbl.create 16;
@@ -177,14 +185,17 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       conns = Hashtbl.create 8;
       next_corr = 0;
       next_conn = 1;
-      handled = 0;
-      sent = 0;
+      actor;
+      m_handled = counter "handled";
+      m_sent = counter "sent";
+      m_faults = counter "faults";
+      m_discover_late = counter "discover_late";
     }
   in
   let id = Sysbus.attach sysbus ~name ~iommu ~handler:(fun msg -> handle t msg) in
   t.dev_id <- id;
   Iommu.attach_fault_handler iommu (fun fault ->
-      t.fault_total <- t.fault_total + 1;
+      Metrics.incr t.m_faults;
       Engine.trace_event engine ~actor:name ~kind:"device.fault"
         (Printf.sprintf "pasid=%d va=0x%Lx %s" fault.Iommu.pasid fault.Iommu.va
            (match fault.Iommu.reason with
@@ -211,7 +222,7 @@ let add_service t impl =
   (* A device that loads a new application after boot re-announces itself
      so the bus's service registry stays current (§2.2). *)
   if t.is_started then begin
-    t.sent <- t.sent + 1;
+    Metrics.incr t.m_sent;
     Sysbus.send t.sysbus
       (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0
          (Message.Device_alive
@@ -235,7 +246,7 @@ let start t =
     (* Self-test: a short deterministic delay before announcing. *)
     let self_test = Int64.mul 10L costs.Costs.device_process_ns in
     Engine.schedule t.engine ~delay:self_test (fun () ->
-        t.sent <- t.sent + 1;
+        Metrics.incr t.m_sent;
         Sysbus.send t.sysbus
           (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:(fresh_corr t)
              (Message.Device_alive
@@ -245,7 +256,7 @@ let start t =
 let started t = t.is_started
 
 let reannounce t =
-  t.sent <- t.sent + 1;
+  Metrics.incr t.m_sent;
   Sysbus.send t.sysbus
     (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0
        (Message.Device_alive { services = List.map (fun s -> s.desc) t.services }))
@@ -254,13 +265,13 @@ let on_doorbell t ~queue f = Hashtbl.replace t.doorbells queue f
 let clear_doorbell t ~queue = Hashtbl.remove t.doorbells queue
 let set_app_handler t f = t.app_handler <- Some f
 let on_fault t f = t.fault_handler <- Some f
-let fault_count t = t.fault_total
+let fault_count t = Metrics.counter_value t.m_faults
 
 let enable_heartbeat t ~period =
   assert (period > 0L);
   let rec beat () =
     if Sysbus.is_live t.sysbus t.dev_id then begin
-      t.sent <- t.sent + 1;
+      Metrics.incr t.m_sent;
       Sysbus.send t.sysbus
         (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0 Message.Heartbeat)
     end;
@@ -269,18 +280,26 @@ let enable_heartbeat t ~period =
   Engine.schedule t.engine ~delay:period beat
 
 let send t ~dst payload =
-  t.sent <- t.sent + 1;
+  Metrics.incr t.m_sent;
   Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr:0 payload)
 
 let reply t ~to_ ~corr payload =
-  t.sent <- t.sent + 1;
+  Metrics.incr t.m_sent;
   Sysbus.send t.sysbus
     (Message.make ~src:t.dev_id ~dst:(Types.Device to_) ~corr payload)
 
 let request t ?timeout ~dst payload k =
   let corr = fresh_corr t in
+  (* The span covers send-to-completion; ending it inside the wrapped
+     continuation makes the response and timeout paths both close it
+     exactly once. *)
+  Engine.begin_span t.engine ~actor:t.actor ~name:"request" ~id:corr;
+  let k payload =
+    Engine.end_span t.engine ~actor:t.actor ~name:"request" ~id:corr;
+    k payload
+  in
   Hashtbl.replace t.pending corr k;
-  t.sent <- t.sent + 1;
+  Metrics.incr t.m_sent;
   Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr payload);
   match timeout with
   | None -> ()
@@ -300,22 +319,33 @@ let default_discover_timeout = 1_000_000L (* 1 ms *)
 let discover t ~kind ~query ?(timeout = default_discover_timeout) k =
   let corr = fresh_corr t in
   let answered = ref false in
-  Hashtbl.replace t.pending corr (fun payload ->
-      if not !answered then begin
-        answered := true;
-        match payload with
-        | Message.Discover_response { provider; service; _ } ->
-          k (Some (provider, service))
-        | _ -> k None
-      end);
-  t.sent <- t.sent + 1;
+  (* [dispatch] removes the pending entry each time it matches, so the
+     handler re-registers itself: providers answering after the first are
+     swallowed (and counted) here instead of leaking to the app handler as
+     noise. The timeout removes the entry for good. *)
+  let rec handler payload =
+    Hashtbl.replace t.pending corr handler;
+    if not !answered then begin
+      answered := true;
+      Engine.end_span t.engine ~actor:t.actor ~name:"discover" ~id:corr;
+      match payload with
+      | Message.Discover_response { provider; service; _ } ->
+        k (Some (provider, service))
+      | _ -> k None
+    end
+    else Metrics.incr t.m_discover_late
+  in
+  Hashtbl.replace t.pending corr handler;
+  Metrics.incr t.m_sent;
+  Engine.begin_span t.engine ~actor:t.actor ~name:"discover" ~id:corr;
   Sysbus.send t.sysbus
     (Message.make ~src:t.dev_id ~dst:Types.Broadcast ~corr
        (Message.Discover_request { kind; query }));
   Engine.schedule t.engine ~delay:timeout (fun () ->
+      Hashtbl.remove t.pending corr;
       if not !answered then begin
         answered := true;
-        Hashtbl.remove t.pending corr;
+        Engine.end_span t.engine ~actor:t.actor ~name:"discover" ~id:corr;
         k None
       end)
 
@@ -377,5 +407,7 @@ let doorbell t ~dst ~queue =
 
 let connections t = Hashtbl.fold (fun _ v acc -> v :: acc) t.conns []
 let connection_count t = Hashtbl.length t.conns
-let messages_handled t = t.handled
-let requests_sent t = t.sent
+let messages_handled t = Metrics.counter_value t.m_handled
+let requests_sent t = Metrics.counter_value t.m_sent
+let late_discover_responses t = Metrics.counter_value t.m_discover_late
+let actor t = t.actor

@@ -199,7 +199,18 @@ type connection_info = {
 val connections : t -> connection_info list
 val connection_count : t -> int
 
-(** {1 Counters} *)
+(** {1 Counters}
+
+    Thin reads over the engine registry: the live instruments are
+    [actor t]/handled|sent|faults|discover_late (plus the device's IOMMU
+    under [actor t ^ ".iommu"]). *)
 
 val messages_handled : t -> int
 val requests_sent : t -> int
+
+val late_discover_responses : t -> int
+(** Discover answers that arrived after the first (swallowed, not leaked
+    to the app handler). *)
+
+val actor : t -> string
+(** Registry actor name this device claimed (its [name], uniquified). *)

@@ -1,22 +1,34 @@
 module Types = Lastcpu_proto.Types
 module Message = Lastcpu_proto.Message
 module Device = Lastcpu_device.Device
+module Engine = Lastcpu_sim.Engine
+module Metrics = Lastcpu_sim.Metrics
 module Netsim = Lastcpu_net.Netsim
 
 type t = {
   dev : Device.t;
   endpoint : Netsim.endpoint;
   mutable rx_handler : (src:int -> string -> unit) option;
-  mutable rx_count : int;
-  mutable tx_count : int;
+  m_rx : Metrics.counter;
+  m_tx : Metrics.counter;
 }
 
 let create sysbus ~mem ~net ~name ?(auto_start = true) () =
   let dev = Device.create sysbus ~mem ~name () in
+  let m = Engine.metrics (Device.engine dev) in
+  let actor = Device.actor dev in
   let endpoint = Netsim.endpoint net ~name in
-  let t = { dev; endpoint; rx_handler = None; rx_count = 0; tx_count = 0 } in
+  let t =
+    {
+      dev;
+      endpoint;
+      rx_handler = None;
+      m_rx = Metrics.counter m ~actor ~name:"rx_packets";
+      m_tx = Metrics.counter m ~actor ~name:"tx_packets";
+    }
+  in
   Netsim.set_receiver endpoint (fun ~src frame ->
-      t.rx_count <- t.rx_count + 1;
+      Metrics.incr t.m_rx;
       match t.rx_handler with None -> () | Some f -> f ~src frame);
   Device.add_service dev
     {
@@ -36,8 +48,8 @@ let endpoint_address t = Netsim.address t.endpoint
 let on_packet t f = t.rx_handler <- Some f
 
 let send_packet t ~dst frame =
-  t.tx_count <- t.tx_count + 1;
+  Metrics.incr t.m_tx;
   Netsim.send t.endpoint ~dst frame
 
-let packets_received t = t.rx_count
-let packets_sent t = t.tx_count
+let packets_received t = Metrics.counter_value t.m_rx
+let packets_sent t = Metrics.counter_value t.m_tx

@@ -25,13 +25,15 @@ type queue_state = {
   mutable next_handle : int;
 }
 
+module Metrics = Lastcpu_sim.Metrics
+
 type t = {
   dev : Device.t;
   ftl : Ftl.t;
   filesystem : Fs.t;
   auth_key : Token.key option;
   queues : (int, queue_state) Hashtbl.t;
-  mutable served : int;
+  m_served : Metrics.counter;
 }
 
 (* vq-attach body codec ---------------------------------------------------- *)
@@ -220,7 +222,7 @@ let process_queue t ~queue =
           match Ssd_proto.decode_request (read_chain_out dma buffers) with
           | Error m -> Ssd_proto.Err ("malformed request: " ^ m)
           | Ok req ->
-            t.served <- t.served + 1;
+            Metrics.incr t.m_served;
             exec_request t ~qs req
         in
         let encoded = Ssd_proto.encode_response response in
@@ -294,16 +296,27 @@ let handle_vq_detach t (msg : Message.t) body =
     (Message.App_message { tag = "vq-ok"; body = "" })
 
 let create sysbus ~mem ~name ?geometry ?auth_key () =
+  (* The device claims the actor name; FTL and FS telemetry registers in
+     the same engine registry under derived actors. *)
+  let dev = Device.create sysbus ~mem ~name () in
+  let metrics = Engine.metrics (Device.engine dev) in
+  let actor = Device.actor dev in
   let nand = Nand.create ?geometry () in
-  let ftl = Ftl.create ~nand () in
+  let ftl = Ftl.create ~nand ~metrics ~actor:(actor ^ ".ftl") () in
   let filesystem =
-    match Fs.format ftl with
+    match Fs.format ~metrics ~actor:(actor ^ ".fs") ftl with
     | Ok fs -> fs
     | Error e -> invalid_arg ("Smart_ssd.create: format failed: " ^ Fs.error_to_string e)
   in
-  let dev = Device.create sysbus ~mem ~name () in
   let t =
-    { dev; ftl; filesystem; auth_key; queues = Hashtbl.create 8; served = 0 }
+    {
+      dev;
+      ftl;
+      filesystem;
+      auth_key;
+      queues = Hashtbl.create 8;
+      m_served = Metrics.counter metrics ~actor ~name:"requests_served";
+    }
   in
   (match Fs.mkdir filesystem ~user:"root" "/images" with
   | Ok () -> ()
@@ -407,5 +420,5 @@ let device t = t.dev
 let id t = Device.id t.dev
 let fs t = t.filesystem
 let ftl t = t.ftl
-let requests_served t = t.served
+let requests_served t = Metrics.counter_value t.m_served
 let active_queues t = Hashtbl.length t.queues

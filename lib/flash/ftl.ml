@@ -7,6 +7,8 @@
    toward low erase count for wear leveling, relocates live pages into the
    active stream, and erases the victim. *)
 
+module Metrics = Lastcpu_sim.Metrics
+
 type page_info = Free | Valid of int (* lpn *) | Invalid
 
 type t = {
@@ -20,16 +22,17 @@ type t = {
   mutable active : int;  (* block receiving new writes *)
   mutable free_blocks : int list;  (* fully erased, not active *)
   mutable free_block_count : int;
-  mutable host_writes : int;
-  mutable gc_moves : int;
-  mutable gc_count : int;
+  m_host_writes : Metrics.counter;
+  m_gc_moves : Metrics.counter;
+  m_gc_runs : Metrics.counter;
+  m_free_blocks : Metrics.gauge;
 }
 
 let ppn ~geo ~block ~page = (block * geo.Nand.pages_per_block) + page
 let block_of ~geo p = p / geo.Nand.pages_per_block
 let page_of ~geo p = p mod geo.Nand.pages_per_block
 
-let create ?nand ?(op_ratio = 0.125) () =
+let create ?nand ?(op_ratio = 0.125) ?metrics ?(actor = "ftl") () =
   let nand = match nand with Some n -> n | None -> Nand.create () in
   let geo = Nand.geometry nand in
   if geo.blocks < 4 then invalid_arg "Ftl.create: need at least 4 blocks";
@@ -40,21 +43,27 @@ let create ?nand ?(op_ratio = 0.125) () =
   let logical = (geo.blocks - reserve) * geo.pages_per_block in
   let total_pages = geo.blocks * geo.pages_per_block in
   let free_blocks = List.init (geo.blocks - 1) (fun i -> i + 1) in
-  {
-    nand;
-    geo;
-    logical;
-    map = Array.make logical (-1);
-    state = Array.make total_pages Free;
-    free_in_block = Array.make geo.blocks 0;
-    invalid_in_block = Array.make geo.blocks 0;
-    active = 0;
-    free_blocks;
-    free_block_count = geo.blocks - 1;
-    host_writes = 0;
-    gc_moves = 0;
-    gc_count = 0;
-  }
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  let t =
+    {
+      nand;
+      geo;
+      logical;
+      map = Array.make logical (-1);
+      state = Array.make total_pages Free;
+      free_in_block = Array.make geo.blocks 0;
+      invalid_in_block = Array.make geo.blocks 0;
+      active = 0;
+      free_blocks;
+      free_block_count = geo.blocks - 1;
+      m_host_writes = Metrics.counter m ~actor ~name:"host_writes";
+      m_gc_moves = Metrics.counter m ~actor ~name:"gc_moves";
+      m_gc_runs = Metrics.counter m ~actor ~name:"gc_runs";
+      m_free_blocks = Metrics.gauge m ~actor ~name:"free_blocks";
+    }
+  in
+  Metrics.set t.m_free_blocks (float_of_int t.free_block_count);
+  t
 
 let logical_pages t = t.logical
 let page_size t = t.geo.page_size
@@ -79,6 +88,7 @@ let take_free_block t =
   | b :: rest ->
     t.free_blocks <- rest;
     t.free_block_count <- t.free_block_count - 1;
+    Metrics.set t.m_free_blocks (float_of_int t.free_block_count);
     Some b
 
 (* Program [data] into the next free page of the active block, advancing to
@@ -135,7 +145,7 @@ let rec gc t =
   match pick_victim t with
   | None -> Error "gc: no victim with invalid pages"
   | Some victim ->
-    t.gc_count <- t.gc_count + 1;
+    Metrics.incr t.m_gc_runs;
     (* Relocate live pages. *)
     let rec move page res =
       if page >= t.geo.pages_per_block then res
@@ -151,7 +161,7 @@ let rec gc t =
             | Ok p' ->
               t.state.(p') <- Valid lpn;
               t.map.(lpn) <- p';
-              t.gc_moves <- t.gc_moves + 1;
+              Metrics.incr t.m_gc_moves;
               move (page + 1) res))
         | Free | Invalid -> move (page + 1) res
       end
@@ -172,6 +182,7 @@ let rec gc t =
         t.invalid_in_block.(victim) <- 0;
         t.free_blocks <- t.free_blocks @ [ victim ];
         t.free_block_count <- t.free_block_count + 1;
+        Metrics.set t.m_free_blocks (float_of_int t.free_block_count);
         if t.free_block_count <= gc_low_watermark then gc t else Ok ()))
 
 let ensure_space t =
@@ -194,7 +205,7 @@ let write t ~lpn data =
         match append t data with
         | Error _ as e -> e
         | Ok p ->
-          t.host_writes <- t.host_writes + 1;
+          Metrics.incr t.m_host_writes;
           let old = t.map.(lpn) in
           if old >= 0 then invalidate t old;
           t.map.(lpn) <- p;
@@ -214,12 +225,13 @@ let trim t ~lpn =
 
 let flush_stats _t = ()
 
-let gc_runs t = t.gc_count
-let moved_pages t = t.gc_moves
+let gc_runs t = Metrics.counter_value t.m_gc_runs
+let moved_pages t = Metrics.counter_value t.m_gc_moves
+let host_writes t = Metrics.counter_value t.m_host_writes
 
 let write_amplification t =
-  if t.host_writes = 0 then 1.0
-  else float_of_int (t.host_writes + t.gc_moves) /. float_of_int t.host_writes
+  let hw = host_writes t in
+  if hw = 0 then 1.0 else float_of_int (hw + moved_pages t) /. float_of_int hw
 
 let max_erase_skew t =
   let mn = ref max_int and mx = ref 0 in

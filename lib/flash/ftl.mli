@@ -9,9 +9,18 @@
 
 type t
 
-val create : ?nand:Nand.t -> ?op_ratio:float -> unit -> t
+val create :
+  ?nand:Nand.t ->
+  ?op_ratio:float ->
+  ?metrics:Lastcpu_sim.Metrics.t ->
+  ?actor:string ->
+  unit ->
+  t
 (** [op_ratio] is over-provisioning: the fraction of physical blocks
-    reserved beyond the exported logical capacity (default 0.125). *)
+    reserved beyond the exported logical capacity (default 0.125).
+    Telemetry (host_writes, gc_moves, gc_runs, free_blocks gauge)
+    registers under [actor] (default ["ftl"]) in [metrics] (default: a
+    private registry). *)
 
 val logical_pages : t -> int
 (** Number of addressable logical pages. *)
@@ -34,6 +43,8 @@ val flush_stats : t -> unit
 val gc_runs : t -> int
 val moved_pages : t -> int
 (** Valid pages relocated by GC. *)
+
+val host_writes : t -> int
 
 val write_amplification : t -> float
 (** (host writes + GC moves) / host writes; [1.0] when no GC has run. *)

@@ -1,4 +1,5 @@
 module Ftl = Lastcpu_flash.Ftl
+module Metrics = Lastcpu_sim.Metrics
 
 type file_kind = Regular | Directory
 
@@ -52,6 +53,9 @@ type t = {
      hierarchy of §2.3. Reads served from here cost no NAND operation;
      every write still programs flash (durability preserved). *)
   cache : (int, Bytes.t) Hashtbl.t option;
+  m_block_reads : Metrics.counter;
+  m_block_writes : Metrics.counter;
+  m_cache_hits : Metrics.counter;
 }
 
 type inode = {
@@ -67,6 +71,7 @@ type inode = {
 (* Low-level block IO ----------------------------------------------------- *)
 
 let read_block t b =
+  Metrics.incr t.m_block_reads;
   let from_flash () =
     match Ftl.read t.ftl ~lpn:b with
     | Ok s -> Ok (Bytes.of_string s)
@@ -76,7 +81,9 @@ let read_block t b =
   | None -> from_flash ()
   | Some cache -> (
     match Hashtbl.find_opt cache b with
-    | Some cached -> Ok (Bytes.copy cached)
+    | Some cached ->
+      Metrics.incr t.m_cache_hits;
+      Ok (Bytes.copy cached)
     | None -> (
       match from_flash () with
       | Ok data ->
@@ -85,6 +92,7 @@ let read_block t b =
       | Error _ as e -> e))
 
 let write_block t b data =
+  Metrics.incr t.m_block_writes;
   match Ftl.write t.ftl ~lpn:b (Bytes.to_string data) with
   | Ok () ->
     (match t.cache with
@@ -490,7 +498,8 @@ let write_superblock t =
   set_u32 b 20 t.root_ino;
   write_block t 0 b
 
-let layout ?(cache = true) ftl =
+let layout ?(cache = true) ?metrics ?(actor = "fs") ftl =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   let block_size = Ftl.page_size ftl in
   let total_blocks = Ftl.logical_pages ftl in
   let bitmap_blocks = ((total_blocks + (block_size * 8) - 1) / (block_size * 8)) in
@@ -513,10 +522,13 @@ let layout ?(cache = true) ftl =
     ninodes = itable_blocks * (block_size / inode_size);
     root_ino = 0;
     cache = (if cache then Some (Hashtbl.create 1024) else None);
+    m_block_reads = Metrics.counter m ~actor ~name:"block_reads";
+    m_block_writes = Metrics.counter m ~actor ~name:"block_writes";
+    m_cache_hits = Metrics.counter m ~actor ~name:"cache_hits";
   }
 
-let format ?cache ftl =
-  let t = layout ?cache ftl in
+let format ?cache ?metrics ?actor ftl =
+  let t = layout ?cache ?metrics ?actor ftl in
   if t.data_start >= t.total_blocks then Error No_space
   else begin
     let* () = write_superblock t in
@@ -568,8 +580,8 @@ let format ?cache ftl =
     Ok t
   end
 
-let mount ?cache ftl =
-  let t = layout ?cache ftl in
+let mount ?cache ?metrics ?actor ftl =
+  let t = layout ?cache ?metrics ?actor ftl in
   let* b = read_block t 0 in
   if not (String.equal (Bytes.sub_string b 0 (String.length magic)) magic) then
     Error (Invalid "bad superblock magic")

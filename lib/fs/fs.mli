@@ -34,14 +34,26 @@ type error =
 
 val error_to_string : error -> string
 
-val format : ?cache:bool -> Lastcpu_flash.Ftl.t -> (t, error) result
+val format :
+  ?cache:bool ->
+  ?metrics:Lastcpu_sim.Metrics.t ->
+  ?actor:string ->
+  Lastcpu_flash.Ftl.t ->
+  (t, error) result
 (** Write a fresh file system (root directory owned by "root", mode 0o777).
     [cache] (default true) enables the device-DRAM write-through block
     cache: reads hit DRAM, writes always program NAND (§2.3's on-device
     cache hierarchy). *)
 
-val mount : ?cache:bool -> Lastcpu_flash.Ftl.t -> (t, error) result
-(** Attach to a previously formatted device; validates the superblock. *)
+val mount :
+  ?cache:bool ->
+  ?metrics:Lastcpu_sim.Metrics.t ->
+  ?actor:string ->
+  Lastcpu_flash.Ftl.t ->
+  (t, error) result
+(** Attach to a previously formatted device; validates the superblock.
+    Both constructors register block_reads/block_writes/cache_hits under
+    [actor] (default ["fs"]) in [metrics] (default: a private registry). *)
 
 (** All operations take [~user] and enforce owner/mode. "root" bypasses
     permission checks. *)

@@ -1,5 +1,6 @@
 module Layout = Lastcpu_mem.Layout
 module Types = Lastcpu_proto.Types
+module Metrics = Lastcpu_sim.Metrics
 
 type access = Read | Write | Exec
 
@@ -18,19 +19,24 @@ type t = {
   tables : (int, Pagetable.t) Hashtbl.t;  (* pasid -> table *)
   tlb : Tlb.t option;
   mutable fault_handler : (fault -> unit) option;
-  mutable walk_count : int;
-  mutable walk_level_count : int;
-  mutable fault_count : int;
+  m_translations : Metrics.counter;
+  m_walks : Metrics.counter;
+  m_walk_levels : Metrics.counter;
+  m_faults : Metrics.counter;
 }
 
-let create ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
+let create ?tlb_sets ?tlb_ways ?(no_tlb = false) ?metrics ?(actor = "iommu") () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
     tables = Hashtbl.create 8;
-    tlb = (if no_tlb then None else Some (Tlb.create ?sets:tlb_sets ?ways:tlb_ways ()));
+    tlb =
+      (if no_tlb then None
+       else Some (Tlb.create ?sets:tlb_sets ?ways:tlb_ways ~metrics:m ~actor ()));
     fault_handler = None;
-    walk_count = 0;
-    walk_level_count = 0;
-    fault_count = 0;
+    m_translations = Metrics.counter m ~actor ~name:"translations";
+    m_walks = Metrics.counter m ~actor ~name:"walks";
+    m_walk_levels = Metrics.counter m ~actor ~name:"walk_levels";
+    m_faults = Metrics.counter m ~actor ~name:"faults";
   }
 
 let attach_fault_handler t f =
@@ -77,11 +83,12 @@ let access_perm = function
   | Exec -> { Types.read = false; write = false; exec = true }
 
 let deliver_fault t fault =
-  t.fault_count <- t.fault_count + 1;
+  Metrics.incr t.m_faults;
   (match t.fault_handler with Some f -> f fault | None -> ());
   Fault fault
 
 let translate t ~pasid ~va ~access =
+  Metrics.incr t.m_translations;
   let vpn = Layout.page_of_addr va in
   let need = access_perm access in
   let from_tlb =
@@ -100,20 +107,20 @@ let translate t ~pasid ~va ~access =
     match Hashtbl.find_opt t.tables pasid with
     | None -> deliver_fault t { pasid; va; access; reason = Not_mapped }
     | Some pt -> (
-      t.walk_count <- t.walk_count + 1;
+      Metrics.incr t.m_walks;
       match Pagetable.walk pt ~va ~access:need with
       | Pagetable.Translated { pa; levels; perm } ->
-        t.walk_level_count <- t.walk_level_count + levels;
+        Metrics.incr ~by:levels t.m_walk_levels;
         (match t.tlb with
         | None -> ()
         | Some tlb ->
           Tlb.insert tlb ~pasid ~vpn { Tlb.ppn = Layout.page_of_addr pa; perm });
         Ok_pa pa
       | Pagetable.No_mapping { level } ->
-        t.walk_level_count <- t.walk_level_count + level;
+        Metrics.incr ~by:level t.m_walk_levels;
         deliver_fault t { pasid; va; access; reason = Not_mapped }
       | Pagetable.Permission_denied _ ->
-        t.walk_level_count <- t.walk_level_count + 4;
+        Metrics.incr ~by:4 t.m_walk_levels;
         deliver_fault t { pasid; va; access; reason = Protection }))
 
 let pasids t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
@@ -125,12 +132,15 @@ let mapped_pages t ~pasid =
 
 let tlb_hits t = match t.tlb with None -> 0 | Some tlb -> Tlb.hits tlb
 let tlb_misses t = match t.tlb with None -> 0 | Some tlb -> Tlb.misses tlb
-let walks t = t.walk_count
-let walk_levels t = t.walk_level_count
-let faults t = t.fault_count
+let tlb_evictions t = match t.tlb with None -> 0 | Some tlb -> Tlb.evictions tlb
+let translations t = Metrics.counter_value t.m_translations
+let walks t = Metrics.counter_value t.m_walks
+let walk_levels t = Metrics.counter_value t.m_walk_levels
+let faults t = Metrics.counter_value t.m_faults
 
 let reset_counters t =
-  t.walk_count <- 0;
-  t.walk_level_count <- 0;
-  t.fault_count <- 0;
+  Metrics.reset_counter t.m_translations;
+  Metrics.reset_counter t.m_walks;
+  Metrics.reset_counter t.m_walk_levels;
+  Metrics.reset_counter t.m_faults;
   match t.tlb with None -> () | Some tlb -> Tlb.reset_counters tlb

@@ -24,8 +24,17 @@ and fault_reason = Not_mapped | Protection
 
 type translate_result = Ok_pa of int64 | Fault of fault
 
-val create : ?tlb_sets:int -> ?tlb_ways:int -> ?no_tlb:bool -> unit -> t
-(** [no_tlb:true] bypasses the TLB entirely (ablation for T5). *)
+val create :
+  ?tlb_sets:int ->
+  ?tlb_ways:int ->
+  ?no_tlb:bool ->
+  ?metrics:Lastcpu_sim.Metrics.t ->
+  ?actor:string ->
+  unit ->
+  t
+(** [no_tlb:true] bypasses the TLB entirely (ablation for T5). Counters
+    register under [actor] (default ["iommu"]) in [metrics] (default: a
+    private registry, for units created outside an engine context). *)
 
 val attach_fault_handler : t -> (fault -> unit) -> unit
 (** The attached device's fault queue. At most one handler. *)
@@ -54,6 +63,10 @@ val mapped_pages : t -> pasid:int -> int
 
 val tlb_hits : t -> int
 val tlb_misses : t -> int
+val tlb_evictions : t -> int
+val translations : t -> int
+(** Total [translate] calls (TLB hits + misses + no-TLB walks). *)
+
 val walks : t -> int
 (** Completed page-table walks (== TLB misses that found a mapping, plus
     walks with no TLB). *)

@@ -8,31 +8,38 @@ type slot = {
   mutable lru : int;  (* higher = more recently used *)
 }
 
+module Metrics = Lastcpu_sim.Metrics
+
 type t = {
   sets : int;
   ways : int;
   slots : slot array array;  (* sets x ways *)
   mutable clock : int;
-  mutable hit_count : int;
-  mutable miss_count : int;
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_evictions : Metrics.counter;
 }
 
 let dummy_entry = { ppn = 0L; perm = Lastcpu_proto.Types.perm_none }
 
-let create ?(sets = 64) ?(ways = 4) () =
+let create ?(sets = 64) ?(ways = 4) ?metrics ?(actor = "tlb") () =
   if sets <= 0 || sets land (sets - 1) <> 0 then
     invalid_arg "Tlb.create: sets must be a power of two";
   if ways <= 0 then invalid_arg "Tlb.create: ways must be positive";
   let mk_slot () =
     { valid = false; pasid = -1; vpn = -1L; data = dummy_entry; lru = 0 }
   in
+  (* Without a shared registry (standalone unit tests), counters live in a
+     private one so the hot path never branches on an option. *)
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
     sets;
     ways;
     slots = Array.init sets (fun _ -> Array.init ways (fun _ -> mk_slot ()));
     clock = 0;
-    hit_count = 0;
-    miss_count = 0;
+    m_hits = Metrics.counter m ~actor ~name:"tlb_hits";
+    m_misses = Metrics.counter m ~actor ~name:"tlb_misses";
+    m_evictions = Metrics.counter m ~actor ~name:"tlb_evictions";
   }
 
 let set_index t ~pasid ~vpn =
@@ -56,8 +63,8 @@ let lookup t ~pasid ~vpn =
       end)
     set;
   (match !found with
-  | Some _ -> t.hit_count <- t.hit_count + 1
-  | None -> t.miss_count <- t.miss_count + 1);
+  | Some _ -> Metrics.incr t.m_hits
+  | None -> Metrics.incr t.m_misses);
   !found
 
 let insert t ~pasid ~vpn data =
@@ -71,6 +78,8 @@ let insert t ~pasid ~vpn data =
       else if s.lru < !victim.lru && !victim.valid && s.valid then victim := s)
     set;
   let s = !victim in
+  if s.valid && not (s.pasid = pasid && Int64.equal s.vpn vpn) then
+    Metrics.incr t.m_evictions;
   s.valid <- true;
   s.pasid <- pasid;
   s.vpn <- vpn;
@@ -94,11 +103,13 @@ let invalidate_pasid t ~pasid =
 let invalidate_all t =
   Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.slots
 
-let hits t = t.hit_count
-let misses t = t.miss_count
+let hits t = Metrics.counter_value t.m_hits
+let misses t = Metrics.counter_value t.m_misses
+let evictions t = Metrics.counter_value t.m_evictions
 
 let reset_counters t =
-  t.hit_count <- 0;
-  t.miss_count <- 0
+  Metrics.reset_counter t.m_hits;
+  Metrics.reset_counter t.m_misses;
+  Metrics.reset_counter t.m_evictions
 
 let capacity t = t.sets * t.ways

@@ -8,9 +8,17 @@ type t
 
 type entry = { ppn : int64; perm : Proto_perm.t }
 
-val create : ?sets:int -> ?ways:int -> unit -> t
+val create :
+  ?sets:int ->
+  ?ways:int ->
+  ?metrics:Lastcpu_sim.Metrics.t ->
+  ?actor:string ->
+  unit ->
+  t
 (** Default geometry: 64 sets x 4 ways = 256 entries. [sets] must be a
-    power of two. *)
+    power of two. Counters register as [actor]/tlb_hits|tlb_misses|
+    tlb_evictions in [metrics] (default: a private registry, actor
+    ["tlb"]). *)
 
 val lookup : t -> pasid:int -> vpn:int64 -> entry option
 (** Updates LRU state on hit. *)
@@ -22,5 +30,8 @@ val invalidate_all : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+val evictions : t -> int
+(** Valid entries displaced by [insert] for a different page. *)
+
 val reset_counters : t -> unit
 val capacity : t -> int

@@ -1,6 +1,8 @@
 module Types = Lastcpu_proto.Types
 module Message = Lastcpu_proto.Message
 module Device = Lastcpu_device.Device
+module Engine = Lastcpu_sim.Engine
+module Metrics = Lastcpu_sim.Metrics
 module Smart_nic = Lastcpu_devices.Smart_nic
 module File_client = Lastcpu_devices.File_client
 
@@ -8,11 +10,21 @@ type t = {
   nic : Smart_nic.t;
   kv : Store.t;
   fc : File_client.t;
-  mutable served : int;
+  engine : Engine.t;
+  actor : string;
+  m_served : Metrics.counter;
   mutable recovered : int;
 }
 
 let execute t op (k : Kv_proto.reply -> unit) =
+  (* One span per operation: the framework times every KV op, whatever its
+     entry point (network fast path or local call). *)
+  let span = Engine.fresh_span_id t.engine in
+  Engine.begin_span t.engine ~actor:t.actor ~name:"kv_op" ~id:span;
+  let k reply =
+    Engine.end_span t.engine ~actor:t.actor ~name:"kv_op" ~id:span;
+    k reply
+  in
   match op with
   | Kv_proto.Get key -> Store.get t.kv key (fun v -> k (Kv_proto.Value v))
   | Kv_proto.Put (key, value) ->
@@ -31,7 +43,7 @@ let install_fast_path t =
       match Kv_proto.decode_request frame with
       | Error _ -> () (* garbage frame: drop, as a NIC would *)
       | Ok { corr; op } ->
-        t.served <- t.served + 1;
+        Metrics.incr t.m_served;
         execute t op (fun reply ->
             Smart_nic.send_packet t.nic ~dst:src
               (Kv_proto.encode_response { corr; reply })))
@@ -65,8 +77,23 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
             match res with
             | Error m -> k (Error ("log: " ^ m))
             | Ok fb ->
-              let store = Store.create (File_backend.backend fb) in
-              let t = { nic; kv = store; fc; served = 0; recovered = 0 } in
+              let engine = Device.engine dev in
+              let m = Engine.metrics engine in
+              let actor = Metrics.claim_actor m (Device.actor dev ^ ".kv") in
+              let store =
+                Store.create ~metrics:m ~actor (File_backend.backend fb)
+              in
+              let t =
+                {
+                  nic;
+                  kv = store;
+                  fc;
+                  engine;
+                  actor;
+                  m_served = Metrics.counter m ~actor ~name:"ops_served";
+                  recovered = 0;
+                }
+              in
               Store.recover store (fun res ->
                   match res with
                   | Error m -> k (Error ("recover: " ^ m))
@@ -77,6 +104,6 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
 
 let store t = t.kv
 let client t = t.fc
-let ops_served t = t.served
+let ops_served t = Metrics.counter_value t.m_served
 let recovered_records t = t.recovered
 let local_op t op k = execute t op k

@@ -24,16 +24,25 @@ let memory_backend () =
         k (Ok ()));
   }
 
+module Metrics = Lastcpu_sim.Metrics
+
 type t = {
   backend : backend;
   index : (string, string) Hashtbl.t;
-  mutable put_count : int;
-  mutable get_count : int;
-  mutable del_count : int;
+  m_puts : Metrics.counter;
+  m_gets : Metrics.counter;
+  m_dels : Metrics.counter;
 }
 
-let create backend =
-  { backend; index = Hashtbl.create 256; put_count = 0; get_count = 0; del_count = 0 }
+let create ?metrics ?(actor = "kv") backend =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    backend;
+    index = Hashtbl.create 256;
+    m_puts = Metrics.counter m ~actor ~name:"puts";
+    m_gets = Metrics.counter m ~actor ~name:"gets";
+    m_dels = Metrics.counter m ~actor ~name:"deletes";
+  }
 
 let apply_record t = function
   | Wal.Put { key; value } -> Hashtbl.replace t.index key value
@@ -50,11 +59,11 @@ let recover t k =
         k (Ok (List.length records)))
 
 let get t key k =
-  t.get_count <- t.get_count + 1;
+  Metrics.incr t.m_gets;
   k (Hashtbl.find_opt t.index key)
 
 let put t ~key ~value k =
-  t.put_count <- t.put_count + 1;
+  Metrics.incr t.m_puts;
   (* Log first, apply on durability (write-ahead). *)
   t.backend.append (Wal.encode (Wal.Put { key; value })) (fun res ->
       match res with
@@ -64,7 +73,7 @@ let put t ~key ~value k =
         k (Ok ()))
 
 let delete t key k =
-  t.del_count <- t.del_count + 1;
+  Metrics.incr t.m_dels;
   if not (Hashtbl.mem t.index key) then k (Ok false)
   else
     t.backend.append (Wal.encode (Wal.Del { key })) (fun res ->
@@ -96,6 +105,6 @@ let compact t k =
   in
   t.backend.replace_log (String.concat "" snapshot) k
 
-let puts t = t.put_count
-let gets t = t.get_count
-let deletes t = t.del_count
+let puts t = Metrics.counter_value t.m_puts
+let gets t = Metrics.counter_value t.m_gets
+let deletes t = Metrics.counter_value t.m_dels

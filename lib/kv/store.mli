@@ -24,7 +24,9 @@ val memory_backend : unit -> backend
 
 type t
 
-val create : backend -> t
+val create : ?metrics:Lastcpu_sim.Metrics.t -> ?actor:string -> backend -> t
+(** Op counters (puts/gets/deletes) register under [actor] (default
+    ["kv"]) in [metrics] (default: a private registry). *)
 
 val recover : t -> ((int, string) result -> unit) -> unit
 (** Replay the log into the index; continuation receives the number of

@@ -1,5 +1,6 @@
 module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
+module Metrics = Lastcpu_sim.Metrics
 
 type endpoint = {
   net : t;
@@ -13,19 +14,21 @@ and t = {
   engine : Engine.t;
   mutable endpoints : endpoint array;
   names : (string, int) Hashtbl.t;
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable bytes : int;
+  m_delivered : Metrics.counter;
+  m_dropped : Metrics.counter;
+  m_bytes : Metrics.counter;
 }
 
 let create engine =
+  let m = Engine.metrics engine in
+  let actor = Metrics.claim_actor m "net" in
   {
     engine;
     endpoints = [||];
     names = Hashtbl.create 8;
-    delivered = 0;
-    dropped = 0;
-    bytes = 0;
+    m_delivered = Metrics.counter m ~actor ~name:"frames_delivered";
+    m_dropped = Metrics.counter m ~actor ~name:"frames_dropped";
+    m_bytes = Metrics.counter m ~actor ~name:"bytes_carried";
   }
 
 let endpoint t ~name =
@@ -51,13 +54,13 @@ let serialisation_ns t frame =
 let link_ns t = (Engine.costs t.engine).Lastcpu_sim.Costs.net_link_ns
 
 let deliver t ~src ~dst frame =
-  if dst < 0 || dst >= Array.length t.endpoints then t.dropped <- t.dropped + 1
+  if dst < 0 || dst >= Array.length t.endpoints then Metrics.incr t.m_dropped
   else begin
     match t.endpoints.(dst).rx with
-    | None -> t.dropped <- t.dropped + 1
+    | None -> Metrics.incr t.m_dropped
     | Some rx ->
-      t.delivered <- t.delivered + 1;
-      t.bytes <- t.bytes + String.length frame;
+      Metrics.incr t.m_delivered;
+      Metrics.incr ~by:(String.length frame) t.m_bytes;
       rx ~src frame
   end
 
@@ -76,6 +79,6 @@ let broadcast ep frame =
     (fun other -> if other.addr <> ep.addr then send ep ~dst:other.addr frame)
     t.endpoints
 
-let frames_delivered t = t.delivered
-let frames_dropped t = t.dropped
-let bytes_carried t = t.bytes
+let frames_delivered t = Metrics.counter_value t.m_delivered
+let frames_dropped t = Metrics.counter_value t.m_dropped
+let bytes_carried t = Metrics.counter_value t.m_bytes

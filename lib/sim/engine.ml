@@ -4,6 +4,8 @@ type t = {
   costs : Costs.t;
   trace : Trace.t;
   rng : Rng.t;
+  metrics : Metrics.t;
+  mutable next_span : int;
 }
 
 let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity () =
@@ -13,6 +15,8 @@ let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity () =
     costs;
     trace = Trace.create ?capacity:trace_capacity ();
     rng = Rng.create ~seed;
+    metrics = Metrics.create ();
+    next_span = 0;
   }
 
 let now t = t.clock
@@ -20,6 +24,7 @@ let costs t = t.costs
 let trace t = t.trace
 let rng t = t.rng
 let fork_rng t = Rng.split t.rng
+let metrics t = t.metrics
 
 let schedule_at t ~time f =
   assert (time >= t.clock);
@@ -63,3 +68,22 @@ let run ?until ?max_events t =
 
 let trace_event t ~actor ~kind detail =
   Trace.append t.trace ~time:t.clock ~actor ~kind detail
+
+(* Spans: framework-timed intervals. [end_span] feeds the duration into the
+   registry histogram [actor/<name>_ns], so latency distributions accumulate
+   without each experiment hand-rolling its own tally. *)
+let fresh_span_id t =
+  let id = t.next_span in
+  t.next_span <- t.next_span + 1;
+  id
+
+let begin_span t ~actor ~name ~id =
+  Trace.begin_span t.trace ~time:t.clock ~actor ~name ~id
+
+let end_span t ~actor ~name ~id =
+  match Trace.end_span t.trace ~time:t.clock ~actor ~name ~id with
+  | None -> ()
+  | Some dur ->
+    Metrics.observe
+      (Metrics.histogram t.metrics ~actor ~name:(name ^ "_ns"))
+      (Int64.to_float dur)

@@ -41,3 +41,18 @@ val step : t -> bool
 
 val trace_event : t -> actor:string -> kind:string -> string -> unit
 (** Append to the run trace at the current virtual time. *)
+
+val metrics : t -> Metrics.t
+(** The run-wide telemetry registry: all subsystem counters, gauges and
+    latency histograms live here, keyed [actor/instrument]. *)
+
+val fresh_span_id : t -> int
+(** A run-unique id for correlating span begin/end pairs that have no
+    natural correlation id of their own. *)
+
+val begin_span : t -> actor:string -> name:string -> id:int -> unit
+(** Open span [name#id] at the current virtual time (traced). *)
+
+val end_span : t -> actor:string -> name:string -> id:int -> unit
+(** Close span [name#id]: traces the end and feeds the duration into the
+    registry histogram [actor/<name>_ns]. No-op for unknown spans. *)

@@ -1,0 +1,210 @@
+(* Engine-carried telemetry registry.
+
+   Every subsystem registers named instruments — counters, gauges,
+   log-bucketed histograms — under an [actor/instrument] key. The registry
+   lives on [Engine.t], so one simulation run has exactly one telemetry
+   context and snapshots are deterministic for a given seed: iteration
+   order is defined (sorted by actor, then instrument), never hash order.
+
+   Instruments are handles: subsystems resolve them once at creation time
+   and bump them on the hot path without a hash lookup. *)
+
+type counter = { mutable count : int }
+type gauge = { mutable level : float }
+type histogram = { hist : Stats.Histogram.t; summ : Stats.Summary.t }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Stats.latency_report
+
+type t = {
+  table : (string * string, instrument) Hashtbl.t; (* (actor, instrument) *)
+  claimed : (string, int) Hashtbl.t; (* actor base name -> times claimed *)
+}
+
+let create () = { table = Hashtbl.create 64; claimed = Hashtbl.create 16 }
+
+(* Actor names must be unique or two subsystems would silently share
+   instruments (e.g. two devices created with the same [~name]). Claiming
+   uniquifies: the first claim of "nic0" gets "nic0", the next "nic0#2". *)
+let claim_actor t base =
+  match Hashtbl.find_opt t.claimed base with
+  | None ->
+    Hashtbl.replace t.claimed base 1;
+    base
+  | Some n ->
+    Hashtbl.replace t.claimed base (n + 1);
+    Printf.sprintf "%s#%d" base (n + 1)
+
+let counter t ~actor ~name =
+  match Hashtbl.find_opt t.table (actor, name) with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (actor ^ "/" ^ name ^ ": not a counter")
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.replace t.table (actor, name) (Counter c);
+    c
+
+let gauge t ~actor ~name =
+  match Hashtbl.find_opt t.table (actor, name) with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (actor ^ "/" ^ name ^ ": not a gauge")
+  | None ->
+    let g = { level = 0. } in
+    Hashtbl.replace t.table (actor, name) (Gauge g);
+    g
+
+let histogram t ~actor ~name =
+  match Hashtbl.find_opt t.table (actor, name) with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg (actor ^ "/" ^ name ^ ": not a histogram")
+  | None ->
+    let h = { hist = Stats.Histogram.create (); summ = Stats.Summary.create () } in
+    Hashtbl.replace t.table (actor, name) (Histogram h);
+    h
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+let reset_counter c = c.count <- 0
+let set g v = g.level <- v
+let gauge_value g = g.level
+
+let observe h v =
+  Stats.Histogram.add h.hist v;
+  Stats.Summary.add h.summ v
+
+let observations h = Stats.Histogram.count h.hist
+let report h = Stats.latency_report h.hist h.summ
+let hist h = h.hist
+let summary h = h.summ
+
+let value_of = function
+  | Counter c -> Counter_v c.count
+  | Gauge g -> Gauge_v g.level
+  | Histogram h -> Histogram_v (report h)
+
+let find t ~actor ~name =
+  Option.map value_of (Hashtbl.find_opt t.table (actor, name))
+
+let counter_read t ~actor ~name =
+  match find t ~actor ~name with Some (Counter_v n) -> n | _ -> 0
+
+(* Deterministic listing: sorted by (actor, instrument). *)
+let snapshot t =
+  Hashtbl.fold (fun (actor, name) ins acc -> (actor, name, value_of ins) :: acc)
+    t.table []
+  |> List.sort (fun (a1, n1, _) (a2, n2, _) ->
+         match String.compare a1 a2 with 0 -> String.compare n1 n2 | c -> c)
+
+let actors t =
+  List.sort_uniq String.compare
+    (Hashtbl.fold (fun (actor, _) _ acc -> actor :: acc) t.table [])
+
+let size t = Hashtbl.length t.table
+
+(* --- export: Prometheus text exposition ----------------------------------- *)
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let pp_float ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%g" v
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (actor, name, v) ->
+      let metric = "lastcpu_" ^ sanitize name in
+      let labels = Printf.sprintf "{actor=\"%s\"}" actor in
+      match v with
+      | Counter_v n ->
+        line "# TYPE %s counter" metric;
+        line "%s%s %d" metric labels n
+      | Gauge_v g ->
+        line "# TYPE %s gauge" metric;
+        line "%s%s %s" metric labels (Format.asprintf "%a" pp_float g)
+      | Histogram_v r ->
+        line "# TYPE %s summary" metric;
+        line "%s{actor=\"%s\",quantile=\"0.5\"} %s" metric actor
+          (Format.asprintf "%a" pp_float r.Stats.p50);
+        line "%s{actor=\"%s\",quantile=\"0.95\"} %s" metric actor
+          (Format.asprintf "%a" pp_float r.Stats.p95);
+        line "%s{actor=\"%s\",quantile=\"0.99\"} %s" metric actor
+          (Format.asprintf "%a" pp_float r.Stats.p99);
+        line "%s_sum%s %s" metric labels
+          (Format.asprintf "%a" pp_float (r.Stats.mean *. float_of_int r.Stats.n));
+        line "%s_count%s %d" metric labels r.Stats.n)
+    (snapshot t);
+  Buffer.contents buf
+
+(* --- export: one JSON object per registry --------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"metrics\":[";
+  List.iteri
+    (fun i (actor, name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let head =
+        Printf.sprintf "{\"actor\":\"%s\",\"instrument\":\"%s\","
+          (json_escape actor) (json_escape name)
+      in
+      Buffer.add_string buf head;
+      (match v with
+      | Counter_v n ->
+        Buffer.add_string buf (Printf.sprintf "\"type\":\"counter\",\"value\":%d" n)
+      | Gauge_v g ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"type\":\"gauge\",\"value\":%s" (json_float g))
+      | Histogram_v r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\"type\":\"histogram\",\"n\":%d,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s"
+             r.Stats.n (json_float r.Stats.mean) (json_float r.Stats.p50)
+             (json_float r.Stats.p95) (json_float r.Stats.p99)
+             (json_float r.Stats.max)));
+      Buffer.add_char buf '}')
+    (snapshot t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let pp ppf t =
+  List.iter
+    (fun (actor, name, v) ->
+      match v with
+      | Counter_v n -> Format.fprintf ppf "%s/%s = %d@." actor name n
+      | Gauge_v g -> Format.fprintf ppf "%s/%s = %a@." actor name pp_float g
+      | Histogram_v r ->
+        Format.fprintf ppf "%s/%s : %a@." actor name Stats.pp_latency_report r)
+    (snapshot t)

@@ -1,0 +1,72 @@
+(** Engine-carried telemetry registry.
+
+    One registry per {!Engine.t}: named counters, gauges and log-bucketed
+    latency histograms, keyed by [actor/instrument]. Subsystems resolve a
+    handle once at creation time and bump it on the hot path; snapshots are
+    deterministic (sorted by actor then instrument, never hash order), so a
+    seeded run always exports byte-identical telemetry. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Stats.latency_report
+
+val create : unit -> t
+
+val claim_actor : t -> string -> string
+(** [claim_actor t base] reserves a unique actor name: [base] on first
+    claim, ["base#2"], ["base#3"], … after. Prevents two subsystems
+    created with the same name from silently sharing instruments. *)
+
+(** {2 Instrument handles} — registering an existing [(actor, name)] key
+    returns the same handle; registering it with a different instrument
+    type raises [Invalid_argument]. *)
+
+val counter : t -> actor:string -> name:string -> counter
+val gauge : t -> actor:string -> name:string -> gauge
+val histogram : t -> actor:string -> name:string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val reset_counter : counter -> unit
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+val report : histogram -> Stats.latency_report
+val hist : histogram -> Stats.Histogram.t
+val summary : histogram -> Stats.Summary.t
+
+(** {2 Reading the registry} *)
+
+val find : t -> actor:string -> name:string -> value option
+
+val counter_read : t -> actor:string -> name:string -> int
+(** Counter value by name; [0] if absent or not a counter. *)
+
+val snapshot : t -> (string * string * value) list
+(** All instruments, sorted by (actor, instrument). *)
+
+val actors : t -> string list
+(** Distinct actor names, sorted. *)
+
+val size : t -> int
+
+(** {2 Export} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: one [lastcpu_<instrument>] family per
+    instrument with an [actor] label; histograms export as summaries. *)
+
+val to_json : t -> string
+(** One JSON object: [{"metrics":[{"actor":…,"instrument":…,…},…]}]. *)
+
+val pp : Format.formatter -> t -> unit

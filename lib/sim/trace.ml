@@ -4,9 +4,11 @@ type t = {
   mutable entries : entry list;  (* newest first *)
   mutable length : int;
   capacity : int option;
+  open_spans : (string, int64) Hashtbl.t; (* "name#id" -> begin time *)
 }
 
-let create ?capacity () = { entries = []; length = 0; capacity }
+let create ?capacity () =
+  { entries = []; length = 0; capacity; open_spans = Hashtbl.create 16 }
 
 let append t ~time ~actor ~kind detail =
   t.entries <- { time; actor; kind; detail } :: t.entries;
@@ -28,9 +30,33 @@ let length t = t.length
 let entries t = List.rev t.entries
 let find_all t ~kind = List.filter (fun e -> e.kind = kind) (entries t)
 
+(* Spans: paired begin/end entries correlated by "name#id". Begin times are
+   kept in a side table (not recovered from entries) so capacity-trimmed
+   traces still time long-lived spans correctly. *)
+let span_begin_kind = "span.begin"
+let span_end_kind = "span.end"
+let span_key ~name ~id = name ^ "#" ^ string_of_int id
+
+let begin_span t ~time ~actor ~name ~id =
+  let key = span_key ~name ~id in
+  Hashtbl.replace t.open_spans key time;
+  append t ~time ~actor ~kind:span_begin_kind key
+
+let end_span t ~time ~actor ~name ~id =
+  let key = span_key ~name ~id in
+  match Hashtbl.find_opt t.open_spans key with
+  | None -> None (* unknown or already ended: not an error, just no sample *)
+  | Some start ->
+    Hashtbl.remove t.open_spans key;
+    append t ~time ~actor ~kind:span_end_kind key;
+    Some (Int64.sub time start)
+
+let open_span_count t = Hashtbl.length t.open_spans
+
 let clear t =
   t.entries <- [];
-  t.length <- 0
+  t.length <- 0;
+  Hashtbl.reset t.open_spans
 
 let pp_entry ppf e =
   Format.fprintf ppf "[%8Ld ns] %-14s %-22s %s" e.time e.actor e.kind e.detail

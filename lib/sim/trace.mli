@@ -26,6 +26,27 @@ val entries : t -> entry list
 val find_all : t -> kind:string -> entry list
 val clear : t -> unit
 
+(** {2 Spans}
+
+    A span is a pair of entries — kind ["span.begin"] / ["span.end"] with
+    detail ["name#id"] — correlated by the caller-supplied id (typically a
+    bus correlation id or an [Engine.fresh_span_id]). Begin times live in a
+    side table, so spans survive capacity trimming of the entry list. *)
+
+val span_begin_kind : string
+val span_end_kind : string
+val span_key : name:string -> id:int -> string
+
+val begin_span : t -> time:int64 -> actor:string -> name:string -> id:int -> unit
+
+val end_span :
+  t -> time:int64 -> actor:string -> name:string -> id:int -> int64 option
+(** Duration since the matching [begin_span], or [None] if the span was
+    never opened (or already ended — ending twice is harmless). *)
+
+val open_span_count : t -> int
+(** Spans begun but not yet ended. *)
+
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
 
