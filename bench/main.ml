@@ -151,6 +151,13 @@ module Micro = struct
       (Staged.stage (fun () ->
            ignore (Iommu.translate iommu ~pasid:9 ~va:0xDEAD_0000L ~access:Iommu.Read)))
 
+  (* t13 primitive: CRC-framed codec roundtrip (the corruption-detection
+     tax every fault-checked delivery pays). *)
+  let bench_framed =
+    Test.make ~name:"t13.framed-roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Codec.decode_framed (Codec.encode_framed sample_msg))))
+
   (* substrate: buddy allocator cycle. *)
   let bench_buddy =
     let b = Buddy.create ~base:0L ~pages:4096 in
@@ -172,6 +179,7 @@ module Micro = struct
         bench_walk;
         bench_vq;
         bench_fault;
+        bench_framed;
         bench_buddy;
       ]
 
@@ -235,7 +243,7 @@ let metrics_snapshot () =
 
 let all_ids =
   [ "f1"; "f2"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9"; "t10";
-    "t11"; "t12" ]
+    "t11"; "t12"; "t13" ]
 
 let run_experiment id =
   match Experiments.by_id id with

@@ -86,7 +86,7 @@ let figure2_cmd =
 
 let known_ids =
   [ "f1"; "f2"; "t1"; "t1-notokens"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8";
-    "t9"; "t10"; "t11"; "t12" ]
+    "t9"; "t10"; "t11"; "t12"; "t13" ]
 
 let experiment list ids =
   if list then begin
@@ -181,10 +181,31 @@ let metrics_cmd =
   in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const metrics $ seed_arg $ n $ json_arg)
 
+(* --- chaos ------------------------------------------------------------------------ *)
+
+let chaos seed json =
+  let system = Experiments.chaos_soak ~seed () in
+  let m = Engine.metrics (System.engine system) in
+  print_string (if json then Metrics.to_json m else Metrics.to_prometheus m);
+  0
+
+let chaos_cmd =
+  let doc =
+    "Run the T13 chaos soak (seeded fault injection: message loss, \
+     corruption, NAND faults, a storage-device crash) on the CPU-less \
+     design and print the telemetry registry. Identical seeds produce \
+     byte-identical output; CI diffs two runs."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON snapshot instead.")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const chaos $ seed_arg $ json_arg)
+
 let () =
   let doc = "emulator of the CPU-less system from 'The Last CPU' (HotOS '21)" in
   let info = Cmd.info "lastcpu" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd; metrics_cmd ]))
+          [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd; metrics_cmd;
+            chaos_cmd ]))

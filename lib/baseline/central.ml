@@ -1,5 +1,6 @@
 module Engine = Lastcpu_sim.Engine
 module Costs = Lastcpu_sim.Costs
+module Faults = Lastcpu_sim.Faults
 module Nand = Lastcpu_flash.Nand
 module Ftl = Lastcpu_flash.Ftl
 module Fs = Lastcpu_fs.Fs
@@ -10,17 +11,44 @@ type t = {
   kern : Kernel.t;
   ftl : Ftl.t;
   filesystem : Fs.t;
+  mutable storage_down : bool;
 }
 
 let create engine ?cores ?geometry () =
-  let nand = Nand.create ?geometry () in
+  let faults = Engine.faults engine in
+  let nand = Nand.create ?geometry ~faults () in
   let ftl = Ftl.create ~nand () in
   let filesystem =
     match Fs.format ftl with
     | Ok fs -> fs
     | Error e -> invalid_arg ("Central.create: " ^ Fs.error_to_string e)
   in
-  { engine; kern = Kernel.create engine ?cores (); ftl; filesystem }
+  let t =
+    {
+      engine;
+      kern = Kernel.create engine ?cores ();
+      ftl;
+      filesystem;
+      storage_down = false;
+    }
+  in
+  (* The fault plan's crash windows apply here too: while the (single)
+     storage device is down, mediated I/O fails; at the revive edge the
+     kernel runs a reset-device pass before I/O resumes — the centralized
+     counterpart of the bus's crash→reset→reannounce sequence. *)
+  List.iter
+    (fun { Faults.at_ns; down_ns; _ } ->
+      Engine.schedule_at engine ~time:at_ns (fun () ->
+          Faults.note_crash faults;
+          t.storage_down <- true);
+      Engine.schedule_at engine ~time:(Int64.add at_ns down_ns) (fun () ->
+          Faults.note_revive faults;
+          Kernel.syscall t.kern ~name:"reset-device" (fun () ->
+              t.storage_down <- false)))
+    (Faults.crashes faults);
+  t
+
+let storage_down t = t.storage_down
 
 let kernel t = t.kern
 let fs t = t.filesystem
@@ -73,13 +101,21 @@ let teardown_shared t k =
 
 (* Kernel-mediated file operation: submission syscall, NAND time off-CPU,
    completion interrupt. *)
-let mediated_io t ~name ~(run : unit -> 'a) (k : 'a -> unit) =
+let mediated_io t ~name ~(run : unit -> ('a, string) result)
+    (k : ('a, string) result -> unit) =
   Kernel.syscall t.kern ~name (fun () ->
-      let snapshot = nand_snapshot t in
-      let result = run () in
-      let flash = nand_cost t snapshot in
-      Engine.schedule t.engine ~delay:flash (fun () ->
-          Kernel.interrupt t.kern ~name:(name ^ "-complete") (fun () -> k result)))
+      if t.storage_down then
+        (* The submit syscall returns EIO immediately: the device node is
+           gone until the reset-device pass completes. *)
+        k (Error "storage device down")
+      else begin
+        let snapshot = nand_snapshot t in
+        let result = run () in
+        let flash = nand_cost t snapshot in
+        Engine.schedule t.engine ~delay:flash (fun () ->
+            Kernel.interrupt t.kern ~name:(name ^ "-complete") (fun () ->
+                k result))
+      end)
 
 let lift fs_result =
   match fs_result with Ok v -> Ok v | Error e -> Error (Fs.error_to_string e)

@@ -1,11 +1,14 @@
 module Types = Lastcpu_proto.Types
 module Message = Lastcpu_proto.Message
 module Token = Lastcpu_proto.Token
+module Codec = Lastcpu_proto.Codec
+module Wire = Lastcpu_proto.Wire
 module Iommu = Lastcpu_iommu.Iommu
 module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
 module Costs = Lastcpu_sim.Costs
 module Metrics = Lastcpu_sim.Metrics
+module Faults = Lastcpu_sim.Faults
 
 type config = { enable_tokens : bool; heartbeat_timeout_ns : int64; lanes : int }
 
@@ -30,6 +33,7 @@ type counters = {
   token_failures : int;
   undeliverable : int;
   control_bytes : int;
+  doorbells_dropped : int;
 }
 
 type t = {
@@ -48,6 +52,7 @@ type t = {
   m_token_failures : Metrics.counter;
   m_undeliverable : Metrics.counter;
   m_control_bytes : Metrics.counter;
+  m_doorbells_dropped : Metrics.counter;
 }
 
 let bus_src = -1 (* messages originated by the bus itself *)
@@ -92,8 +97,45 @@ let create ?(config = default_config) engine =
       m_token_failures = counter "token_failures";
       m_undeliverable = counter "undeliverable";
       m_control_bytes = counter "control_bytes";
+      m_doorbells_dropped = counter "doorbells_dropped";
     }
   in
+  (* Scheduled crash→revive windows from the engine's fault plan. Devices
+     attach after [create], so resolve names at fire time, not here. *)
+  let faults = Engine.faults engine in
+  List.iter
+    (fun { Faults.device; at_ns; down_ns } ->
+      let find_by_name () =
+        let found = ref None in
+        Array.iteri
+          (fun id s -> if s.name = device && !found = None then found := Some id)
+          t.devices;
+        !found
+      in
+      Engine.schedule_at engine ~time:at_ns (fun () ->
+          match find_by_name () with
+          | None -> ()
+          | Some id ->
+            Faults.note_crash faults;
+            Engine.trace_event engine ~actor:"bus" ~kind:"fault.crash"
+              (Printf.sprintf "%s (dev%d) crashed by fault plan" device id);
+            mark_failed t id);
+      Engine.schedule_at engine ~time:(Int64.add at_ns down_ns) (fun () ->
+          match find_by_name () with
+          | None -> ()
+          | Some id ->
+            let s = t.devices.(id) in
+            Faults.note_revive faults;
+            Engine.trace_event engine ~actor:"bus" ~kind:"fault.revive"
+              (Printf.sprintf "%s (dev%d) revived by fault plan" device id);
+            s.connected <- true;
+            (* Out-of-band reset line: poke the handler directly (the slot
+               is not yet live, so a bus message could not reach it) so the
+               device reinitialises and reannounces itself. *)
+            s.handler
+              (Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0
+                 Message.Reset_device)))
+    (Faults.crashes faults);
   (if config.heartbeat_timeout_ns > 0L then
      let rec sweep () =
        let now = Engine.now t.engine in
@@ -158,6 +200,7 @@ let counters t =
     token_failures = Metrics.counter_value t.m_token_failures;
     undeliverable = Metrics.counter_value t.m_undeliverable;
     control_bytes = Metrics.counter_value t.m_control_bytes;
+    doorbells_dropped = Metrics.counter_value t.m_doorbells_dropped;
   }
 
 let actor t = t.actor
@@ -352,6 +395,47 @@ let handle_bus_message t (msg : Message.t) =
 
 (* --- transport ----------------------------------------------------------- *)
 
+(* Fault injection on device-originated deliveries. Bus-originated traffic
+   (src < 0: replies, [Device_failed] broadcasts, reset lines) models a
+   reliable interrupt-like management channel and is exempt — losing the
+   failure notification itself would leave consumers with no recovery
+   signal at all. Corruption is physical: flip one seeded bit in the CRC-
+   framed encoding; the receiver-side checksum catches it and the frame is
+   dropped (and counted) rather than delivered mangled. *)
+let schedule_delivery t (msg : Message.t) ~delay deliver =
+  let faults = Engine.faults t.engine in
+  if msg.src < 0 || not (Faults.active faults) then
+    Engine.schedule t.engine ~delay deliver
+  else begin
+    let corrupted_and_caught =
+      Faults.corrupt_message faults
+      &&
+      let framed = Codec.encode_framed msg in
+      let bit = Faults.corrupt_bit faults ~len:(String.length framed) in
+      let b = Bytes.of_string framed in
+      let i = bit / 8 in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+      match Codec.decode_framed (Bytes.to_string b) with
+      | _ -> false
+      | exception Wire.Malformed _ -> true
+    in
+    if corrupted_and_caught then
+      trace t "fault.corrupt"
+        (Printf.sprintf "frame to %s corrupted, CRC mismatch, dropped"
+           (Types.dest_to_string msg.dst))
+    else if Faults.drop_message faults then
+      trace t "fault.msg-loss"
+        (Printf.sprintf "frame to %s lost"
+           (Types.dest_to_string msg.dst))
+    else begin
+      let delay = Int64.add delay (Faults.message_jitter faults) in
+      Engine.schedule t.engine ~delay deliver;
+      if Faults.duplicate_message faults then
+        Engine.schedule t.engine ~delay:(Int64.add delay 1L) deliver
+    end
+  end
+
 let deliver_unicast t (msg : Message.t) dst =
   let costs = Engine.costs t.engine in
   let s = slot t dst in
@@ -368,7 +452,7 @@ let deliver_unicast t (msg : Message.t) dst =
   end
   else begin
     Metrics.incr t.m_routed;
-    Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
+    schedule_delivery t msg ~delay:costs.Costs.bus_hop_ns (fun () ->
         if s.live then s.handler msg)
   end
 
@@ -400,7 +484,7 @@ let send t (msg : Message.t) =
               (fun id s ->
                 if id <> msg.src && s.live then begin
                   Metrics.incr t.m_broadcasts;
-                  Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns
+                  schedule_delivery t msg ~delay:costs.Costs.bus_hop_ns
                     (fun () -> if s.live then s.handler msg)
                 end)
               t.devices))
@@ -408,7 +492,14 @@ let send t (msg : Message.t) =
 let notify t ~src ~dst ~queue =
   let costs = Engine.costs t.engine in
   let s = slot t dst in
-  if s.live then begin
+  if not s.live then begin
+    (* A doorbell to a dead device is a write to nowhere: count it so the
+       silence is visible in telemetry instead of a mystery hang. *)
+    Metrics.incr t.m_doorbells_dropped;
+    trace t "bus.doorbell-dropped"
+      (Printf.sprintf "dev%d -> dev%d queue=%d (target not live)" src dst queue)
+  end
+  else begin
     let msg =
       Message.make ~src ~dst:(Types.Device dst) ~corr:0
         (Message.Doorbell { queue })

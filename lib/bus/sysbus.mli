@@ -98,6 +98,7 @@ type counters = {
   token_failures : int;
   undeliverable : int;
   control_bytes : int;  (** wire bytes through the bus *)
+  doorbells_dropped : int;  (** doorbells to non-live devices, swallowed *)
 }
 
 val counters : t -> counters

@@ -22,6 +22,7 @@ module Kv_proto = Lastcpu_kv.Kv_proto
 module Store = Lastcpu_kv.Store
 module Kernel = Lastcpu_baseline.Kernel
 module Central = Lastcpu_baseline.Central
+module Faults = Lastcpu_sim.Faults
 
 type table = {
   id : string;
@@ -1371,6 +1372,301 @@ let t12 () =
       ];
   }
 
+(* --- T13: chaos soak ----------------------------------------------------------------- *)
+
+(* Both designs run the same seeded client workload under the same fault
+   plan: message loss/duplication/delay/corruption on the bus, frame
+   loss/reordering on the network, NAND read faults, and a scheduled
+   crash→revive window on the storage device in the middle of the
+   workload. The CPU-less design survives through device-level request
+   retries plus the supervisor re-running the Figure-2 attach against an
+   alternate provider; the centralized baseline survives through op-level
+   retries once the kernel's reset-device pass brings storage back. *)
+
+let t13_ops = 400
+let t13_think_ns = 25_000L
+
+(* Mid-workload: ~50 ms in, the provider disappears for 10 ms. *)
+let t13_crash =
+  { Faults.device = "ssd0"; at_ns = 50_000_000L; down_ns = 10_000_000L }
+
+let t13_plan = { Faults.default_chaos with Faults.crashes = [ t13_crash ] }
+
+type t13_stats = {
+  mutable attempted : int;  (** distinct client ops issued *)
+  mutable succeeded : int;  (** ops that eventually got a non-error reply *)
+  mutable resends : int;  (** client-level retransmissions *)
+  mutable converged : bool;  (** every op completed (success or give-up) *)
+}
+
+(* A closed-loop client that survives the chaos: each op is retransmitted
+   (same correlation id — the KVS ops are idempotent) on an escalating
+   timer until a non-[Failed] reply arrives or the attempts run out. *)
+let t13_chaos_client system ~app_addr ~ops ~think_ns ~op_timeout ~op_retries
+    ~make_op ~stats ~on_done =
+  let engine = System.engine system in
+  let net = System.net system in
+  incr client_counter;
+  let ep =
+    Netsim.endpoint net ~name:(Printf.sprintf "client-%d" !client_counter)
+  in
+  let outstanding : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let sent = ref 0 in
+  let finished = ref 0 in
+  let rec send_op corr frame timeout tries_left =
+    Netsim.send ep ~dst:app_addr frame;
+    Engine.schedule engine ~delay:timeout (fun () ->
+        if Hashtbl.mem outstanding corr then
+          if tries_left > 0 then begin
+            stats.resends <- stats.resends + 1;
+            send_op corr frame (Int64.mul timeout 2L) (tries_left - 1)
+          end
+          else begin
+            Hashtbl.remove outstanding corr;
+            finish_op ()
+          end)
+  and next_op () =
+    if !sent < ops then begin
+      let corr = !sent in
+      incr sent;
+      stats.attempted <- stats.attempted + 1;
+      Hashtbl.replace outstanding corr ();
+      let frame = Kv_proto.encode_request { Kv_proto.corr; op = make_op corr } in
+      send_op corr frame op_timeout op_retries
+    end
+  and finish_op () =
+    incr finished;
+    if !finished = ops then on_done ()
+    else if think_ns > 0L then Engine.schedule engine ~delay:think_ns next_op
+    else next_op ()
+  in
+  Netsim.set_receiver ep (fun ~src:_ frame ->
+      match Kv_proto.decode_response frame with
+      | Error _ -> ()
+      | Ok { Kv_proto.corr; reply } -> (
+        match reply with
+        | Kv_proto.Failed _ ->
+          (* Transient server-side failure; the resend timer retries. *)
+          ()
+        | _ ->
+          if Hashtbl.mem outstanding corr then begin
+            Hashtbl.remove outstanding corr;
+            stats.succeeded <- stats.succeeded + 1;
+            finish_op ()
+          end));
+  next_op ()
+
+let t13_make_op i =
+  let key = Printf.sprintf "key-%04d" (i mod 64) in
+  if i land 1 = 0 then Kv_proto.Put (key, Printf.sprintf "value-%06d" i)
+  else Kv_proto.Get key
+
+(* Returns the soaked system plus (stats, device retries, failovers,
+   crashes injected). *)
+let t13_decentralized ~seed () =
+  let spec =
+    { System.default_spec with System.seed; ssd_count = 2; fault_plan = t13_plan }
+  in
+  let system = System.build ~spec () in
+  (* Provision the KV directory only on ssd0 for now: discovery then has a
+     single willing provider, so the app deterministically attaches to the
+     device the fault plan will crash. *)
+  let provision ssd =
+    match Fs.mkdir (Smart_ssd.fs ssd) ~user:"root" ~mode:0o777 "/kv" with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("t13: mkdir /kv: " ^ Fs.error_to_string e)
+  in
+  provision (System.ssd system 0);
+  (match System.boot system with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("t13: boot: " ^ e));
+  let next_va = ref 0x4000_0000L in
+  let fresh_attach () =
+    let va = !next_va in
+    next_va := Int64.add va 0x100_0000L;
+    (System.fresh_pasid system, va)
+  in
+  let launched = ref None in
+  let pasid, shm_va = fresh_attach () in
+  Kv_app.launch
+    ~nic:(System.nic system 0)
+    ~memctl:(Memctl.id (System.memctl system))
+    ~pasid ~shm_va ~user:"kvs" ~log_path:"/kv/data.log" ~req_timeout:300_000L
+    ~req_retries:6 ~supervisor:fresh_attach ()
+    (fun r -> launched := Some r);
+  System.run_until_idle system;
+  match !launched with
+  | None -> invalid_arg "t13: launch did not complete"
+  | Some (Error e) -> invalid_arg ("t13: launch: " ^ e)
+  | Some (Ok app) ->
+    (* Now provision the second SSD: when ssd0 crashes, re-discovery finds
+       a willing alternate (the log itself is per-provider — the failover
+       restores availability, not the dead device's data). *)
+    provision (System.ssd system 1);
+    let stats = { attempted = 0; succeeded = 0; resends = 0; converged = false } in
+    t13_chaos_client system
+      ~app_addr:(Smart_nic.endpoint_address (System.nic system 0))
+      ~ops:t13_ops ~think_ns:t13_think_ns ~op_timeout:2_000_000L ~op_retries:10
+      ~make_op:t13_make_op ~stats
+      ~on_done:(fun () -> stats.converged <- true);
+    (* Control-plane churn alongside the data plane: a second tenant doing
+       open-loop alloc/free pairs through the NIC. Its request/response
+       round trips ride the faulty bus, exercising the device framework's
+       retry/backoff (2% message loss ⇒ a handful of retries). *)
+    let engine = System.engine system in
+    let nic_dev = Smart_nic.device (System.nic system 0) in
+    let mc = Memctl.id (System.memctl system) in
+    let churn_pasid = System.fresh_pasid system in
+    let rec churn i =
+      if i < 200 then begin
+        let va = Int64.add 0x8000_0000L (Int64.of_int (i * 4096)) in
+        Device.alloc nic_dev ~memctl:mc ~pasid:churn_pasid ~va ~bytes:4096L
+          ~perm:Types.perm_rw ~timeout:300_000L ~retries:6 (fun _ ->
+            Device.free nic_dev ~memctl:mc ~pasid:churn_pasid ~va ~bytes:4096L
+              (fun _ -> ()));
+        Engine.schedule engine ~delay:500_000L (fun () -> churn (i + 1))
+      end
+    in
+    churn 0;
+    System.run_until_idle system;
+    let m = Engine.metrics (System.engine system) in
+    let nic_dev = Smart_nic.device (System.nic system 0) in
+    ( system,
+      stats,
+      Device.request_retries nic_dev,
+      Kv_app.failovers app,
+      Metrics.counter_read m ~actor:"faults" ~name:"crashes_injected" )
+
+let t13_centralized ~seed () =
+  let engine = Engine.create ~seed ~fault_plan:t13_plan () in
+  let central = Central.create engine () in
+  let store =
+    Store.create ~metrics:(Engine.metrics engine) ~actor:"kv"
+      (Central.store_backend central ~path:"/kv.log" ~user:"kvs")
+  in
+  let stats = { attempted = 0; succeeded = 0; resends = 0; converged = false } in
+  let run_op i k =
+    let rec attempt tries_left backoff =
+      let ok = ref false in
+      Central.kv_network_op central
+        (fun tx ->
+          match t13_make_op i with
+          | Kv_proto.Put (key, value) ->
+            Store.put store ~key ~value (fun r ->
+                ok := r = Ok ();
+                tx ())
+          | _ ->
+            (* Gets serve from the in-memory table on the CPU; no storage
+               dependency, same as the CPU-less design's memtable path. *)
+            Store.get store
+              (Printf.sprintf "key-%04d" (i mod 64))
+              (fun _ ->
+                ok := true;
+                tx ()))
+        (fun () ->
+          if !ok then begin
+            stats.succeeded <- stats.succeeded + 1;
+            k ()
+          end
+          else if tries_left > 0 then begin
+            stats.resends <- stats.resends + 1;
+            Engine.schedule engine ~delay:backoff (fun () ->
+                attempt (tries_left - 1) (Int64.mul backoff 2L))
+          end
+          else k ())
+    in
+    attempt 10 150_000L
+  in
+  sequentially t13_ops
+    (fun i k ->
+      stats.attempted <- stats.attempted + 1;
+      run_op i (fun () -> Engine.schedule engine ~delay:t13_think_ns k))
+    (fun () -> stats.converged <- true);
+  Engine.run engine;
+  ( engine,
+    stats,
+    Metrics.counter_read (Engine.metrics engine) ~actor:"faults"
+      ~name:"crashes_injected" )
+
+(* CLI/CI entry point: run the CPU-less soak and hand back the system so
+   the caller can snapshot the telemetry registry (the determinism check
+   diffs two such snapshots). *)
+let chaos_soak ?(seed = 42L) () =
+  let system, _, _, _, _ = t13_decentralized ~seed () in
+  system
+
+let t13 ?(seed = 42L) () =
+  let system, d_stats, d_retries, d_failovers, d_crashes =
+    t13_decentralized ~seed ()
+  in
+  let d_elapsed = Engine.now (System.engine system) in
+  let c_engine, c_stats, c_crashes = t13_centralized ~seed () in
+  let c_elapsed = Engine.now c_engine in
+  let pct s =
+    Printf.sprintf "%.1f%%"
+      (100. *. float_of_int s.succeeded /. float_of_int (max 1 s.attempted))
+  in
+  let yesno b = if b then "yes" else "no" in
+  {
+    id = "t13";
+    title = "chaos soak: seeded faults, retries and provider failover";
+    claim =
+      "under message loss/corruption, NAND faults and a storage-device crash, \
+       the CPU-less design restores service by re-running discovery (§2.2) — \
+       no CPU supervises recovery";
+    columns =
+      [
+        "design"; "ops"; "completed"; "success"; "client resends";
+        "device retries"; "failovers"; "crashes"; "elapsed (ns)"; "converged";
+      ];
+    rows =
+      [
+        [
+          "CPU-less";
+          string_of_int d_stats.attempted;
+          string_of_int d_stats.succeeded;
+          pct d_stats;
+          string_of_int d_stats.resends;
+          string_of_int d_retries;
+          string_of_int d_failovers;
+          string_of_int d_crashes;
+          ns64 d_elapsed;
+          yesno d_stats.converged;
+        ];
+        [
+          "centralized";
+          string_of_int c_stats.attempted;
+          string_of_int c_stats.succeeded;
+          pct c_stats;
+          string_of_int c_stats.resends;
+          "-";
+          "-";
+          string_of_int c_crashes;
+          ns64 c_elapsed;
+          yesno c_stats.converged;
+        ];
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "fault plan: %.1f%% msg loss, %.1f%% dup, %.1f%% corrupt, %.1f%% \
+           frame loss, NAND faults, ssd0 crash at %Ldns for %Ldns"
+          (100. *. t13_plan.Faults.msg_loss)
+          (100. *. t13_plan.Faults.msg_dup)
+          (100. *. t13_plan.Faults.msg_corrupt)
+          (100. *. t13_plan.Faults.frame_loss)
+          t13_crash.Faults.at_ns t13_crash.Faults.down_ns;
+        "CPU-less recovery: Device_failed broadcast → abort in-flight → \
+         re-discover → attach to the surviving SSD (fresh pasid/mapping) → \
+         recover the store → drain parked ops";
+        "centralized recovery: submit syscalls fail while the device is \
+         down; clients retry with backoff until the kernel's reset-device \
+         pass completes";
+        "same seed ⇒ byte-identical fault sequence and telemetry snapshot \
+         (CI diffs two runs)";
+      ];
+  }
+
 (* --- registry ------------------------------------------------------------------------- *)
 
 let all () =
@@ -1389,6 +1685,7 @@ let all () =
     t10 ();
     t11 ();
     t12 ();
+    t13 ();
   ]
 
 let by_id = function
@@ -1407,4 +1704,5 @@ let by_id = function
   | "t10" -> Some t10
   | "t11" -> Some t11
   | "t12" -> Some t12
+  | "t13" -> Some (fun () -> t13 ())
   | _ -> None

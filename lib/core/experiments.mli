@@ -66,8 +66,20 @@ val t11 : unit -> table
 val t12 : unit -> table
 (** Recovery economics: WAL replay before/after compaction. *)
 
+val t13 : ?seed:int64 -> unit -> table
+(** Chaos soak: both designs run the same seeded client workload under an
+    identical fault plan (message loss/duplication/corruption, frame
+    loss/reordering, NAND read faults, a mid-workload storage-device
+    crash→revive window), reporting ops completed, retries, failovers and
+    convergence. *)
+
+val chaos_soak : ?seed:int64 -> unit -> System.t
+(** Run the CPU-less half of {!t13} and return the soaked system; callers
+    snapshot its telemetry registry. Same seed ⇒ byte-identical snapshot
+    (the CI determinism job diffs two runs). *)
+
 val all : unit -> table list
 (** Every figure and table, in order. *)
 
 val by_id : string -> (unit -> table) option
-(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens", "t2".."t12"). *)
+(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens", "t2".."t13"). *)

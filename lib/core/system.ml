@@ -28,6 +28,7 @@ type spec = {
   users : (string * string) list;
   with_console : bool;
   dram_pages : int;
+  fault_plan : Lastcpu_sim.Faults.plan;
 }
 
 let default_spec =
@@ -46,6 +47,7 @@ let default_spec =
     users = [];
     with_console = false;
     dram_pages = 65536;
+    fault_plan = Lastcpu_sim.Faults.zero;
   }
 
 type t = {
@@ -64,7 +66,10 @@ type t = {
 }
 
 let build ?(spec = default_spec) () =
-  let engine = Engine.create ~seed:spec.seed ~costs:spec.costs () in
+  let engine =
+    Engine.create ~seed:spec.seed ~costs:spec.costs ~fault_plan:spec.fault_plan
+      ()
+  in
   let memory = Physmem.create ~size:(Int64.shift_left 1L 31) () in
   let network = Netsim.create engine in
   let sysbus =

@@ -23,6 +23,9 @@ type spec = {
   users : (string * string) list;
   with_console : bool;
   dram_pages : int;
+  fault_plan : Lastcpu_sim.Faults.plan;
+      (** seeded chaos plan carried by the engine; {!Lastcpu_sim.Faults.zero}
+          (the default) injects nothing *)
 }
 
 val default_spec : spec

@@ -8,6 +8,7 @@ module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
 module Costs = Lastcpu_sim.Costs
 module Metrics = Lastcpu_sim.Metrics
+module Faults = Lastcpu_sim.Faults
 
 type open_accept = { connection : int; shm_bytes : int64 }
 
@@ -49,12 +50,50 @@ type t = {
   conns : (int, connection_info) Hashtbl.t;
   mutable next_corr : int;
   mutable next_conn : int;
+  (* Ring of recently completed correlation ids: a response that arrives
+     after its request timed out (or after a duplicate already completed
+     it) is swallowed and counted instead of leaking to the app handler. *)
+  recent : int array;
+  mutable recent_idx : int;
+  mutable failed_watchers : (device:Types.device_id -> unit) list;
   actor : string;
   m_handled : Metrics.counter;
   m_sent : Metrics.counter;
   m_faults : Metrics.counter;
   m_discover_late : Metrics.counter;
+  m_request_late : Metrics.counter;
+  m_retries : Metrics.counter;
+  m_gave_up : Metrics.counter;
 }
+
+let recent_size = 64
+
+let remember_corr t corr =
+  t.recent.(t.recent_idx) <- corr;
+  t.recent_idx <- (t.recent_idx + 1) mod recent_size
+
+let recently_completed t corr = Array.exists (fun c -> c = corr) t.recent
+
+let reannounce t =
+  Metrics.incr t.m_sent;
+  Sysbus.send t.sysbus
+    (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0
+       (Message.Device_alive { services = List.map (fun s -> s.desc) t.services }))
+
+(* Under an active fault plan the announcement itself can be lost on the
+   bus; a real device retries until the bus registers it. Bounded, so a
+   device that can never rejoin does not keep the event queue alive. *)
+let announce_retry_ns = 200_000L
+
+let announce_until_live t attempts =
+  let rec check attempts =
+    Engine.schedule t.engine ~delay:announce_retry_ns (fun () ->
+        if attempts > 0 && not (Sysbus.is_live t.sysbus t.dev_id) then begin
+          reannounce t;
+          check (attempts - 1)
+        end)
+  in
+  check attempts
 
 let response_like (p : Message.payload) =
   match p with
@@ -79,9 +118,20 @@ let dispatch t (msg : Message.t) =
   in
   match as_response with
   | Some k -> k msg.payload
+  | None when response_like msg.payload && recently_completed t msg.corr ->
+    (* Late or duplicate answer to a request that already completed
+       (timed out, or a fault-injected duplicate): swallow and count. *)
+    Metrics.incr t.m_request_late
   | None -> (
     (* 2. Service plane. *)
     match msg.payload with
+    | Message.Reset_device ->
+      (* Out-of-band reset line (bus revive): rejoin the live set. *)
+      reannounce t;
+      if Faults.active (Engine.faults t.engine) then announce_until_live t 8
+    | Message.Device_failed { device } ->
+      List.iter (fun f -> f ~device) t.failed_watchers;
+      (match t.app_handler with Some f -> f msg | None -> ())
     | Message.Discover_request { kind; query } ->
       List.iter
         (fun s ->
@@ -185,11 +235,17 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       conns = Hashtbl.create 8;
       next_corr = 0;
       next_conn = 1;
+      recent = Array.make recent_size (-1);
+      recent_idx = 0;
+      failed_watchers = [];
       actor;
       m_handled = counter "handled";
       m_sent = counter "sent";
       m_faults = counter "faults";
       m_discover_late = counter "discover_late";
+      m_request_late = counter "request_late";
+      m_retries = counter "retries";
+      m_gave_up = counter "gave_up";
     }
   in
   let id = Sysbus.attach sysbus ~name ~iommu ~handler:(fun msg -> handle t msg) in
@@ -250,17 +306,11 @@ let start t =
         Sysbus.send t.sysbus
           (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:(fresh_corr t)
              (Message.Device_alive
-                { services = List.map (fun s -> s.desc) t.services })))
+                { services = List.map (fun s -> s.desc) t.services }));
+        if Faults.active (Engine.faults t.engine) then announce_until_live t 8)
   end
 
 let started t = t.is_started
-
-let reannounce t =
-  Metrics.incr t.m_sent;
-  Sysbus.send t.sysbus
-    (Message.make ~src:t.dev_id ~dst:Types.Bus ~corr:0
-       (Message.Device_alive { services = List.map (fun s -> s.desc) t.services }))
-
 let on_doorbell t ~queue f = Hashtbl.replace t.doorbells queue f
 let clear_doorbell t ~queue = Hashtbl.remove t.doorbells queue
 let set_app_handler t f = t.app_handler <- Some f
@@ -288,14 +338,16 @@ let reply t ~to_ ~corr payload =
   Sysbus.send t.sysbus
     (Message.make ~src:t.dev_id ~dst:(Types.Device to_) ~corr payload)
 
-let request t ?timeout ~dst payload k =
+let request t ?timeout ?(retries = 0) ~dst payload k =
   let corr = fresh_corr t in
   (* The span covers send-to-completion; ending it inside the wrapped
      continuation makes the response and timeout paths both close it
-     exactly once. *)
+     exactly once, and recording the corr in the recent ring lets a
+     response that races the give-up be swallowed instead of leaking. *)
   Engine.begin_span t.engine ~actor:t.actor ~name:"request" ~id:corr;
   let k payload =
     Engine.end_span t.engine ~actor:t.actor ~name:"request" ~id:corr;
+    remember_corr t corr;
     k payload
   in
   Hashtbl.replace t.pending corr k;
@@ -305,18 +357,39 @@ let request t ?timeout ~dst payload k =
   | None -> ()
   | Some delay ->
     assert (delay > 0L);
-    Engine.schedule t.engine ~delay (fun () ->
-        match Hashtbl.find_opt t.pending corr with
-        | None -> () (* already answered *)
-        | Some k ->
-          Hashtbl.remove t.pending corr;
-          k
-            (Message.Error_msg
-               { code = Types.E_busy; detail = "request timed out" }))
+    let rec arm attempt delay =
+      Engine.schedule t.engine ~delay (fun () ->
+          match Hashtbl.find_opt t.pending corr with
+          | None -> () (* already answered *)
+          | Some k ->
+            if attempt < retries then begin
+              (* Retransmit with the SAME correlation id, so the receiver
+                 side is idempotent: a late answer to the original send
+                 completes the retry. Exponential backoff plus a
+                 deterministic jitter hashed from (corr, attempt) — never
+                 an RNG draw, which would perturb seeded replay. *)
+              Metrics.incr t.m_retries;
+              Metrics.incr t.m_sent;
+              Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr payload);
+              let jitter =
+                Int64.of_int (((corr * 0x9E3779B1) + (attempt * 977)) land 0xff)
+              in
+              arm (attempt + 1) (Int64.add (Int64.mul delay 2L) jitter)
+            end
+            else begin
+              Hashtbl.remove t.pending corr;
+              Metrics.incr t.m_gave_up;
+              k
+                (Message.Error_msg
+                   { code = Types.E_busy; detail = "request timed out" })
+            end)
+    in
+    arm 0 delay
 
 let default_discover_timeout = 1_000_000L (* 1 ms *)
 
-let discover t ~kind ~query ?(timeout = default_discover_timeout) k =
+let discover t ~kind ~query ?(timeout = default_discover_timeout) ?(retries = 0)
+    k =
   let corr = fresh_corr t in
   let answered = ref false in
   (* [dispatch] removes the pending entry each time it matches, so the
@@ -336,21 +409,36 @@ let discover t ~kind ~query ?(timeout = default_discover_timeout) k =
     else Metrics.incr t.m_discover_late
   in
   Hashtbl.replace t.pending corr handler;
-  Metrics.incr t.m_sent;
   Engine.begin_span t.engine ~actor:t.actor ~name:"discover" ~id:corr;
-  Sysbus.send t.sysbus
-    (Message.make ~src:t.dev_id ~dst:Types.Broadcast ~corr
-       (Message.Discover_request { kind; query }));
-  Engine.schedule t.engine ~delay:timeout (fun () ->
-      Hashtbl.remove t.pending corr;
-      if not !answered then begin
-        answered := true;
-        Engine.end_span t.engine ~actor:t.actor ~name:"discover" ~id:corr;
-        k None
-      end)
+  let probe () =
+    Metrics.incr t.m_sent;
+    Sysbus.send t.sysbus
+      (Message.make ~src:t.dev_id ~dst:Types.Broadcast ~corr
+         (Message.Discover_request { kind; query }))
+  in
+  (* A silent window means the broadcast (or every answer) was lost:
+     re-probe with the same correlation id, bounded. *)
+  let rec arm attempt =
+    Engine.schedule t.engine ~delay:timeout (fun () ->
+        if !answered then Hashtbl.remove t.pending corr
+        else if attempt < retries then begin
+          Metrics.incr t.m_retries;
+          probe ();
+          arm (attempt + 1)
+        end
+        else begin
+          Hashtbl.remove t.pending corr;
+          answered := true;
+          Engine.end_span t.engine ~actor:t.actor ~name:"discover" ~id:corr;
+          k None
+        end)
+  in
+  probe ();
+  arm 0
 
-let open_service t ~provider ~service ~pasid ?auth ?(params = []) k =
-  request t ~dst:(Types.Device provider)
+let open_service t ~provider ~service ~pasid ?auth ?(params = []) ?timeout
+    ?retries k =
+  request t ?timeout ?retries ~dst:(Types.Device provider)
     (Message.Open_service { service; pasid; auth; params })
     (fun payload ->
       match payload with
@@ -364,8 +452,8 @@ let open_service t ~provider ~service ~pasid ?auth ?(params = []) k =
 let close_service t ~provider ~connection =
   send t ~dst:(Types.Device provider) (Message.Close_service { connection })
 
-let alloc t ~memctl ~pasid ~va ~bytes ~perm k =
-  request t ~dst:(Types.Device memctl)
+let alloc t ~memctl ~pasid ~va ~bytes ~perm ?timeout ?retries k =
+  request t ?timeout ?retries ~dst:(Types.Device memctl)
     (Message.Alloc_request { pasid; va; bytes; perm })
     (fun payload ->
       match payload with
@@ -377,8 +465,8 @@ let alloc t ~memctl ~pasid ~va ~bytes ~perm k =
       | Message.Error_msg { code; _ } -> k (Error code)
       | _ -> k (Error Types.E_invalid))
 
-let grant t ~to_device ~pasid ~va ~bytes ~perm ~auth k =
-  request t ~dst:Types.Bus
+let grant t ~to_device ~pasid ~va ~bytes ~perm ~auth ?timeout ?retries k =
+  request t ?timeout ?retries ~dst:Types.Bus
     (Message.Grant_request { to_device; pasid; va; bytes; perm; auth })
     (fun payload ->
       match payload with
@@ -405,9 +493,14 @@ let doorbell t ~dst ~queue =
     send t ~dst:(Types.Device dst) (Message.Doorbell { queue })
   else Sysbus.notify t.sysbus ~src:t.dev_id ~dst ~queue
 
+let on_device_failed t f = t.failed_watchers <- t.failed_watchers @ [ f ]
+
 let connections t = Hashtbl.fold (fun _ v acc -> v :: acc) t.conns []
 let connection_count t = Hashtbl.length t.conns
 let messages_handled t = Metrics.counter_value t.m_handled
 let requests_sent t = Metrics.counter_value t.m_sent
 let late_discover_responses t = Metrics.counter_value t.m_discover_late
+let late_responses t = Metrics.counter_value t.m_request_late
+let request_retries t = Metrics.counter_value t.m_retries
+let requests_gave_up t = Metrics.counter_value t.m_gave_up
 let actor t = t.actor

@@ -92,6 +92,12 @@ val set_app_handler : t -> (Message.t -> unit) -> unit
 val on_fault : t -> (Iommu.fault -> unit) -> unit
 (** Device-local fault policy (§4): default is to count and trace. *)
 
+val on_device_failed : t -> (device:Types.device_id -> unit) -> unit
+(** Register a watcher for bus [Device_failed] broadcasts. Watchers run
+    before the app handler (which still receives the message), so
+    supervisors — e.g. a client failing over to another provider — can
+    react without stealing the single app-handler slot. *)
+
 val fault_count : t -> int
 
 val enable_heartbeat : t -> period:int64 -> unit
@@ -107,10 +113,14 @@ val discover :
   kind:Types.service_kind ->
   query:string ->
   ?timeout:int64 ->
+  ?retries:int ->
   ((Types.device_id * Message.service_desc) option -> unit) ->
   unit
 (** Broadcast discovery (Fig. 2 step 1); continuation gets the first
-    provider to answer, or [None] at [timeout] (default 1 ms). *)
+    provider to answer, or [None] once [timeout] (default 1 ms) has expired
+    [retries + 1] times (default [retries = 0]). A silent window re-probes
+    with the same correlation id — under fault injection the broadcast
+    itself can be lost. Re-probes count toward [request_retries]. *)
 
 val open_service :
   t ->
@@ -119,9 +129,11 @@ val open_service :
   pasid:int ->
   ?auth:Token.t ->
   ?params:(string * string) list ->
+  ?timeout:int64 ->
+  ?retries:int ->
   ((open_accept, Types.error_code) result -> unit) ->
   unit
-(** Fig. 2 step 3/4. *)
+(** Fig. 2 step 3/4. [timeout]/[retries] as in {!request}. *)
 
 val close_service : t -> provider:Types.device_id -> connection:int -> unit
 
@@ -132,6 +144,8 @@ val alloc :
   va:int64 ->
   bytes:int64 ->
   perm:Types.perm ->
+  ?timeout:int64 ->
+  ?retries:int ->
   ((Token.t, Types.error_code) result -> unit) ->
   unit
 (** Fig. 2 steps 5/6: ask the memory controller for memory at [va]; the
@@ -147,6 +161,8 @@ val grant :
   bytes:int64 ->
   perm:Types.perm ->
   auth:Token.t ->
+  ?timeout:int64 ->
+  ?retries:int ->
   ((unit, Types.error_code) result -> unit) ->
   unit
 (** Fig. 2 step 7: extend access to shared memory to another device. *)
@@ -163,15 +179,20 @@ val free :
 val request :
   t ->
   ?timeout:int64 ->
+  ?retries:int ->
   dst:Types.dest ->
   Message.payload ->
   (Message.payload -> unit) ->
   unit
 (** Generic correlated request: continuation fires on the first response
     bearing the same correlation id. When [timeout] is given and no
-    response arrives in time, the continuation receives a synthetic
+    response arrives in time, the request is retransmitted up to [retries]
+    times (default 0) with the same correlation id — idempotent at the
+    receiver — under exponential backoff with deterministic jitter; after
+    the final timeout the continuation receives a synthetic
     [Error_msg E_busy] — devices must handle unresponsive peers themselves
-    (§4 error handling). *)
+    (§4 error handling). A response arriving after the give-up is swallowed
+    and counted ([late_responses]), never leaked to the app handler. *)
 
 val send : t -> dst:Types.dest -> Message.payload -> unit
 (** Fire-and-forget (no correlation). *)
@@ -211,6 +232,16 @@ val requests_sent : t -> int
 val late_discover_responses : t -> int
 (** Discover answers that arrived after the first (swallowed, not leaked
     to the app handler). *)
+
+val late_responses : t -> int
+(** Responses that arrived after their request already completed (timed
+    out or was answered by a duplicate); swallowed and counted. *)
+
+val request_retries : t -> int
+(** Timed-out requests that were retransmitted. *)
+
+val requests_gave_up : t -> int
+(** Requests that exhausted all retries and completed with [E_busy]. *)
 
 val actor : t -> string
 (** Registry actor name this device claimed (its [name], uniquified). *)

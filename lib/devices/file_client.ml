@@ -75,6 +75,22 @@ let request t req k =
     submit t req k slot
   | [] -> Queue.push (req, k) t.waiting
 
+(* Fail every queued and in-flight operation — the provider is gone and
+   its used ring will never advance. A supervisor calls this before
+   re-attaching elsewhere so no continuation is stranded. *)
+let abort_in_flight t reason =
+  let stranded = ref [] in
+  Hashtbl.iter (fun head (_, k) -> stranded := (head, k) :: !stranded) t.by_head;
+  List.iter
+    (fun (head, k) ->
+      Hashtbl.remove t.by_head head;
+      k (Ssd_proto.Err reason))
+    (List.sort compare !stranded);
+  while not (Queue.is_empty t.waiting) do
+    let _, k = Queue.pop t.waiting in
+    k (Ssd_proto.Err reason)
+  done
+
 let on_doorbell t () =
   let rec drain () =
     match Vq.Driver.poll_used t.driver with
@@ -102,14 +118,16 @@ let on_doorbell t () =
 
 let next_queue_id = ref 0
 
-let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64) k =
+let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64)
+    ?req_timeout ?req_retries k =
   let fail stage code =
     k
       (Error
          (Printf.sprintf "%s failed: %s" stage (Types.error_code_to_string code)))
   in
   (* Step 1: who owns the file? *)
-  Device.discover dev ~kind:Types.File_service ~query:path_hint (fun found ->
+  Device.discover dev ~kind:Types.File_service ~query:path_hint
+    ?retries:req_retries (fun found ->
       match found with
       | None -> k (Error "discover failed: no file service answered")
       | Some (provider_id, service) ->
@@ -119,7 +137,7 @@ let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64)
           :: (if String.equal path_hint "" then [] else [ ("path", path_hint) ])
         in
         Device.open_service dev ~provider:provider_id ~service ~pasid ?auth
-          ~params
+          ~params ?timeout:req_timeout ?retries:req_retries
           (fun res ->
             match res with
             | Error code -> fail "open" code
@@ -127,13 +145,15 @@ let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64)
               let bytes = if wanted > 0L then wanted else shm_bytes in
               (* Step 5: allocate the shared memory. *)
               Device.alloc dev ~memctl ~pasid ~va:shm_va ~bytes
-                ~perm:Types.perm_rw (fun res ->
+                ~perm:Types.perm_rw ?timeout:req_timeout ?retries:req_retries
+                (fun res ->
                   match res with
                   | Error code -> fail "alloc" code
                   | Ok token ->
                     (* Step 7: grant the provider access. *)
                     Device.grant dev ~to_device:provider_id ~pasid ~va:shm_va
-                      ~bytes ~perm:Types.perm_rw ~auth:token (fun res ->
+                      ~bytes ~perm:Types.perm_rw ~auth:token
+                      ?timeout:req_timeout ?retries:req_retries (fun res ->
                         match res with
                         | Error code -> fail "grant" code
                         | Ok () ->
@@ -189,7 +209,8 @@ let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64)
                             }
                           in
                           (* Attach the queue on the provider side. *)
-                          Device.request dev ~dst:(Types.Device provider_id)
+                          Device.request dev ?timeout:req_timeout
+                            ?retries:req_retries ~dst:(Types.Device provider_id)
                             (Message.App_message
                                {
                                  tag = "vq-attach";

@@ -33,9 +33,15 @@ val connect :
   path_hint:string ->
   ?auth:Token.t ->
   ?queue_size:int ->
+  ?req_timeout:int64 ->
+  ?req_retries:int ->
   ((t, string) result -> unit) ->
   unit
-(** [queue_size] defaults to 64 descriptors (32 in-flight request slots). *)
+(** [queue_size] defaults to 64 descriptors (32 in-flight request slots).
+    [req_timeout]/[req_retries] arm each control-plane request of the
+    sequence (open, alloc, grant, vq-attach) with a timeout and bounded
+    retransmits — used when connecting under fault injection. Default: no
+    timeout, as before. *)
 
 val provider : t -> Types.device_id
 val connection : t -> int
@@ -77,6 +83,12 @@ val bwrite :
   t -> handle:int -> lba:int -> string -> ((unit, string) result -> unit) -> unit
 
 val bclose : t -> handle:int -> ((unit, string) result -> unit) -> unit
+
+val abort_in_flight : t -> string -> unit
+(** Fail every queued and in-flight request with [Err reason] and clear
+    them. Called by a supervisor when the provider dies: the used ring
+    will never advance, so stranded continuations must be completed
+    before failing over. *)
 
 val close : t -> (unit -> unit) -> unit
 (** Detach the queue, close the connection and free the shared memory. *)

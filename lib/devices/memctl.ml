@@ -27,6 +27,10 @@ type t = {
      internal state, §2.2 Memory management). *)
   allocations : (int * int64, allocation) Hashtbl.t;  (* (pasid, va) -> alloc *)
   by_pasid : (int, int64 list ref) Hashtbl.t;
+  (* Allocations whose map round trip is still in flight: a duplicated
+     Alloc_request (fault injection, or a retransmit racing its original)
+     must not grab a second buddy block for the same (pasid, va). *)
+  inflight : (int * int64, unit) Hashtbl.t;
 }
 
 let default_dram_base = 0x1000_0000L
@@ -78,7 +82,9 @@ let handle_alloc t ~src ~corr ~pasid ~va ~bytes ~perm =
          { ok = false; va; bytes; grant = None; error = Some code })
   in
   if bytes <= 0L || not (Layout.is_page_aligned va) then fail Types.E_bad_address
-  else if Hashtbl.mem t.allocations (pasid, va) then fail Types.E_exists
+  else if
+    Hashtbl.mem t.allocations (pasid, va) || Hashtbl.mem t.inflight (pasid, va)
+  then fail Types.E_exists
   else if not (within_quota t ~pasid (Layout.pages_of_bytes bytes)) then
     fail Types.E_no_memory
   else begin
@@ -86,6 +92,7 @@ let handle_alloc t ~src ~corr ~pasid ~va ~bytes ~perm =
     match Buddy.alloc t.buddy ~pages with
     | None -> fail Types.E_no_memory
     | Some pa ->
+      Hashtbl.replace t.inflight (pasid, va) ();
       let rounded = Layout.align_up bytes in
       let token = mint t ~subject:src ~pasid ~pa ~bytes:rounded ~perm in
       (* Instruct the bus to program the requester's IOMMU (step 6), then
@@ -95,6 +102,7 @@ let handle_alloc t ~src ~corr ~pasid ~va ~bytes ~perm =
         (Message.Map_directive
            { device = src; pasid; va; pa; bytes = rounded; perm; auth = token })
         (fun payload ->
+          Hashtbl.remove t.inflight (pasid, va);
           match payload with
           | Message.Map_complete { ok = true; _ } ->
             record t ~pasid { va; pa; bytes = rounded; pages; subject = src };
@@ -115,6 +123,11 @@ let handle_free t ~src ~corr ~pasid ~va =
       (Message.Alloc_response
          { ok = false; va; bytes = 0L; grant = None; error = Some Types.E_not_found })
   | Some alloc ->
+    (* Claim the allocation before the (asynchronous) unmap round trip: a
+       duplicated Free_request — fault injection, or a retransmit racing
+       its original — must find nothing here rather than double-free the
+       buddy block. *)
+    forget t ~pasid ~va;
     let token =
       mint t ~subject:alloc.subject ~pasid ~pa:alloc.pa ~bytes:alloc.bytes
         ~perm:Types.perm_rwx
@@ -125,7 +138,6 @@ let handle_free t ~src ~corr ~pasid ~va =
       (fun _payload ->
         Buddy.free t.buddy ~addr:alloc.pa ~pages:alloc.pages;
         refund t ~pasid alloc.pages;
-        forget t ~pasid ~va;
         respond
           (Message.Alloc_response
              { ok = true; va; bytes = alloc.bytes; grant = None; error = None }))
@@ -144,6 +156,7 @@ let create sysbus ~mem ?(name = "memctl") ?(dram_base = default_dram_base)
       charged = Hashtbl.create 16;
       allocations = Hashtbl.create 64;
       by_pasid = Hashtbl.create 16;
+      inflight = Hashtbl.create 8;
     }
   in
   Device.add_service dev

@@ -301,7 +301,9 @@ let create sysbus ~mem ~name ?geometry ?auth_key () =
   let dev = Device.create sysbus ~mem ~name () in
   let metrics = Engine.metrics (Device.engine dev) in
   let actor = Device.actor dev in
-  let nand = Nand.create ?geometry () in
+  let nand =
+    Nand.create ?geometry ~faults:(Engine.faults (Device.engine dev)) ()
+  in
   let ftl = Ftl.create ~nand ~metrics ~actor:(actor ^ ".ftl") () in
   let filesystem =
     match Fs.format ~metrics ~actor:(actor ^ ".fs") ftl with

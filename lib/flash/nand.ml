@@ -1,3 +1,6 @@
+module Faults = Lastcpu_sim.Faults
+module Wire = Lastcpu_proto.Wire
+
 type geometry = { blocks : int; pages_per_block : int; page_size : int }
 
 let default_geometry = { blocks = 256; pages_per_block = 64; page_size = 4096 }
@@ -6,25 +9,32 @@ type page_state = Erased | Programmed
 
 type block = {
   pages : Bytes.t option array;  (* None = erased *)
+  crcs : int array;  (* CRC-32 of each programmed page (the on-die ECC) *)
   mutable erases : int;
 }
 
 type t = {
   geo : geometry;
   data : block array;
+  faults : Faults.t option;
   mutable read_count : int;
   mutable program_count : int;
   mutable erase_total : int;
 }
 
-let create ?(geometry = default_geometry) () =
+let create ?(geometry = default_geometry) ?faults () =
   if geometry.blocks <= 0 || geometry.pages_per_block <= 0 || geometry.page_size <= 0
   then invalid_arg "Nand.create: bad geometry";
   {
     geo = geometry;
     data =
       Array.init geometry.blocks (fun _ ->
-          { pages = Array.make geometry.pages_per_block None; erases = 0 });
+          {
+            pages = Array.make geometry.pages_per_block None;
+            crcs = Array.make geometry.pages_per_block 0;
+            erases = 0;
+          });
+    faults;
     read_count = 0;
     program_count = 0;
     erase_total = 0;
@@ -50,7 +60,28 @@ let read_page t ~block ~page =
     t.read_count <- t.read_count + 1;
     (match t.data.(block).pages.(page) with
     | None -> Ok (String.make t.geo.page_size '\xff')
-    | Some b -> Ok (Bytes.to_string b))
+    | Some b -> (
+      (* Programmed pages can suffer injected transient read failures or
+         bit flips; the per-page CRC (the ECC stand-in) catches flips, so
+         both surface as an I/O error the caller can retry. Erased pages
+         are never faulted. *)
+      match t.faults with
+      | Some f when Faults.active f -> (
+        if Faults.nand_read_fails f then Error "transient read failure"
+        else
+          match Faults.nand_bit_flip f ~len:t.geo.page_size with
+          | None -> Ok (Bytes.to_string b)
+          | Some bit ->
+            let flipped = Bytes.copy b in
+            let i = bit / 8 in
+            Bytes.set flipped i
+              (Char.chr
+                 (Char.code (Bytes.get flipped i) lxor (1 lsl (bit mod 8))));
+            let s = Bytes.to_string flipped in
+            if Wire.crc32 s <> t.data.(block).crcs.(page) then
+              Error "uncorrectable bit error (ECC)"
+            else Ok s)
+      | Some _ | None -> Ok (Bytes.to_string b)))
 
 let program_page t ~block ~page data =
   match check t ~block ~page with
@@ -65,6 +96,7 @@ let program_page t ~block ~page data =
         let b = Bytes.make t.geo.page_size '\xff' in
         Bytes.blit_string data 0 b 0 (String.length data);
         t.data.(block).pages.(page) <- Some b;
+        t.data.(block).crcs.(page) <- Wire.crc32 (Bytes.to_string b);
         Ok ()
     end
 

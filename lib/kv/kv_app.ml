@@ -8,35 +8,54 @@ module File_client = Lastcpu_devices.File_client
 
 type t = {
   nic : Smart_nic.t;
-  kv : Store.t;
-  fc : File_client.t;
+  mutable kv : Store.t;
+  mutable fc : File_client.t;
   engine : Engine.t;
   actor : string;
   m_served : Metrics.counter;
+  m_failovers : Metrics.counter option;
   mutable recovered : int;
+  (* While a failover is re-running the Figure-2 attach against another
+     provider, incoming ops are parked here and drained once the new
+     store is recovered. *)
+  mutable failing_over : bool;
+  parked : (Kv_proto.op * (Kv_proto.reply -> unit)) Queue.t;
 }
 
-let execute t op (k : Kv_proto.reply -> unit) =
-  (* One span per operation: the framework times every KV op, whatever its
-     entry point (network fast path or local call). *)
-  let span = Engine.fresh_span_id t.engine in
-  Engine.begin_span t.engine ~actor:t.actor ~name:"kv_op" ~id:span;
-  let k reply =
-    Engine.end_span t.engine ~actor:t.actor ~name:"kv_op" ~id:span;
-    k reply
+let rec execute t op (k : Kv_proto.reply -> unit) =
+  if t.failing_over then Queue.push (op, k) t.parked
+  else begin
+    (* One span per operation: the framework times every KV op, whatever its
+       entry point (network fast path or local call). *)
+    let span = Engine.fresh_span_id t.engine in
+    Engine.begin_span t.engine ~actor:t.actor ~name:"kv_op" ~id:span;
+    let k reply =
+      Engine.end_span t.engine ~actor:t.actor ~name:"kv_op" ~id:span;
+      k reply
+    in
+    match op with
+    | Kv_proto.Get key -> Store.get t.kv key (fun v -> k (Kv_proto.Value v))
+    | Kv_proto.Put (key, value) ->
+      Store.put t.kv ~key ~value (function
+        | Ok () -> k Kv_proto.Done
+        | Error m -> k (Kv_proto.Failed m))
+    | Kv_proto.Del key ->
+      Store.delete t.kv key (function
+        | Ok b -> k (Kv_proto.Deleted b)
+        | Error m -> k (Kv_proto.Failed m))
+    | Kv_proto.Scan prefix ->
+      Store.scan_prefix t.kv ~prefix (fun pairs -> k (Kv_proto.Pairs pairs))
+  end
+
+and drain_parked t =
+  let rec go () =
+    if (not t.failing_over) && not (Queue.is_empty t.parked) then begin
+      let op, k = Queue.pop t.parked in
+      execute t op k;
+      go ()
+    end
   in
-  match op with
-  | Kv_proto.Get key -> Store.get t.kv key (fun v -> k (Kv_proto.Value v))
-  | Kv_proto.Put (key, value) ->
-    Store.put t.kv ~key ~value (function
-      | Ok () -> k Kv_proto.Done
-      | Error m -> k (Kv_proto.Failed m))
-  | Kv_proto.Del key ->
-    Store.delete t.kv key (function
-      | Ok b -> k (Kv_proto.Deleted b)
-      | Error m -> k (Kv_proto.Failed m))
-  | Kv_proto.Scan prefix ->
-    Store.scan_prefix t.kv ~prefix (fun pairs -> k (Kv_proto.Pairs pairs))
+  go ()
 
 let install_fast_path t =
   Smart_nic.on_packet t.nic (fun ~src frame ->
@@ -48,8 +67,80 @@ let install_fast_path t =
             Smart_nic.send_packet t.nic ~dst:src
               (Kv_proto.encode_response { corr; reply })))
 
+let failovers t =
+  match t.m_failovers with None -> 0 | Some c -> Metrics.counter_value c
+
+let max_failover_attempts = 10
+
+(* Re-run the whole Figure-2 attach against whichever file service now
+   answers discovery, then rebuild and recover the store on it. The old
+   provider's log is unreachable, so the new store starts from the new
+   provider's copy of the path (fresh unless it was replicated) — the
+   supervisor restores *availability*, not the lost device's data. *)
+let rec reattach t ~dev ~memctl ~user ~log_path ~auth ~req_timeout ~req_retries
+    ~fresh ~attempt =
+  let retry () =
+    if attempt >= max_failover_attempts then begin
+      t.failing_over <- false;
+      let rec fail_all () =
+        if not (Queue.is_empty t.parked) then begin
+          let _, k = Queue.pop t.parked in
+          k (Kv_proto.Failed "failover exhausted");
+          fail_all ()
+        end
+      in
+      fail_all ()
+    end
+    else
+      let backoff = Int64.mul 100_000L (Int64.of_int (1 lsl min attempt 6)) in
+      Engine.schedule t.engine ~delay:backoff (fun () ->
+          reattach t ~dev ~memctl ~user ~log_path ~auth ~req_timeout
+            ~req_retries ~fresh ~attempt:(attempt + 1))
+  in
+  let pasid, shm_va = fresh () in
+  File_client.connect dev ~memctl ~pasid ~shm_va ~user ~path_hint:log_path
+    ?auth ?req_timeout ?req_retries (fun res ->
+      match res with
+      | Error _ -> retry ()
+      | Ok fc ->
+        File_backend.create fc ~path:log_path (fun res ->
+            match res with
+            | Error _ -> retry ()
+            | Ok fb ->
+              let m = Engine.metrics t.engine in
+              let actor = Metrics.claim_actor m t.actor in
+              let store =
+                Store.create ~metrics:m ~actor (File_backend.backend fb)
+              in
+              Store.recover store (fun res ->
+                  match res with
+                  | Error _ -> retry ()
+                  | Ok n ->
+                    t.kv <- store;
+                    t.fc <- fc;
+                    t.recovered <- n;
+                    Engine.trace_event t.engine ~actor:t.actor
+                      ~kind:"kv.failover"
+                      (Printf.sprintf "reattached to dev%d (%d records)"
+                         (File_client.provider fc) n);
+                    t.failing_over <- false;
+                    drain_parked t)))
+
+let install_supervisor t ~dev ~memctl ~user ~log_path ~auth ~req_timeout
+    ~req_retries ~fresh =
+  Device.on_device_failed dev (fun ~device ->
+      if (not t.failing_over) && device = File_client.provider t.fc then begin
+        t.failing_over <- true;
+        (match t.m_failovers with Some c -> Metrics.incr c | None -> ());
+        Engine.trace_event t.engine ~actor:t.actor ~kind:"kv.failover"
+          (Printf.sprintf "provider dev%d failed, re-running discovery" device);
+        File_client.abort_in_flight t.fc "provider failed";
+        reattach t ~dev ~memctl ~user ~log_path ~auth ~req_timeout ~req_retries
+          ~fresh ~attempt:0
+      end)
+
 let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
-    ?(start_device = true) () k =
+    ?(start_device = true) ?req_timeout ?req_retries ?supervisor () k =
   let dev = Smart_nic.device nic in
   if start_device then begin
     Device.add_service dev
@@ -69,6 +160,7 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
     Device.start dev
   end;
   File_client.connect dev ~memctl ~pasid ~shm_va ~user ~path_hint:log_path ?auth
+    ?req_timeout ?req_retries
     (fun res ->
       match res with
       | Error m -> k (Error ("file service: " ^ m))
@@ -91,7 +183,13 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
                   engine;
                   actor;
                   m_served = Metrics.counter m ~actor ~name:"ops_served";
+                  m_failovers =
+                    (match supervisor with
+                    | None -> None
+                    | Some _ -> Some (Metrics.counter m ~actor ~name:"failovers"));
                   recovered = 0;
+                  failing_over = false;
+                  parked = Queue.create ();
                 }
               in
               Store.recover store (fun res ->
@@ -100,6 +198,11 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
                   | Ok n ->
                     t.recovered <- n;
                     install_fast_path t;
+                    (match supervisor with
+                    | None -> ()
+                    | Some fresh ->
+                      install_supervisor t ~dev ~memctl ~user ~log_path ~auth
+                        ~req_timeout ~req_retries ~fresh);
                     k (Ok t))))
 
 let store t = t.kv

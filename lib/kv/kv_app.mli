@@ -20,17 +20,36 @@ val launch :
   log_path:string ->
   ?auth:Lastcpu_proto.Token.t ->
   ?start_device:bool ->
+  ?req_timeout:int64 ->
+  ?req_retries:int ->
+  ?supervisor:(unit -> int * int64) ->
   unit ->
   ((t, string) result -> unit) ->
   unit
 (** [start_device] (default true) also starts the NIC device; pass [false]
     if it was already started. The log file is created on first launch and
-    replayed on relaunch. *)
+    replayed on relaunch.
+
+    [req_timeout]/[req_retries] arm the attach's control-plane requests
+    (see {!Lastcpu_devices.File_client.connect}).
+
+    [supervisor], when given, watches for the storage provider's
+    [Device_failed] broadcast and fails over: in-flight file ops are
+    aborted, incoming KV ops are parked, the Figure-2 attach is re-run
+    against whichever file service now answers discovery (with backoff
+    between attempts), the store is recovered there and the parked ops are
+    drained. The callback supplies a fresh [(pasid, shm_va)] for each
+    attach attempt. Failovers are counted in the registry
+    ([<actor>/failovers]). The dead provider's log is not migrated — the
+    supervisor restores availability, not that device's data. *)
 
 val store : t -> Store.t
 val client : t -> Lastcpu_devices.File_client.t
 val ops_served : t -> int
 val recovered_records : t -> int
+
+val failovers : t -> int
+(** Provider failovers performed by the supervisor (0 without one). *)
 
 val local_op : t -> Kv_proto.op -> (Kv_proto.reply -> unit) -> unit
 (** Execute an operation directly (console/examples), same path as network

@@ -1,6 +1,7 @@
 module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
 module Metrics = Lastcpu_sim.Metrics
+module Faults = Lastcpu_sim.Faults
 
 type endpoint = {
   net : t;
@@ -68,10 +69,17 @@ let send ep ~dst frame =
   let t = ep.net in
   let src = ep.addr in
   (* Serialise through the egress port (queueing under load), then fly the
-     link. *)
+     link. The fault plan can drop the frame on the wire or add delay
+     (which reorders it past later frames). *)
   Station.submit ep.egress ~service:(serialisation_ns t frame) (fun () ->
-      Engine.schedule t.engine ~delay:(link_ns t) (fun () ->
-          deliver t ~src ~dst frame))
+      let faults = Engine.faults t.engine in
+      if Faults.active faults && Faults.drop_frame faults then
+        Metrics.incr t.m_dropped
+      else begin
+        let extra = if Faults.active faults then Faults.reorder_delay faults else 0L in
+        Engine.schedule t.engine ~delay:(Int64.add (link_ns t) extra) (fun () ->
+            deliver t ~src ~dst frame)
+      end)
 
 let broadcast ep frame =
   let t = ep.net in

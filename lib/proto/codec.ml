@@ -360,3 +360,23 @@ let decode s =
   Message.make ~src ~dst ~corr payload
 
 let encoded_size m = String.length (encode m)
+
+(* Framed form: the plain encoding plus a CRC-32 trailer. The unframed
+   codec above is the pinned conformance surface (its byte layout is
+   asserted by tests); framing wraps it for channels that want end-to-end
+   corruption detection, e.g. under fault injection. *)
+let encode_framed m =
+  let body = encode m in
+  let w = Writer.create () in
+  Writer.int64 w (Int64.of_int (Wire.crc32 body));
+  body ^ Writer.contents w
+
+let decode_framed s =
+  let n = String.length s in
+  if n < 8 then raise (Malformed "framed message too short");
+  let body = String.sub s 0 (n - 8) in
+  let r = Reader.create (String.sub s (n - 8) 8) in
+  let crc = Reader.int64 r in
+  if Int64.of_int (Wire.crc32 body) <> crc then
+    raise (Malformed "CRC mismatch");
+  decode body

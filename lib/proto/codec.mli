@@ -10,3 +10,11 @@ val decode : string -> Message.t
 
 val encoded_size : Message.t -> int
 (** [encoded_size m] is [String.length (encode m)]. *)
+
+val encode_framed : Message.t -> string
+(** [encode m] plus an 8-byte little-endian CRC-32 trailer over the
+    encoded bytes. The unframed codec's byte layout is unchanged. *)
+
+val decode_framed : string -> Message.t
+(** Verify the CRC trailer, then [decode] the body.
+    @raise Wire.Malformed on a checksum mismatch or any framing error. *)

@@ -36,3 +36,7 @@ module Reader : sig
   val option : t -> (t -> 'a) -> 'a option
   val at_end : t -> bool
 end
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3) of the whole string, in [\[0, 2^32)]. Any
+    single-bit flip changes the checksum. *)

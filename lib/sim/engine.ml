@@ -5,17 +5,21 @@ type t = {
   trace : Trace.t;
   rng : Rng.t;
   metrics : Metrics.t;
+  faults : Faults.t;
   mutable next_span : int;
 }
 
-let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity () =
+let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
+    () =
+  let metrics = Metrics.create () in
   {
     clock = 0L;
     queue = Heap.create ();
     costs;
     trace = Trace.create ?capacity:trace_capacity ();
     rng = Rng.create ~seed;
-    metrics = Metrics.create ();
+    metrics;
+    faults = Faults.create ?plan:fault_plan ~seed metrics;
     next_span = 0;
   }
 
@@ -25,6 +29,7 @@ let trace t = t.trace
 let rng t = t.rng
 let fork_rng t = Rng.split t.rng
 let metrics t = t.metrics
+let faults t = t.faults
 
 let schedule_at t ~time f =
   assert (time >= t.clock);

@@ -8,8 +8,15 @@
 
 type t
 
-val create : ?seed:int64 -> ?costs:Costs.t -> ?trace_capacity:int -> unit -> t
-(** Fresh engine at time 0. [seed] defaults to [42L]. *)
+val create :
+  ?seed:int64 ->
+  ?costs:Costs.t ->
+  ?trace_capacity:int ->
+  ?fault_plan:Faults.plan ->
+  unit ->
+  t
+(** Fresh engine at time 0. [seed] defaults to [42L]; [fault_plan] to
+    {!Faults.zero} (no injection). *)
 
 val now : t -> int64
 (** Current virtual time in nanoseconds. *)
@@ -45,6 +52,10 @@ val trace_event : t -> actor:string -> kind:string -> string -> unit
 val metrics : t -> Metrics.t
 (** The run-wide telemetry registry: all subsystem counters, gauges and
     latency histograms live here, keyed [actor/instrument]. *)
+
+val faults : t -> Faults.t
+(** The run's fault-injection state (a zero plan unless [create] was given
+    one). Delivery channels consult it at each injection point. *)
 
 val fresh_span_id : t -> int
 (** A run-unique id for correlating span begin/end pairs that have no

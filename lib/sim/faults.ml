@@ -1,0 +1,163 @@
+(* Deterministic fault-injection plans, carried by the engine like Metrics.
+
+   The fault stream draws from its own SplitMix64 generator seeded from the
+   run seed xor a fixed salt, NOT from the engine's root RNG — forking the
+   root would advance its state and perturb every workload that samples from
+   it, so a zero-rate plan must leave the root stream untouched. Every
+   predicate guards on [rate > 0.] before drawing, which keeps the fault
+   stream itself identical between a zero plan and an absent plan. *)
+
+type crash_window = { device : string; at_ns : int64; down_ns : int64 }
+
+type plan = {
+  msg_loss : float;
+  msg_dup : float;
+  msg_delay : float;
+  msg_jitter_ns : int64;
+  msg_corrupt : float;
+  frame_loss : float;
+  frame_reorder : float;
+  frame_reorder_ns : int64;
+  nand_read_fail : float;
+  nand_bit_flip : float;
+  crashes : crash_window list;
+}
+
+let zero =
+  {
+    msg_loss = 0.;
+    msg_dup = 0.;
+    msg_delay = 0.;
+    msg_jitter_ns = 0L;
+    msg_corrupt = 0.;
+    frame_loss = 0.;
+    frame_reorder = 0.;
+    frame_reorder_ns = 0L;
+    nand_read_fail = 0.;
+    nand_bit_flip = 0.;
+    crashes = [];
+  }
+
+let default_chaos =
+  {
+    msg_loss = 0.02;
+    msg_dup = 0.01;
+    msg_delay = 0.05;
+    msg_jitter_ns = 2_000L;
+    msg_corrupt = 0.005;
+    frame_loss = 0.02;
+    frame_reorder = 0.05;
+    frame_reorder_ns = 1_500L;
+    nand_read_fail = 0.01;
+    nand_bit_flip = 0.002;
+    crashes = [];
+  }
+
+let is_zero p =
+  p.msg_loss = 0. && p.msg_dup = 0. && p.msg_delay = 0. && p.msg_corrupt = 0.
+  && p.frame_loss = 0. && p.frame_reorder = 0. && p.nand_read_fail = 0.
+  && p.nand_bit_flip = 0. && p.crashes = []
+
+type counters = {
+  messages_lost : Metrics.counter;
+  messages_duplicated : Metrics.counter;
+  messages_delayed : Metrics.counter;
+  messages_corrupted : Metrics.counter;
+  frames_lost : Metrics.counter;
+  frames_reordered : Metrics.counter;
+  nand_read_errors : Metrics.counter;
+  nand_bit_flips : Metrics.counter;
+  crashes_injected : Metrics.counter;
+  revives_injected : Metrics.counter;
+}
+
+type t = { plan : plan; rng : Rng.t; c : counters option }
+
+let actor = "faults"
+
+(* A zero plan registers nothing: registered-but-zero counters would still
+   appear in Metrics.snapshot and change every existing export. *)
+let create ?(plan = zero) ~seed metrics =
+  let rng = Rng.create ~seed:(Int64.logxor seed 0x6661756c74735fL) in
+  let c =
+    if is_zero plan then None
+    else
+      let counter name = Metrics.counter metrics ~actor ~name in
+      Some
+        {
+          messages_lost = counter "messages_lost";
+          messages_duplicated = counter "messages_duplicated";
+          messages_delayed = counter "messages_delayed";
+          messages_corrupted = counter "messages_corrupted";
+          frames_lost = counter "frames_lost";
+          frames_reordered = counter "frames_reordered";
+          nand_read_errors = counter "nand_read_errors";
+          nand_bit_flips = counter "nand_bit_flips";
+          crashes_injected = counter "crashes_injected";
+          revives_injected = counter "revives_injected";
+        }
+  in
+  { plan; rng; c }
+
+let plan t = t.plan
+let active t = t.c <> None
+
+let tally t pick = match t.c with None -> () | Some c -> Metrics.incr (pick c)
+
+(* All fault classes share one stream; stream consumption is a function of
+   (plan, seed, call sequence), so identical plans and seeds give identical
+   fault sequences. Zero-rate classes never draw. *)
+let roll t rate = rate > 0. && Rng.float t.rng < rate
+
+let drop_message t =
+  let hit = roll t t.plan.msg_loss in
+  if hit then tally t (fun c -> c.messages_lost);
+  hit
+
+let duplicate_message t =
+  let hit = roll t t.plan.msg_dup in
+  if hit then tally t (fun c -> c.messages_duplicated);
+  hit
+
+let message_jitter t =
+  if roll t t.plan.msg_delay && t.plan.msg_jitter_ns > 0L then begin
+    tally t (fun c -> c.messages_delayed);
+    Int64.of_int (1 + Rng.int t.rng (Int64.to_int t.plan.msg_jitter_ns))
+  end
+  else 0L
+
+let corrupt_message t =
+  let hit = roll t t.plan.msg_corrupt in
+  if hit then tally t (fun c -> c.messages_corrupted);
+  hit
+
+let corrupt_bit t ~len =
+  if len <= 0 then 0 else Rng.int t.rng (len * 8)
+
+let drop_frame t =
+  let hit = roll t t.plan.frame_loss in
+  if hit then tally t (fun c -> c.frames_lost);
+  hit
+
+let reorder_delay t =
+  if roll t t.plan.frame_reorder && t.plan.frame_reorder_ns > 0L then begin
+    tally t (fun c -> c.frames_reordered);
+    Int64.of_int (1 + Rng.int t.rng (Int64.to_int t.plan.frame_reorder_ns))
+  end
+  else 0L
+
+let nand_read_fails t =
+  let hit = roll t t.plan.nand_read_fail in
+  if hit then tally t (fun c -> c.nand_read_errors);
+  hit
+
+let nand_bit_flip t ~len =
+  if roll t t.plan.nand_bit_flip && len > 0 then begin
+    tally t (fun c -> c.nand_bit_flips);
+    Some (Rng.int t.rng (len * 8))
+  end
+  else None
+
+let crashes t = t.plan.crashes
+let note_crash t = tally t (fun c -> c.crashes_injected)
+let note_revive t = tally t (fun c -> c.revives_injected)

@@ -1,0 +1,84 @@
+(** Deterministic fault injection: a seeded chaos plan carried by the engine.
+
+    A {!plan} gives per-channel fault rates and scheduled device crash
+    windows. The resulting fault stream draws from its own generator seeded
+    from the run seed (never from the engine's root RNG), so identical
+    seeds and plans give identical fault sequences, and a zero-rate plan is
+    bit-for-bit indistinguishable from no plan at all — no counters
+    registered, no RNG draws, no scheduled events. *)
+
+type crash_window = {
+  device : string;  (** bus name of the device to fail (e.g. ["ssd0"]) *)
+  at_ns : int64;  (** virtual time at which it crashes *)
+  down_ns : int64;  (** how long it stays dead before the revive *)
+}
+
+type plan = {
+  msg_loss : float;  (** P(drop) per device-originated bus delivery *)
+  msg_dup : float;  (** P(duplicate) per bus delivery *)
+  msg_delay : float;  (** P(extra jitter) per bus delivery *)
+  msg_jitter_ns : int64;  (** max extra delay when jitter fires *)
+  msg_corrupt : float;  (** P(payload bit flip), caught by the wire CRC *)
+  frame_loss : float;  (** P(drop) per network frame *)
+  frame_reorder : float;  (** P(extra delay ⇒ reorder) per network frame *)
+  frame_reorder_ns : int64;  (** max reorder delay *)
+  nand_read_fail : float;  (** P(transient read failure) per page read *)
+  nand_bit_flip : float;  (** P(bit flip caught by page CRC) per page read *)
+  crashes : crash_window list;  (** scheduled crash→revive windows *)
+}
+
+val zero : plan
+(** All rates 0, no crashes: injects nothing and registers nothing. *)
+
+val default_chaos : plan
+(** The default soak mix: a few percent message/frame loss, duplication,
+    jitter, corruption and NAND read trouble. No crash windows — compose
+    those per experiment. *)
+
+val is_zero : plan -> bool
+
+type t
+
+val create : ?plan:plan -> seed:int64 -> Metrics.t -> t
+(** Built by {!Engine.create}; [seed] is the engine seed (salted
+    internally). Counters register under actor ["faults"] only when the
+    plan is non-zero. *)
+
+val plan : t -> plan
+
+val active : t -> bool
+(** [false] iff the plan is zero (callers may skip hook work entirely). *)
+
+(** {2 Injection predicates} — each draws from the fault stream only when
+    its rate is non-zero, and bumps the matching registry counter when the
+    fault fires. *)
+
+val drop_message : t -> bool
+val duplicate_message : t -> bool
+
+val message_jitter : t -> int64
+(** Extra delivery delay in ns; [0L] when no jitter fires. *)
+
+val corrupt_message : t -> bool
+
+val corrupt_bit : t -> len:int -> int
+(** Which bit of a [len]-byte payload to flip (uniform). *)
+
+val drop_frame : t -> bool
+
+val reorder_delay : t -> int64
+(** Extra frame delay in ns; [0L] when no reorder fires. *)
+
+val nand_read_fails : t -> bool
+
+val nand_bit_flip : t -> len:int -> int option
+(** [Some bit] to flip in a [len]-byte page, [None] when no flip fires. *)
+
+(** {2 Crash windows} *)
+
+val crashes : t -> crash_window list
+
+val note_crash : t -> unit
+(** Tally an injected crash (called by the bus when a window fires). *)
+
+val note_revive : t -> unit
