@@ -243,11 +243,17 @@ let metrics_snapshot () =
 
 let all_ids =
   [ "f1"; "f2"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9"; "t10";
-    "t11"; "t12"; "t13" ]
+    "t11"; "t12"; "t13"; "t14" ]
+
+(* A typo'd id must fail the invocation (CI smoke steps pass ids by hand;
+   a misspelling silently running zero experiments would look green). *)
+let failures = ref 0
 
 let run_experiment id =
   match Experiments.by_id id with
-  | None -> Printf.eprintf "unknown experiment %S\n" id
+  | None ->
+    Printf.eprintf "unknown experiment %S\n" id;
+    incr failures
   | Some f ->
     let t0 = Sys.time () in
     let table = f () in
@@ -266,4 +272,5 @@ let () =
       if id = "micro" then Micro.run ()
       else if id = "metrics" then metrics_snapshot ()
       else run_experiment id)
-    args
+    args;
+  if !failures > 0 then exit 1

@@ -5,7 +5,9 @@
      lastcpu figure2 [--trace]    run the KVS bring-up and show the sequence
      lastcpu experiment <id>      run one experiment table (f1..t12)
      lastcpu kv <n>               run n KV smoke operations end to end
-     lastcpu metrics [--json]     run a booted KVS workload, dump telemetry *)
+     lastcpu metrics [--json]     run a booted KVS workload, dump telemetry
+     lastcpu chaos [--json]       run the T13 fault soak, dump telemetry
+     lastcpu overload [--json]    run the guarded T14 overload soak, dump telemetry *)
 
 open Cmdliner
 
@@ -86,7 +88,7 @@ let figure2_cmd =
 
 let known_ids =
   [ "f1"; "f2"; "t1"; "t1-notokens"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8";
-    "t9"; "t10"; "t11"; "t12"; "t13" ]
+    "t9"; "t10"; "t11"; "t12"; "t13"; "t14" ]
 
 let experiment list ids =
   if list then begin
@@ -201,6 +203,27 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc) Term.(const chaos $ seed_arg $ json_arg)
 
+(* --- overload --------------------------------------------------------------------- *)
+
+let overload seed json =
+  let system = Experiments.overload_soak ~seed () in
+  let m = Engine.metrics (System.engine system) in
+  print_string (if json then Metrics.to_json m else Metrics.to_prometheus m);
+  0
+
+let overload_cmd =
+  let doc =
+    "Run the T14 overload probe (open-loop warm\xe2\x86\x92pulse\xe2\x86\x92recover \
+     load with the overload guards armed: bounded queues, KV admission \
+     control, circuit breaker, deadline-carrying control ops) on the \
+     CPU-less design and print the telemetry registry. Identical seeds \
+     produce byte-identical output; CI diffs two runs."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON snapshot instead.")
+  in
+  Cmd.v (Cmd.info "overload" ~doc) Term.(const overload $ seed_arg $ json_arg)
+
 let () =
   let doc = "emulator of the CPU-less system from 'The Last CPU' (HotOS '21)" in
   let info = Cmd.info "lastcpu" ~version:"1.0.0" ~doc in
@@ -208,4 +231,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd; metrics_cmd;
-            chaos_cmd ]))
+            chaos_cmd; overload_cmd ]))

@@ -14,7 +14,7 @@ type t = {
   mutable storage_down : bool;
 }
 
-let create engine ?cores ?geometry () =
+let create engine ?cores ?run_queue_capacity ?geometry () =
   let faults = Engine.faults engine in
   let nand = Nand.create ?geometry ~faults () in
   let ftl = Ftl.create ~nand () in
@@ -26,7 +26,7 @@ let create engine ?cores ?geometry () =
   let t =
     {
       engine;
-      kern = Kernel.create engine ?cores ();
+      kern = Kernel.create engine ?cores ?run_queue_capacity ();
       ftl;
       filesystem;
       storage_down = false;
@@ -196,3 +196,15 @@ let store_backend t ~path ~user =
 let kv_network_op t work k =
   Kernel.interrupt t.kern ~name:"rx" (fun () ->
       work (fun () -> Kernel.syscall t.kern ~name:"tx" k))
+
+let try_kv_network_op t work ~on_busy k =
+  (* Guarded ingress: the rx interrupt is refused EAGAIN-style when the
+     cores' run queues are full — the NIC would drop or NAK the frame
+     instead of interrupt-storming a saturated CPU. The tx completion stays
+     unconditional: finishing admitted work sheds load, refusing it would
+     only hold memory longer. *)
+  match Kernel.try_interrupt t.kern ~name:"rx" (fun () ->
+            work (fun () -> Kernel.syscall t.kern ~name:"tx" k))
+  with
+  | `Ok -> ()
+  | `Eagain retry_after_ns -> on_busy ~retry_after_ns

@@ -23,9 +23,12 @@ type t
 val create :
   Lastcpu_sim.Engine.t ->
   ?cores:int ->
+  ?run_queue_capacity:int ->
   ?geometry:Lastcpu_flash.Nand.geometry ->
   unit ->
   t
+(** [run_queue_capacity] bounds the kernel's per-core run queues (see
+    {!Kernel.create}); default unbounded. *)
 
 val kernel : t -> Kernel.t
 val fs : t -> Lastcpu_fs.Fs.t
@@ -69,3 +72,16 @@ val kv_network_op :
 (** [kv_network_op t work k]: RX interrupt, then [work] (which performs
     store operations and calls its continuation), then a TX syscall, then
     [k]. Models packet-in/packet-out through the CPU. *)
+
+val try_kv_network_op :
+  t ->
+  ((unit -> unit) -> unit) ->
+  on_busy:(retry_after_ns:int64 -> unit) ->
+  (unit -> unit) ->
+  unit
+(** Guarded variant: the RX interrupt goes through
+    {!Kernel.try_interrupt}; when the run queues are full the frame is
+    refused and [on_busy] fires with the core's drain time instead —
+    EAGAIN at the NIC rather than an interrupt storm. The TX completion of
+    admitted work is never refused. Identical to {!kv_network_op} when the
+    kernel has no [run_queue_capacity]. *)

@@ -12,8 +12,11 @@
 
 type t
 
-val create : Lastcpu_sim.Engine.t -> ?cores:int -> unit -> t
-(** [cores] defaults to 1 (the last CPU...). *)
+val create :
+  Lastcpu_sim.Engine.t -> ?cores:int -> ?run_queue_capacity:int -> unit -> t
+(** [cores] defaults to 1 (the last CPU...). [run_queue_capacity] bounds
+    each core's run queue for the [try_*] admission variants; default
+    [None] keeps queues unbounded and [try_*] always accepts. *)
 
 val syscall : t -> name:string -> ?extra:int64 -> (unit -> unit) -> unit
 (** [syscall t ~name k]: enter the kernel, run [kernel_op_ns + extra] of
@@ -23,8 +26,31 @@ val interrupt : t -> name:string -> ?extra:int64 -> (unit -> unit) -> unit
 (** Device interrupt: costs [interrupt_ns + kernel_op_ns + extra] of core
     time. *)
 
+val try_syscall :
+  t ->
+  name:string ->
+  ?extra:int64 ->
+  (unit -> unit) ->
+  [ `Ok | `Eagain of int64 ]
+(** EAGAIN-style admission: like [syscall], but when the least-loaded
+    core's run queue is at [run_queue_capacity] the work is refused with
+    [`Eagain retry_after_ns] (that core's drain time) instead of queueing.
+    Without a capacity this always returns [`Ok]. *)
+
+val try_interrupt :
+  t ->
+  name:string ->
+  ?extra:int64 ->
+  (unit -> unit) ->
+  [ `Ok | `Eagain of int64 ]
+
 val syscalls : t -> int
 val interrupts : t -> int
+
+val eagains : t -> int
+(** Control operations refused by [try_syscall]/[try_interrupt]. *)
+
+val run_queue_capacity : t -> int option
 val cores : t -> int
 
 val busy_ns : t -> int64

@@ -10,10 +10,22 @@ module Costs = Lastcpu_sim.Costs
 module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
 
-type config = { enable_tokens : bool; heartbeat_timeout_ns : int64; lanes : int }
+type config = {
+  enable_tokens : bool;
+  heartbeat_timeout_ns : int64;
+  lanes : int;
+  lane_capacity : int option;
+  device_queue_capacity : int option;
+}
 
 let default_config =
-  { enable_tokens = true; heartbeat_timeout_ns = 0L (* sweeping off *); lanes = 1 }
+  {
+    enable_tokens = true;
+    heartbeat_timeout_ns = 0L (* sweeping off *);
+    lanes = 1;
+    lane_capacity = None (* unbounded *);
+    device_queue_capacity = None (* unbounded *);
+  }
 
 type device_slot = {
   name : string;
@@ -53,6 +65,9 @@ type t = {
   m_undeliverable : Metrics.counter;
   m_control_bytes : Metrics.counter;
   m_doorbells_dropped : Metrics.counter;
+  (* Registered lazily, on the first shed message: a run that never sheds
+     keeps its telemetry snapshot identical to pre-overload builds. *)
+  mutable m_expired : Metrics.counter option;
 }
 
 let bus_src = -1 (* messages originated by the bus itself *)
@@ -82,11 +97,17 @@ let create ?(config = default_config) engine =
   let m = Engine.metrics engine in
   let actor = Metrics.claim_actor m "bus" in
   let counter name = Metrics.counter m ~actor ~name in
+  let lane_telemetry =
+    match config.lane_capacity with None -> None | Some _ -> Some (m, actor)
+  in
   let t =
     {
       engine;
       config;
-      lanes = Array.init (max 1 config.lanes) (fun _ -> Station.create engine);
+      lanes =
+        Array.init (max 1 config.lanes) (fun _ ->
+            Station.create ?capacity:config.lane_capacity
+              ?telemetry:lane_telemetry engine);
       devices = [||];
       controller_keys = Hashtbl.create 8;
       actor;
@@ -98,6 +119,7 @@ let create ?(config = default_config) engine =
       m_undeliverable = counter "undeliverable";
       m_control_bytes = counter "control_bytes";
       m_doorbells_dropped = counter "doorbells_dropped";
+      m_expired = None;
     }
   in
   (* Scheduled crash→revive windows from the engine's fault plan. Devices
@@ -206,6 +228,27 @@ let counters t =
 let actor t = t.actor
 let station t = t.lanes.(0)
 let stations t = Array.to_list t.lanes
+let device_queue_capacity t = t.config.device_queue_capacity
+
+let messages_expired t =
+  match t.m_expired with None -> 0 | Some c -> Metrics.counter_value c
+
+let messages_rejected t =
+  Array.fold_left (fun a s -> a + Station.jobs_rejected s) 0 t.lanes
+
+let bump_expired t =
+  let c =
+    match t.m_expired with
+    | Some c -> c
+    | None ->
+      let c =
+        Metrics.counter (Engine.metrics t.engine) ~actor:t.actor
+          ~name:"expired_dropped"
+      in
+      t.m_expired <- Some c;
+      c
+  in
+  Metrics.incr c
 
 let lane_for t src =
   (* Hash by source so each device's messages stay ordered. *)
@@ -439,7 +482,16 @@ let schedule_delivery t (msg : Message.t) ~delay deliver =
 let deliver_unicast t (msg : Message.t) dst =
   let costs = Engine.costs t.engine in
   let s = slot t dst in
-  if not s.live then begin
+  if Message.expired msg ~now:(Engine.now t.engine) then begin
+    (* The deadline passed while the message sat in the lane queue:
+       delivering it now cannot help the requester, so shed it here
+       rather than spend the target's cycles on it. *)
+    bump_expired t;
+    trace t "bus.expired"
+      (Printf.sprintf "%s to dev%d past deadline, shed"
+         (Message.payload_tag msg.payload) dst)
+  end
+  else if not s.live then begin
     Metrics.incr t.m_undeliverable;
     (* Bounce an error to the sender so it can recover (§4). *)
     if msg.src >= 0 && (slot t msg.src).live then
@@ -466,16 +518,25 @@ let send t (msg : Message.t) =
     (Format.asprintf "%a" Message.pp msg);
   (* One hop to the bus, then the bus's FIFO processor, then delivery. *)
   Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
-      let service =
-        let base = costs.Costs.bus_process_ns in
-        match msg.payload with
-        | Message.Map_directive _ | Message.Grant_request _
-        | Message.Unmap_directive _ ->
-          (* Privileged ops pay token verification + PTE writes. *)
-          Int64.add base (Int64.add (token_cost t) costs.Costs.iommu_program_ns)
-        | _ -> base
-      in
-      Station.submit (lane_for t msg.src) ~service (fun () ->
+      let now = Engine.now t.engine in
+      if Message.expired msg ~now then begin
+        bump_expired t;
+        trace t "bus.expired"
+          (Printf.sprintf "%s from dev%d past deadline on arrival, shed"
+             (Message.payload_tag msg.payload) msg.src)
+      end
+      else begin
+        let service =
+          let base = costs.Costs.bus_process_ns in
+          match msg.payload with
+          | Message.Map_directive _ | Message.Grant_request _
+          | Message.Unmap_directive _ ->
+            (* Privileged ops pay token verification + PTE writes. *)
+            Int64.add base (Int64.add (token_cost t) costs.Costs.iommu_program_ns)
+          | _ -> base
+        in
+        let lane = lane_for t msg.src in
+        let run () =
           match msg.dst with
           | Types.Bus -> handle_bus_message t msg
           | Types.Device dst -> deliver_unicast t msg dst
@@ -487,7 +548,26 @@ let send t (msg : Message.t) =
                   schedule_delivery t msg ~delay:costs.Costs.bus_hop_ns
                     (fun () -> if s.live then s.handler msg)
                 end)
-              t.devices))
+              t.devices
+        in
+        match Station.try_submit lane ~service run with
+        | `Accepted -> ()
+        | `Rejected ->
+          (* Backpressure, not silence: bounce E_busy with a deterministic
+             retry-after hint (time for this lane's queue to drain) so the
+             sender can pace instead of hammering. *)
+          let retry_after_ns = Station.drain_ns lane ~now in
+          trace t "bus.busy"
+            (Printf.sprintf "%s from dev%d rejected, retry-after=%Ldns"
+               (Message.payload_tag msg.payload) msg.src retry_after_ns);
+          if msg.src >= 0 && (slot t msg.src).live then
+            reply t ~to_:msg.src ~corr:msg.corr
+              (Message.Error_msg
+                 {
+                   code = Types.E_busy;
+                   detail = Message.busy_detail ~retry_after_ns;
+                 })
+      end)
 
 let notify t ~src ~dst ~queue =
   let costs = Engine.costs t.engine in

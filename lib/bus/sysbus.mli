@@ -28,6 +28,13 @@ type config = {
   lanes : int;
       (** parallel message processors (a switched control fabric instead of
           one shared bus); messages hash by source device. Default 1. *)
+  lane_capacity : int option;
+      (** bound each lane's queue; a full lane rejects the message and the
+          bus bounces [Error_msg E_busy] with a retry-after hint to the
+          sender. [None] (default) keeps the historical unbounded queue. *)
+  device_queue_capacity : int option;
+      (** advisory bound devices apply to their own request stations (read
+          via {!device_queue_capacity}); [None] (default) = unbounded. *)
 }
 
 val default_config : config
@@ -69,7 +76,14 @@ val send : t -> Message.t -> unit
 (** Submit a message; it traverses src->bus, queues at the bus processor,
     then bus->dst. Messages to dead devices turn into [Error_msg
     E_device_failed] back to the sender. [dst = Bus] messages are handled by
-    the privileged logic below. *)
+    the privileged logic below.
+
+    Overload behavior: if the message carries a [deadline_ns] that has
+    passed (on arrival at the bus, or by the time its lane would deliver
+    it), it is shed and counted in the bus's [expired_dropped] counter.
+    If the lane's queue is full ([lane_capacity]), the message is rejected
+    and the sender gets [Error_msg E_busy] whose detail carries a
+    deterministic retry-after hint ({!Message.retry_after_of_detail}). *)
 
 (** {1 Privileged operations (performed on [dst = Bus] messages)}
 
@@ -113,6 +127,16 @@ val station : t -> Lastcpu_sim.Station.t
 (** The bus's first message processor (for utilisation metrics in T3). *)
 
 val stations : t -> Lastcpu_sim.Station.t list
+
+val device_queue_capacity : t -> int option
+(** The configured advisory bound for device request stations; devices
+    consult this at creation time. *)
+
+val messages_expired : t -> int
+(** Messages shed because their deadline passed in transit. *)
+
+val messages_rejected : t -> int
+(** Messages bounced with [E_busy] because a lane queue was full. *)
 
 val notify : t -> src:Types.device_id -> dst:Types.device_id -> queue:int -> unit
 (** Data-plane doorbell: an MSI-style memory write (§2.3 Notifications).

@@ -1667,6 +1667,356 @@ let t13 ?(seed = 42L) () =
       ];
   }
 
+(* --- T14: overload, backpressure and metastability ---------------------------- *)
+
+(* Open-loop load in three phases: a warm-up below capacity, a pulse far
+   past it, then a return to the warm rate. The probe is the recovery
+   phase: an unguarded system keeps serving the pulse's backlog (inflated
+   further by client retransmits — the retry storm), so post-pulse goodput
+   stays collapsed; a guarded system sheds the pulse at the door and the
+   recovery phase returns to baseline goodput. *)
+
+let t14_warm_ops = 40
+let t14_warm_gap_ns = 1_000_000L
+let t14_pulse_ops = 2000
+let t14_pulse_gap_ns = 5_000L
+let t14_recover_ops = 40
+let t14_recover_gap_ns = 1_000_000L
+let t14_slo_ns = 10_000_000L (* an answer slower than this is not goodput *)
+let t14_client_timeout_ns = 4_000_000L
+let t14_client_retries = 4
+let t14_total = t14_warm_ops + t14_pulse_ops + t14_recover_ops
+
+type t14_phase = T14_warm | T14_pulse | T14_recover
+
+(* (phase, send offset) for every op; both designs replay this schedule.
+   Arrivals carry a little seeded jitter (strictly below the phase gap, so
+   phases keep their shape): the workload is open-loop but not metronomic,
+   and the seed visibly feeds the run — the CI determinism job checks both
+   that equal seeds agree byte-for-byte and that different seeds do not. *)
+let t14_jitter_ns = 2_000
+
+let t14_schedule ~rng () =
+  let warm_end = Int64.mul (Int64.of_int t14_warm_ops) t14_warm_gap_ns in
+  let pulse_end =
+    Int64.add warm_end (Int64.mul (Int64.of_int t14_pulse_ops) t14_pulse_gap_ns)
+  in
+  Array.init t14_total (fun i ->
+      let jitter = Int64.of_int (Rng.int rng t14_jitter_ns) in
+      if i < t14_warm_ops then
+        (T14_warm, Int64.add (Int64.mul (Int64.of_int i) t14_warm_gap_ns) jitter)
+      else if i < t14_warm_ops + t14_pulse_ops then
+        let j = i - t14_warm_ops in
+        ( T14_pulse,
+          Int64.add warm_end
+            (Int64.add (Int64.mul (Int64.of_int j) t14_pulse_gap_ns) jitter) )
+      else
+        let j = i - t14_warm_ops - t14_pulse_ops in
+        ( T14_recover,
+          Int64.add pulse_end
+            (Int64.add (Int64.mul (Int64.of_int j) t14_recover_gap_ns) jitter) ))
+
+type t14_op = {
+  op_phase : t14_phase;
+  mutable sent_at : int64;
+  mutable done_at : int64 option;  (** first successful reply *)
+  mutable was_shed : bool;  (** got a busy rejection; client stops retrying *)
+}
+
+type t14_stats = { t14_ops : t14_op array; mutable t14_resends : int }
+
+let t14_fresh_stats schedule =
+  {
+    t14_ops =
+      Array.map
+        (fun (phase, _) ->
+          { op_phase = phase; sent_at = 0L; done_at = None; was_shed = false })
+        schedule;
+    t14_resends = 0;
+  }
+
+(* All Puts: they bottleneck on the WAL's flash programs, so sustained
+   over-rate arrivals queue instead of completing. Gets would serve from
+   the memtable and hide the overload. *)
+let t14_make_op i =
+  Kv_proto.Put (Printf.sprintf "k%04d" (i mod 128), Printf.sprintf "v%06d" i)
+
+let t14_phase_cells stats phase =
+  let n = ref 0 and good = ref 0 and shed = ref 0 in
+  Array.iter
+    (fun op ->
+      if op.op_phase = phase then begin
+        incr n;
+        if op.was_shed then incr shed;
+        match op.done_at with
+        | Some at when Int64.sub at op.sent_at <= t14_slo_ns -> incr good
+        | _ -> ()
+      end)
+    stats.t14_ops;
+  (!n, !good, !shed)
+
+let t14_goodput_pct stats phase =
+  let n, good, _ = t14_phase_cells stats phase in
+  Printf.sprintf "%.0f%%" (100. *. float_of_int good /. float_of_int (max 1 n))
+
+(* The client: open-loop sender over the real network, naive fixed-interval
+   retransmit on silence (same corr — the server executes duplicates, which
+   is exactly the amplification the guards exist to cap), and a
+   backpressure-honoring stop on a busy rejection. *)
+let t14_open_loop_client system ~app_addr ~start_ns ~schedule ~stats =
+  let engine = System.engine system in
+  let net = System.net system in
+  incr client_counter;
+  let ep =
+    Netsim.endpoint net ~name:(Printf.sprintf "client-%d" !client_counter)
+  in
+  Netsim.set_receiver ep (fun ~src:_ frame ->
+      match Kv_proto.decode_response frame with
+      | Error _ -> ()
+      | Ok { Kv_proto.corr; reply } ->
+        if corr >= 0 && corr < t14_total then begin
+          let st = stats.t14_ops.(corr) in
+          if st.done_at = None && not st.was_shed then begin
+            match reply with
+            | Kv_proto.Failed _ -> st.was_shed <- true
+            | _ -> st.done_at <- Some (Engine.now engine)
+          end
+        end);
+  Array.iteri
+    (fun i (_, off) ->
+      let st = stats.t14_ops.(i) in
+      Engine.schedule_at engine ~time:(Int64.add start_ns off) (fun () ->
+          st.sent_at <- Engine.now engine;
+          let frame =
+            Kv_proto.encode_request { Kv_proto.corr = i; op = t14_make_op i }
+          in
+          let rec send tries_left =
+            Netsim.send ep ~dst:app_addr frame;
+            Engine.schedule engine ~delay:t14_client_timeout_ns (fun () ->
+                if st.done_at = None && (not st.was_shed) && tries_left > 0
+                then begin
+                  stats.t14_resends <- stats.t14_resends + 1;
+                  send (tries_left - 1)
+                end)
+          in
+          send t14_client_retries))
+    schedule
+
+type t14_guard_counters = {
+  g_bus_rejected : int;
+  g_bus_expired : int;
+  g_dev_rejected : int;
+  g_breaker_opens : int;
+  g_breaker_fast_fails : int;
+  g_kv_shed : int;
+}
+
+let t14_decentralized ~seed ~guards () =
+  let spec =
+    {
+      System.default_spec with
+      System.seed;
+      bus_lane_capacity = (if guards then Some 64 else None);
+      device_queue_capacity = (if guards then Some 64 else None);
+    }
+  in
+  let system = System.build ~spec () in
+  (match Fs.mkdir (Smart_ssd.fs (System.ssd system 0)) ~user:"root" ~mode:0o777 "/kv" with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("t14: mkdir /kv: " ^ Fs.error_to_string e));
+  (match System.boot system with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("t14: boot: " ^ e));
+  let engine = System.engine system in
+  let launched = ref None in
+  Kv_app.launch
+    ~nic:(System.nic system 0)
+    ~memctl:(Memctl.id (System.memctl system))
+    ~pasid:(System.fresh_pasid system) ~shm_va:0x4000_0000L ~user:"kvs"
+    ~log_path:"/kv/data.log" ()
+    (fun r -> launched := Some r);
+  System.run_until_idle system;
+  match !launched with
+  | None -> invalid_arg "t14: launch did not complete"
+  | Some (Error e) -> invalid_arg ("t14: launch: " ^ e)
+  | Some (Ok app) ->
+    let nic_dev = Smart_nic.device (System.nic system 0) in
+    if guards then begin
+      Kv_app.set_overload_policy app ~max_pending:4;
+      Device.enable_circuit_breaker nic_dev ~threshold:3
+        ~cooldown_ns:2_000_000L
+    end;
+    let schedule = t14_schedule ~rng:(Engine.fork_rng engine) () in
+    let stats = t14_fresh_stats schedule in
+    t14_open_loop_client system
+      ~app_addr:(Smart_nic.endpoint_address (System.nic system 0))
+      ~start_ns:(Engine.now engine) ~schedule ~stats;
+    (* Control-plane tenant alongside the data-plane flood: open-loop
+       alloc requests through the NIC device; with guards on they carry a
+       deadline so any hop can shed them once they are useless. Their
+       success rate shows whether the control plane stays live. *)
+    let mc = Memctl.id (System.memctl system) in
+    let churn_pasid = System.fresh_pasid system in
+    let churn_ok = ref 0 in
+    let churn_n = 100 in
+    for i = 0 to churn_n - 1 do
+      Engine.schedule engine
+        ~delay:(Int64.mul (Int64.of_int i) 200_000L)
+        (fun () ->
+          let deadline_ns =
+            if guards then Some (Int64.add (Engine.now engine) 1_000_000L)
+            else None
+          in
+          let va = Int64.add 0x8000_0000L (Int64.of_int (i * 4096)) in
+          Device.request nic_dev ?deadline_ns ~timeout:500_000L ~retries:2
+            ~dst:(Types.Device mc)
+            (Message.Alloc_request
+               { pasid = churn_pasid; va; bytes = 4096L; perm = Types.perm_rw })
+            (function
+              | Message.Alloc_response { ok = true; _ } -> incr churn_ok
+              | _ -> ()))
+    done;
+    System.run_until_idle system;
+    let bus = System.bus system in
+    let counters =
+      {
+        g_bus_rejected = Sysbus.messages_rejected bus;
+        g_bus_expired = Sysbus.messages_expired bus;
+        g_dev_rejected = Device.queue_rejections nic_dev;
+        g_breaker_opens = Device.breaker_opens nic_dev;
+        g_breaker_fast_fails = Device.breaker_fast_fails nic_dev;
+        g_kv_shed = Kv_app.ops_shed app;
+      }
+    in
+    (system, stats, counters, !churn_ok, churn_n)
+
+let t14_centralized ~seed ~guards () =
+  let engine = Engine.create ~seed () in
+  let central =
+    Central.create engine
+      ?run_queue_capacity:(if guards then Some 16 else None)
+      ()
+  in
+  let store =
+    Store.create ~metrics:(Engine.metrics engine) ~actor:"kv"
+      (Central.store_backend central ~path:"/kv.log" ~user:"kvs")
+  in
+  let schedule = t14_schedule ~rng:(Engine.fork_rng engine) () in
+  let stats = t14_fresh_stats schedule in
+  Array.iteri
+    (fun i (_, off) ->
+      let st = stats.t14_ops.(i) in
+      Engine.schedule_at engine ~time:off (fun () ->
+          st.sent_at <- Engine.now engine;
+          let rec send tries_left =
+            let work tx =
+              match t14_make_op i with
+              | Kv_proto.Put (key, value) ->
+                Store.put store ~key ~value (fun _ -> tx ())
+              | _ -> tx ()
+            in
+            let complete () =
+              if st.done_at = None && not st.was_shed then
+                st.done_at <- Some (Engine.now engine)
+            in
+            (if guards then
+               Central.try_kv_network_op central work
+                 ~on_busy:(fun ~retry_after_ns:_ ->
+                   (* The NIC's frame was refused EAGAIN-style; a
+                      backpressure-honoring client stops resending. *)
+                   if st.done_at = None then st.was_shed <- true)
+                 complete
+             else Central.kv_network_op central work complete);
+            Engine.schedule engine ~delay:t14_client_timeout_ns (fun () ->
+                if st.done_at = None && (not st.was_shed) && tries_left > 0
+                then begin
+                  stats.t14_resends <- stats.t14_resends + 1;
+                  send (tries_left - 1)
+                end)
+          in
+          send t14_client_retries))
+    schedule;
+  Engine.run engine;
+  (engine, central, stats)
+
+(* CLI/CI entry point: the guarded CPU-less run, handed back so the caller
+   can snapshot telemetry (the overload determinism check diffs two). *)
+let overload_soak ?(seed = 42L) () =
+  let system, _, _, _, _ = t14_decentralized ~seed ~guards:true () in
+  system
+
+let t14 ?(seed = 42L) () =
+  let d_off_sys, d_off, d_off_c, d_off_churn, churn_n =
+    t14_decentralized ~seed ~guards:false ()
+  in
+  let d_on_sys, d_on, d_on_c, d_on_churn, _ =
+    t14_decentralized ~seed ~guards:true ()
+  in
+  let c_off_eng, _, c_off = t14_centralized ~seed ~guards:false () in
+  let c_on_eng, c_on_central, c_on = t14_centralized ~seed ~guards:true () in
+  let row design guard_label stats elapsed =
+    let _, _, pulse_shed = t14_phase_cells stats T14_pulse in
+    [
+      design;
+      guard_label;
+      t14_goodput_pct stats T14_warm;
+      t14_goodput_pct stats T14_pulse;
+      string_of_int pulse_shed;
+      t14_goodput_pct stats T14_recover;
+      string_of_int stats.t14_resends;
+      ns64 elapsed;
+    ]
+  in
+  {
+    id = "t14";
+    title = "overload: bounded queues, backpressure and metastability";
+    claim =
+      "past saturation, an unguarded system goes metastable — the pulse's \
+       backlog plus client retransmits keep post-pulse goodput collapsed — \
+       while admission control, E_busy backpressure and retry guards shed \
+       the pulse and return goodput to baseline";
+    columns =
+      [
+        "design"; "guards"; "warm goodput"; "pulse goodput"; "pulse shed";
+        "recover goodput"; "client resends"; "elapsed (ns)";
+      ];
+    rows =
+      [
+        row "CPU-less" "off" d_off (Engine.now (System.engine d_off_sys));
+        row "CPU-less" "on" d_on (Engine.now (System.engine d_on_sys));
+        row "centralized" "off" c_off (Engine.now c_off_eng);
+        row "centralized" "on" c_on (Engine.now c_on_eng);
+      ];
+    notes =
+      [
+        Printf.sprintf
+          "load: %d warm ops @%Ldns, %d pulse ops @%Ldns, %d recovery ops \
+           @%Ldns; SLO %Ldns; client timeout %Ldns x%d naive retransmits"
+          t14_warm_ops t14_warm_gap_ns t14_pulse_ops t14_pulse_gap_ns
+          t14_recover_ops t14_recover_gap_ns t14_slo_ns t14_client_timeout_ns
+          t14_client_retries;
+        Printf.sprintf
+          "CPU-less guards: bus lanes+device queues capped at 64, KV \
+           admission max_pending=4, per-peer circuit breaker (3 failures, \
+           2ms cooldown), deadline-carrying control ops";
+        Printf.sprintf
+          "CPU-less guard counters (on): kv shed=%d, bus rejected=%d, bus \
+           expired=%d, nic queue rejected=%d, breaker opens=%d fast-fails=%d \
+           (off run: kv shed=%d, bus rejected=%d)"
+          d_on_c.g_kv_shed d_on_c.g_bus_rejected d_on_c.g_bus_expired
+          d_on_c.g_dev_rejected d_on_c.g_breaker_opens
+          d_on_c.g_breaker_fast_fails d_off_c.g_kv_shed d_off_c.g_bus_rejected;
+        Printf.sprintf
+          "control plane under data-plane flood: %d/%d allocs ok (guards \
+           off), %d/%d (guards on)"
+          d_off_churn churn_n d_on_churn churn_n;
+        Printf.sprintf
+          "centralized guards: run queues capped at 16, RX refused \
+           EAGAIN-style when full (kernel eagains on: %d)"
+          (Kernel.eagains (Central.kernel c_on_central));
+      ];
+  }
+
 (* --- registry ------------------------------------------------------------------------- *)
 
 let all () =
@@ -1686,6 +2036,7 @@ let all () =
     t11 ();
     t12 ();
     t13 ();
+    t14 ();
   ]
 
 let by_id = function
@@ -1705,4 +2056,5 @@ let by_id = function
   | "t11" -> Some t11
   | "t12" -> Some t12
   | "t13" -> Some (fun () -> t13 ())
+  | "t14" -> Some (fun () -> t14 ())
   | _ -> None

@@ -78,8 +78,21 @@ val chaos_soak : ?seed:int64 -> unit -> System.t
     snapshot its telemetry registry. Same seed ⇒ byte-identical snapshot
     (the CI determinism job diffs two runs). *)
 
+val t14 : ?seed:int64 -> unit -> table
+(** Overload probe: an open-loop warm→pulse→recover load replayed on both
+    designs with the overload guards off and on. Guards off, the pulse's
+    backlog plus naive client retransmits keep post-pulse goodput
+    collapsed (metastable failure); guards on (bounded queues, admission
+    control, E_busy backpressure, circuit breaker, EAGAIN run queues) the
+    pulse is shed and recovery goodput returns to the warm baseline. *)
+
+val overload_soak : ?seed:int64 -> unit -> System.t
+(** Run the guarded CPU-less half of {!t14} and return the system; callers
+    snapshot its telemetry registry (the overload CI determinism job
+    diffs two runs). *)
+
 val all : unit -> table list
 (** Every figure and table, in order. *)
 
 val by_id : string -> (unit -> table) option
-(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens", "t2".."t13"). *)
+(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens", "t2".."t14"). *)

@@ -23,6 +23,8 @@ type spec = {
   accel_count : int;
   memctl_count : int;
   bus_lanes : int;
+  bus_lane_capacity : int option;
+  device_queue_capacity : int option;
   ssd_geometry : Lastcpu_flash.Nand.geometry option;
   with_auth : bool;
   users : (string * string) list;
@@ -42,6 +44,8 @@ let default_spec =
     accel_count = 0;
     memctl_count = 1;
     bus_lanes = 1;
+    bus_lane_capacity = None;
+    device_queue_capacity = None;
     ssd_geometry = None;
     with_auth = false;
     users = [];
@@ -79,6 +83,8 @@ let build ?(spec = default_spec) () =
           Sysbus.enable_tokens = spec.enable_tokens;
           heartbeat_timeout_ns = spec.heartbeat_timeout_ns;
           lanes = spec.bus_lanes;
+          lane_capacity = spec.bus_lane_capacity;
+          device_queue_capacity = spec.device_queue_capacity;
         }
       engine
   in

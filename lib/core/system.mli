@@ -18,6 +18,10 @@ type spec = {
   accel_count : int;
   memctl_count : int;  (** parallel memory controllers (disaggregation) *)
   bus_lanes : int;  (** control-fabric lanes (1 = classic shared bus) *)
+  bus_lane_capacity : int option;
+      (** bound each bus lane's queue; [None] (default) = unbounded *)
+  device_queue_capacity : int option;
+      (** bound each device's request station; [None] (default) = unbounded *)
   ssd_geometry : Lastcpu_flash.Nand.geometry option;
   with_auth : bool;
   users : (string * string) list;

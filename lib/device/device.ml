@@ -31,6 +31,14 @@ type connection_info = {
   conn_pasid : int;
 }
 
+(* Per-peer circuit breaker (disabled unless [enable_circuit_breaker]).
+   Closed counts consecutive busy/timeout failures; Open fast-fails new
+   requests until its deadline; the first request after the deadline is the
+   half-open probe — its failure reopens immediately, its success closes. *)
+type breaker_state = Closed | Open of int64 (* fast-fail until *) | Half_open
+type breaker = { mutable state : breaker_state; mutable failures : int }
+type breaker_cfg = { threshold : int; cooldown_ns : int64 }
+
 type t = {
   mutable dev_id : Types.device_id;
   dev_name : string;
@@ -64,6 +72,13 @@ type t = {
   m_request_late : Metrics.counter;
   m_retries : Metrics.counter;
   m_gave_up : Metrics.counter;
+  breakers : (int, breaker) Hashtbl.t;
+  mutable breaker_cfg : breaker_cfg option;
+  (* Overload instruments are registered lazily / at enable time so a run
+     with no overload knobs keeps its telemetry snapshot unchanged. *)
+  mutable m_breaker_opened : Metrics.counter option;
+  mutable m_breaker_fast_fails : Metrics.counter option;
+  mutable m_expired : Metrics.counter option;
 }
 
 let recent_size = 64
@@ -199,12 +214,53 @@ let dispatch t (msg : Message.t) =
           t.services)
     | _ -> to_app ())
 
+let bump_expired t =
+  let c =
+    match t.m_expired with
+    | Some c -> c
+    | None ->
+      let c =
+        Metrics.counter (Engine.metrics t.engine) ~actor:t.actor
+          ~name:"expired_dropped"
+      in
+      t.m_expired <- Some c;
+      c
+  in
+  Metrics.incr c
+
 let handle t msg =
   (* Per-device monitor: messages are processed serially with a fixed
      per-message cost — the "modest hardware" of §2.2. *)
   let costs = Engine.costs t.engine in
-  Station.submit t.station ~service:costs.Costs.device_process_ns (fun () ->
-      dispatch t msg)
+  let now = Engine.now t.engine in
+  if Message.expired msg ~now then begin
+    bump_expired t;
+    Engine.trace_event t.engine ~actor:t.dev_name ~kind:"device.expired"
+      (Printf.sprintf "%s past deadline, shed" (Message.payload_tag msg.payload))
+  end
+  else
+    match
+      Station.try_submit t.station ~service:costs.Costs.device_process_ns
+        (fun () -> dispatch t msg)
+    with
+    | `Accepted -> ()
+    | `Rejected ->
+      Engine.trace_event t.engine ~actor:t.dev_name ~kind:"device.busy"
+        (Printf.sprintf "%s rejected, monitor queue full"
+           (Message.payload_tag msg.payload));
+      (* NACK requests so the sender can back off; drop responses silently
+         (the requester's timeout covers them, and NACKing a NACK loops). *)
+      if (not (response_like msg.payload)) && msg.src >= 0 then begin
+        let retry_after_ns = Station.drain_ns t.station ~now in
+        Metrics.incr t.m_sent;
+        Sysbus.send t.sysbus
+          (Message.make ~src:t.dev_id ~dst:(Types.Device msg.src) ~corr:msg.corr
+             (Message.Error_msg
+                {
+                  code = Types.E_busy;
+                  detail = Message.busy_detail ~retry_after_ns;
+                }))
+      end
 
 let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
   let engine = Sysbus.engine sysbus in
@@ -215,6 +271,10 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       ~actor:(actor ^ ".iommu") ()
   in
   let counter n = Metrics.counter m ~actor ~name:n in
+  let queue_capacity = Sysbus.device_queue_capacity sysbus in
+  let station_telemetry =
+    match queue_capacity with None -> None | Some _ -> Some (m, actor)
+  in
   let t =
     {
       dev_id = -1;
@@ -223,7 +283,9 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       engine;
       mem;
       iommu;
-      station = Station.create engine;
+      station =
+        Station.create ?capacity:queue_capacity ?telemetry:station_telemetry
+          engine;
       services = [];
       app_handler = None;
       fault_handler = None;
@@ -246,6 +308,11 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       m_request_late = counter "request_late";
       m_retries = counter "retries";
       m_gave_up = counter "gave_up";
+      breakers = Hashtbl.create 4;
+      breaker_cfg = None;
+      m_breaker_opened = None;
+      m_breaker_fast_fails = None;
+      m_expired = None;
     }
   in
   let id = Sysbus.attach sysbus ~name ~iommu ~handler:(fun msg -> handle t msg) in
@@ -338,53 +405,159 @@ let reply t ~to_ ~corr payload =
   Sysbus.send t.sysbus
     (Message.make ~src:t.dev_id ~dst:(Types.Device to_) ~corr payload)
 
-let request t ?timeout ?(retries = 0) ~dst payload k =
+(* --- circuit breaker ------------------------------------------------------ *)
+
+let bus_peer = -1 (* breaker key for requests addressed to the bus *)
+
+let peer_of_dst = function Types.Device d -> d | Types.Bus | Types.Broadcast -> bus_peer
+
+let enable_circuit_breaker t ~threshold ~cooldown_ns =
+  if threshold <= 0 then invalid_arg "enable_circuit_breaker: threshold";
+  if cooldown_ns <= 0L then invalid_arg "enable_circuit_breaker: cooldown_ns";
+  let m = Engine.metrics t.engine in
+  t.breaker_cfg <- Some { threshold; cooldown_ns };
+  t.m_breaker_opened <- Some (Metrics.counter m ~actor:t.actor ~name:"breaker_opened");
+  t.m_breaker_fast_fails <-
+    Some (Metrics.counter m ~actor:t.actor ~name:"breaker_fast_fails")
+
+let breaker_for t peer =
+  match Hashtbl.find_opt t.breakers peer with
+  | Some b -> b
+  | None ->
+    let b = { state = Closed; failures = 0 } in
+    Hashtbl.replace t.breakers peer b;
+    b
+
+let breaker_is_open t peer =
+  match t.breaker_cfg with
+  | None -> false
+  | Some _ -> (
+    match (breaker_for t peer).state with
+    | Open until -> Engine.now t.engine < until
+    | Closed | Half_open -> false)
+
+(* A busy answer (including the local "request timed out" give-up) is a
+   failure; anything else — even an application-level error — proves the
+   peer is alive and serving, and closes the breaker. *)
+let observe_peer_result t peer (payload : Message.payload) =
+  match t.breaker_cfg with
+  | None -> ()
+  | Some { threshold; cooldown_ns } -> (
+    let b = breaker_for t peer in
+    match payload with
+    | Message.Error_msg { code = Types.E_busy; detail } ->
+      b.failures <- b.failures + 1;
+      let probe_failed = b.state = Half_open in
+      if b.failures >= threshold || probe_failed then begin
+        (* Honor the peer's retry-after hint when it outlasts our own
+           cooldown: reopening earlier would just buy another rejection. *)
+        let window =
+          match Message.retry_after_of_detail detail with
+          | Some ns when ns > cooldown_ns -> ns
+          | _ -> cooldown_ns
+        in
+        b.state <- Open (Int64.add (Engine.now t.engine) window);
+        (match t.m_breaker_opened with Some c -> Metrics.incr c | None -> ());
+        Engine.trace_event t.engine ~actor:t.dev_name ~kind:"device.breaker-open"
+          (Printf.sprintf "peer=%d failures=%d window=%Ldns" peer b.failures
+             window)
+      end
+    | _ ->
+      if b.failures > 0 || b.state <> Closed then
+        Engine.trace_event t.engine ~actor:t.dev_name
+          ~kind:"device.breaker-close" (Printf.sprintf "peer=%d" peer);
+      b.failures <- 0;
+      b.state <- Closed)
+
+let request t ?deadline_ns ?timeout ?(retries = 0) ~dst payload k =
   let corr = fresh_corr t in
+  let peer = peer_of_dst dst in
   (* The span covers send-to-completion; ending it inside the wrapped
      continuation makes the response and timeout paths both close it
      exactly once, and recording the corr in the recent ring lets a
      response that races the give-up be swallowed instead of leaking. *)
   Engine.begin_span t.engine ~actor:t.actor ~name:"request" ~id:corr;
-  let k payload =
+  let finish payload =
     Engine.end_span t.engine ~actor:t.actor ~name:"request" ~id:corr;
     remember_corr t corr;
     k payload
   in
-  Hashtbl.replace t.pending corr k;
-  Metrics.incr t.m_sent;
-  Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr payload);
-  match timeout with
-  | None -> ()
-  | Some delay ->
-    assert (delay > 0L);
-    let rec arm attempt delay =
-      Engine.schedule t.engine ~delay (fun () ->
-          match Hashtbl.find_opt t.pending corr with
-          | None -> () (* already answered *)
-          | Some k ->
-            if attempt < retries then begin
-              (* Retransmit with the SAME correlation id, so the receiver
-                 side is idempotent: a late answer to the original send
-                 completes the retry. Exponential backoff plus a
-                 deterministic jitter hashed from (corr, attempt) — never
-                 an RNG draw, which would perturb seeded replay. *)
-              Metrics.incr t.m_retries;
-              Metrics.incr t.m_sent;
-              Sysbus.send t.sysbus (Message.make ~src:t.dev_id ~dst ~corr payload);
-              let jitter =
-                Int64.of_int (((corr * 0x9E3779B1) + (attempt * 977)) land 0xff)
-              in
-              arm (attempt + 1) (Int64.add (Int64.mul delay 2L) jitter)
-            end
-            else begin
-              Hashtbl.remove t.pending corr;
-              Metrics.incr t.m_gave_up;
-              k
-                (Message.Error_msg
-                   { code = Types.E_busy; detail = "request timed out" })
-            end)
+  let gate =
+    match t.breaker_cfg with
+    | None -> `Pass
+    | Some _ -> (
+      let b = breaker_for t peer in
+      match b.state with
+      | Closed | Half_open -> `Pass
+      | Open until ->
+        let now = Engine.now t.engine in
+        if now >= until then begin
+          (* Cooldown elapsed: let this request through as the probe. *)
+          b.state <- Half_open;
+          `Pass
+        end
+        else `Fast_fail (Int64.sub until now))
+  in
+  match gate with
+  | `Fast_fail remaining ->
+    (* Shed locally, costing nothing downstream. The synthetic busy reply
+       deliberately bypasses [observe_peer_result]: fast-fails must not
+       extend the open window they are caused by. *)
+    (match t.m_breaker_fast_fails with Some c -> Metrics.incr c | None -> ());
+    Engine.trace_event t.engine ~actor:t.dev_name ~kind:"device.breaker-reject"
+      (Printf.sprintf "peer=%d retry-after=%Ldns" peer remaining);
+    Engine.schedule t.engine ~delay:0L (fun () ->
+        finish
+          (Message.Error_msg
+             {
+               code = Types.E_busy;
+               detail = Message.busy_detail ~retry_after_ns:remaining;
+             }))
+  | `Pass -> (
+    let k payload =
+      observe_peer_result t peer payload;
+      finish payload
     in
-    arm 0 delay
+    Hashtbl.replace t.pending corr k;
+    Metrics.incr t.m_sent;
+    Sysbus.send t.sysbus (Message.make ?deadline_ns ~src:t.dev_id ~dst ~corr payload);
+    match timeout with
+    | None -> ()
+    | Some delay ->
+      assert (delay > 0L);
+      let rec arm attempt delay =
+        Engine.schedule t.engine ~delay (fun () ->
+            match Hashtbl.find_opt t.pending corr with
+            | None -> () (* already answered *)
+            | Some k ->
+              if attempt < retries then begin
+                (* Retransmit with the SAME correlation id, so the receiver
+                   side is idempotent: a late answer to the original send
+                   completes the retry. Exponential backoff plus a
+                   deterministic jitter hashed from (corr, attempt) — never
+                   an RNG draw, which would perturb seeded replay. While the
+                   peer's breaker is open, skip the resend but keep the
+                   timer chain: no retry storm into a known-saturated peer. *)
+                if not (breaker_is_open t peer) then begin
+                  Metrics.incr t.m_retries;
+                  Metrics.incr t.m_sent;
+                  Sysbus.send t.sysbus
+                    (Message.make ?deadline_ns ~src:t.dev_id ~dst ~corr payload)
+                end;
+                let jitter =
+                  Int64.of_int (((corr * 0x9E3779B1) + (attempt * 977)) land 0xff)
+                in
+                arm (attempt + 1) (Int64.add (Int64.mul delay 2L) jitter)
+              end
+              else begin
+                Hashtbl.remove t.pending corr;
+                Metrics.incr t.m_gave_up;
+                k
+                  (Message.Error_msg
+                     { code = Types.E_busy; detail = "request timed out" })
+              end)
+      in
+      arm 0 delay)
 
 let default_discover_timeout = 1_000_000L (* 1 ms *)
 
@@ -504,3 +677,20 @@ let late_responses t = Metrics.counter_value t.m_request_late
 let request_retries t = Metrics.counter_value t.m_retries
 let requests_gave_up t = Metrics.counter_value t.m_gave_up
 let actor t = t.actor
+
+let breaker_state t ~peer =
+  match Hashtbl.find_opt t.breakers peer with
+  | None | Some { state = Closed; _ } -> `Closed
+  | Some { state = Open _; _ } -> `Open
+  | Some { state = Half_open; _ } -> `Half_open
+
+let breaker_opens t =
+  match t.m_breaker_opened with Some c -> Metrics.counter_value c | None -> 0
+
+let breaker_fast_fails t =
+  match t.m_breaker_fast_fails with Some c -> Metrics.counter_value c | None -> 0
+
+let messages_expired t =
+  match t.m_expired with Some c -> Metrics.counter_value c | None -> 0
+
+let queue_rejections t = Station.jobs_rejected t.station

@@ -178,6 +178,7 @@ val free :
 
 val request :
   t ->
+  ?deadline_ns:int64 ->
   ?timeout:int64 ->
   ?retries:int ->
   dst:Types.dest ->
@@ -192,7 +193,40 @@ val request :
     the final timeout the continuation receives a synthetic
     [Error_msg E_busy] — devices must handle unresponsive peers themselves
     (§4 error handling). A response arriving after the give-up is swallowed
-    and counted ([late_responses]), never leaked to the app handler. *)
+    and counted ([late_responses]), never leaked to the app handler.
+
+    [deadline_ns] (absolute virtual time) rides on the message and its
+    retransmits: any hop past the deadline sheds the message instead of
+    servicing it. With the circuit breaker enabled, a request to a peer
+    whose breaker is open completes on the next tick with a synthetic
+    [Error_msg E_busy] carrying the remaining window as a retry-after hint,
+    without touching the bus; retransmits are likewise suppressed while the
+    breaker is open. *)
+
+(** {1 Overload protection} *)
+
+val enable_circuit_breaker : t -> threshold:int -> cooldown_ns:int64 -> unit
+(** Arm a per-peer circuit breaker on {!request}: after [threshold]
+    consecutive busy/timeout failures to a peer the breaker opens for
+    [cooldown_ns] (or the peer's retry-after hint, whichever is longer) and
+    new requests fast-fail locally; the first request after the window is a
+    half-open probe whose outcome closes or reopens the breaker. Registers
+    [breaker_opened]/[breaker_fast_fails] counters under this device's
+    actor. Off by default. *)
+
+val breaker_state : t -> peer:Types.device_id -> [ `Closed | `Open | `Half_open ]
+(** Current breaker state for a peer (bus = peer [-1]); [`Closed] when the
+    breaker is disabled or the peer has never failed. *)
+
+val breaker_opens : t -> int
+val breaker_fast_fails : t -> int
+
+val messages_expired : t -> int
+(** Inbound messages shed because their deadline had passed. *)
+
+val queue_rejections : t -> int
+(** Inbound messages rejected because the bounded monitor queue was full
+    (only when the system configures [device_queue_capacity]). *)
 
 val send : t -> dst:Types.dest -> Message.payload -> unit
 (** Fire-and-forget (no correlation). *)

@@ -6,6 +6,16 @@ module Metrics = Lastcpu_sim.Metrics
 module Smart_nic = Lastcpu_devices.Smart_nic
 module File_client = Lastcpu_devices.File_client
 
+(* Client-op admission policy ([set_overload_policy]); control traffic —
+   recovery, failover drains, local supervisor ops — is never subject to
+   it. Counters exist only once the policy is set, so default runs keep
+   their telemetry snapshots unchanged. *)
+type overload = {
+  max_pending : int;
+  m_shed : Metrics.counter;
+  m_goodput : Metrics.counter;
+}
+
 type t = {
   nic : Smart_nic.t;
   mutable kv : Store.t;
@@ -20,6 +30,8 @@ type t = {
      store is recovered. *)
   mutable failing_over : bool;
   parked : (Kv_proto.op * (Kv_proto.reply -> unit)) Queue.t;
+  mutable overload : overload option;
+  mutable client_in_flight : int;
 }
 
 let rec execute t op (k : Kv_proto.reply -> unit) =
@@ -57,13 +69,54 @@ and drain_parked t =
   in
   go ()
 
+let set_overload_policy t ~max_pending =
+  if max_pending <= 0 then invalid_arg "set_overload_policy: max_pending";
+  let m = Engine.metrics t.engine in
+  t.overload <-
+    Some
+      {
+        max_pending;
+        m_shed = Metrics.counter m ~actor:t.actor ~name:"shed";
+        m_goodput = Metrics.counter m ~actor:t.actor ~name:"goodput";
+      }
+
+(* Client-facing entry: admission control + goodput accounting. Sheds at
+   the door when the admitted window is full — a cheap failure now beats a
+   queued success that will miss its deadline (metastability guard). *)
+let execute_client t op k =
+  match t.overload with
+  | None -> execute t op k
+  | Some o ->
+    if t.client_in_flight >= o.max_pending then begin
+      Metrics.incr o.m_shed;
+      (* Deterministic retry-after: the admitted window drains through the
+         WAL's flash-program bottleneck, one page per op. *)
+      let costs = Engine.costs t.engine in
+      let retry_after_ns =
+        Int64.mul (Int64.of_int t.client_in_flight) costs.Lastcpu_sim.Costs.flash_write_page_ns
+      in
+      Engine.trace_event t.engine ~actor:t.actor ~kind:"kv.shed"
+        (Printf.sprintf "in-flight=%d retry-after=%Ldns" t.client_in_flight
+           retry_after_ns);
+      k (Kv_proto.Failed (Message.busy_detail ~retry_after_ns))
+    end
+    else begin
+      t.client_in_flight <- t.client_in_flight + 1;
+      execute t op (fun reply ->
+          t.client_in_flight <- t.client_in_flight - 1;
+          (match reply with
+          | Kv_proto.Failed _ -> ()
+          | _ -> Metrics.incr o.m_goodput);
+          k reply)
+    end
+
 let install_fast_path t =
   Smart_nic.on_packet t.nic (fun ~src frame ->
       match Kv_proto.decode_request frame with
       | Error _ -> () (* garbage frame: drop, as a NIC would *)
       | Ok { corr; op } ->
         Metrics.incr t.m_served;
-        execute t op (fun reply ->
+        execute_client t op (fun reply ->
             Smart_nic.send_packet t.nic ~dst:src
               (Kv_proto.encode_response { corr; reply })))
 
@@ -190,6 +243,8 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
                   recovered = 0;
                   failing_over = false;
                   parked = Queue.create ();
+                  overload = None;
+                  client_in_flight = 0;
                 }
               in
               Store.recover store (fun res ->
@@ -210,3 +265,11 @@ let client t = t.fc
 let ops_served t = Metrics.counter_value t.m_served
 let recovered_records t = t.recovered
 let local_op t op k = execute t op k
+
+let ops_shed t =
+  match t.overload with None -> 0 | Some o -> Metrics.counter_value o.m_shed
+
+let goodput t =
+  match t.overload with
+  | None -> Metrics.counter_value t.m_served
+  | Some o -> Metrics.counter_value o.m_goodput

@@ -53,4 +53,22 @@ val failovers : t -> int
 
 val local_op : t -> Kv_proto.op -> (Kv_proto.reply -> unit) -> unit
 (** Execute an operation directly (console/examples), same path as network
-    requests minus the network. *)
+    requests minus the network. Counts as control traffic: never subject to
+    the overload policy (priority admission — supervisor and recovery work
+    must get through even when clients are being shed). *)
+
+(** {1 Overload protection} *)
+
+val set_overload_policy : t -> max_pending:int -> unit
+(** Bound the client-op admission window: network requests beyond
+    [max_pending] concurrently admitted ops are answered immediately with
+    [Failed "busy; retry-after=..."] (a deterministic hint: admitted window
+    x flash page-program time) instead of queueing toward the WAL. Registers
+    [shed] and [goodput] counters under this app's actor. Off by default. *)
+
+val ops_shed : t -> int
+(** Client ops refused at the door by the overload policy. *)
+
+val goodput : t -> int
+(** Successfully answered admitted client ops (non-[Failed] replies) under
+    an overload policy; falls back to [ops_served] without one. *)

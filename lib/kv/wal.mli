@@ -1,8 +1,12 @@
 (** Write-ahead-log record format for the key-value store.
 
     Records are length-prefixed so that recovery can stop cleanly at a
-    torn tail (crash mid-append): [u32 body-length | body], where body =
-    [op byte | key | value] in wire encoding. *)
+    torn tail (crash mid-append), and carry a per-record CRC-32 so a
+    record whose bytes were damaged in place is treated the same way:
+    [u32 (body-length | 0x80000000) | u32 crc32(body) | body], where body
+    = [op byte | key | value] in wire encoding. The length word's top bit
+    marks the CRC's presence: legacy logs written without it ([u32
+    body-length | body]) still replay. *)
 
 type record = Put of { key : string; value : string } | Del of { key : string }
 
@@ -12,4 +16,5 @@ val encode : record -> string
 val decode_all : string -> record list * int
 (** [decode_all data] parses consecutive records, returning them plus the
     byte offset where parsing stopped (end of data or start of a torn /
-    corrupt tail — everything before it is durable). *)
+    corrupt tail — everything before it is durable). A record failing its
+    CRC stops the parse exactly like a short final record. *)

@@ -348,6 +348,10 @@ let encode (m : Message.t) =
   w_dest w m.dst;
   Writer.varint w m.corr;
   encode_payload w m.payload;
+  (* Deadline trailer, after the payload so the header layout pinned by
+     the conformance tests is untouched. A frame that ends at the payload
+     (the pre-deadline format) still decodes, as deadline-less. *)
+  Writer.option w Writer.int64 m.deadline_ns;
   Writer.contents w
 
 let decode s =
@@ -356,8 +360,11 @@ let decode s =
   let dst = r_dest r in
   let corr = Reader.varint r in
   let payload = decode_payload r in
+  let deadline_ns =
+    if Reader.at_end r then None else Reader.option r Reader.int64
+  in
   if not (Reader.at_end r) then raise (Malformed "trailing bytes");
-  Message.make ~src ~dst ~corr payload
+  Message.make ?deadline_ns ~src ~dst ~corr payload
 
 let encoded_size m = String.length (encode m)
 

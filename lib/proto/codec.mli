@@ -6,7 +6,9 @@
 
 val encode : Message.t -> string
 val decode : string -> Message.t
-(** @raise Wire.Malformed on any framing or tag error. *)
+(** @raise Wire.Malformed on any framing or tag error. The optional
+    [deadline_ns] travels as a trailer after the payload; frames from
+    before the deadline field (no trailer) decode as deadline-less. *)
 
 val encoded_size : Message.t -> int
 (** [encoded_size m] is [String.length (encode m)]. *)

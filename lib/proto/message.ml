@@ -81,10 +81,37 @@ type t = {
   src : Types.device_id;
   dst : Types.dest;
   corr : int;
+  deadline_ns : int64 option;
   payload : payload;
 }
 
-let make ~src ~dst ~corr payload = { src; dst; corr; payload }
+let make ?deadline_ns ~src ~dst ~corr payload =
+  { src; dst; corr; deadline_ns; payload }
+
+let expired t ~now =
+  match t.deadline_ns with Some d -> now > d | None -> false
+
+(* Deterministic retry-after hint carried in [Error_msg E_busy] details.
+   A string field keeps the wire format stable; both ends use these
+   helpers so the hint survives encoding. *)
+let busy_detail ~retry_after_ns =
+  Printf.sprintf "busy; retry-after=%Ldns" retry_after_ns
+
+let retry_after_of_detail detail =
+  let prefix = "retry-after=" in
+  let plen = String.length prefix in
+  let dlen = String.length detail in
+  let rec find i =
+    if i + plen > dlen then None
+    else if String.sub detail i plen = prefix then begin
+      let j = ref (i + plen) in
+      while !j < dlen && detail.[!j] >= '0' && detail.[!j] <= '9' do incr j done;
+      if !j = i + plen then None
+      else Int64.of_string_opt (String.sub detail (i + plen) (!j - i - plen))
+    end
+    else find (i + 1)
+  in
+  find 0
 
 let payload_tag = function
   | Device_alive _ -> "device-alive"

@@ -98,10 +98,30 @@ type t = {
   src : Types.device_id;
   dst : Types.dest;
   corr : int;  (** correlation id: responses echo the request's id *)
+  deadline_ns : int64 option;
+      (** absolute virtual deadline: hops may shed the message once it has
+          passed — servicing it can no longer help the requester *)
   payload : payload;
 }
 
-val make : src:Types.device_id -> dst:Types.dest -> corr:int -> payload -> t
+val make :
+  ?deadline_ns:int64 ->
+  src:Types.device_id ->
+  dst:Types.dest ->
+  corr:int ->
+  payload ->
+  t
+(** [deadline_ns] defaults to none (the message is never shed). *)
+
+val expired : t -> now:int64 -> bool
+(** The message carries a deadline and [now] is past it. *)
+
+val busy_detail : retry_after_ns:int64 -> string
+(** Detail string for [Error_msg E_busy] carrying a deterministic
+    retry-after hint (virtual ns until the rejecting queue drains). *)
+
+val retry_after_of_detail : string -> int64 option
+(** Parse the hint back out of a {!busy_detail} string. *)
 
 val payload_tag : payload -> string
 (** Short machine-readable tag for tracing, e.g. "discover-req". *)

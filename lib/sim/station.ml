@@ -1,20 +1,39 @@
 type t = {
   engine : Engine.t;
+  capacity : int option;
   mutable busy_until : int64;
   mutable in_flight : int;
   mutable completed : int;
+  mutable rejected : int;
   mutable busy_total : int64;
   mutable wait_total : int64;
+  m_rejected : Metrics.counter option;
 }
 
-let create engine =
+let create ?capacity ?telemetry engine =
+  (match capacity with
+  | Some cap when cap <= 0 -> invalid_arg "Station.create: capacity must be positive"
+  | _ -> ());
+  let m_rejected =
+    (* Instruments appear in the registry only when the station is bounded:
+       an unbounded station (the default) leaves telemetry snapshots
+       bit-identical to builds without the overload layer. *)
+    match (capacity, telemetry) with
+    | Some cap, Some (m, actor) ->
+      Metrics.set (Metrics.gauge m ~actor ~name:"queue_limit") (float_of_int cap);
+      Some (Metrics.counter m ~actor ~name:"rejected")
+    | _ -> None
+  in
   {
     engine;
+    capacity;
     busy_until = 0L;
     in_flight = 0;
     completed = 0;
+    rejected = 0;
     busy_total = 0L;
     wait_total = 0L;
+    m_rejected;
   }
 
 let submit t ~service k =
@@ -31,10 +50,25 @@ let submit t ~service k =
       t.completed <- t.completed + 1;
       k ())
 
+let try_submit t ~service k =
+  match t.capacity with
+  | Some cap when t.in_flight >= cap ->
+    t.rejected <- t.rejected + 1;
+    (match t.m_rejected with Some c -> Metrics.incr c | None -> ());
+    `Rejected
+  | _ ->
+    submit t ~service k;
+    `Accepted
+
 let queue_length t = t.in_flight
+let capacity t = t.capacity
 let jobs_completed t = t.completed
+let jobs_rejected t = t.rejected
 let busy_ns t = t.busy_total
 let total_wait_ns t = t.wait_total
+
+let drain_ns t ~now =
+  if t.busy_until > now then Int64.sub t.busy_until now else 0L
 
 let utilization t ~now =
   if now <= 0L then 0.

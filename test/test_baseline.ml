@@ -129,6 +129,62 @@ let test_central_same_fs_semantics () =
   | Error (Fs.Permission _) -> ()
   | _ -> Alcotest.fail "baseline lost permission semantics"
 
+let test_kernel_run_queue_eagain () =
+  let engine = Engine.create () in
+  let kern = Kernel.create engine ~cores:1 ~run_queue_capacity:2 () in
+  let ran = ref 0 in
+  let submit () = Kernel.try_syscall kern ~name:"x" (fun () -> incr ran) in
+  (match submit () with
+  | `Ok -> ()
+  | `Eagain _ -> Alcotest.fail "first refused");
+  (match submit () with
+  | `Ok -> ()
+  | `Eagain _ -> Alcotest.fail "second refused");
+  (match submit () with
+  | `Ok -> Alcotest.fail "over-capacity work admitted"
+  | `Eagain hint ->
+    Alcotest.(check bool) "positive drain hint" true (hint > 0L));
+  Alcotest.(check int) "eagain counted" 1 (Kernel.eagains kern);
+  Engine.run engine;
+  Alcotest.(check int) "admitted work ran" 2 !ran;
+  Alcotest.(check int) "only admitted work counted" 2 (Kernel.syscalls kern);
+  (* Drained: the queue admits again (interrupt path shares the bound). *)
+  (match Kernel.try_interrupt kern ~name:"irq" (fun () -> incr ran) with
+  | `Ok -> ()
+  | `Eagain _ -> Alcotest.fail "refused after drain");
+  Engine.run engine;
+  Alcotest.(check int) "post-drain work ran" 3 !ran
+
+let test_central_rx_refused_when_saturated () =
+  let engine = Engine.create () in
+  let central = Central.create engine ~cores:1 ~run_queue_capacity:1 () in
+  (* Occupy the single core's whole run queue. *)
+  (match
+     Kernel.try_syscall (Central.kernel central) ~name:"hog" (fun () -> ())
+   with
+  | `Ok -> ()
+  | `Eagain _ -> Alcotest.fail "hog refused");
+  let busy_hint = ref None in
+  let completed = ref false in
+  Central.try_kv_network_op central
+    (fun tx -> tx ())
+    ~on_busy:(fun ~retry_after_ns -> busy_hint := Some retry_after_ns)
+    (fun () -> completed := true);
+  (match !busy_hint with
+  | Some hint -> Alcotest.(check bool) "hint positive" true (hint > 0L)
+  | None -> Alcotest.fail "rx admitted on a full run queue");
+  Engine.run engine;
+  Alcotest.(check bool) "refused op never completed" false !completed;
+  Alcotest.(check int) "refusal counted" 1
+    (Kernel.eagains (Central.kernel central));
+  (* Idle again: the same op is now admitted and completes. *)
+  Central.try_kv_network_op central
+    (fun tx -> tx ())
+    ~on_busy:(fun ~retry_after_ns:_ -> Alcotest.fail "refused when idle")
+    (fun () -> completed := true);
+  Engine.run engine;
+  Alcotest.(check bool) "admitted op completed" true !completed
+
 let () =
   Alcotest.run "baseline"
     [
@@ -138,6 +194,7 @@ let () =
           Alcotest.test_case "serialization" `Quick test_kernel_serializes_on_one_core;
           Alcotest.test_case "multicore" `Quick test_multicore_parallelism;
           Alcotest.test_case "interrupt cost" `Quick test_interrupt_cost;
+          Alcotest.test_case "run queue eagain" `Quick test_kernel_run_queue_eagain;
         ] );
       ( "central",
         [
@@ -146,5 +203,7 @@ let () =
           Alcotest.test_case "store backend recovery" `Quick
             test_central_store_backend_recovery;
           Alcotest.test_case "same fs semantics" `Quick test_central_same_fs_semantics;
+          Alcotest.test_case "rx refused when saturated" `Quick
+            test_central_rx_refused_when_saturated;
         ] );
     ]

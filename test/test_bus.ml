@@ -339,7 +339,7 @@ let test_tokens_disabled_skips_checks () =
   let engine = Engine.create () in
   let bus =
     Sysbus.create
-      ~config:{ Sysbus.enable_tokens = false; heartbeat_timeout_ns = 0L; lanes = 1 }
+      ~config:{ Sysbus.default_config with enable_tokens = false }
       engine
   in
   let a = attach_raw bus "a" in
@@ -381,7 +381,8 @@ let test_heartbeat_timeout_detection () =
   let engine = Engine.create () in
   let bus =
     Sysbus.create
-      ~config:{ Sysbus.enable_tokens = true; heartbeat_timeout_ns = 100_000L; lanes = 1 }
+      ~config:
+        { Sysbus.default_config with heartbeat_timeout_ns = 100_000L }
       engine
   in
   let a = attach_raw bus "a" in

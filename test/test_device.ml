@@ -367,6 +367,136 @@ let test_request_timeout () =
   Engine.run engine;
   Alcotest.(check int) "fires exactly once" 1 !count
 
+(* --- overload protection ------------------------------------------------------ *)
+
+let test_bounded_queue_nacks_with_retry_after () =
+  let engine = Engine.create () in
+  let bus =
+    Sysbus.create
+      ~config:{ Sysbus.default_config with device_queue_capacity = Some 1 }
+      engine
+  in
+  let mem = Physmem.create () in
+  let mc = Memctl.create bus ~mem ~dram_pages:1024 () in
+  let client = Device.create bus ~mem ~name:"client" () in
+  Device.start client;
+  Engine.run engine;
+  (* Two back-to-back allocs against a single-slot monitor queue: the
+     second lands while the memctl is still processing the first and is
+     bounced immediately — E_busy with a parseable retry-after hint
+     instead of queueing forever. The first completes normally. *)
+  let replies = ref [] in
+  for i = 1 to 2 do
+    Device.request client ~timeout:100_000L
+      ~dst:(Types.Device (Memctl.id mc))
+      (Message.Alloc_request
+         {
+           pasid = 7;
+           va = Int64.add 0x4000_0000L (Int64.of_int (i * 65536));
+           bytes = 4096L;
+           perm = Types.perm_rw;
+         })
+      (fun p -> replies := p :: !replies)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "every request answered" 2 (List.length !replies);
+  let served, bounced =
+    List.partition
+      (function Message.Alloc_response { ok = true; _ } -> true | _ -> false)
+      !replies
+  in
+  Alcotest.(check int) "admitted alloc served" 1 (List.length served);
+  (match bounced with
+  | [ Message.Error_msg { code = Types.E_busy; detail } ] -> (
+    match Message.retry_after_of_detail detail with
+    | Some ns -> Alcotest.(check bool) "hint positive" true (ns > 0L)
+    | None -> Alcotest.fail "busy NACK without retry-after hint")
+  | _ -> Alcotest.fail "expected exactly one E_busy NACK");
+  Alcotest.(check int) "rejection counted" 1
+    (Device.queue_rejections (Memctl.device mc))
+
+let test_circuit_breaker_opens_and_probes () =
+  let engine, bus, mem = rig () in
+  let blackhole = Device.create bus ~mem ~name:"blackhole" () in
+  Device.start blackhole (* never answers app messages *);
+  let client = Device.create bus ~mem ~name:"client" () in
+  Device.start client;
+  Engine.run engine;
+  Device.enable_circuit_breaker client ~threshold:2 ~cooldown_ns:1_000_000L;
+  let peer = Device.id blackhole in
+  let answered = ref 0 in
+  let req () =
+    Device.request client ~timeout:10_000L ~dst:(Types.Device peer)
+      (Message.App_message { tag = "ping"; body = "" })
+      (fun _ -> incr answered)
+  in
+  req ();
+  Engine.run engine;
+  Alcotest.(check bool) "one failure: still closed" true
+    (Device.breaker_state client ~peer = `Closed);
+  req ();
+  Engine.run engine;
+  Alcotest.(check bool) "opens at threshold" true
+    (Device.breaker_state client ~peer = `Open);
+  Alcotest.(check int) "open counted" 1 (Device.breaker_opens client);
+  (* While open: callers are answered locally, nothing hits the wire. *)
+  let sent_before = Device.requests_sent client in
+  req ();
+  Engine.run engine;
+  Alcotest.(check int) "fast fail counted" 1 (Device.breaker_fast_fails client);
+  Alcotest.(check int) "no wire traffic while open" sent_before
+    (Device.requests_sent client);
+  Alcotest.(check int) "every caller answered" 3 !answered;
+  (* Past the cooldown the next request is a half-open probe: it goes out,
+     the peer is still dead, and the breaker reopens. *)
+  Engine.schedule engine ~delay:2_000_000L req;
+  Engine.run engine;
+  Alcotest.(check int) "probe hit the wire" (sent_before + 1)
+    (Device.requests_sent client);
+  Alcotest.(check bool) "probe failure reopens" true
+    (Device.breaker_state client ~peer = `Open);
+  Alcotest.(check int) "reopen counted" 2 (Device.breaker_opens client);
+  Alcotest.(check int) "probe answered too" 4 !answered
+
+let test_expired_request_shed () =
+  let engine, bus, mem = rig () in
+  let server = Device.create bus ~mem ~name:"server" () in
+  Device.set_app_handler server (fun msg ->
+      match msg.Message.payload with
+      | Message.App_message { tag = "ping"; body } ->
+        Device.reply server ~to_:msg.Message.src ~corr:msg.Message.corr
+          (Message.App_message { tag = "pong"; body })
+      | _ -> ());
+  Device.start server;
+  let client = Device.create bus ~mem ~name:"client" () in
+  Device.start client;
+  Engine.run engine;
+  (* A deadline already in the past when the message lands: the device
+     sheds it instead of doing doomed work; the client's timeout (not a
+     reply) ends the request. *)
+  let got = ref None in
+  Device.request client
+    ~deadline_ns:(Engine.now engine)
+    ~timeout:50_000L
+    ~dst:(Types.Device (Device.id server))
+    (Message.App_message { tag = "ping"; body = "" })
+    (fun p -> got := Some p);
+  Engine.run engine;
+  (match !got with
+  | Some (Message.Error_msg { code = Types.E_busy; _ }) -> ()
+  | _ -> Alcotest.fail "expired request should end in the local timeout");
+  Alcotest.(check int) "shed at the first hop" 1 (Sysbus.messages_expired bus);
+  (* Without a deadline the same request round-trips. *)
+  let got = ref None in
+  Device.request client
+    ~dst:(Types.Device (Device.id server))
+    (Message.App_message { tag = "ping"; body = "x" })
+    (fun p -> got := Some p);
+  Engine.run engine;
+  match !got with
+  | Some (Message.App_message { tag = "pong"; _ }) -> ()
+  | _ -> Alcotest.fail "deadline-free request should succeed"
+
 let test_fault_handler_invoked () =
   let engine, bus, mem = rig () in
   let dev = Device.create bus ~mem ~name:"faulty" () in
@@ -385,7 +515,8 @@ let test_heartbeats_keep_device_alive () =
   let engine = Engine.create () in
   let bus =
     Sysbus.create
-      ~config:{ Sysbus.enable_tokens = true; heartbeat_timeout_ns = 200_000L; lanes = 1 }
+      ~config:
+        { Sysbus.default_config with heartbeat_timeout_ns = 200_000L }
       engine
   in
   let mem = Physmem.create () in
@@ -484,6 +615,15 @@ let () =
           Alcotest.test_case "request timeout" `Quick test_request_timeout;
           Alcotest.test_case "faults" `Quick test_fault_handler_invoked;
           Alcotest.test_case "heartbeats" `Quick test_heartbeats_keep_device_alive;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "bounded queue nacks" `Quick
+            test_bounded_queue_nacks_with_retry_after;
+          Alcotest.test_case "circuit breaker" `Quick
+            test_circuit_breaker_opens_and_probes;
+          Alcotest.test_case "expired request shed" `Quick
+            test_expired_request_shed;
         ] );
       ( "aux devices",
         [

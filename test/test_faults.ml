@@ -183,7 +183,8 @@ let rig ?(fault_plan = Faults.zero) ?(heartbeat_timeout_ns = 0L) () =
   let engine = Engine.create ~fault_plan () in
   let bus =
     Sysbus.create
-      ~config:{ Sysbus.enable_tokens = false; heartbeat_timeout_ns; lanes = 1 }
+      ~config:
+        { Sysbus.default_config with enable_tokens = false; heartbeat_timeout_ns }
       engine
   in
   let mem = Physmem.create () in

@@ -39,6 +39,57 @@ let test_wal_garbage_tail () =
   let decoded, _ = Wal.decode_all garbage in
   Alcotest.(check int) "garbage ignored" 1 (List.length decoded)
 
+(* A record body damaged in place (bit rot, not truncation) must fail its
+   CRC and stop the parse exactly like a torn tail. *)
+let test_wal_crc_detects_bit_rot () =
+  let r1 = Wal.encode (Wal.Put { key = "a"; value = "1" }) in
+  let r2 = Wal.encode (Wal.Put { key = "b"; value = "2" }) in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Bytes.to_string b
+  in
+  (* Flip one bit in r2's body (past its 8-byte header). *)
+  let damaged = r1 ^ flip r2 9 in
+  let decoded, stop = Wal.decode_all damaged in
+  Alcotest.(check int) "stops before damaged record" 1 (List.length decoded);
+  Alcotest.(check int) "damage point" (String.length r1) stop;
+  (* A flipped CRC word (header damage) is caught the same way. *)
+  let decoded, _ = Wal.decode_all (r1 ^ flip r2 5) in
+  Alcotest.(check int) "crc word damage" 1 (List.length decoded)
+
+(* Logs written before the CRC existed ([u32 len | body], no top bit) must
+   still replay: upgraded code meets old logs on disk. *)
+let test_wal_accepts_legacy_records () =
+  let legacy r =
+    let framed = Wal.encode r in
+    let body = String.sub framed 8 (String.length framed - 8) in
+    let len = String.length body in
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr (len land 0xff));
+    Bytes.set b 1 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set b 2 (Char.chr ((len lsr 16) land 0xff));
+    Bytes.set b 3 (Char.chr ((len lsr 24) land 0xff));
+    Bytes.to_string b ^ body
+  in
+  let records =
+    [ Wal.Put { key = "old"; value = "value" }; Wal.Del { key = "old" } ]
+  in
+  let mixed =
+    (* Legacy records followed by a current one: both formats in one log. *)
+    String.concat "" (List.map legacy records)
+    ^ Wal.encode (Wal.Put { key = "new"; value = "v" })
+  in
+  let decoded, stop = Wal.decode_all mixed in
+  Alcotest.(check int) "full parse" (String.length mixed) stop;
+  Alcotest.(check bool) "records preserved" true
+    (decoded = records @ [ Wal.Put { key = "new"; value = "v" } ]);
+  (* A torn legacy tail still stops cleanly. *)
+  let l = legacy (Wal.Put { key = "t"; value = "orn" }) in
+  let decoded, stop = Wal.decode_all (String.sub l 0 (String.length l - 1)) in
+  Alcotest.(check int) "torn legacy" 0 (List.length decoded);
+  Alcotest.(check int) "at start" 0 stop
+
 let wal_prop =
   QCheck.Test.make ~name:"wal roundtrip arbitrary records" ~count:200
     QCheck.(list (pair string (option string)))
@@ -476,6 +527,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
           Alcotest.test_case "garbage tail" `Quick test_wal_garbage_tail;
+          Alcotest.test_case "crc detects bit rot" `Quick
+            test_wal_crc_detects_bit_rot;
+          Alcotest.test_case "legacy records" `Quick
+            test_wal_accepts_legacy_records;
           QCheck_alcotest.to_alcotest wal_prop;
         ] );
       ( "store",

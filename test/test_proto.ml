@@ -216,6 +216,34 @@ let test_codec_rejects_trailing () =
   | exception Wire.Malformed _ -> ()
   | _ -> Alcotest.fail "trailing bytes accepted"
 
+let test_codec_deadline_roundtrip () =
+  let with_deadline =
+    Message.make ~src:1 ~dst:(Types.Device 2) ~corr:7
+      ~deadline_ns:123_456_789L
+      (Message.Alloc_request
+         { pasid = 1; va = 0x4000_0000L; bytes = 4096L; perm = Types.perm_rw })
+  in
+  let decoded = Codec.decode (Codec.encode with_deadline) in
+  Alcotest.(check bool) "deadline survives" true (with_deadline = decoded);
+  Alcotest.(check bool) "deadline present" true
+    (decoded.Message.deadline_ns = Some 123_456_789L);
+  let without =
+    Message.make ~src:1 ~dst:(Types.Device 2) ~corr:7 Message.Heartbeat
+  in
+  Alcotest.(check bool) "no deadline by default" true
+    ((Codec.decode (Codec.encode without)).Message.deadline_ns = None)
+
+(* Frames from before the deadline trailer existed must still decode (as
+   deadline-free): peers with older encodings stay interoperable. *)
+let test_codec_accepts_legacy_frames () =
+  let msg = Message.make ~src:3 ~dst:Types.Bus ~corr:9 Message.Heartbeat in
+  let framed = Codec.encode msg in
+  (* Strip the one-byte [None] trailer to reconstruct the legacy frame. *)
+  let legacy = String.sub framed 0 (String.length framed - 1) in
+  let decoded = Codec.decode legacy in
+  Alcotest.(check bool) "legacy frame decodes" true (msg = decoded);
+  Alcotest.(check bool) "no deadline" true (decoded.Message.deadline_ns = None)
+
 (* Property: random fuzz of valid encodings with a flipped byte either decodes
    to something (fine) or raises Malformed — never crashes differently. *)
 let codec_fuzz_prop =
@@ -262,6 +290,8 @@ let () =
           Alcotest.test_case "roundtrip all payloads" `Quick test_codec_roundtrip_all;
           Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
           Alcotest.test_case "rejects trailing bytes" `Quick test_codec_rejects_trailing;
+          Alcotest.test_case "deadline roundtrip" `Quick test_codec_deadline_roundtrip;
+          Alcotest.test_case "legacy frames" `Quick test_codec_accepts_legacy_frames;
           QCheck_alcotest.to_alcotest codec_fuzz_prop;
           Alcotest.test_case "wire size positive" `Quick test_wire_size_positive;
         ] );

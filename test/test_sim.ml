@@ -275,6 +275,59 @@ let test_station_idle_gap () =
   Alcotest.(check int64) "finish" 20L !finish;
   Alcotest.(check int64) "no extra wait" 0L (Station.total_wait_ns st)
 
+let test_station_capacity_rejects () =
+  let e = Engine.create () in
+  let st = Station.create ~capacity:2 e in
+  let ran = ref 0 in
+  let admit () = Station.try_submit st ~service:100L (fun () -> incr ran) in
+  Alcotest.(check bool) "first admitted" true (admit () = `Accepted);
+  Alcotest.(check bool) "second admitted" true (admit () = `Accepted);
+  (* Queue is at capacity (one in service + one waiting): reject. *)
+  Alcotest.(check bool) "third rejected" true (admit () = `Rejected);
+  Alcotest.(check int) "queue never exceeds capacity" 2 (Station.queue_length st);
+  Alcotest.(check int) "rejections counted" 1 (Station.jobs_rejected st);
+  (* The retry-after hint is the server's drain time: two 100ns jobs. *)
+  Alcotest.(check int64) "drain hint" 200L (Station.drain_ns st ~now:0L);
+  Engine.run e;
+  (* Rejected job never ran, and accepted-job accounting is untouched by
+     the rejection: same busy/wait as two back-to-back jobs. *)
+  Alcotest.(check int) "rejected job never runs" 2 !ran;
+  Alcotest.(check int) "completions" 2 (Station.jobs_completed st);
+  Alcotest.(check int64) "busy" 200L (Station.busy_ns st);
+  Alcotest.(check int64) "wait" 100L (Station.total_wait_ns st);
+  (* Drained: capacity is available again. *)
+  Alcotest.(check bool) "admits after drain" true (admit () = `Accepted);
+  Engine.run e;
+  Alcotest.(check int) "late job ran" 3 !ran
+
+let test_station_unbounded_baseline () =
+  (* Regression pin for the bit-identical-default rule: a station built
+     without [capacity] accepts everything through [try_submit] and behaves
+     exactly like the pre-overload station. *)
+  let e = Engine.create () in
+  let st = Station.create e in
+  let finish = ref [] in
+  for _ = 1 to 3 do
+    match Station.try_submit st ~service:100L (fun () ->
+              finish := Engine.now e :: !finish)
+    with
+    | `Accepted -> ()
+    | `Rejected -> Alcotest.fail "unbounded station rejected a job"
+  done;
+  Engine.run e;
+  Alcotest.(check (list int64)) "back to back" [ 100L; 200L; 300L ]
+    (List.rev !finish);
+  Alcotest.(check (option int)) "no capacity" None (Station.capacity st);
+  Alcotest.(check int) "no rejections" 0 (Station.jobs_rejected st);
+  Alcotest.(check int64) "busy" 300L (Station.busy_ns st);
+  Alcotest.(check int64) "wait" 300L (Station.total_wait_ns st)
+
+let test_station_capacity_validated () =
+  let e = Engine.create () in
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Station.create: capacity must be positive") (fun () ->
+      ignore (Station.create ~capacity:0 e))
+
 let () =
   Alcotest.run "sim"
     [
@@ -321,5 +374,8 @@ let () =
         [
           Alcotest.test_case "serializes" `Quick test_station_serializes;
           Alcotest.test_case "idle gap" `Quick test_station_idle_gap;
+          Alcotest.test_case "capacity rejects" `Quick test_station_capacity_rejects;
+          Alcotest.test_case "unbounded baseline" `Quick test_station_unbounded_baseline;
+          Alcotest.test_case "capacity validated" `Quick test_station_capacity_validated;
         ] );
     ]
