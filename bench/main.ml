@@ -158,6 +158,24 @@ module Micro = struct
       (Staged.stage (fun () ->
            ignore (Codec.decode_framed (Codec.encode_framed sample_msg))))
 
+  (* tooling: lastcpu-lint scan of one representative source file (the
+     per-file cost that bounds `dune build @lint` wall time). *)
+  let bench_lint =
+    let config =
+      Lint_core.parse_rules
+        "D001 scope=lib\nD002 scope=lib\nD003 scope=lib\nD004 scope=lib\n\
+         D005 scope=lib"
+    in
+    let source =
+      String.concat "\n"
+        (List.init 40 (fun i ->
+             Printf.sprintf
+               "let f%d tbl = Hashtbl.replace tbl %d (List.map succ [%d])" i i i))
+    in
+    Test.make ~name:"lint.scan-file"
+      (Staged.stage (fun () ->
+           ignore (Lint_core.scan_string config ~path:"lib/bench.ml" source)))
+
   (* substrate: buddy allocator cycle. *)
   let bench_buddy =
     let b = Buddy.create ~base:0L ~pages:4096 in
@@ -180,6 +198,7 @@ module Micro = struct
         bench_vq;
         bench_fault;
         bench_framed;
+        bench_lint;
         bench_buddy;
       ]
 

@@ -224,6 +224,53 @@ let overload_cmd =
   in
   Cmd.v (Cmd.info "overload" ~doc) Term.(const overload $ seed_arg $ json_arg)
 
+(* --- sanitize --------------------------------------------------------------------- *)
+
+let sanitize seed exps =
+  let exps =
+    match exps with [] -> Experiments.sanitize_experiments | l -> l
+  in
+  let races = ref 0 in
+  List.iter
+    (fun exp ->
+      let reports = Experiments.sanitize ~seed ~exp () in
+      List.iter
+        (fun (r : Experiments.sanitize_report) ->
+          match r.Experiments.san_divergence with
+          | None ->
+            Printf.printf
+              "%-4s vs %-6s : OK (%d multi-event ticks, no ordering race)\n"
+              r.Experiments.san_exp r.Experiments.san_perturbation
+              r.Experiments.san_multi_event_ticks
+          | Some d ->
+            incr races;
+            Printf.printf "%-4s vs %-6s : RACE\n%s\n" r.Experiments.san_exp
+              r.Experiments.san_perturbation
+              (Format.asprintf "%a" Lastcpu_sim.Sanitizer.pp_divergence d))
+        reports)
+    exps;
+  if !races = 0 then 0 else 1
+
+let sanitize_cmd =
+  let doc =
+    "Same-tick ordering sanitizer: run an experiment under the contractual \
+     FIFO same-tick event order and under perturbed tie-breaks (LIFO and \
+     seed-salted), comparing observable-state digests after every \
+     multi-event tick. A divergence means some event pair's same-timestamp \
+     order leaks into observable state — an ordering race the determinism \
+     contract forbids. Exits non-zero if any race is found."
+  in
+  let exps_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "exp" ] ~docv:"ID"
+          ~doc:
+            "Experiment to sanitize (t1, t13 or t14); repeatable. Default: \
+             all three.")
+  in
+  Cmd.v (Cmd.info "sanitize" ~doc) Term.(const sanitize $ seed_arg $ exps_arg)
+
 let () =
   let doc = "emulator of the CPU-less system from 'The Last CPU' (HotOS '21)" in
   let info = Cmd.info "lastcpu" ~version:"1.0.0" ~doc in
@@ -231,4 +278,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd; metrics_cmd;
-            chaos_cmd; overload_cmd ]))
+            chaos_cmd; overload_cmd; sanitize_cmd ]))

@@ -1,5 +1,6 @@
 module Smart_nic = Lastcpu_devices.Smart_nic
 module Device = Lastcpu_device.Device
+module Detmap = Lastcpu_sim.Detmap
 
 type t = {
   nic : Smart_nic.t;
@@ -31,8 +32,9 @@ let subscribe t ~src pattern =
       l
   in
   if not (List.mem src !l) then l := src :: !l;
-  (* Retained replay: every retained topic the new pattern matches. *)
-  Hashtbl.iter
+  (* Retained replay: every retained topic the new pattern matches, in
+     topic order so replay order never depends on hash internals. *)
+  Detmap.iter_sorted
     (fun topic payload ->
       if Pubsub_proto.topic_matches ~pattern topic then
         send_frame t ~dst:src (Pubsub_proto.Event { topic; payload }))
@@ -49,7 +51,9 @@ let publish t ~topic ~payload ~retain =
   t.publish_count <- t.publish_count + 1;
   if retain then Hashtbl.replace t.retained topic payload;
   let reached = ref [] in
-  Hashtbl.iter
+  (* Pattern order decides delivery order on multi-pattern matches; sort it
+     so fan-out order is a function of the subscription set alone. *)
+  Detmap.iter_sorted
     (fun pattern l ->
       if Pubsub_proto.topic_matches ~pattern topic then
         List.iter
@@ -93,7 +97,7 @@ let launch ~nic ?(start_device = true) () =
   t
 
 let subscriptions t =
-  Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.subs 0
+  Detmap.fold_sorted (fun _ l acc -> acc + List.length !l) t.subs 0
 
 let topics_retained t = Hashtbl.length t.retained
 let published t = t.publish_count

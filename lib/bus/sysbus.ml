@@ -9,6 +9,7 @@ module Station = Lastcpu_sim.Station
 module Costs = Lastcpu_sim.Costs
 module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
+module Sanitizer = Lastcpu_sim.Sanitizer
 
 type config = {
   enable_tokens : bool;
@@ -68,9 +69,28 @@ type t = {
   (* Registered lazily, on the first shed message: a run that never sheds
      keeps its telemetry snapshot identical to pre-overload builds. *)
   mutable m_expired : Metrics.counter option;
+  (* Sanitizer probe: commutative (order-insensitive) digest of every frame
+     committed to the wire. Hashes route and payload kind only — corr ids,
+     nonces and addresses inside payloads legally permute when same-tick
+     events reorder, and hashing them would report benign swaps as races. *)
+  mutable frame_digest : int64;
 }
 
 let bus_src = -1 (* messages originated by the bus itself *)
+
+(* One stable string per frame: route + payload kind. Triple duty — the
+   sanitizer event label, the fault-injection content key, and the frame
+   digest contribution. Never includes corr ids or payload bytes (see
+   [frame_digest]). *)
+let frame_desc (msg : Message.t) =
+  Printf.sprintf "bus:%d>%s:%s" msg.src
+    (Types.dest_to_string msg.dst)
+    (Message.payload_tag msg.payload)
+
+let account_frame t desc =
+  if Engine.sanitizing t.engine then
+    t.frame_digest <-
+      Int64.add t.frame_digest (Sanitizer.hash_string 0x6672616d65L desc)
 
 let broadcast_from_bus t payload =
   let costs = Engine.costs t.engine in
@@ -78,9 +98,11 @@ let broadcast_from_bus t payload =
     (fun id slot ->
       if slot.live then begin
         let msg = Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0 payload in
+        let desc = frame_desc msg in
         Metrics.incr t.m_broadcasts;
-        Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
-            if slot.live then slot.handler msg)
+        account_frame t desc;
+        Engine.schedule ~label:desc t.engine ~delay:costs.Costs.bus_hop_ns
+          (fun () -> if slot.live then slot.handler msg)
       end)
     t.devices
 
@@ -120,8 +142,11 @@ let create ?(config = default_config) engine =
       m_control_bytes = counter "control_bytes";
       m_doorbells_dropped = counter "doorbells_dropped";
       m_expired = None;
+      frame_digest = 0L;
     }
   in
+  if Engine.sanitizing engine then
+    Engine.register_probe engine (fun () -> t.frame_digest);
   (* Scheduled crash→revive windows from the engine's fault plan. Devices
      attach after [create], so resolve names at fire time, not here. *)
   let faults = Engine.faults engine in
@@ -264,10 +289,12 @@ let reply t ~to_ ~corr payload =
   let s = slot t to_ in
   if s.live then begin
     let msg = Message.make ~src:bus_src ~dst:(Types.Device to_) ~corr payload in
+    let desc = frame_desc msg in
     Metrics.incr t.m_routed;
     Metrics.incr ~by:(Message.wire_size msg) t.m_control_bytes;
-    Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
-        if s.live then s.handler msg)
+    account_frame t desc;
+    Engine.schedule ~label:desc t.engine ~delay:costs.Costs.bus_hop_ns
+      (fun () -> if s.live then s.handler msg)
   end
 
 let verify_token t ~src ~expect_wielder (token : Token.t) =
@@ -447,14 +474,24 @@ let handle_bus_message t (msg : Message.t) =
    dropped (and counted) rather than delivered mangled. *)
 let schedule_delivery t (msg : Message.t) ~delay deliver =
   let faults = Engine.faults t.engine in
-  if msg.src < 0 || not (Faults.active faults) then
-    Engine.schedule t.engine ~delay deliver
+  let desc = frame_desc msg in
+  if msg.src < 0 || not (Faults.active faults) then begin
+    account_frame t desc;
+    Engine.schedule ~label:desc t.engine ~delay deliver
+  end
   else begin
+    (* Fault content key: route + payload kind. Deliberately excludes
+       [corr] — correlation ids are assigned in issue order, which the
+       sanitizer's perturbed replays may legally permute within a tick;
+       keying on them would shift fault outcomes and report phantom races.
+       Identical same-route messages are distinguished by the occurrence
+       counter inside Faults instead. *)
+    let key = Faults.key_of_string desc in
     let corrupted_and_caught =
-      Faults.corrupt_message faults
+      Faults.corrupt_message faults ~key
       &&
       let framed = Codec.encode_framed msg in
-      let bit = Faults.corrupt_bit faults ~len:(String.length framed) in
+      let bit = Faults.corrupt_bit faults ~key ~len:(String.length framed) in
       let b = Bytes.of_string framed in
       let i = bit / 8 in
       Bytes.set b i
@@ -467,15 +504,19 @@ let schedule_delivery t (msg : Message.t) ~delay deliver =
       trace t "fault.corrupt"
         (Printf.sprintf "frame to %s corrupted, CRC mismatch, dropped"
            (Types.dest_to_string msg.dst))
-    else if Faults.drop_message faults then
+    else if Faults.drop_message faults ~key then
       trace t "fault.msg-loss"
         (Printf.sprintf "frame to %s lost"
            (Types.dest_to_string msg.dst))
     else begin
-      let delay = Int64.add delay (Faults.message_jitter faults) in
-      Engine.schedule t.engine ~delay deliver;
-      if Faults.duplicate_message faults then
-        Engine.schedule t.engine ~delay:(Int64.add delay 1L) deliver
+      let delay = Int64.add delay (Faults.message_jitter faults ~key) in
+      account_frame t desc;
+      Engine.schedule ~label:desc t.engine ~delay deliver;
+      if Faults.duplicate_message faults ~key then begin
+        account_frame t desc;
+        Engine.schedule ~label:desc t.engine ~delay:(Int64.add delay 1L)
+          deliver
+      end
     end
   end
 
@@ -517,7 +558,8 @@ let send t (msg : Message.t) =
     ~kind:("msg." ^ Message.payload_tag msg.payload)
     (Format.asprintf "%a" Message.pp msg);
   (* One hop to the bus, then the bus's FIFO processor, then delivery. *)
-  Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns (fun () ->
+  Engine.schedule ~label:(frame_desc msg) t.engine
+    ~delay:costs.Costs.bus_hop_ns (fun () ->
       let now = Engine.now t.engine in
       if Message.expired msg ~now then begin
         bump_expired t;
@@ -584,8 +626,10 @@ let notify t ~src ~dst ~queue =
       Message.make ~src ~dst:(Types.Device dst) ~corr:0
         (Message.Doorbell { queue })
     in
-    Engine.schedule t.engine ~delay:costs.Costs.doorbell_ns (fun () ->
-        if s.live then s.handler msg)
+    let desc = frame_desc msg in
+    account_frame t desc;
+    Engine.schedule ~label:desc t.engine ~delay:costs.Costs.doorbell_ns
+      (fun () -> if s.live then s.handler msg)
   end
 
 (* --- failure injection --------------------------------------------------- *)

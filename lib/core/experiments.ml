@@ -23,6 +23,7 @@ module Store = Lastcpu_kv.Store
 module Kernel = Lastcpu_baseline.Kernel
 module Central = Lastcpu_baseline.Central
 module Faults = Lastcpu_sim.Faults
+module Sanitizer = Lastcpu_sim.Sanitizer
 
 type table = {
   id : string;
@@ -141,8 +142,9 @@ let f2 () =
 
 let iters_t1 = 50
 
-let t1_decentralized ~enable_tokens =
-  let spec = { System.default_spec with enable_tokens } in
+let t1_decentralized ?(seed = 42L) ?(tie = Engine.Fifo) ?(sanitize = false)
+    ~enable_tokens () =
+  let spec = { System.default_spec with enable_tokens; seed; tie; sanitize } in
   let system = System.build ~spec () in
   (match System.boot system with
   | Ok () -> ()
@@ -224,7 +226,7 @@ let t1_decentralized ~enable_tokens =
                     (fun () -> done_ := true)))));
   System.run_until_idle system;
   assert !done_;
-  results
+  (system, results)
 
 let t1_centralized () =
   let engine = Engine.create () in
@@ -283,7 +285,7 @@ let t1_centralized () =
   results
 
 let t1 ?(enable_tokens = true) () =
-  let dec = t1_decentralized ~enable_tokens in
+  let _, dec = t1_decentralized ~enable_tokens () in
   let cen = t1_centralized () in
   let ops = [ "discover"; "open"; "alloc+map"; "grant"; "free" ] in
   let rows =
@@ -1463,9 +1465,16 @@ let t13_make_op i =
 
 (* Returns the soaked system plus (stats, device retries, failovers,
    crashes injected). *)
-let t13_decentralized ~seed () =
+let t13_decentralized ?(tie = Engine.Fifo) ?(sanitize = false) ~seed () =
   let spec =
-    { System.default_spec with System.seed; ssd_count = 2; fault_plan = t13_plan }
+    {
+      System.default_spec with
+      System.seed;
+      ssd_count = 2;
+      fault_plan = t13_plan;
+      tie;
+      sanitize;
+    }
   in
   let system = System.build ~spec () in
   (* Provision the KV directory only on ssd0 for now: discovery then has a
@@ -1811,13 +1820,16 @@ type t14_guard_counters = {
   g_kv_shed : int;
 }
 
-let t14_decentralized ~seed ~guards () =
+let t14_decentralized ?(tie = Engine.Fifo) ?(sanitize = false) ~seed ~guards ()
+    =
   let spec =
     {
       System.default_spec with
       System.seed;
       bus_lane_capacity = (if guards then Some 64 else None);
       device_queue_capacity = (if guards then Some 64 else None);
+      tie;
+      sanitize;
     }
   in
   let system = System.build ~spec () in
@@ -2016,6 +2028,61 @@ let t14 ?(seed = 42L) () =
           (Kernel.eagains (Central.kernel c_on_central));
       ];
   }
+
+(* --- same-tick ordering sanitizer ----------------------------------------- *)
+
+(* The determinism contract says that when several events share a virtual
+   timestamp, their relative order must not leak into observable state.
+   Check it empirically: run a workload once under the contractual FIFO
+   tie-break and once under a perturbation (LIFO flips every colliding
+   pair; a seed-salted permutation scrambles larger groups), journalling a
+   digest of observable state (metrics registry + bus frame digest) after
+   every multi-event tick. Any divergence is a same-tick ordering race,
+   reported with the labels of the events that collided. *)
+
+type sanitize_report = {
+  san_exp : string;
+  san_perturbation : string;  (** ["lifo"] or ["salted"] *)
+  san_multi_event_ticks : int;  (** journalled ticks in the reference run *)
+  san_divergence : Sanitizer.divergence option;  (** [None] = no race found *)
+}
+
+let sanitize_journal ~exp ~seed ~tie =
+  let engine_of_system system = System.engine system in
+  let system =
+    match exp with
+    | "t1" ->
+      let system, _ = t1_decentralized ~seed ~tie ~sanitize:true ~enable_tokens:true () in
+      system
+    | "t13" ->
+      let system, _, _, _, _ = t13_decentralized ~tie ~sanitize:true ~seed () in
+      system
+    | "t14" ->
+      let system, _, _, _, _ =
+        t14_decentralized ~tie ~sanitize:true ~seed ~guards:true ()
+      in
+      system
+    | _ -> invalid_arg ("sanitize: unknown experiment " ^ exp)
+  in
+  Engine.sanitizer_journal (engine_of_system system)
+
+let sanitize_experiments = [ "t1"; "t13"; "t14" ]
+
+let sanitize ?(seed = 42L) ~exp () =
+  let reference = sanitize_journal ~exp ~seed ~tie:Engine.Fifo in
+  List.map
+    (fun (name, tie) ->
+      let perturbed = sanitize_journal ~exp ~seed ~tie in
+      {
+        san_exp = exp;
+        san_perturbation = name;
+        san_multi_event_ticks = List.length reference;
+        san_divergence = Sanitizer.compare_journals ~reference ~perturbed;
+      })
+    [
+      ("lifo", Engine.Lifo);
+      ("salted", Engine.Salted (Int64.logxor seed 0x5a17edL));
+    ]
 
 (* --- registry ------------------------------------------------------------------------- *)
 

@@ -91,6 +91,27 @@ val overload_soak : ?seed:int64 -> unit -> System.t
     snapshot its telemetry registry (the overload CI determinism job
     diffs two runs). *)
 
+(** {2 Same-tick ordering sanitizer} *)
+
+type sanitize_report = {
+  san_exp : string;
+  san_perturbation : string;  (** ["lifo"] or ["salted"] *)
+  san_multi_event_ticks : int;  (** journalled ticks in the reference run *)
+  san_divergence : Lastcpu_sim.Sanitizer.divergence option;
+      (** [None] = no ordering race found under this perturbation *)
+}
+
+val sanitize_experiments : string list
+(** Experiment ids the sanitizer can drive (["t1"; "t13"; "t14"]). *)
+
+val sanitize : ?seed:int64 -> exp:string -> unit -> sanitize_report list
+(** Run experiment [exp] once under the contractual FIFO same-tick order
+    and once per perturbed tie-break (LIFO and seed-salted), journalling an
+    observable-state digest after every multi-event tick. A report's
+    [san_divergence] names the first tick where the perturbed run's
+    observable state differs — a same-tick ordering race, with the
+    colliding events' labels. Raises [Invalid_argument] for unknown [exp]. *)
+
 val all : unit -> table list
 (** Every figure and table, in order. *)
 

@@ -31,6 +31,8 @@ type spec = {
   with_console : bool;
   dram_pages : int;
   fault_plan : Lastcpu_sim.Faults.plan;
+  tie : Engine.tie_break;
+  sanitize : bool;
 }
 
 let default_spec =
@@ -52,6 +54,8 @@ let default_spec =
     with_console = false;
     dram_pages = 65536;
     fault_plan = Lastcpu_sim.Faults.zero;
+    tie = Engine.Fifo;
+    sanitize = false;
   }
 
 type t = {
@@ -72,7 +76,7 @@ type t = {
 let build ?(spec = default_spec) () =
   let engine =
     Engine.create ~seed:spec.seed ~costs:spec.costs ~fault_plan:spec.fault_plan
-      ()
+      ~tie:spec.tie ~sanitize:spec.sanitize ()
   in
   let memory = Physmem.create ~size:(Int64.shift_left 1L 31) () in
   let network = Netsim.create engine in

@@ -30,6 +30,12 @@ type spec = {
   fault_plan : Lastcpu_sim.Faults.plan;
       (** seeded chaos plan carried by the engine; {!Lastcpu_sim.Faults.zero}
           (the default) injects nothing *)
+  tie : Lastcpu_sim.Engine.tie_break;
+      (** same-tick event order; [Fifo] (default) is the determinism
+          contract, the other modes drive the ordering sanitizer *)
+  sanitize : bool;
+      (** journal multi-event ticks for the ordering sanitizer (default
+          [false]: zero overhead) *)
 }
 
 val default_spec : spec

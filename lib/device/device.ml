@@ -9,6 +9,7 @@ module Station = Lastcpu_sim.Station
 module Costs = Lastcpu_sim.Costs
 module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
+module Detmap = Lastcpu_sim.Detmap
 
 type open_accept = { connection : int; shm_bytes : int64 }
 
@@ -668,7 +669,7 @@ let doorbell t ~dst ~queue =
 
 let on_device_failed t f = t.failed_watchers <- t.failed_watchers @ [ f ]
 
-let connections t = Hashtbl.fold (fun _ v acc -> v :: acc) t.conns []
+let connections t = List.map snd (Detmap.bindings t.conns)
 let connection_count t = Hashtbl.length t.conns
 let messages_handled t = Metrics.counter_value t.m_handled
 let requests_sent t = Metrics.counter_value t.m_sent

@@ -79,13 +79,11 @@ let request t req k =
    its used ring will never advance. A supervisor calls this before
    re-attaching elsewhere so no continuation is stranded. *)
 let abort_in_flight t reason =
-  let stranded = ref [] in
-  Hashtbl.iter (fun head (_, k) -> stranded := (head, k) :: !stranded) t.by_head;
   List.iter
-    (fun (head, k) ->
+    (fun (head, (_, k)) ->
       Hashtbl.remove t.by_head head;
       k (Ssd_proto.Err reason))
-    (List.sort compare !stranded);
+    (Lastcpu_sim.Detmap.bindings t.by_head);
   while not (Queue.is_empty t.waiting) do
     let _, k = Queue.pop t.waiting in
     k (Ssd_proto.Err reason)

@@ -302,7 +302,8 @@ let create sysbus ~mem ~name ?geometry ?auth_key () =
   let metrics = Engine.metrics (Device.engine dev) in
   let actor = Device.actor dev in
   let nand =
-    Nand.create ?geometry ~faults:(Engine.faults (Device.engine dev)) ()
+    Nand.create ?geometry ~faults:(Engine.faults (Device.engine dev)) ~tag:actor
+      ()
   in
   let ftl = Ftl.create ~nand ~metrics ~actor:(actor ^ ".ftl") () in
   let filesystem =

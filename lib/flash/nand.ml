@@ -17,16 +17,18 @@ type t = {
   geo : geometry;
   data : block array;
   faults : Faults.t option;
+  tag : string; (* distinguishes fault keys between chips on one engine *)
   mutable read_count : int;
   mutable program_count : int;
   mutable erase_total : int;
 }
 
-let create ?(geometry = default_geometry) ?faults () =
+let create ?(geometry = default_geometry) ?faults ?(tag = "nand") () =
   if geometry.blocks <= 0 || geometry.pages_per_block <= 0 || geometry.page_size <= 0
   then invalid_arg "Nand.create: bad geometry";
   {
     geo = geometry;
+    tag;
     data =
       Array.init geometry.blocks (fun _ ->
           {
@@ -67,9 +69,12 @@ let read_page t ~block ~page =
          are never faulted. *)
       match t.faults with
       | Some f when Faults.active f -> (
-        if Faults.nand_read_fails f then Error "transient read failure"
+        let key =
+          Faults.key_of_string (Printf.sprintf "%s:%d:%d" t.tag block page)
+        in
+        if Faults.nand_read_fails f ~key then Error "transient read failure"
         else
-          match Faults.nand_bit_flip f ~len:t.geo.page_size with
+          match Faults.nand_bit_flip f ~key ~len:t.geo.page_size with
           | None -> Ok (Bytes.to_string b)
           | Some bit ->
             let flipped = Bytes.copy b in

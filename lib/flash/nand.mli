@@ -12,10 +12,13 @@ type geometry = { blocks : int; pages_per_block : int; page_size : int }
 val default_geometry : geometry
 (** 256 blocks x 64 pages x 4 KiB = 64 MiB. *)
 
-val create : ?geometry:geometry -> ?faults:Lastcpu_sim.Faults.t -> unit -> t
+val create :
+  ?geometry:geometry -> ?faults:Lastcpu_sim.Faults.t -> ?tag:string -> unit -> t
 (** [faults] enables injected transient read failures and bit flips on
     programmed pages (a per-page CRC plays the role of on-die ECC, so a
-    flip surfaces as an I/O error, not silent corruption). *)
+    flip surfaces as an I/O error, not silent corruption). [tag] (default
+    ["nand"]) namespaces this chip's fault-injection content keys; give
+    each chip sharing one engine a distinct tag. *)
 
 val geometry : t -> geometry
 

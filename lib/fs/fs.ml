@@ -1,5 +1,6 @@
 module Ftl = Lastcpu_flash.Ftl
 module Metrics = Lastcpu_sim.Metrics
+module Detmap = Lastcpu_sim.Detmap
 
 type file_kind = Regular | Directory
 
@@ -891,7 +892,9 @@ let fsck t =
   in
   (* Pass 3: multiply-referenced blocks and orphan inodes. *)
   let shared =
-    Hashtbl.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) ref_count 0
+    Detmap.fold_sorted
+      (fun _ n acc -> if n > 1 then acc + 1 else acc)
+      ref_count 0
   in
   let orphans = ref 0 in
   let* () =

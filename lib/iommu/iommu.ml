@@ -123,7 +123,7 @@ let translate t ~pasid ~va ~access =
         Metrics.incr ~by:4 t.m_walk_levels;
         deliver_fault t { pasid; va; access; reason = Protection }))
 
-let pasids t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+let pasids t = Lastcpu_sim.Detmap.sorted_keys t.tables
 
 let mapped_pages t ~pasid =
   match Hashtbl.find_opt t.tables pasid with

@@ -25,6 +25,7 @@ let memory_backend () =
   }
 
 module Metrics = Lastcpu_sim.Metrics
+module Detmap = Lastcpu_sim.Detmap
 
 type t = {
   backend : backend;
@@ -88,20 +89,17 @@ let scan_prefix t ~prefix k =
     String.length key >= String.length prefix
     && String.equal (String.sub key 0 (String.length prefix)) prefix
   in
-  let pairs =
-    Hashtbl.fold
-      (fun key value acc -> if matches key then (key, value) :: acc else acc)
-      t.index []
-  in
-  k (List.sort (fun (a, _) (b, _) -> String.compare a b) pairs)
+  k (List.filter (fun (key, _) -> matches key) (Detmap.bindings t.index))
 
 let size t = Hashtbl.length t.index
 
 let compact t k =
+  (* Key order, so the compacted log bytes are a function of store contents
+     alone (two same-seed runs must write identical logs). *)
   let snapshot =
-    Hashtbl.fold
-      (fun key value acc -> Wal.encode (Wal.Put { key; value }) :: acc)
-      t.index []
+    List.map
+      (fun (key, value) -> Wal.encode (Wal.Put { key; value }))
+      (Detmap.bindings t.index)
   in
   t.backend.replace_log (String.concat "" snapshot) k
 

@@ -37,16 +37,12 @@ let create ~base ~pages =
     allocated = Hashtbl.create 64;
   }
 
+(* Take the lowest-indexed free block, not an arbitrary one: hash order
+   would make the address returned by [alloc] depend on Hashtbl internals
+   rather than on the request sequence alone. Lowest-first also packs
+   allocations toward the base, which is the conventional policy. *)
 let take_any tbl =
-  let found = ref None in
-  (try
-     Hashtbl.iter
-       (fun k () ->
-         found := Some k;
-         raise Exit)
-       tbl
-   with Exit -> ());
-  match !found with
+  match Lastcpu_sim.Detmap.min_key tbl with
   | None -> None
   | Some k ->
     Hashtbl.remove tbl k;
@@ -129,7 +125,7 @@ let check_invariants t =
   let ok = ref true in
   Array.iteri
     (fun order set ->
-      Hashtbl.iter
+      Lastcpu_sim.Detmap.iter_sorted
         (fun idx () ->
           let size = 1 lsl order in
           sum := !sum + size;
@@ -138,6 +134,8 @@ let check_invariants t =
         set)
     t.free_sets;
   let allocated_sum =
-    Hashtbl.fold (fun _ order acc -> acc + (1 lsl order)) t.allocated 0
+    Lastcpu_sim.Detmap.fold_sorted
+      (fun _ order acc -> acc + (1 lsl order))
+      t.allocated 0
   in
   !ok && !sum = t.free_count && allocated_sum = t.pages - t.free_count

@@ -73,12 +73,21 @@ let send ep ~dst frame =
      (which reorders it past later frames). *)
   Station.submit ep.egress ~service:(serialisation_ns t frame) (fun () ->
       let faults = Engine.faults t.engine in
-      if Faults.active faults && Faults.drop_frame faults then
+      let key () =
+        Faults.key_of_string (Printf.sprintf "net:%d>%d:%s" src dst frame)
+      in
+      if Faults.active faults && Faults.drop_frame faults ~key:(key ()) then
         Metrics.incr t.m_dropped
       else begin
-        let extra = if Faults.active faults then Faults.reorder_delay faults else 0L in
-        Engine.schedule t.engine ~delay:(Int64.add (link_ns t) extra) (fun () ->
-            deliver t ~src ~dst frame)
+        let extra =
+          if Faults.active faults then Faults.reorder_delay faults ~key:(key ())
+          else 0L
+        in
+        Engine.schedule
+          ~label:(Printf.sprintf "net:%d>%d" src dst)
+          t.engine
+          ~delay:(Int64.add (link_ns t) extra)
+          (fun () -> deliver t ~src ~dst frame)
       end)
 
 let broadcast ep frame =

@@ -1,26 +1,59 @@
+(* Deterministic discrete-event engine.
+
+   Sanitize mode (opt-in, off by default) journals the observable state at
+   the end of every tick that executed two or more events — exactly the
+   ticks where the (time, insertion-order) tie-break matters. Running the
+   same workload under a perturbed tie-break (Heap.Lifo / Heap.Salted) and
+   comparing journals exposes any event pair whose relative order leaks
+   into observable state: a same-tick ordering race. The journal carries
+   event labels so a divergence names the colliding events, not just the
+   timestamp. *)
+
+type tie_break = Heap.tie_break = Fifo | Lifo | Salted of int64
+
+type ev = { label : string; fn : unit -> unit }
+
+(* Journalling state, allocated only when [sanitize] is on. Event groups
+   are flushed lazily: a tick is recorded when the first event of a LATER
+   time pops (or when the journal is read), because only then do we know
+   the group is complete and whether it had >= 2 members. *)
+type sani = {
+  mutable cur_time : int64;
+  mutable cur_labels : string list; (* reversed *)
+  mutable cur_count : int;
+  mutable ticks : Sanitizer.tick list; (* reversed *)
+}
+
 type t = {
   mutable clock : int64;
-  queue : (unit -> unit) Heap.t;
+  queue : ev Heap.t;
   costs : Costs.t;
   trace : Trace.t;
   rng : Rng.t;
   metrics : Metrics.t;
   faults : Faults.t;
   mutable next_span : int;
+  sani : sani option;
+  mutable probes : (unit -> int64) list; (* order-insensitive: summed *)
 }
 
 let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
-    () =
+    ?(tie = Fifo) ?(sanitize = false) () =
   let metrics = Metrics.create () in
   {
     clock = 0L;
-    queue = Heap.create ();
+    queue = Heap.create ~tie ();
     costs;
     trace = Trace.create ?capacity:trace_capacity ();
     rng = Rng.create ~seed;
     metrics;
     faults = Faults.create ?plan:fault_plan ~seed metrics;
     next_span = 0;
+    sani =
+      (if sanitize then
+         Some { cur_time = -1L; cur_labels = []; cur_count = 0; ticks = [] }
+       else None);
+    probes = [];
   }
 
 let now t = t.clock
@@ -30,23 +63,66 @@ let rng t = t.rng
 let fork_rng t = Rng.split t.rng
 let metrics t = t.metrics
 let faults t = t.faults
+let sanitizing t = t.sani <> None
 
-let schedule_at t ~time f =
+let register_probe t f = t.probes <- f :: t.probes
+
+(* Probe contributions are summed, not hash-chained, so the digest does not
+   depend on probe registration order. *)
+let state_hash t =
+  List.fold_left
+    (fun acc f -> Int64.add acc (f ()))
+    (Metrics.digest t.metrics) t.probes
+
+let flush_group s hash =
+  if s.cur_count >= 2 then
+    s.ticks <-
+      {
+        Sanitizer.time = s.cur_time;
+        labels = List.rev s.cur_labels;
+        state_hash = hash;
+      }
+      :: s.ticks
+
+let sanitizer_journal t =
+  match t.sani with
+  | None -> []
+  | Some s ->
+    flush_group s (state_hash t);
+    s.cur_labels <- [];
+    s.cur_count <- 0;
+    s.cur_time <- -1L;
+    List.rev s.ticks
+
+let schedule_at ?(label = "") t ~time f =
   assert (time >= t.clock);
-  Heap.push t.queue ~priority:time f
+  Heap.push t.queue ~priority:time { label; fn = f }
 
-let schedule t ~delay f =
+let schedule ?label t ~delay f =
   assert (delay >= 0L);
-  schedule_at t ~time:(Int64.add t.clock delay) f
+  schedule_at ?label t ~time:(Int64.add t.clock delay) f
 
 let pending t = Heap.length t.queue
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
-  | Some (time, f) ->
+  | Some (time, ev) ->
+    (match t.sani with
+    | None -> ()
+    | Some s ->
+      if time <> s.cur_time then begin
+        (* The previous tick's group is complete: its state is whatever is
+           observable now, before this event mutates anything. *)
+        flush_group s (state_hash t);
+        s.cur_time <- time;
+        s.cur_labels <- [];
+        s.cur_count <- 0
+      end;
+      s.cur_labels <- ev.label :: s.cur_labels;
+      s.cur_count <- s.cur_count + 1);
     t.clock <- time;
-    f ();
+    ev.fn ();
     true
 
 let run ?until ?max_events t =

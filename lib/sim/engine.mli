@@ -4,7 +4,19 @@
     schedule closures at future virtual times; [run] executes them in
     (time, insertion-order) order, so identical inputs give identical runs.
     The engine also carries the run-wide trace and root PRNG so that every
-    subsystem shares one deterministic context. *)
+    subsystem shares one deterministic context.
+
+    {b Sanitize mode} (opt-in) journals observable state after every tick
+    that executed two or more events. Replaying the same workload with a
+    perturbed [tie] and comparing journals (see {!Sanitizer}) exposes
+    same-tick ordering races: event pairs whose relative order — which the
+    determinism contract says must not matter — leaks into observable
+    state. *)
+
+type tie_break = Heap.tie_break =
+  | Fifo  (** insertion order among equal times — the contract *)
+  | Lifo  (** reverse order — flips every colliding pair *)
+  | Salted of int64  (** seed-keyed pseudo-random permutation of ties *)
 
 type t
 
@@ -13,10 +25,13 @@ val create :
   ?costs:Costs.t ->
   ?trace_capacity:int ->
   ?fault_plan:Faults.plan ->
+  ?tie:tie_break ->
+  ?sanitize:bool ->
   unit ->
   t
 (** Fresh engine at time 0. [seed] defaults to [42L]; [fault_plan] to
-    {!Faults.zero} (no injection). *)
+    {!Faults.zero} (no injection); [tie] to [Fifo]; [sanitize] to [false]
+    (no journalling overhead). *)
 
 val now : t -> int64
 (** Current virtual time in nanoseconds. *)
@@ -29,10 +44,12 @@ val rng : t -> Rng.t
 val fork_rng : t -> Rng.t
 (** An independent stream derived from the root. *)
 
-val schedule : t -> delay:int64 -> (unit -> unit) -> unit
-(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay >= 0]. *)
+val schedule : ?label:string -> t -> delay:int64 -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay >= 0].
+    [label] (default [""]) names the event in sanitizer race reports; give
+    one wherever events can share a timestamp. *)
 
-val schedule_at : t -> time:int64 -> (unit -> unit) -> unit
+val schedule_at : ?label:string -> t -> time:int64 -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
 
 val pending : t -> int
@@ -56,6 +73,21 @@ val metrics : t -> Metrics.t
 val faults : t -> Faults.t
 (** The run's fault-injection state (a zero plan unless [create] was given
     one). Delivery channels consult it at each injection point. *)
+
+(** {2 Ordering sanitizer} *)
+
+val sanitizing : t -> bool
+(** Whether this engine journals multi-event ticks. *)
+
+val register_probe : t -> (unit -> int64) -> unit
+(** Add an observable-state probe for the sanitizer digest (e.g. a bus
+    frame digest). Probe results are summed — commutatively — with the
+    metrics digest, so registration order does not matter. Probes must
+    return values derived from simulation-stable state only. *)
+
+val sanitizer_journal : t -> Sanitizer.tick list
+(** The multi-event ticks journalled so far (flushes the in-progress tick
+    group). Empty unless created with [~sanitize:true]. *)
 
 val fresh_span_id : t -> int
 (** A run-unique id for correlating span begin/end pairs that have no

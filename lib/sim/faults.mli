@@ -1,11 +1,16 @@
 (** Deterministic fault injection: a seeded chaos plan carried by the engine.
 
     A {!plan} gives per-channel fault rates and scheduled device crash
-    windows. The resulting fault stream draws from its own generator seeded
-    from the run seed (never from the engine's root RNG), so identical
-    seeds and plans give identical fault sequences, and a zero-rate plan is
-    bit-for-bit indistinguishable from no plan at all — no counters
-    registered, no RNG draws, no scheduled events. *)
+    windows. Every decision is a pure function of the run seed, a
+    caller-supplied {e content key} (derived from what is being faulted —
+    message route, frame bytes, NAND page coordinates), the fault class and
+    an occurrence counter — never a draw from a shared sequential stream.
+    Identical seeds and plans therefore give identical fault outcomes even
+    when independent decision sites execute in a different order, which is
+    what keeps the same-tick ordering sanitizer's perturbed replays free of
+    phantom fault divergence. A zero-rate plan is bit-for-bit
+    indistinguishable from no plan at all — no counters registered, no
+    draws, no scheduled events. *)
 
 type crash_window = {
   device : string;  (** bus name of the device to fail (e.g. ["ssd0"]) *)
@@ -49,29 +54,38 @@ val plan : t -> plan
 val active : t -> bool
 (** [false] iff the plan is zero (callers may skip hook work entirely). *)
 
-(** {2 Injection predicates} — each draws from the fault stream only when
-    its rate is non-zero, and bumps the matching registry counter when the
-    fault fires. *)
+val key_of_string : string -> int64
+(** Hash a stable description of the faulted object (route, payload kind,
+    page coordinates…) into a content key. Call sites build the string from
+    simulation-stable data only — never from memory addresses or
+    iteration-order-dependent state. *)
 
-val drop_message : t -> bool
-val duplicate_message : t -> bool
+(** {2 Injection predicates} — each decides as a pure function of
+    (seed, [key], class, occurrence) only when its rate is non-zero, and
+    bumps the matching registry counter when the fault fires. Calling a
+    predicate twice with the same [key] yields the 1st then 2nd occurrence
+    decision (retransmits are faulted independently, still
+    order-insensitively). *)
 
-val message_jitter : t -> int64
+val drop_message : t -> key:int64 -> bool
+val duplicate_message : t -> key:int64 -> bool
+
+val message_jitter : t -> key:int64 -> int64
 (** Extra delivery delay in ns; [0L] when no jitter fires. *)
 
-val corrupt_message : t -> bool
+val corrupt_message : t -> key:int64 -> bool
 
-val corrupt_bit : t -> len:int -> int
+val corrupt_bit : t -> key:int64 -> len:int -> int
 (** Which bit of a [len]-byte payload to flip (uniform). *)
 
-val drop_frame : t -> bool
+val drop_frame : t -> key:int64 -> bool
 
-val reorder_delay : t -> int64
+val reorder_delay : t -> key:int64 -> int64
 (** Extra frame delay in ns; [0L] when no reorder fires. *)
 
-val nand_read_fails : t -> bool
+val nand_read_fails : t -> key:int64 -> bool
 
-val nand_bit_flip : t -> len:int -> int option
+val nand_bit_flip : t -> key:int64 -> len:int -> int option
 (** [Some bit] to flip in a [len]-byte page, [None] when no flip fires. *)
 
 (** {2 Crash windows} *)

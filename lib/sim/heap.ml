@@ -1,16 +1,31 @@
 (* Binary min-heap over (priority, seq) keys stored in a growable array.
    The [seq] counter guarantees FIFO order among equal priorities, which in
-   turn makes the simulation engine deterministic. *)
+   turn makes the simulation engine deterministic.
 
-type 'a entry = { prio : int64; seq : int; value : 'a }
+   The tie-break among equal priorities is pluggable so the ordering
+   sanitizer can perturb it: [Fifo] (the contract), [Lifo] (reverses every
+   tie — guarantees any colliding pair swaps), and [Salted] (a seed-keyed
+   pseudo-random permutation of ties). All three are total orders, so every
+   mode is itself deterministic. *)
+
+type tie_break = Fifo | Lifo | Salted of int64
+
+type 'a entry = { prio : int64; seq : int; key : int64; value : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  tie : tie_break;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let tie_key tie seq =
+  match tie with
+  | Fifo -> Int64.of_int seq
+  | Lifo -> Int64.neg (Int64.of_int seq)
+  | Salted salt -> Sanitizer.mix64 (Int64.logxor salt (Int64.of_int seq))
+
+let create ?(tie = Fifo) () = { data = [||]; size = 0; next_seq = 0; tie }
 
 let length h = h.size
 
@@ -18,7 +33,10 @@ let is_empty h = h.size = 0
 
 let lt a b =
   match Int64.compare a.prio b.prio with
-  | 0 -> a.seq < b.seq
+  | 0 -> (
+    match Int64.compare a.key b.key with
+    | 0 -> a.seq < b.seq (* salted collisions still order totally *)
+    | c -> c < 0)
   | c -> c < 0
 
 let grow h entry =
@@ -56,7 +74,8 @@ let rec sift_down h i =
   end
 
 let push h ~priority value =
-  let entry = { prio = priority; seq = h.next_seq; value } in
+  let seq = h.next_seq in
+  let entry = { prio = priority; seq; key = tie_key h.tie seq; value } in
   h.next_seq <- h.next_seq + 1;
   grow h entry;
   h.data.(h.size) <- entry;

@@ -4,11 +4,18 @@
     broken by insertion order (FIFO among equal priorities), which the
     simulation engine relies on for determinism. *)
 
+type tie_break =
+  | Fifo  (** insertion order among equal priorities — the contract *)
+  | Lifo  (** reverse insertion order — flips every colliding pair *)
+  | Salted of int64  (** seed-keyed pseudo-random permutation of ties *)
+
 type 'a t
 (** A mutable min-heap holding values of type ['a]. *)
 
-val create : unit -> 'a t
-(** [create ()] is an empty heap. *)
+val create : ?tie:tie_break -> unit -> 'a t
+(** [create ()] is an empty heap. [tie] (default [Fifo]) selects the order
+    among equal priorities; the non-FIFO modes exist for the ordering
+    sanitizer's perturbed runs and are equally deterministic. *)
 
 val length : 'a t -> int
 (** [length h] is the number of elements currently in [h]. *)

@@ -97,14 +97,28 @@ let counter_read t ~actor ~name =
 
 (* Deterministic listing: sorted by (actor, instrument). *)
 let snapshot t =
-  Hashtbl.fold (fun (actor, name) ins acc -> (actor, name, value_of ins) :: acc)
-    t.table []
-  |> List.sort (fun (a1, n1, _) (a2, n2, _) ->
-         match String.compare a1 a2 with 0 -> String.compare n1 n2 | c -> c)
+  List.map
+    (fun ((actor, name), ins) -> (actor, name, value_of ins))
+    (Detmap.bindings t.table)
 
 let actors t =
-  List.sort_uniq String.compare
-    (Hashtbl.fold (fun (actor, _) _ acc -> actor :: acc) t.table [])
+  List.sort_uniq String.compare (List.map fst (Detmap.sorted_keys t.table))
+
+(* Observable-state digest for the ordering sanitizer. Counters and gauges
+   contribute their values; histograms contribute only their observation
+   count — quantiles shift benignly when two same-tick arrivals swap
+   places in a queue, and hashing them would report queueing noise as
+   ordering races. *)
+let digest t =
+  List.fold_left
+    (fun h (actor, name, v) ->
+      let h = Sanitizer.hash_string h actor in
+      let h = Sanitizer.hash_string h name in
+      match v with
+      | Counter_v n -> Sanitizer.combine h (Int64.of_int n)
+      | Gauge_v g -> Sanitizer.combine h (Int64.bits_of_float g)
+      | Histogram_v r -> Sanitizer.combine h (Int64.of_int r.Stats.n))
+    0x6D65747269637331L (snapshot t)
 
 let size t = Hashtbl.length t.table
 

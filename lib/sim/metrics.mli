@@ -60,6 +60,11 @@ val actors : t -> string list
 
 val size : t -> int
 
+val digest : t -> int64
+(** Deterministic digest of the registry for the ordering sanitizer:
+    counter and gauge values plus histogram observation counts (quantiles
+    are excluded — they shift benignly with same-tick queueing order). *)
+
 (** {2 Export} *)
 
 val to_prometheus : t -> string

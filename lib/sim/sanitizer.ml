@@ -1,0 +1,90 @@
+(* Same-tick ordering sanitizer: journal types, comparison, and the hash
+   utilities shared by the digest probes.
+
+   The determinism contract says same-tick events pop in insertion (FIFO)
+   order, so a seeded run is reproducible. But code must not *depend* on
+   that order for its observable outcome: if it does, an innocent refactor
+   that changes insertion order silently changes results. The sanitizer
+   makes that dependence detectable: a reference run (FIFO ties) and a
+   perturbed run (LIFO or seed-salted ties) each journal a state hash
+   after every tick that executed two or more events; the first journal
+   entry where the two runs disagree is an ordering race, reported with
+   the colliding event labels from both runs.
+
+   What the state hash covers is deliberate: semantic counters, gauges and
+   histogram observation *counts* (via [Metrics.digest]) plus the bus
+   frame digest (source, destination, payload kind). It excludes latency
+   quantiles, correlation ids and payload bytes — those shift benignly
+   when two same-tick arrivals swap places in a queue, and flagging them
+   would drown real races in queueing noise. Tick timestamps are likewise
+   excluded from the comparison (kept only for the report): swapping two
+   same-tick queue entries legitimately shifts *when* downstream work
+   completes by a few service times, and that drift is not a contract
+   violation as long as the state trajectory is identical. *)
+
+type tick = { time : int64; labels : string list; state_hash : int64 }
+
+type divergence = {
+  index : int;  (* position in the reference journal *)
+  reference : tick option;
+  perturbed : tick option;
+}
+
+(* --- hashing ---------------------------------------------------------- *)
+
+(* SplitMix64 finalizer: a cheap strong mix for combining digests. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let combine h v = mix64 (Int64.add (Int64.logxor h v) 0x9E3779B97F4A7C15L)
+
+(* FNV-1a over the bytes, finished with the mixer; [seed] chains calls. *)
+let hash_string seed s =
+  let h = ref (Int64.logxor seed 0xCBF29CE484222325L) in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    s;
+  mix64 !h
+
+(* --- journal comparison ------------------------------------------------ *)
+
+let compare_journals ~reference ~perturbed =
+  let rec go i r p =
+    match (r, p) with
+    | [], [] -> None
+    | [], q :: _ -> Some { index = i; reference = None; perturbed = Some q }
+    | t :: _, [] -> Some { index = i; reference = Some t; perturbed = None }
+    | t :: r', q :: p' ->
+      if t.state_hash = q.state_hash then go (i + 1) r' p'
+      else Some { index = i; reference = Some t; perturbed = Some q }
+  in
+  go 0 reference perturbed
+
+let pp_tick ppf t =
+  Format.fprintf ppf "@[<h>tick @%Ldns hash=%016Lx events=[%s]@]" t.time
+    t.state_hash
+    (String.concat "; "
+       (List.map (fun l -> if l = "" then "?" else l) t.labels))
+
+let pp_divergence ppf d =
+  let side name = function
+    | None -> Format.fprintf ppf "  %s: journal ended@." name
+    | Some t -> Format.fprintf ppf "  %s: %a@." name pp_tick t
+  in
+  Format.fprintf ppf "ordering race at journal entry %d:@." d.index;
+  side "reference" d.reference;
+  side "perturbed" d.perturbed

@@ -1,0 +1,43 @@
+(** Same-tick ordering sanitizer: journals, comparison, hash utilities.
+
+    The engine's determinism contract fixes same-tick event order (FIFO by
+    insertion), but code must not depend on that order for its observable
+    outcome. In sanitize mode the engine journals a state hash after every
+    tick that ran two or more events; running the same workload once with
+    the FIFO tie-break and once with a perturbed one (LIFO or seed-salted)
+    and comparing journals exposes any latent ordering race, localized to
+    the colliding events' labels. *)
+
+type tick = {
+  time : int64;  (** virtual time of the tick *)
+  labels : string list;  (** labels of the events that shared it, in order *)
+  state_hash : int64;  (** observable-state digest after the tick *)
+}
+
+type divergence = {
+  index : int;  (** first differing position in the reference journal *)
+  reference : tick option;  (** [None] when the reference journal ended *)
+  perturbed : tick option;  (** [None] when the perturbed journal ended *)
+}
+
+val compare_journals :
+  reference:tick list -> perturbed:tick list -> divergence option
+(** First entry where the journals disagree on the state hash, or [None]
+    when the perturbed ordering is observationally identical. Timestamps
+    and labels are not compared — a perturbed run legitimately reorders
+    labels and drifts tick times by a few service times; only the state
+    trajectory is contractual. *)
+
+val pp_tick : Format.formatter -> tick -> unit
+val pp_divergence : Format.formatter -> divergence -> unit
+
+(** {2 Hash utilities} (also used by digest probes and keyed fault draws) *)
+
+val mix64 : int64 -> int64
+(** SplitMix64 finalizer: a strong cheap 64-bit mixer. *)
+
+val combine : int64 -> int64 -> int64
+(** Order-sensitive accumulator: fold values into a digest. *)
+
+val hash_string : int64 -> string -> int64
+(** FNV-1a over the bytes, chained from [seed], finished with {!mix64}. *)

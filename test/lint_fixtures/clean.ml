@@ -1,0 +1,4 @@
+(* Fixture: no determinism hazards — must produce zero findings. *)
+let add a b = a + b
+let render buf n = Buffer.add_string buf (string_of_int n)
+let structural a b = a = b

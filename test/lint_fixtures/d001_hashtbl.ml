@@ -1,0 +1,4 @@
+(* Fixture: D001 — unordered Hashtbl iteration. *)
+let tally tbl = Hashtbl.iter (fun _ v -> ignore v) tbl
+let total tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let fine tbl = Hashtbl.length tbl

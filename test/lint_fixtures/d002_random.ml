@@ -1,0 +1,3 @@
+(* Fixture: D002 — ambient global Random generator. *)
+let jitter () = Random.int 100
+let coin () = Stdlib.Random.bool ()

@@ -1,0 +1,3 @@
+(* Fixture: D003 — wall-clock and environment reads. *)
+let stamp () = Sys.time ()
+let shard () = Sys.getenv "SHARD"

@@ -1,0 +1,4 @@
+(* Fixture: D004 — representation-dependent constructs. *)
+let snapshot v = Marshal.to_string v []
+let same a b = a == b
+let diff a b = a != b

@@ -1,0 +1,3 @@
+(* Fixture: D005 — ambient-channel printing from library code. *)
+let report n = Printf.printf "count=%d\n" n
+let shout () = print_endline "done"

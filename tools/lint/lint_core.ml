@@ -1,0 +1,355 @@
+(* lastcpu-lint: determinism-hazard lint over the repo's own sources.
+
+   Built on compiler-libs' Parsetree so matching is syntactic and exact —
+   an identifier fires a rule only when its qualified path matches (e.g.
+   [Hashtbl.iter]), never because a substring happened to appear in a
+   string literal or a comment the way a grep-based lint would.
+
+   Rules (ids are stable; the config file decides scope and exemptions):
+
+     D001  unordered [Hashtbl.iter]/[Hashtbl.fold] — hash-order iteration
+           leaks Hashtbl internals into results; use [Lastcpu_sim.Detmap].
+     D002  [Random.*] — the global generator is process-wide mutable state;
+           use the engine-carried [Lastcpu_sim.Rng] streams.
+     D003  wall-clock/environment reads ([Sys.time], [Unix.gettimeofday],
+           [Sys.getenv], …) — real-world inputs break seeded replay.
+     D004  [Marshal.*] and physical equality [==]/[!=] — representation-
+           and address-dependent behaviour.
+     D005  stdout/stderr printing from library modules — libraries must
+           report through telemetry/trace, not ambient side channels.
+
+   Findings are suppressible per (rule, file, enclosing top-level binding)
+   via a checked-in suppressions file; a suppression that matches nothing
+   is itself an error, so the baseline never rots. *)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  binding : string;  (* enclosing top-level binding, "" at toplevel *)
+  message : string;
+}
+
+type rule_config = {
+  id : string;
+  scopes : string list;  (* root-relative dir prefixes the rule covers *)
+  exempt : string list;  (* root-relative paths excluded from the rule *)
+}
+
+type suppression = {
+  s_rule : string;
+  s_path : string;
+  s_binding : string;
+  s_reason : string;
+  mutable s_used : bool;
+}
+
+(* --- config parsing ------------------------------------------------------- *)
+
+let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+let parse_rules_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+    | id :: fields ->
+      let scopes = ref [] and exempt = ref [] in
+      List.iter
+        (fun f ->
+          match String.index_opt f '=' with
+          | Some i ->
+            let k = String.sub f 0 i in
+            let v = String.sub f (i + 1) (String.length f - i - 1) in
+            if k = "scope" then scopes := split_commas v
+            else if k = "exempt" then exempt := split_commas v
+            else
+              failwith
+                (Printf.sprintf "lint.rules:%d: unknown field %S" lineno k)
+          | None ->
+            failwith
+              (Printf.sprintf "lint.rules:%d: malformed field %S" lineno f))
+        fields;
+      Some { id; scopes = !scopes; exempt = !exempt }
+    | [] -> None
+
+let parse_rules text =
+  let rules = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_rules_line (i + 1) line with
+      | Some r -> rules := r :: !rules
+      | None -> ())
+    (String.split_on_char '\n' text);
+  List.rev !rules
+
+(* Suppression line: <RULE> <path> <binding> -- <justification> *)
+let parse_suppressions text =
+  let out = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let body, reason =
+          (* split on the first " -- " *)
+          let marker = " -- " in
+          let rec find j =
+            if j + String.length marker > String.length line then None
+            else if String.sub line j (String.length marker) = marker then
+              Some j
+            else find (j + 1)
+          in
+          match find 0 with
+          | Some j ->
+            ( String.sub line 0 j,
+              String.sub line
+                (j + String.length marker)
+                (String.length line - j - String.length marker) )
+          | None -> (line, "")
+        in
+        match
+          String.split_on_char ' ' (String.trim body)
+          |> List.filter (( <> ) "")
+        with
+        | [ s_rule; s_path; s_binding ] ->
+          if String.trim reason = "" then
+            failwith
+              (Printf.sprintf
+                 "lint.suppressions:%d: missing justification (use ' -- why')"
+                 (i + 1));
+          out :=
+            { s_rule; s_path; s_binding; s_reason = reason; s_used = false }
+            :: !out
+        | _ ->
+          failwith
+            (Printf.sprintf
+               "lint.suppressions:%d: expected '<RULE> <path> <binding> -- \
+                <why>'"
+               (i + 1))
+      end)
+    (String.split_on_char '\n' text);
+  List.rev !out
+
+(* --- identifier classification -------------------------------------------- *)
+
+(* Qualified path of an identifier, with a leading [Stdlib] dropped so
+   [Stdlib.print_endline] and [print_endline] classify identically. *)
+let ident_path lid =
+  match Longident.flatten lid with "Stdlib" :: rest -> rest | l -> l
+
+let d003_idents =
+  [
+    [ "Sys"; "time" ];
+    [ "Sys"; "getenv" ];
+    [ "Sys"; "getenv_opt" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "getenv" ];
+    [ "Unix"; "localtime" ];
+    [ "Unix"; "gmtime" ];
+  ]
+
+let d005_idents =
+  [
+    [ "print_string" ];
+    [ "print_endline" ];
+    [ "print_newline" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "prerr_string" ];
+    [ "prerr_endline" ];
+    [ "prerr_newline" ];
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ];
+    [ "Format"; "print_string" ];
+  ]
+
+(* Which rules an identifier trips, with the message for each. *)
+let classify path =
+  match path with
+  | [ "Hashtbl"; ("iter" | "fold") ] ->
+    [
+      ( "D001",
+        Printf.sprintf
+          "Hashtbl.%s iterates in hash order; use Lastcpu_sim.Detmap for a \
+           deterministic order"
+          (List.nth path 1) );
+    ]
+  | "Random" :: _ ->
+    [
+      ( "D002",
+        Printf.sprintf
+          "%s uses the ambient global generator; draw from an \
+           engine-carried Lastcpu_sim.Rng stream"
+          (String.concat "." path) );
+    ]
+  | _ when List.mem path d003_idents ->
+    [
+      ( "D003",
+        Printf.sprintf
+          "%s reads wall-clock/environment state, which breaks seeded \
+           replay; thread configuration explicitly"
+          (String.concat "." path) );
+    ]
+  | "Marshal" :: _ ->
+    [
+      ( "D004",
+        Printf.sprintf
+          "%s output depends on value representation; use the Wire/Codec \
+           encoders"
+          (String.concat "." path) );
+    ]
+  | [ ("==" | "!=") ] ->
+    [
+      ( "D004",
+        Printf.sprintf
+          "physical equality (%s) compares addresses, not contents; use = \
+           / <> or an explicit key"
+          (List.hd path) );
+    ]
+  | _ when List.mem path d005_idents ->
+    [
+      ( "D005",
+        Printf.sprintf
+          "%s writes to an ambient channel from library code; report via \
+           the telemetry registry or the run trace"
+          (String.concat "." path) );
+    ]
+  | _ -> []
+
+(* --- AST walk -------------------------------------------------------------- *)
+
+let path_in_scope path scopes =
+  List.exists
+    (fun scope ->
+      path = scope
+      || String.length path > String.length scope
+         && String.sub path 0 (String.length scope + 1) = scope ^ "/")
+    scopes
+
+let path_exempt path exempt = List.mem path exempt
+
+let active_rules config ~path =
+  List.filter
+    (fun r -> path_in_scope path r.scopes && not (path_exempt path r.exempt))
+    config
+
+let scan_structure config ~path structure =
+  let rules = active_rules config ~path in
+  if rules = [] then []
+  else begin
+    let findings = ref [] in
+    let current_binding = ref "" in
+    let emit loc hits =
+      List.iter
+        (fun (rule, message) ->
+          if List.exists (fun r -> r.id = rule) rules then
+            findings :=
+              {
+                rule;
+                file = path;
+                line = loc.Location.loc_start.Lexing.pos_lnum;
+                binding = !current_binding;
+                message;
+              }
+              :: !findings)
+        hits
+    in
+    let open Ast_iterator in
+    let iter =
+      {
+        default_iterator with
+        expr =
+          (fun self e ->
+            (match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_ident { txt; loc } ->
+              emit loc (classify (ident_path txt))
+            | _ -> ());
+            default_iterator.expr self e);
+        structure_item =
+          (fun self item ->
+            match item.Parsetree.pstr_desc with
+            | Parsetree.Pstr_value (_, bindings) ->
+              List.iter
+                (fun vb ->
+                  let saved = !current_binding in
+                  (match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+                  | Parsetree.Ppat_var { txt; _ } -> current_binding := txt
+                  | _ -> ());
+                  self.value_binding self vb;
+                  current_binding := saved)
+                bindings
+            | _ -> default_iterator.structure_item self item);
+      }
+    in
+    iter.structure iter structure;
+    List.rev !findings
+  end
+
+let scan_string config ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok (scan_structure config ~path structure)
+  | exception exn ->
+    Error (Printf.sprintf "%s: parse error: %s" path (Printexc.to_string exn))
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file config ~root ~path =
+  scan_string config ~path (read_file (Filename.concat root path))
+
+(* --- suppression application ----------------------------------------------- *)
+
+let apply_suppressions suppressions findings =
+  let unsuppressed =
+    List.filter
+      (fun f ->
+        match
+          List.find_opt
+            (fun s ->
+              s.s_rule = f.rule && s.s_path = f.file
+              && s.s_binding = f.binding)
+            suppressions
+        with
+        | Some s ->
+          s.s_used <- true;
+          false
+        | None -> true)
+      findings
+  in
+  let stale = List.filter (fun s -> not s.s_used) suppressions in
+  (unsuppressed, stale)
+
+(* --- directory walk -------------------------------------------------------- *)
+
+let rec ml_files_under dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let full = Filename.concat dir entry in
+        if Sys.is_directory full then
+          if entry = "_build" || entry.[0] = '.' then acc
+          else acc @ ml_files_under full
+        else if Filename.check_suffix entry ".ml" then acc @ [ full ]
+        else acc)
+      [] entries
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s%s" f.file f.line f.rule f.message
+    (if f.binding = "" then "" else Printf.sprintf " (in `%s')" f.binding)
