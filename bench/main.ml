@@ -6,12 +6,18 @@
      dune exec bench/main.exe micro       # bechamel micro-benchmarks
      dune exec bench/main.exe all micro   # both
      dune exec bench/main.exe metrics     # telemetry JSON snapshot of a KVS run
+     dune exec bench/main.exe core        # engine macro-bench -> BENCH_core.json
+     dune exec bench/main.exe all -j 4    # experiment tables across 4 domains
 
    Each experiment regenerates one figure/table of EXPERIMENTS.md; the
    micro suite has one bechamel Test.make per table, covering that table's
-   core primitive. *)
+   core primitive; the core suite is the perf-regression baseline for the
+   engine hot path (schedule->pop throughput, allocation per event, bus
+   routing with tracing on vs off, end-to-end T1 events/sec), written to
+   BENCH_core.json for CI to archive. *)
 
 module Experiments = Lastcpu_core.Experiments
+module Parallel = Lastcpu_sim.Parallel
 
 (* --- micro-benchmarks (bechamel) ------------------------------------------- *)
 
@@ -234,6 +240,123 @@ module Micro = struct
       (List.sort compare !rows)
 end
 
+(* --- core macro-benchmarks ------------------------------------------------------ *)
+
+(* The perf-regression baseline for the simulation hot path. Unlike the
+   bechamel micro suite (ns/op of leaf primitives), these measure the
+   engine loop itself: how fast events move schedule->pop->run, how many
+   minor words each event costs, and what tracing adds back. Results go
+   to stdout and BENCH_core.json. *)
+module Core_bench = struct
+  module Types = Lastcpu_proto.Types
+  module Message = Lastcpu_proto.Message
+  module Engine = Lastcpu_sim.Engine
+  module Sysbus = Lastcpu_bus.Sysbus
+  module Iommu = Lastcpu_iommu.Iommu
+  module System = Lastcpu_core.System
+
+  (* Raw schedule->pop throughput: a fixed-width wave of self-rescheduling
+     events drains through the engine with trace and sanitize off. The
+     ping closure is allocated once, so minor words/event is the cost of
+     the queue machinery alone. *)
+  let engine_hot_loop ~events =
+    let engine = Engine.create ~trace_capacity:0 ~queue_hint:64 () in
+    let remaining = ref events in
+    let rec ping () =
+      if !remaining > 0 then begin
+        decr remaining;
+        Engine.schedule engine ~delay:1L ping
+      end
+    in
+    for _ = 1 to 8 do
+      Engine.schedule engine ~delay:1L ping
+    done;
+    let w0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    Engine.run engine;
+    let dt = Float.max (Sys.time () -. t0) 1e-9 in
+    let dw = Gc.minor_words () -. w0 in
+    let n = Engine.events_executed engine in
+    (float_of_int n /. dt, dw /. float_of_int n)
+
+  (* One message through the bus (hop + station + hop), tracing on vs off.
+     With trace and sanitize off the routing path formats no frame
+     descriptions and appends no trace events, so the words/msg gap
+     between the two rows is the formatting the lazy-label refactor
+     removed from the hot path. *)
+  let bus_route ~trace ~msgs =
+    let engine =
+      if trace then Engine.create ~queue_hint:16 ()
+      else Engine.create ~trace_capacity:0 ~queue_hint:16 ()
+    in
+    let bus = Sysbus.create engine in
+    let iommu = Iommu.create () in
+    let a = Sysbus.attach bus ~name:"a" ~iommu ~handler:(fun _ -> ()) in
+    let b = Sysbus.attach bus ~name:"b" ~iommu ~handler:(fun _ -> ()) in
+    Sysbus.send bus
+      (Message.make ~src:a ~dst:Types.Bus ~corr:0
+         (Message.Device_alive { services = [] }));
+    Sysbus.send bus
+      (Message.make ~src:b ~dst:Types.Bus ~corr:0
+         (Message.Device_alive { services = [] }));
+    Engine.run engine;
+    let w0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    for _ = 1 to msgs do
+      Sysbus.send bus
+        (Message.make ~src:a ~dst:(Types.Device b) ~corr:0 Message.Heartbeat);
+      Engine.run engine
+    done;
+    let dt = Float.max (Sys.time () -. t0) 1e-9 in
+    let dw = Gc.minor_words () -. w0 in
+    (dw /. float_of_int msgs, dt /. float_of_int msgs *. 1e9)
+
+  (* End-to-end: one full T1 run (boot, workload, both designs), reported
+     as simulated events per second of harness CPU time. *)
+  let t1_end_to_end () =
+    let t0 = Sys.time () in
+    let system = Experiments.soaked_system ~exp:"t1" ~seed:42L in
+    let dt = Float.max (Sys.time () -. t0) 1e-9 in
+    let n = Engine.events_executed (System.engine system) in
+    (n, float_of_int n /. dt)
+
+  let json_path = "BENCH_core.json"
+
+  let run () =
+    let events = 2_000_000 and msgs = 100_000 in
+    let sched_rate, sched_words = engine_hot_loop ~events in
+    let off_words, off_ns = bus_route ~trace:false ~msgs in
+    let on_words, on_ns = bus_route ~trace:true ~msgs in
+    let t1_events, t1_rate = t1_end_to_end () in
+    print_newline ();
+    print_endline "CORE — engine macro-benchmarks (real time on this host)";
+    Printf.printf "  %-28s %12.2e events/s  %6.1f minor words/event\n"
+      "schedule->pop drain" sched_rate sched_words;
+    Printf.printf "  %-28s %12.1f ns/msg    %6.1f minor words/msg\n"
+      "bus route (trace off)" off_ns off_words;
+    Printf.printf "  %-28s %12.1f ns/msg    %6.1f minor words/msg\n"
+      "bus route (trace on)" on_ns on_words;
+    Printf.printf "  %-28s %12.2e events/s  (%d events)\n" "t1 end-to-end"
+      t1_rate t1_events;
+    let json =
+      Printf.sprintf
+        "{\"schedule_pop_events_per_sec\": %.0f, \
+         \"schedule_pop_minor_words_per_event\": %.2f, \
+         \"bus_route_trace_off_ns_per_msg\": %.1f, \
+         \"bus_route_trace_off_minor_words_per_msg\": %.2f, \
+         \"bus_route_trace_on_ns_per_msg\": %.1f, \
+         \"bus_route_trace_on_minor_words_per_msg\": %.2f, \
+         \"t1_events_executed\": %d, \"t1_events_per_sec\": %.0f}"
+        sched_rate sched_words off_ns off_words on_ns on_words t1_events
+        t1_rate
+    in
+    let oc = open_out json_path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  (written to %s)\n%!" json_path
+end
+
 (* --- metrics snapshot ---------------------------------------------------------- *)
 
 (* One machine-readable telemetry dump: boot the KVS scenario, run a short
@@ -268,28 +391,66 @@ let all_ids =
    a misspelling silently running zero experiments would look green). *)
 let failures = ref 0
 
-let run_experiment id =
+(* Rendered off the main domain when --jobs > 1: each experiment owns its
+   engine, so tables are independent tasks. Rendering to a string in the
+   worker and printing in submission order keeps the output layout
+   identical to a sequential run. *)
+let render_experiment id () =
   match Experiments.by_id id with
-  | None ->
-    Printf.eprintf "unknown experiment %S\n" id;
-    incr failures
+  | None -> Error id
   | Some f ->
     let t0 = Sys.time () in
-    let table = f () in
-    Format.printf "%a" Experiments.print_table table;
-    Printf.printf "  (harness cpu time: %.1fs)\n%!" (Sys.time () -. t0)
+    let table = Format.asprintf "%a" Experiments.print_table (f ()) in
+    Ok (table, Sys.time () -. t0)
+
+let print_experiment = function
+  | Error id ->
+    Printf.eprintf "unknown experiment %S\n" id;
+    incr failures
+  | Ok (table, dt) ->
+    print_string table;
+    Printf.printf "  (harness cpu time: %.1fs)\n%!" dt
 
 let () =
+  let rec split_jobs jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("--jobs" | "-j") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> split_jobs j acc rest
+      | Some _ | None ->
+        Printf.eprintf "bad --jobs value %S\n" n;
+        exit 2)
+    | [ ("--jobs" | "-j") ] ->
+      prerr_endline "--jobs needs a value";
+      exit 2
+    | a :: rest -> split_jobs jobs (a :: acc) rest
+  in
+  let raw =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: rest -> rest
+  in
+  let jobs, args = split_jobs 1 [] raw in
+  let args = if args = [] && raw = [] then all_ids @ [ "micro" ] else args in
   let args =
-    match Array.to_list Sys.argv with
-    | [] | [ _ ] -> all_ids @ [ "micro" ]
-    | _ :: rest -> List.concat_map (fun a -> if a = "all" then all_ids else [ a ]) rest
+    List.concat_map (fun a -> if a = "all" then all_ids else [ a ]) args
+  in
+  let special = [ "micro"; "metrics"; "core" ] in
+  let exp_ids = List.filter (fun a -> not (List.mem a special)) args in
+  let tables =
+    ref (Parallel.run_jobs ~jobs (List.map render_experiment exp_ids))
+  in
+  let next_table () =
+    match !tables with
+    | [] -> assert false
+    | t :: rest ->
+      tables := rest;
+      t
   in
   print_endline "lastcpu experiment harness — see EXPERIMENTS.md for the index";
   List.iter
     (fun id ->
       if id = "micro" then Micro.run ()
       else if id = "metrics" then metrics_snapshot ()
-      else run_experiment id)
+      else if id = "core" then Core_bench.run ()
+      else print_experiment (next_table ()))
     args;
   if !failures > 0 then exit 1

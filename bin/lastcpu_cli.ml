@@ -17,6 +17,7 @@ module Experiments = Lastcpu_core.Experiments
 module Engine = Lastcpu_sim.Engine
 module Metrics = Lastcpu_sim.Metrics
 module Trace = Lastcpu_sim.Trace
+module Parallel = Lastcpu_sim.Parallel
 module Kv_app = Lastcpu_kv.Kv_app
 module Kv_proto = Lastcpu_kv.Kv_proto
 
@@ -90,22 +91,39 @@ let known_ids =
   [ "f1"; "f2"; "t1"; "t1-notokens"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8";
     "t9"; "t10"; "t11"; "t12"; "t13"; "t14" ]
 
-let experiment list ids =
+(* Each experiment owns its engine, so distinct ids are independent tasks:
+   render every table to a string (in the worker domain), then print the
+   strings in submission order. A parallel run's bytes are identical to a
+   sequential run's. *)
+let experiment list jobs ids =
   if list then begin
     List.iter print_endline known_ids;
     0
   end
-  else
-  let rc = ref 0 in
-  List.iter
-    (fun id ->
+  else begin
+    let render id () =
       match Experiments.by_id id with
-      | None ->
-        Printf.eprintf "unknown experiment %S (see 'experiment --list')\n" id;
-        rc := 1
-      | Some f -> Format.printf "%a" Experiments.print_table (f ()))
-    ids;
-  !rc
+      | None -> Error id
+      | Some f -> Ok (Format.asprintf "%a" Experiments.print_table (f ()))
+    in
+    let rc = ref 0 in
+    List.iter
+      (function
+        | Ok table -> print_string table
+        | Error id ->
+          Printf.eprintf "unknown experiment %S (see 'experiment --list')\n" id;
+          rc := 1)
+      (Parallel.run_jobs ~jobs (List.map render ids));
+    !rc
+  end
+
+let jobs_arg =
+  let doc =
+    "Run experiments on $(docv) domains in parallel. Each run is an \
+     independent deterministic simulation; output order and bytes match a \
+     sequential run."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let experiment_cmd =
   let doc = "Run experiment tables (see EXPERIMENTS.md for the index)." in
@@ -115,7 +133,8 @@ let experiment_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List known experiment ids.")
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const experiment $ list_arg $ ids)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const experiment $ list_arg $ jobs_arg $ ids)
 
 (* --- kv ----------------------------------------------------------------------- *)
 

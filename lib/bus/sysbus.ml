@@ -78,19 +78,52 @@ type t = {
 
 let bus_src = -1 (* messages originated by the bus itself *)
 
-(* One stable string per frame: route + payload kind. Triple duty — the
+(* One stable identity per frame: route + payload kind. Triple duty — the
    sanitizer event label, the fault-injection content key, and the frame
    digest contribution. Never includes corr ids or payload bytes (see
-   [frame_digest]). *)
+   [frame_digest]).
+
+   [frame_desc] renders it as a string; the hot path never calls it.
+   Instead [fnv_frame] folds the exact same bytes through the streaming
+   FNV, so the digest and fault key keep their historical values with zero
+   formatting or allocation per message. The correspondence
+   [hash over fnv_frame = hash_string over frame_desc] is pinned by a unit
+   test. *)
 let frame_desc (msg : Message.t) =
   Printf.sprintf "bus:%d>%s:%s" msg.src
     (Types.dest_to_string msg.dst)
     (Message.payload_tag msg.payload)
 
-let account_frame t desc =
-  if Engine.sanitizing t.engine then
-    t.frame_digest <-
-      Int64.add t.frame_digest (Sanitizer.hash_string 0x6672616d65L desc)
+let fnv_frame h (msg : Message.t) =
+  let h = Sanitizer.fnv_string h "bus:" in
+  let h = Sanitizer.fnv_int h msg.src in
+  let h = Sanitizer.fnv_char h '>' in
+  let h =
+    match msg.dst with
+    | Types.Device d -> Sanitizer.fnv_int (Sanitizer.fnv_string h "dev") d
+    | Types.Bus -> Sanitizer.fnv_string h "bus"
+    | Types.Broadcast -> Sanitizer.fnv_string h "broadcast"
+  in
+  let h = Sanitizer.fnv_char h ':' in
+  Sanitizer.fnv_string h (Message.payload_tag msg.payload)
+
+let frame_digest_seed = 0x6672616d65L (* "frame" *)
+
+let frame_hash msg =
+  Sanitizer.fnv_finish (fnv_frame (Sanitizer.fnv_init frame_digest_seed) msg)
+
+(* Equals [Faults.key_of_string (frame_desc msg)]. *)
+let frame_key msg = Sanitizer.fnv_finish (fnv_frame Faults.key_init msg)
+
+(* Frame commit: digest contribution + delivery event. Only a sanitizing
+   engine consumes the label or the digest, so the common path schedules
+   the bare closure — no description string, no label thunk. *)
+let schedule_frame t msg ~delay fn =
+  if Engine.sanitizing t.engine then begin
+    t.frame_digest <- Int64.add t.frame_digest (frame_hash msg);
+    Engine.schedule ~label:(fun () -> frame_desc msg) t.engine ~delay fn
+  end
+  else Engine.schedule t.engine ~delay fn
 
 let broadcast_from_bus t payload =
   let costs = Engine.costs t.engine in
@@ -98,10 +131,8 @@ let broadcast_from_bus t payload =
     (fun id slot ->
       if slot.live then begin
         let msg = Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0 payload in
-        let desc = frame_desc msg in
         Metrics.incr t.m_broadcasts;
-        account_frame t desc;
-        Engine.schedule ~label:desc t.engine ~delay:costs.Costs.bus_hop_ns
+        schedule_frame t msg ~delay:costs.Costs.bus_hop_ns
           (fun () -> if slot.live then slot.handler msg)
       end)
     t.devices
@@ -289,11 +320,9 @@ let reply t ~to_ ~corr payload =
   let s = slot t to_ in
   if s.live then begin
     let msg = Message.make ~src:bus_src ~dst:(Types.Device to_) ~corr payload in
-    let desc = frame_desc msg in
     Metrics.incr t.m_routed;
     Metrics.incr ~by:(Message.wire_size msg) t.m_control_bytes;
-    account_frame t desc;
-    Engine.schedule ~label:desc t.engine ~delay:costs.Costs.bus_hop_ns
+    schedule_frame t msg ~delay:costs.Costs.bus_hop_ns
       (fun () -> if s.live then s.handler msg)
   end
 
@@ -474,11 +503,8 @@ let handle_bus_message t (msg : Message.t) =
    dropped (and counted) rather than delivered mangled. *)
 let schedule_delivery t (msg : Message.t) ~delay deliver =
   let faults = Engine.faults t.engine in
-  let desc = frame_desc msg in
-  if msg.src < 0 || not (Faults.active faults) then begin
-    account_frame t desc;
-    Engine.schedule ~label:desc t.engine ~delay deliver
-  end
+  if msg.src < 0 || not (Faults.active faults) then
+    schedule_frame t msg ~delay deliver
   else begin
     (* Fault content key: route + payload kind. Deliberately excludes
        [corr] — correlation ids are assigned in issue order, which the
@@ -486,7 +512,7 @@ let schedule_delivery t (msg : Message.t) ~delay deliver =
        keying on them would shift fault outcomes and report phantom races.
        Identical same-route messages are distinguished by the occurrence
        counter inside Faults instead. *)
-    let key = Faults.key_of_string desc in
+    let key = frame_key msg in
     let corrupted_and_caught =
       Faults.corrupt_message faults ~key
       &&
@@ -510,13 +536,9 @@ let schedule_delivery t (msg : Message.t) ~delay deliver =
            (Types.dest_to_string msg.dst))
     else begin
       let delay = Int64.add delay (Faults.message_jitter faults ~key) in
-      account_frame t desc;
-      Engine.schedule ~label:desc t.engine ~delay deliver;
-      if Faults.duplicate_message faults ~key then begin
-        account_frame t desc;
-        Engine.schedule ~label:desc t.engine ~delay:(Int64.add delay 1L)
-          deliver
-      end
+      schedule_frame t msg ~delay deliver;
+      if Faults.duplicate_message faults ~key then
+        schedule_frame t msg ~delay:(Int64.add delay 1L) deliver
     end
   end
 
@@ -553,63 +575,73 @@ let send t (msg : Message.t) =
   let costs = Engine.costs t.engine in
   let size = Message.wire_size msg in
   Metrics.incr ~by:size t.m_control_bytes;
-  Engine.trace_event t.engine
-    ~actor:(if msg.src >= 0 then device_name t msg.src else "bus")
-    ~kind:("msg." ^ Message.payload_tag msg.payload)
-    (Format.asprintf "%a" Message.pp msg);
-  (* One hop to the bus, then the bus's FIFO processor, then delivery. *)
-  Engine.schedule ~label:(frame_desc msg) t.engine
-    ~delay:costs.Costs.bus_hop_ns (fun () ->
-      let now = Engine.now t.engine in
-      if Message.expired msg ~now then begin
-        bump_expired t;
-        trace t "bus.expired"
-          (Printf.sprintf "%s from dev%d past deadline on arrival, shed"
-             (Message.payload_tag msg.payload) msg.src)
-      end
-      else begin
-        let service =
-          let base = costs.Costs.bus_process_ns in
-          match msg.payload with
-          | Message.Map_directive _ | Message.Grant_request _
-          | Message.Unmap_directive _ ->
-            (* Privileged ops pay token verification + PTE writes. *)
-            Int64.add base (Int64.add (token_cost t) costs.Costs.iommu_program_ns)
-          | _ -> base
-        in
-        let lane = lane_for t msg.src in
-        let run () =
-          match msg.dst with
-          | Types.Bus -> handle_bus_message t msg
-          | Types.Device dst -> deliver_unicast t msg dst
-          | Types.Broadcast ->
-            Array.iteri
-              (fun id s ->
-                if id <> msg.src && s.live then begin
-                  Metrics.incr t.m_broadcasts;
-                  schedule_delivery t msg ~delay:costs.Costs.bus_hop_ns
-                    (fun () -> if s.live then s.handler msg)
-                end)
-              t.devices
-        in
-        match Station.try_submit lane ~service run with
-        | `Accepted -> ()
-        | `Rejected ->
-          (* Backpressure, not silence: bounce E_busy with a deterministic
-             retry-after hint (time for this lane's queue to drain) so the
-             sender can pace instead of hammering. *)
-          let retry_after_ns = Station.drain_ns lane ~now in
-          trace t "bus.busy"
-            (Printf.sprintf "%s from dev%d rejected, retry-after=%Ldns"
-               (Message.payload_tag msg.payload) msg.src retry_after_ns);
-          if msg.src >= 0 && (slot t msg.src).live then
-            reply t ~to_:msg.src ~corr:msg.corr
-              (Message.Error_msg
-                 {
-                   code = Types.E_busy;
-                   detail = Message.busy_detail ~retry_after_ns;
-                 })
-      end)
+  (* Rendering a message is by far the most expensive thing on this path;
+     with tracing off the formatter must never run. *)
+  if Engine.tracing t.engine then
+    Engine.trace_event t.engine
+      ~actor:(if msg.src >= 0 then device_name t msg.src else "bus")
+      ~kind:("msg." ^ Message.payload_tag msg.payload)
+      (Format.asprintf "%a" Message.pp msg);
+  (* One hop to the bus, then the bus's FIFO processor, then delivery.
+     This hop is not a frame commit (no digest contribution), so only the
+     sanitizer label is at stake — branch rather than allocate a thunk. *)
+  let arrive () =
+    let now = Engine.now t.engine in
+    if Message.expired msg ~now then begin
+      bump_expired t;
+      trace t "bus.expired"
+        (Printf.sprintf "%s from dev%d past deadline on arrival, shed"
+           (Message.payload_tag msg.payload) msg.src)
+    end
+    else begin
+      let service =
+        let base = costs.Costs.bus_process_ns in
+        match msg.payload with
+        | Message.Map_directive _ | Message.Grant_request _
+        | Message.Unmap_directive _ ->
+          (* Privileged ops pay token verification + PTE writes. *)
+          Int64.add base (Int64.add (token_cost t) costs.Costs.iommu_program_ns)
+        | _ -> base
+      in
+      let lane = lane_for t msg.src in
+      let run () =
+        match msg.dst with
+        | Types.Bus -> handle_bus_message t msg
+        | Types.Device dst -> deliver_unicast t msg dst
+        | Types.Broadcast ->
+          Array.iteri
+            (fun id s ->
+              if id <> msg.src && s.live then begin
+                Metrics.incr t.m_broadcasts;
+                schedule_delivery t msg ~delay:costs.Costs.bus_hop_ns
+                  (fun () -> if s.live then s.handler msg)
+              end)
+            t.devices
+      in
+      match Station.try_submit lane ~service run with
+      | `Accepted -> ()
+      | `Rejected ->
+        (* Backpressure, not silence: bounce E_busy with a deterministic
+           retry-after hint (time for this lane's queue to drain) so the
+           sender can pace instead of hammering. *)
+        let retry_after_ns = Station.drain_ns lane ~now in
+        trace t "bus.busy"
+          (Printf.sprintf "%s from dev%d rejected, retry-after=%Ldns"
+             (Message.payload_tag msg.payload) msg.src retry_after_ns);
+        if msg.src >= 0 && (slot t msg.src).live then
+          reply t ~to_:msg.src ~corr:msg.corr
+            (Message.Error_msg
+               {
+                 code = Types.E_busy;
+                 detail = Message.busy_detail ~retry_after_ns;
+               })
+    end
+  in
+  if Engine.sanitizing t.engine then
+    Engine.schedule
+      ~label:(fun () -> frame_desc msg)
+      t.engine ~delay:costs.Costs.bus_hop_ns arrive
+  else Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns arrive
 
 let notify t ~src ~dst ~queue =
   let costs = Engine.costs t.engine in
@@ -626,9 +658,7 @@ let notify t ~src ~dst ~queue =
       Message.make ~src ~dst:(Types.Device dst) ~corr:0
         (Message.Doorbell { queue })
     in
-    let desc = frame_desc msg in
-    account_frame t desc;
-    Engine.schedule ~label:desc t.engine ~delay:costs.Costs.doorbell_ns
+    schedule_frame t msg ~delay:costs.Costs.doorbell_ns
       (fun () -> if s.live then s.handler msg)
   end
 

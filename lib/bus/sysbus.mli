@@ -142,3 +142,27 @@ val notify : t -> src:Types.device_id -> dst:Types.device_id -> queue:int -> uni
 (** Data-plane doorbell: an MSI-style memory write (§2.3 Notifications).
     Delivered directly with only the doorbell cost — it does not occupy the
     bus's message processor. Dropped if the target is not live. *)
+
+(** {1 Frame digest contract}
+
+    The sanitizer's bus probe digests every scheduled frame. The digest is
+    defined over the frame description string [frame_desc], but the hot
+    path never formats it: [frame_hash]/[frame_key] stream the same bytes
+    through the {!Lastcpu_sim.Sanitizer} fnv fold. The equivalences
+    [frame_hash msg = Sanitizer.hash_string frame_digest_seed
+    (frame_desc msg)] and [frame_key msg = Faults.key_of_string
+    (frame_desc msg)] are pinned by unit tests; exposed here so the tests
+    can state them verbatim. *)
+
+val frame_desc : Message.t -> string
+(** ["bus:<src>><dst>:<payload-tag>"] — the canonical frame description. *)
+
+val frame_digest_seed : int64
+(** Seed of the frame digest hash (the bytes of ["frame"]). *)
+
+val frame_hash : Message.t -> int64
+(** Streaming hash of [frame_desc msg] under [frame_digest_seed]. *)
+
+val frame_key : Message.t -> int64
+(** Streaming fault-injection key of [frame_desc msg]; equals
+    [Lastcpu_sim.Faults.key_of_string (frame_desc msg)]. *)

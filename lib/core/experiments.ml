@@ -317,14 +317,18 @@ let t1 ?(enable_tokens = true) () =
 
 (* --- KVS workload machinery (used by T2 and T7) ------------------------------- *)
 
-(* A closed-loop remote client on the simulated network. *)
-let client_counter = ref 0
+(* A closed-loop remote client on the simulated network. Client endpoints
+   are named per-network ("client-<endpoint count>"): a process-global
+   counter would be shared mutable state across the parallel runner's
+   domains. *)
+let fresh_client net =
+  Netsim.endpoint net
+    ~name:(Printf.sprintf "client-%d" (Netsim.endpoint_count net))
 
 let kv_closed_loop_client system ~app_addr ~ops ~think_ns ~make_op ~lat ~on_done =
   let engine = System.engine system in
   let net = System.net system in
-  incr client_counter;
-  let ep = Netsim.endpoint net ~name:(Printf.sprintf "client-%d" !client_counter) in
+  let ep = fresh_client net in
   let outstanding = Hashtbl.create 4 in
   let sent = ref 0 in
   let completed = ref 0 in
@@ -1408,10 +1412,7 @@ let t13_chaos_client system ~app_addr ~ops ~think_ns ~op_timeout ~op_retries
     ~make_op ~stats ~on_done =
   let engine = System.engine system in
   let net = System.net system in
-  incr client_counter;
-  let ep =
-    Netsim.endpoint net ~name:(Printf.sprintf "client-%d" !client_counter)
-  in
+  let ep = fresh_client net in
   let outstanding : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let sent = ref 0 in
   let finished = ref 0 in
@@ -1775,10 +1776,7 @@ let t14_goodput_pct stats phase =
 let t14_open_loop_client system ~app_addr ~start_ns ~schedule ~stats =
   let engine = System.engine system in
   let net = System.net system in
-  incr client_counter;
-  let ep =
-    Netsim.endpoint net ~name:(Printf.sprintf "client-%d" !client_counter)
-  in
+  let ep = fresh_client net in
   Netsim.set_receiver ep (fun ~src:_ frame ->
       match Kv_proto.decode_response frame with
       | Error _ -> ()
@@ -2067,6 +2065,28 @@ let sanitize_journal ~exp ~seed ~tie =
   Engine.sanitizer_journal (engine_of_system system)
 
 let sanitize_experiments = [ "t1"; "t13"; "t14" ]
+
+(* One full run of a digest-pinned experiment, returning the soaked
+   system (the bench reads events-executed and wall time off it). *)
+let soaked_system ~exp ~seed =
+  match exp with
+  | "t1" ->
+    let system, _ = t1_decentralized ~seed ~enable_tokens:true () in
+    system
+  | "t13" ->
+    let system, _, _, _, _ = t13_decentralized ~seed () in
+    system
+  | "t14" ->
+    let system, _, _, _, _ = t14_decentralized ~seed ~guards:true () in
+    system
+  | _ -> invalid_arg ("soaked_system: unknown experiment " ^ exp)
+
+(* Golden-digest hook: one full run of an experiment, reduced to the
+   metrics digest. The determinism-equivalence test pins these values, so
+   hot-path changes (lazy labels, heap tuning) are provably observation-
+   preserving. *)
+let metrics_digest ~exp ~seed =
+  Metrics.digest (Engine.metrics (System.engine (soaked_system ~exp ~seed)))
 
 let sanitize ?(seed = 42L) ~exp () =
   let reference = sanitize_journal ~exp ~seed ~tie:Engine.Fifo in

@@ -104,6 +104,26 @@ type sanitize_report = {
 val sanitize_experiments : string list
 (** Experiment ids the sanitizer can drive (["t1"; "t13"; "t14"]). *)
 
+val soaked_system : exp:string -> seed:int64 -> System.t
+(** Build and run experiment [exp] ("t1", "t13" or "t14") to completion
+    with the given seed, returning the soaked system. The bench reads
+    events-executed and the metrics registry off it. *)
+
+val metrics_digest : exp:string -> seed:int64 -> int64
+(** Build and run experiment [exp] ("t1", "t13" or "t14") with the given
+    seed and return the {!Lastcpu_sim.Metrics.digest} of its telemetry
+    registry. This is the golden value the determinism-equivalence test
+    pins: hot-path optimisations must keep it bit-identical. *)
+
+val sanitize_journal :
+  exp:string ->
+  seed:int64 ->
+  tie:Lastcpu_sim.Heap.tie_break ->
+  Lastcpu_sim.Sanitizer.tick list
+(** The full sanitizer journal of one run of [exp] under the given
+    tie-break (the raw material {!sanitize} compares; exposed so the
+    golden determinism test can pin journals, labels included). *)
+
 val sanitize : ?seed:int64 -> exp:string -> unit -> sanitize_report list
 (** Run experiment [exp] once under the contractual FIFO same-tick order
     and once per perturbed tie-break (LIFO and seed-salted), journalling an

@@ -59,6 +59,7 @@ type t = {
   conns : (int, connection_info) Hashtbl.t;
   mutable next_corr : int;
   mutable next_conn : int;
+  mutable next_queue : int;
   (* Ring of recently completed correlation ids: a response that arrives
      after its request timed out (or after a duplicate already completed
      it) is swallowed and counted instead of leaking to the app handler. *)
@@ -298,6 +299,7 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       conns = Hashtbl.create 8;
       next_corr = 0;
       next_conn = 1;
+      next_queue = 1;
       recent = Array.make recent_size (-1);
       recent_idx = 0;
       failed_watchers = [];
@@ -362,6 +364,16 @@ let fresh_connection t =
   let c = t.next_conn in
   t.next_conn <- c + 1;
   c
+
+(* Queue ids are device-scoped (the device id prefixes the low counter
+   bits), so the counter lives on the device, not in a process global:
+   experiments running concurrently on separate domains must not share
+   mutable state, and a shared counter would make queue-id values depend
+   on cross-run interleaving. *)
+let fresh_queue_id t =
+  let q = (t.dev_id lsl 12) lor (t.next_queue land 0xfff) in
+  t.next_queue <- t.next_queue + 1;
+  q
 
 let start t =
   if not t.is_started then begin

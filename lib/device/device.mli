@@ -69,6 +69,11 @@ val add_service : t -> service_impl -> unit
 val fresh_connection : t -> int
 (** Mint a connection id (for [on_open] implementations). *)
 
+val fresh_queue_id : t -> int
+(** Mint a run-unique virtqueue id, prefixed with this device's id. The
+    counter is per-device (not a process global) so concurrent experiment
+    runs on separate domains stay bit-deterministic. *)
+
 val start : t -> unit
 (** Self-test (a short virtual delay), then announce [Device_alive] with
     the registered services (§2.2 System Initialization). *)

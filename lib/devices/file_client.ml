@@ -114,8 +114,6 @@ let on_doorbell t () =
 
 (* Connection (the Figure-2 sequence) ---------------------------------------- *)
 
-let next_queue_id = ref 0
-
 let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64)
     ?req_timeout ?req_retries k =
   let fail stage code =
@@ -184,10 +182,7 @@ let connect dev ~memctl ~pasid ~shm_va ~user ~path_hint ?auth ?(queue_size = 64)
                                   resp_va = Int64.add base (Int64.of_int slot_bytes);
                                 })
                           in
-                          incr next_queue_id;
-                          let queue_id =
-                            (Device.id dev lsl 12) lor (!next_queue_id land 0xfff)
-                          in
+                          let queue_id = Device.fresh_queue_id dev in
                           let t =
                             {
                               dev;

@@ -2,6 +2,7 @@ module Engine = Lastcpu_sim.Engine
 module Station = Lastcpu_sim.Station
 module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
+module Sanitizer = Lastcpu_sim.Sanitizer
 
 type endpoint = {
   net : t;
@@ -45,6 +46,7 @@ let endpoint t ~name =
 
 let address ep = ep.addr
 let name ep = ep.ep_name
+let endpoint_count t = Array.length t.endpoints
 let set_receiver ep f = ep.rx <- Some f
 
 let serialisation_ns t frame =
@@ -65,6 +67,27 @@ let deliver t ~src ~dst frame =
       rx ~src frame
   end
 
+(* Fault content key: equals [Faults.key_of_string] of
+   ["net:<src>><dst>:<frame>"], folded directly through the streaming FNV
+   so the hot path never materialises that description (which would copy
+   the whole frame into a fresh string). *)
+let frame_fault_key ~src ~dst frame =
+  let h = Sanitizer.fnv_string Faults.key_init "net:" in
+  let h = Sanitizer.fnv_int h src in
+  let h = Sanitizer.fnv_char h '>' in
+  let h = Sanitizer.fnv_int h dst in
+  let h = Sanitizer.fnv_char h ':' in
+  Sanitizer.fnv_finish (Sanitizer.fnv_string h frame)
+
+let fly t ~src ~dst ~extra frame =
+  let delay = Int64.add (link_ns t) extra in
+  let deliver () = deliver t ~src ~dst frame in
+  if Engine.sanitizing t.engine then
+    Engine.schedule
+      ~label:(fun () -> Printf.sprintf "net:%d>%d" src dst)
+      t.engine ~delay deliver
+  else Engine.schedule t.engine ~delay deliver
+
 let send ep ~dst frame =
   let t = ep.net in
   let src = ep.addr in
@@ -73,21 +96,11 @@ let send ep ~dst frame =
      (which reorders it past later frames). *)
   Station.submit ep.egress ~service:(serialisation_ns t frame) (fun () ->
       let faults = Engine.faults t.engine in
-      let key () =
-        Faults.key_of_string (Printf.sprintf "net:%d>%d:%s" src dst frame)
-      in
-      if Faults.active faults && Faults.drop_frame faults ~key:(key ()) then
-        Metrics.incr t.m_dropped
+      if not (Faults.active faults) then fly t ~src ~dst ~extra:0L frame
       else begin
-        let extra =
-          if Faults.active faults then Faults.reorder_delay faults ~key:(key ())
-          else 0L
-        in
-        Engine.schedule
-          ~label:(Printf.sprintf "net:%d>%d" src dst)
-          t.engine
-          ~delay:(Int64.add (link_ns t) extra)
-          (fun () -> deliver t ~src ~dst frame)
+        let key = frame_fault_key ~src ~dst frame in
+        if Faults.drop_frame faults ~key then Metrics.incr t.m_dropped
+        else fly t ~src ~dst ~extra:(Faults.reorder_delay faults ~key) frame
       end)
 
 let broadcast ep frame =

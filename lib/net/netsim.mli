@@ -17,6 +17,11 @@ val endpoint : t -> name:string -> endpoint
 val address : endpoint -> int
 val name : endpoint -> string
 
+val endpoint_count : t -> int
+(** Number of attached endpoints. Useful for minting deterministic
+    per-network endpoint names ("client-<n>") without any process-global
+    counter, which parallel experiment runs must avoid. *)
+
 val set_receiver : endpoint -> (src:int -> string -> unit) -> unit
 (** Frame-arrival handler (at most one; replaces any previous). *)
 

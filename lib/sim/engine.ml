@@ -7,11 +7,17 @@
    comparing journals exposes any event pair whose relative order leaks
    into observable state: a same-tick ordering race. The journal carries
    event labels so a divergence names the colliding events, not just the
-   timestamp. *)
+   timestamp.
+
+   Hot-path notes. The queue holds bare [unit -> unit] closures — no
+   per-event record. Labels are thunks and are forced only in sanitize
+   mode, at schedule time, where the event is wrapped so running it
+   records its label into the current tick group; with sanitize off a
+   scheduled closure goes into the heap untouched and its label thunk is
+   never called. [run] with no bounds is a tight step loop with no
+   per-event peek allocation. *)
 
 type tie_break = Heap.tie_break = Fifo | Lifo | Salted of int64
-
-type ev = { label : string; fn : unit -> unit }
 
 (* Journalling state, allocated only when [sanitize] is on. Event groups
    are flushed lazily: a tick is recorded when the first event of a LATER
@@ -26,29 +32,31 @@ type sani = {
 
 type t = {
   mutable clock : int64;
-  queue : ev Heap.t;
+  queue : (unit -> unit) Heap.t;
   costs : Costs.t;
   trace : Trace.t;
   rng : Rng.t;
   metrics : Metrics.t;
   faults : Faults.t;
   mutable next_span : int;
+  mutable executed : int;
   sani : sani option;
   mutable probes : (unit -> int64) list; (* order-insensitive: summed *)
 }
 
 let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
-    ?(tie = Fifo) ?(sanitize = false) () =
+    ?(tie = Fifo) ?(sanitize = false) ?(queue_hint = 0) () =
   let metrics = Metrics.create () in
   {
     clock = 0L;
-    queue = Heap.create ~tie ();
+    queue = Heap.create ~tie ~hint:queue_hint ();
     costs;
     trace = Trace.create ?capacity:trace_capacity ();
     rng = Rng.create ~seed;
     metrics;
     faults = Faults.create ?plan:fault_plan ~seed metrics;
     next_span = 0;
+    executed = 0;
     sani =
       (if sanitize then
          Some { cur_time = -1L; cur_labels = []; cur_count = 0; ticks = [] }
@@ -64,6 +72,7 @@ let fork_rng t = Rng.split t.rng
 let metrics t = t.metrics
 let faults t = t.faults
 let sanitizing t = t.sani <> None
+let tracing t = Trace.enabled t.trace
 
 let register_probe t f = t.probes <- f :: t.probes
 
@@ -94,20 +103,33 @@ let sanitizer_journal t =
     s.cur_time <- -1L;
     List.rev s.ticks
 
-let schedule_at ?(label = "") t ~time f =
+let schedule_at ?label t ~time f =
   assert (time >= t.clock);
-  Heap.push t.queue ~priority:time { label; fn = f }
+  match t.sani with
+  | None -> Heap.push t.queue ~priority:time f
+  | Some s ->
+    (* Sanitize mode: force the label now and wrap the event so running it
+       records itself into the current tick group. The tick bookkeeping in
+       [step] (flush on time change) happens before the wrapper runs, so
+       the journal sequencing is identical to recording in [step]. *)
+    let lbl = match label with None -> "" | Some l -> l () in
+    Heap.push t.queue ~priority:time (fun () ->
+        s.cur_labels <- lbl :: s.cur_labels;
+        s.cur_count <- s.cur_count + 1;
+        f ())
 
 let schedule ?label t ~delay f =
   assert (delay >= 0L);
   schedule_at ?label t ~time:(Int64.add t.clock delay) f
 
 let pending t = Heap.length t.queue
+let events_executed t = t.executed
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, ev) ->
+  if Heap.is_empty t.queue then false
+  else begin
+    let time = Heap.top_prio t.queue in
+    let fn = Heap.pop_top t.queue in
     (match t.sani with
     | None -> ()
     | Some s ->
@@ -118,34 +140,40 @@ let step t =
         s.cur_time <- time;
         s.cur_labels <- [];
         s.cur_count <- 0
-      end;
-      s.cur_labels <- ev.label :: s.cur_labels;
-      s.cur_count <- s.cur_count + 1);
+      end);
     t.clock <- time;
-    ev.fn ();
+    t.executed <- t.executed + 1;
+    fn ();
     true
+  end
 
 let run ?until ?max_events t =
-  let executed = ref 0 in
-  let budget_left () =
-    match max_events with None -> true | Some m -> !executed < m
-  in
-  let rec loop () =
-    if budget_left () then
-      match Heap.peek t.queue with
-      | None -> ()
-      | Some (time, _) ->
-        (match until with
+  match (until, max_events) with
+  | None, None ->
+    (* The common whole-run drain: nothing to check per event. *)
+    while step t do
+      ()
+    done
+  | _ ->
+    let executed = ref 0 in
+    let budget_left () =
+      match max_events with None -> true | Some m -> !executed < m
+    in
+    let rec loop () =
+      if budget_left () && not (Heap.is_empty t.queue) then begin
+        let time = Heap.top_prio t.queue in
+        match until with
         | Some stop when time > stop -> t.clock <- stop
         | Some _ | None ->
           ignore (step t);
           incr executed;
-          loop ())
-  in
-  loop ();
-  match until with
-  | Some stop when Heap.is_empty t.queue && t.clock < stop -> t.clock <- stop
-  | Some _ | None -> ()
+          loop ()
+      end
+    in
+    loop ();
+    (match until with
+    | Some stop when Heap.is_empty t.queue && t.clock < stop -> t.clock <- stop
+    | Some _ | None -> ())
 
 let trace_event t ~actor ~kind detail =
   Trace.append t.trace ~time:t.clock ~actor ~kind detail

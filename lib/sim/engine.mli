@@ -6,6 +6,12 @@
     The engine also carries the run-wide trace and root PRNG so that every
     subsystem shares one deterministic context.
 
+    {b Hot path.} The queue stores bare closures; event labels are lazy
+    thunks consumed only in sanitize mode. With sanitize off, scheduling
+    an event allocates nothing beyond the heap entry, and a label thunk
+    passed to {!schedule} is never forced — call sites that would have to
+    allocate the thunk itself should branch on {!sanitizing} instead.
+
     {b Sanitize mode} (opt-in) journals observable state after every tick
     that executed two or more events. Replaying the same workload with a
     perturbed [tie] and comparing journals (see {!Sanitizer}) exposes
@@ -27,11 +33,15 @@ val create :
   ?fault_plan:Faults.plan ->
   ?tie:tie_break ->
   ?sanitize:bool ->
+  ?queue_hint:int ->
   unit ->
   t
 (** Fresh engine at time 0. [seed] defaults to [42L]; [fault_plan] to
     {!Faults.zero} (no injection); [tie] to [Fifo]; [sanitize] to [false]
-    (no journalling overhead). *)
+    (no journalling overhead). [trace_capacity] bounds the retained trace;
+    [0] disables event tracing entirely (spans still time into metrics —
+    see {!Trace.enabled}). [queue_hint] pre-sizes the event queue so
+    steady-state workloads never pay a heap growth copy. *)
 
 val now : t -> int64
 (** Current virtual time in nanoseconds. *)
@@ -44,16 +54,23 @@ val rng : t -> Rng.t
 val fork_rng : t -> Rng.t
 (** An independent stream derived from the root. *)
 
-val schedule : ?label:string -> t -> delay:int64 -> (unit -> unit) -> unit
+val schedule :
+  ?label:(unit -> string) -> t -> delay:int64 -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t + delay]. [delay >= 0].
-    [label] (default [""]) names the event in sanitizer race reports; give
-    one wherever events can share a timestamp. *)
+    [label] names the event in sanitizer race reports; it is a thunk,
+    forced only in sanitize mode (at schedule time), so hot paths pay no
+    formatting when no sanitizer will read it. Give one wherever events
+    can share a timestamp. *)
 
-val schedule_at : ?label:string -> t -> time:int64 -> (unit -> unit) -> unit
+val schedule_at :
+  ?label:(unit -> string) -> t -> time:int64 -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
 
 val pending : t -> int
 (** Number of queued events. *)
+
+val events_executed : t -> int
+(** Total events run so far — the denominator for events/sec reporting. *)
 
 val run : ?until:int64 -> ?max_events:int -> t -> unit
 (** [run t] executes events until the queue is empty, [until] (inclusive)
@@ -65,6 +82,11 @@ val step : t -> bool
 
 val trace_event : t -> actor:string -> kind:string -> string -> unit
 (** Append to the run trace at the current virtual time. *)
+
+val tracing : t -> bool
+(** Whether the trace retains events ([trace_capacity] was not [0]).
+    Call sites that format trace detail strings eagerly should skip the
+    work when this is [false]. *)
 
 val metrics : t -> Metrics.t
 (** The run-wide telemetry registry: all subsystem counters, gauges and

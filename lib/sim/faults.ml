@@ -121,7 +121,12 @@ let active t = t.c <> None
 
 let tally t pick = match t.c with None -> () | Some c -> Metrics.incr (pick c)
 
-let key_of_string s = Sanitizer.hash_string 0x6b65795fL s
+(* Content keys are FNV hashes under a dedicated seed; [key_init] exposes
+   the seeded streaming state so hot paths can fold route fields directly
+   (via the Sanitizer fnv fold) and land on the same key [key_of_string]
+   gives for the formatted description. *)
+let key_init = Sanitizer.fnv_init 0x6b65795fL
+let key_of_string s = Sanitizer.fnv_finish (Sanitizer.fnv_string key_init s)
 
 (* Fault classes: each decision site mixes in a distinct class id so one
    key yields independent decisions per class. *)

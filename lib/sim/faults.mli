@@ -60,6 +60,13 @@ val key_of_string : string -> int64
     simulation-stable data only — never from memory addresses or
     iteration-order-dependent state. *)
 
+val key_init : int64
+(** Seeded initial state for building a content key with the streaming
+    {!Sanitizer.fnv_byte}/[fnv_string]/[fnv_int] fold:
+    [Sanitizer.fnv_finish (fold over key_init)] equals {!key_of_string} of
+    the equivalent formatted description. Hot paths use this to key faults
+    without allocating the description string. *)
+
 (** {2 Injection predicates} — each decides as a pure function of
     (seed, [key], class, occurrence) only when its rate is non-zero, and
     bumps the matching registry counter when the fault fires. Calling a

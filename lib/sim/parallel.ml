@@ -1,0 +1,55 @@
+(* Domain-pool runner for independent experiment tasks.
+
+   Each simulation run owns its engine (clock, queue, RNG, telemetry), so
+   distinct runs share no mutable state and can execute on separate domains
+   with per-run determinism untouched. The only coordination is the work
+   index (an atomic ticket counter) and the results array, written at
+   distinct slots and read only after every domain is joined — [Domain.join]
+   is the synchronisation point the OCaml memory model requires.
+
+   Output ordering is the caller's concern by construction: results come
+   back positionally, in submission order, regardless of which domain
+   finished first. *)
+
+let run_jobs ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then
+    (* Sequential degenerate case: identical to the parallel path's
+       semantics, with no domains spawned (used by --jobs 1 and by
+       single-task lists). *)
+    Array.to_list (Array.map (fun task -> task ()) tasks)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* Trap the exception rather than let it tear down the domain:
+             the caller gets every task's outcome and re-raises the first
+             failure after all domains are joined. *)
+          (results.(i) <-
+            (match tasks.(i) () with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error e)));
+          go ()
+        end
+      in
+      go ()
+    in
+    let helpers =
+      Array.init
+        (min jobs n - 1)
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end

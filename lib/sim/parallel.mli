@@ -1,0 +1,15 @@
+(** Multicore runner for independent simulation tasks.
+
+    Every experiment run owns its engine and therefore its entire mutable
+    world; runs are embarrassingly parallel. [run_jobs] fans a list of
+    thunks out over OCaml 5 domains while keeping the results positional,
+    so callers print in submission order and a parallel run's output is
+    byte-identical to a sequential one. *)
+
+val run_jobs : jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_jobs ~jobs tasks] executes every task and returns their results
+    in task-list order. At most [jobs] domains run concurrently (the
+    calling domain counts as one); [jobs <= 1] or a single task runs
+    sequentially with no domain spawned. Tasks must not share mutable
+    state. If a task raises, every task still completes, then the
+    exception of the earliest-submitted failing task is re-raised. *)

@@ -48,17 +48,44 @@ let mix64 z =
 
 let combine h v = mix64 (Int64.add (Int64.logxor h v) 0x9E3779B97F4A7C15L)
 
+(* FNV-1a, exposed as a streaming fold so hot paths can hash a value
+   piecewise (fields, digit runs) with the exact result they would get
+   from hashing the formatted string — without ever building the string.
+   The seeded init and the final mix are what make piecewise use
+   non-obvious: chaining two [hash_string] calls is NOT the hash of the
+   concatenation, but [fnv_init .. fnv_string/fnv_int* .. fnv_finish]
+   is. *)
+
+let fnv_init seed = Int64.logxor seed 0xCBF29CE484222325L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) 0x100000001B3L
+
+let fnv_char h c = fnv_byte h (Char.code c)
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_char !h c) s;
+  !h
+
+(* Folds the decimal rendering of [n] — the exact bytes [Printf.sprintf
+   "%d" n] would produce, sign included. Digits are peeled with negative
+   arithmetic so [min_int] needs no special case. *)
+let fnv_int h n =
+  if n = 0 then fnv_char h '0'
+  else begin
+    let h = if n < 0 then fnv_char h '-' else h in
+    let rec digits h m =
+      (* m < 0; m mod 10 is in [-9, 0] *)
+      let h = if m <= -10 then digits h (m / 10) else h in
+      fnv_char h (Char.chr (Char.code '0' - (m mod 10)))
+    in
+    digits h (if n > 0 then -n else n)
+  end
+
+let fnv_finish h = mix64 h
+
 (* FNV-1a over the bytes, finished with the mixer; [seed] chains calls. *)
-let hash_string seed s =
-  let h = ref (Int64.logxor seed 0xCBF29CE484222325L) in
-  String.iter
-    (fun c ->
-      h :=
-        Int64.mul
-          (Int64.logxor !h (Int64.of_int (Char.code c)))
-          0x100000001B3L)
-    s;
-  mix64 !h
+let hash_string seed s = fnv_finish (fnv_string (fnv_init seed) s)
 
 (* --- journal comparison ------------------------------------------------ *)
 

@@ -41,3 +41,32 @@ val combine : int64 -> int64 -> int64
 
 val hash_string : int64 -> string -> int64
 (** FNV-1a over the bytes, chained from [seed], finished with {!mix64}. *)
+
+(** {3 Streaming FNV-1a}
+
+    [hash_string seed s] is exactly
+    [fnv_finish (fnv_string (fnv_init seed) s)]. Hot paths use the split
+    form to hash a value field-by-field with the same result they would
+    get from hashing the formatted description — without allocating the
+    string. Note that chaining two {!hash_string} calls is {e not} the
+    hash of the concatenation (seeded init, final mix); only the split
+    form composes. *)
+
+val fnv_init : int64 -> int64
+(** Start a streaming hash from a seed. *)
+
+val fnv_byte : int64 -> int -> int64
+(** Fold one byte (low 8 bits significant by convention). *)
+
+val fnv_char : int64 -> char -> int64
+(** Fold one character. *)
+
+val fnv_string : int64 -> string -> int64
+(** Fold every byte of a string. *)
+
+val fnv_int : int64 -> int -> int64
+(** Fold the decimal rendering of an int — the exact bytes
+    [Printf.sprintf "%d" n] would contribute, sign included. *)
+
+val fnv_finish : int64 -> int64
+(** Finish the stream (applies {!mix64}). *)

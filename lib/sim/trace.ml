@@ -4,27 +4,38 @@ type t = {
   mutable entries : entry list;  (* newest first *)
   mutable length : int;
   capacity : int option;
+  enabled : bool;  (* capacity Some 0 = tracing off: appends are no-ops *)
   open_spans : (string, int64) Hashtbl.t; (* "name#id" -> begin time *)
 }
 
 let create ?capacity () =
-  { entries = []; length = 0; capacity; open_spans = Hashtbl.create 16 }
+  {
+    entries = [];
+    length = 0;
+    capacity;
+    enabled = capacity <> Some 0;
+    open_spans = Hashtbl.create 16;
+  }
+
+let enabled t = t.enabled
 
 let append t ~time ~actor ~kind detail =
-  t.entries <- { time; actor; kind; detail } :: t.entries;
-  t.length <- t.length + 1;
-  match t.capacity with
-  | Some cap when t.length > cap ->
-    (* Dropping the oldest entry of a singly-linked list is O(n); traces
-       with a capacity are small (ring-buffer-like use), so this is fine. *)
-    let rec keep n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | x :: rest -> x :: keep (n - 1) rest
-    in
-    t.entries <- keep cap t.entries;
-    t.length <- cap
-  | Some _ | None -> ()
+  if t.enabled then begin
+    t.entries <- { time; actor; kind; detail } :: t.entries;
+    t.length <- t.length + 1;
+    match t.capacity with
+    | Some cap when t.length > cap ->
+      (* Dropping the oldest entry of a singly-linked list is O(n); traces
+         with a capacity are small (ring-buffer-like use), so this is fine. *)
+      let rec keep n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: keep (n - 1) rest
+      in
+      t.entries <- keep cap t.entries;
+      t.length <- cap
+    | Some _ | None -> ()
+  end
 
 let length t = t.length
 let entries t = List.rev t.entries

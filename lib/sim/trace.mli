@@ -16,7 +16,14 @@ type t
 
 val create : ?capacity:int -> unit -> t
 (** [create ?capacity ()] is an empty trace. [capacity] bounds retained
-    entries (oldest dropped first); default keeps everything. *)
+    entries (oldest dropped first); default keeps everything. [~capacity:0]
+    disables entry retention entirely — appends become no-ops — while span
+    timing (the begin-time side table) keeps working, so metrics histograms
+    fed from spans are unaffected by running trace-off. *)
+
+val enabled : t -> bool
+(** [false] iff created with [~capacity:0]: appends are dropped, and call
+    sites can skip building detail strings altogether. *)
 
 val append : t -> time:int64 -> actor:string -> kind:string -> string -> unit
 val length : t -> int

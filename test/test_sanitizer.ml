@@ -18,8 +18,8 @@ let journal_of ~tie f g =
   let engine = Engine.create ~tie ~sanitize:true () in
   let x = ref 1 in
   Engine.register_probe engine (fun () -> Int64.of_int !x);
-  Engine.schedule_at ~label:"first" engine ~time:100L (fun () -> x := f !x);
-  Engine.schedule_at ~label:"second" engine ~time:100L (fun () -> x := g !x);
+  Engine.schedule_at ~label:(fun () -> "first") engine ~time:100L (fun () -> x := f !x);
+  Engine.schedule_at ~label:(fun () -> "second") engine ~time:100L (fun () -> x := g !x);
   Engine.run engine;
   Engine.sanitizer_journal engine
 

@@ -37,6 +37,69 @@ let test_heap_clear () =
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.length h)
 
+(* Pop order among equal priorities under each tie-break mode. *)
+let tie_order tie =
+  let h = Heap.create ~tie () in
+  List.iter (fun v -> Heap.push h ~priority:7L v) [ "a"; "b"; "c"; "d" ];
+  List.map snd (Heap.to_sorted_list h)
+
+let test_heap_lifo_ties () =
+  Alcotest.(check (list string))
+    "LIFO among ties" [ "d"; "c"; "b"; "a" ] (tie_order Heap.Lifo)
+
+let test_heap_salted_ties () =
+  let o1 = tie_order (Heap.Salted 0xABCL) in
+  let o2 = tie_order (Heap.Salted 0xABCL) in
+  Alcotest.(check (list string)) "salted order is deterministic" o1 o2;
+  Alcotest.(check (list string))
+    "salted order is a permutation of the ties"
+    [ "a"; "b"; "c"; "d" ] (List.sort compare o1)
+
+(* A small hint must not cap the heap: growth past the initial capacity
+   keeps every entry and the order. *)
+let test_heap_growth () =
+  let h = Heap.create ~hint:2 () in
+  for i = 999 downto 0 do
+    Heap.push h ~priority:(Int64.of_int i) i
+  done;
+  Alcotest.(check (list int))
+    "sorted after growth" (List.init 1000 Fun.id)
+    (List.map snd (Heap.to_sorted_list h))
+
+let test_heap_top_accessors () =
+  let h = Heap.create () in
+  Alcotest.check_raises "top_prio on empty"
+    (Invalid_argument "Heap.top_prio: empty heap") (fun () ->
+      ignore (Heap.top_prio h));
+  Alcotest.check_raises "pop_top on empty"
+    (Invalid_argument "Heap.pop_top: empty heap") (fun () ->
+      ignore (Heap.pop_top h));
+  Heap.push h ~priority:9L "late";
+  Heap.push h ~priority:4L "early";
+  Alcotest.(check int64) "top_prio" 4L (Heap.top_prio h);
+  Alcotest.(check string) "pop_top" "early" (Heap.pop_top h);
+  Alcotest.(check int64) "top_prio after pop" 9L (Heap.top_prio h)
+
+(* Regression for the pop space leak: a popped entry must not linger in the
+   vacated tail slot of the backing array. A weak pointer to the popped
+   value must die at the next major collection even though the heap (and
+   its array) stays live. *)
+let test_heap_pop_clears_slot () =
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  let push_tracked () =
+    let v = Bytes.make 8 'x' in
+    Weak.set w 0 (Some v);
+    Heap.push h ~priority:1L v
+  in
+  push_tracked ();
+  Heap.push h ~priority:2L Bytes.empty (* keeps the backing array live *);
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool)
+    "vacated slot does not retain the popped value" true (Weak.get w 0 = None);
+  Alcotest.(check int) "survivor still queued" 1 (Heap.length h)
+
 let heap_sorted_prop =
   QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:200
     QCheck.(list (int_bound 1000))
@@ -335,6 +398,11 @@ let () =
         [
           Alcotest.test_case "basic order" `Quick test_heap_basic;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "lifo ties" `Quick test_heap_lifo_ties;
+          Alcotest.test_case "salted ties" `Quick test_heap_salted_ties;
+          Alcotest.test_case "growth past hint" `Quick test_heap_growth;
+          Alcotest.test_case "top accessors" `Quick test_heap_top_accessors;
+          Alcotest.test_case "pop clears slot" `Quick test_heap_pop_clears_slot;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           QCheck_alcotest.to_alcotest heap_sorted_prop;
         ] );
