@@ -320,6 +320,21 @@ module Core_bench = struct
     let n = Engine.events_executed (System.engine system) in
     (n, float_of_int n /. dt)
 
+  (* Temporal decoupling: the T15 four-cluster soak with its shard windows
+     executed on [shards] lanes (Domains). Only the coupled phase is timed
+     (t15_run_seconds) — per-cluster bring-up is sequential in every
+     configuration. The digest is the determinism contract: it must be
+     bit-identical whatever the lane count, and a mismatch fails the bench
+     outright. The speedup row is a plain measurement: lanes can only pay
+     off with cores to run on, so on a single-core host expect <= 1x (the
+     rendezvous overhead), and on an n-core host up to ~min(n, 4)x. *)
+  let t15_end_to_end ~shards =
+    let r = Experiments.t15_soak ~shards ~clock:Sys.time ~seed:42L () in
+    let dt = Float.max r.Experiments.t15_run_seconds 1e-9 in
+    ( r.Experiments.t15_events,
+      float_of_int r.Experiments.t15_events /. dt,
+      r.Experiments.t15_digest )
+
   let json_path = "BENCH_core.json"
 
   let run () =
@@ -328,6 +343,18 @@ module Core_bench = struct
     let off_words, off_ns = bus_route ~trace:false ~msgs in
     let on_words, on_ns = bus_route ~trace:true ~msgs in
     let t1_events, t1_rate = t1_end_to_end () in
+    let t15_events, t15_rate1, t15_digest1 = t15_end_to_end ~shards:1 in
+    let t15_events4, t15_rate4, t15_digest4 = t15_end_to_end ~shards:4 in
+    if t15_digest1 <> t15_digest4 || t15_events <> t15_events4 then begin
+      Printf.eprintf
+        "FATAL: t15 digest diverged across lane counts: shards=1 \
+         0x%016Lx/%d events, shards=4 0x%016Lx/%d events — the temporal \
+         decoupling determinism contract is broken\n"
+        t15_digest1 t15_events t15_digest4 t15_events4;
+      exit 1
+    end;
+    let t15_speedup = t15_rate4 /. t15_rate1 in
+    let host_cores = Domain.recommended_domain_count () in
     print_newline ();
     print_endline "CORE — engine macro-benchmarks (real time on this host)";
     Printf.printf "  %-28s %12.2e events/s  %6.1f minor words/event\n"
@@ -338,6 +365,18 @@ module Core_bench = struct
       "bus route (trace on)" on_ns on_words;
     Printf.printf "  %-28s %12.2e events/s  (%d events)\n" "t1 end-to-end"
       t1_rate t1_events;
+    Printf.printf "  %-28s %12.2e events/s  (digest 0x%016Lx)\n"
+      "t15 soak (--shards 1)" t15_rate1 t15_digest1;
+    Printf.printf "  %-28s %12.2e events/s  (digest 0x%016Lx)\n"
+      "t15 soak (--shards 4)" t15_rate4 t15_digest4;
+    Printf.printf "  %-28s %12.2fx          (%d host cores)\n"
+      "t15 lane speedup 4 vs 1" t15_speedup host_cores;
+    if host_cores < 2 then
+      print_endline
+        "  note: single-core host — lanes cannot run concurrently, so the \
+         speedup row\n\
+        \  measures rendezvous overhead only; digests above still prove \
+         lane invariance";
     let json =
       Printf.sprintf
         "{\"schedule_pop_events_per_sec\": %.0f, \
@@ -346,9 +385,15 @@ module Core_bench = struct
          \"bus_route_trace_off_minor_words_per_msg\": %.2f, \
          \"bus_route_trace_on_ns_per_msg\": %.1f, \
          \"bus_route_trace_on_minor_words_per_msg\": %.2f, \
-         \"t1_events_executed\": %d, \"t1_events_per_sec\": %.0f}"
+         \"t1_events_executed\": %d, \"t1_events_per_sec\": %.0f, \
+         \"t15_events_executed\": %d, \
+         \"t15_shards1_events_per_sec\": %.0f, \
+         \"t15_shards4_events_per_sec\": %.0f, \
+         \"t15_speedup\": %.2f, \"t15_digest\": \"0x%016Lx\", \
+         \"t15_host_cores\": %d}"
         sched_rate sched_words off_ns off_words on_ns on_words t1_events
-        t1_rate
+        t1_rate t15_events t15_rate1 t15_rate4 t15_speedup t15_digest1
+        host_cores
     in
     let oc = open_out json_path in
     output_string oc json;
@@ -385,7 +430,7 @@ let metrics_snapshot () =
 
 let all_ids =
   [ "f1"; "f2"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9"; "t10";
-    "t11"; "t12"; "t13"; "t14" ]
+    "t11"; "t12"; "t13"; "t14"; "t15" ]
 
 (* A typo'd id must fail the invocation (CI smoke steps pass ids by hand;
    a misspelling silently running zero experiments would look green). *)

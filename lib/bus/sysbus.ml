@@ -32,6 +32,7 @@ type device_slot = {
   name : string;
   iommu : Iommu.t;
   handler : Message.t -> unit;
+  shard : int;  (* affinity; <> home shard makes this a boundary proxy *)
   mutable live : bool;
   mutable connected : bool;  (* false after fail_device *)
   mutable services : Message.service_desc list;
@@ -52,6 +53,12 @@ type counters = {
 type t = {
   engine : Engine.t;
   config : config;
+  home_shard : int;
+  (* Cross-shard mailbox, wired by Shardlink.  Every frame addressed to a
+     slot whose shard affinity differs from [home_shard] is handed here —
+     never to a local station — so the decoupling invariant (no direct
+     mutation of another shard's state) holds by construction. *)
+  mutable boundary : (dst_shard:int -> Message.t -> unit) option;
   lanes : Station.t array;
   mutable devices : device_slot array;
   controller_keys : (Types.device_id * string, Token.key) Hashtbl.t;
@@ -69,6 +76,9 @@ type t = {
   (* Registered lazily, on the first shed message: a run that never sheds
      keeps its telemetry snapshot identical to pre-overload builds. *)
   mutable m_expired : Metrics.counter option;
+  (* Same lazy policy: single-shard runs never cross a boundary, and their
+     telemetry snapshot must stay identical to pre-shard builds. *)
+  mutable m_boundary_out : Metrics.counter option;
   (* Sanitizer probe: commutative (order-insensitive) digest of every frame
      committed to the wire. Hashes route and payload kind only — corr ids,
      nonces and addresses inside payloads legally permute when same-tick
@@ -129,7 +139,9 @@ let broadcast_from_bus t payload =
   let costs = Engine.costs t.engine in
   Array.iteri
     (fun id slot ->
-      if slot.live then begin
+      (* Boundary proxies are another shard's devices: the remote bus owns
+         their management traffic, so local broadcasts skip them. *)
+      if slot.live && slot.shard = t.home_shard then begin
         let msg = Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0 payload in
         Metrics.incr t.m_broadcasts;
         schedule_frame t msg ~delay:costs.Costs.bus_hop_ns
@@ -146,7 +158,7 @@ let mark_failed t id =
     broadcast_from_bus t (Message.Device_failed { device = id })
   end
 
-let create ?(config = default_config) engine =
+let create ?(config = default_config) ?(shard = 0) engine =
   let m = Engine.metrics engine in
   let actor = Metrics.claim_actor m "bus" in
   let counter name = Metrics.counter m ~actor ~name in
@@ -157,6 +169,8 @@ let create ?(config = default_config) engine =
     {
       engine;
       config;
+      home_shard = shard;
+      boundary = None;
       lanes =
         Array.init (max 1 config.lanes) (fun _ ->
             Station.create ?capacity:config.lane_capacity
@@ -173,6 +187,7 @@ let create ?(config = default_config) engine =
       m_control_bytes = counter "control_bytes";
       m_doorbells_dropped = counter "doorbells_dropped";
       m_expired = None;
+      m_boundary_out = None;
       frame_digest = 0L;
     }
   in
@@ -219,8 +234,11 @@ let create ?(config = default_config) engine =
        let now = Engine.now t.engine in
        Array.iteri
          (fun id slot ->
+           (* Boundary proxies never heartbeat locally — liveness of the
+              real device is the remote bus's job. *)
            if
              slot.live
+             && slot.shard = t.home_shard
              && Int64.sub now slot.last_heartbeat > config.heartbeat_timeout_ns
            then begin
              Engine.trace_event t.engine ~actor:"bus" ~kind:"bus.liveness"
@@ -234,15 +252,58 @@ let create ?(config = default_config) engine =
   t
 
 let engine t = t.engine
+let home_shard t = t.home_shard
 
-let attach t ~name ~iommu ~handler =
+let set_boundary t mailbox =
+  if t.boundary <> None then
+    invalid_arg "Sysbus.set_boundary: boundary mailbox already wired";
+  t.boundary <- Some mailbox
+
+let boundary_out t =
+  match t.m_boundary_out with None -> 0 | Some c -> Metrics.counter_value c
+
+let bump_boundary_out t =
+  let c =
+    match t.m_boundary_out with
+    | Some c -> c
+    | None ->
+      let c =
+        Metrics.counter (Engine.metrics t.engine) ~actor:t.actor
+          ~name:"boundary_out"
+      in
+      t.m_boundary_out <- Some c;
+      c
+  in
+  Metrics.incr c
+
+(* Hand a frame to the cross-shard mailbox. Callers account the frame's
+   wire size against this bus segment (it does travel up to the border);
+   routing, liveness and faults past it are the remote bus's business. *)
+let boundary_post t ~dst_shard (msg : Message.t) =
+  match t.boundary with
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Sysbus: frame for shard %d but no boundary mailbox wired \
+          (Shardlink.create missing?)"
+         dst_shard)
+  | Some mailbox ->
+    bump_boundary_out t;
+    mailbox ~dst_shard msg
+
+let attach ?shard t ~name ~iommu ~handler =
   let id = Array.length t.devices in
+  let shard = match shard with None -> t.home_shard | Some s -> s in
   let slot =
     {
       name;
       iommu;
       handler;
-      live = false;
+      shard;
+      (* A boundary proxy is born live: the real device announces itself on
+         its own bus, and those management frames never cross shards.
+         Local liveness checks must not eat frames bound for the border. *)
+      live = shard <> t.home_shard;
       connected = true;
       services = [];
       last_heartbeat = 0L;
@@ -257,6 +318,8 @@ let slot t id =
   else t.devices.(id)
 
 let device_name t id = (slot t id).name
+let device_shard t id = (slot t id).shard
+let is_remote t id = (slot t id).shard <> t.home_shard
 let is_live t id = (slot t id).live
 
 let live_devices t =
@@ -318,7 +381,15 @@ let reply t ~to_ ~corr payload =
   (* Bus-originated response: one hop back to the device. *)
   let costs = Engine.costs t.engine in
   let s = slot t to_ in
-  if s.live then begin
+  if s.shard <> t.home_shard then begin
+    (* The addressee lives on another shard: defer to the boundary instead
+       of invoking a proxy handler that has no device behind it. *)
+    let msg = Message.make ~src:bus_src ~dst:(Types.Device to_) ~corr payload in
+    Metrics.incr t.m_routed;
+    Metrics.incr ~by:(Message.wire_size msg) t.m_control_bytes;
+    boundary_post t ~dst_shard:s.shard msg
+  end
+  else if s.live then begin
     let msg = Message.make ~src:bus_src ~dst:(Types.Device to_) ~corr payload in
     Metrics.incr t.m_routed;
     Metrics.incr ~by:(Message.wire_size msg) t.m_control_bytes;
@@ -545,7 +616,11 @@ let schedule_delivery t (msg : Message.t) ~delay deliver =
 let deliver_unicast t (msg : Message.t) dst =
   let costs = Engine.costs t.engine in
   let s = slot t dst in
-  if Message.expired msg ~now:(Engine.now t.engine) then begin
+  if s.shard <> t.home_shard then
+    (* Defensive: [send] diverts remote-addressed frames before they reach
+       a lane, but bus-internal paths could still route here. *)
+    boundary_post t ~dst_shard:s.shard msg
+  else if Message.expired msg ~now:(Engine.now t.engine) then begin
     (* The deadline passed while the message sat in the lane queue:
        delivering it now cannot help the requester, so shed it here
        rather than spend the target's cycles on it. *)
@@ -582,6 +657,13 @@ let send t (msg : Message.t) =
       ~actor:(if msg.src >= 0 then device_name t msg.src else "bus")
       ~kind:("msg." ^ Message.payload_tag msg.payload)
       (Format.asprintf "%a" Message.pp msg);
+  match msg.dst with
+  | Types.Device dst when (slot t dst).shard <> t.home_shard ->
+    (* Cross-shard frame: hand over at the border instead of taking a local
+       lane — the destination's station discipline belongs to its shard. *)
+    Metrics.incr t.m_routed;
+    boundary_post t ~dst_shard:(slot t dst).shard msg
+  | _ ->
   (* One hop to the bus, then the bus's FIFO processor, then delivery.
      This hop is not a frame commit (no digest contribution), so only the
      sanitizer label is at stake — branch rather than allocate a thunk. *)
@@ -609,9 +691,12 @@ let send t (msg : Message.t) =
         | Types.Bus -> handle_bus_message t msg
         | Types.Device dst -> deliver_unicast t msg dst
         | Types.Broadcast ->
+          (* Broadcast scope is the local shard; boundary proxies are
+             skipped (a cross-shard fan-out would need a link per shard,
+             which Shardlink callers set up explicitly when they want it). *)
           Array.iteri
             (fun id s ->
-              if id <> msg.src && s.live then begin
+              if id <> msg.src && s.live && s.shard = t.home_shard then begin
                 Metrics.incr t.m_broadcasts;
                 schedule_delivery t msg ~delay:costs.Costs.bus_hop_ns
                   (fun () -> if s.live then s.handler msg)
@@ -646,7 +731,17 @@ let send t (msg : Message.t) =
 let notify t ~src ~dst ~queue =
   let costs = Engine.costs t.engine in
   let s = slot t dst in
-  if not s.live then begin
+  if s.shard <> t.home_shard then begin
+    (* A doorbell ringing across the border rides the boundary mailbox
+       like any other frame; the remote bus applies its own doorbell cost
+       and liveness check on arrival. *)
+    let msg =
+      Message.make ~src ~dst:(Types.Device dst) ~corr:0
+        (Message.Doorbell { queue })
+    in
+    boundary_post t ~dst_shard:s.shard msg
+  end
+  else if not s.live then begin
     (* A doorbell to a dead device is a write to nowhere: count it so the
        silence is visible in telemetry instead of a mystery hang. *)
     Metrics.incr t.m_doorbells_dropped;

@@ -39,23 +39,60 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> Lastcpu_sim.Engine.t -> t
+val create : ?config:config -> ?shard:int -> Lastcpu_sim.Engine.t -> t
+(** [shard] (default [0]) is this bus's home shard id in a temporally
+    decoupled run; attached slots default to it. Single-shard runs never
+    need to pass it. *)
+
 val engine : t -> Lastcpu_sim.Engine.t
+
+val home_shard : t -> int
 
 (** {1 Attachment and liveness} *)
 
 val attach :
+  ?shard:int ->
   t ->
   name:string ->
   iommu:Iommu.t ->
   handler:(Message.t -> unit) ->
   Types.device_id
 (** Physically connect a device. It is not live (routable) until its
-    [Device_alive] is processed. The handler runs at message-delivery time. *)
+    [Device_alive] is processed. The handler runs at message-delivery time.
+
+    [shard] (default the bus's home shard) is the slot's shard affinity.
+    A slot whose affinity differs from the home shard is a {e boundary
+    proxy}: frames addressed to it are handed to the boundary mailbox (see
+    {!set_boundary}) instead of a local station, its handler is never
+    invoked, and local broadcasts and the heartbeat sweep skip it. *)
 
 val device_name : t -> Types.device_id -> string
+
+val device_shard : t -> Types.device_id -> int
+(** The slot's shard affinity (the home shard for ordinary devices). *)
+
+val is_remote : t -> Types.device_id -> bool
+(** Whether the slot is a boundary proxy (affinity differs from home). *)
+
 val is_live : t -> Types.device_id -> bool
 val live_devices : t -> Types.device_id list
+
+(** {1 Cross-shard boundary}
+
+    In a temporally decoupled run ({!Lastcpu_sim.Temporal}) every
+    cross-shard interaction leaves this bus through one funnel: the
+    boundary mailbox. [send], [reply], [notify] and unicast delivery all
+    divert to it when the destination slot's affinity is remote, so no
+    local station ever queues work for another shard's state — the
+    decoupling invariant the D006 lint rule enforces at call sites. *)
+
+val set_boundary : t -> (dst_shard:int -> Message.t -> unit) -> unit
+(** Wire the cross-shard mailbox (done once, by [Shardlink.create]).
+    @raise Invalid_argument if already wired. *)
+
+val boundary_out : t -> int
+(** Frames handed to the boundary mailbox so far. The counter registers
+    lazily on first use, so single-shard telemetry snapshots are unchanged. *)
 
 val register_controller :
   t -> Types.device_id -> resource:string -> key:Token.key -> unit

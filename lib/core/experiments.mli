@@ -91,6 +91,45 @@ val overload_soak : ?seed:int64 -> unit -> System.t
     snapshot its telemetry registry (the overload CI determinism job
     diffs two runs). *)
 
+(** {2 T15: temporal decoupling} *)
+
+type t15_result = {
+  t15_events : int;  (** events executed, summed over shards *)
+  t15_elapsed : int64;  (** max shard virtual clock at drain *)
+  t15_digest : int64;
+      (** per-shard metrics digests combined in shard order — THE value the
+          determinism contract pins: independent of lane count *)
+  t15_boundary : int;  (** cross-shard messages delivered at quantum edges *)
+  t15_windows : int;  (** rendezvous windows executed *)
+  t15_run_seconds : float;
+      (** wall time of the coupled soak phase alone (setup excluded),
+          measured with the caller-injected [clock]; [0.] without one *)
+  t15_systems : System.t array;
+}
+
+val t15_soak :
+  ?shards:int ->
+  ?quantum:int64 ->
+  ?tie:Lastcpu_sim.Engine.tie_break ->
+  ?sanitize:bool ->
+  ?clock:(unit -> float) ->
+  seed:int64 ->
+  unit ->
+  t15_result
+(** The multi-shard soak: a fixed ring of four device clusters (full
+    Systems on their own engines), coupled with {!Lastcpu_sim.Temporal} +
+    {!Lastcpu_bus.Shardlink}; each shard runs a local KVS closed loop
+    while churning alloc/free pairs against the next shard's memory
+    controller across the quantum boundary. [shards] (default 1) is the
+    number of execution lanes (Domains) only — for a fixed (seed,
+    [quantum]) the result is bit-identical whatever its value. [quantum]
+    defaults to the lookahead (50 us). *)
+
+val t15 : ?shards:int -> ?quantum:int64 -> ?seed:int64 -> unit -> table
+(** {!t15_soak} rendered as a table whose every cell is a pure function of
+    (seed, quantum) — CI diffs the output of [--shards 1] vs [--shards 4]
+    runs verbatim. *)
+
 (** {2 Same-tick ordering sanitizer} *)
 
 type sanitize_report = {
@@ -102,7 +141,8 @@ type sanitize_report = {
 }
 
 val sanitize_experiments : string list
-(** Experiment ids the sanitizer can drive (["t1"; "t13"; "t14"]). *)
+(** Experiment ids the sanitizer can drive
+    (["t1"; "t13"; "t14"; "t15"]). *)
 
 val soaked_system : exp:string -> seed:int64 -> System.t
 (** Build and run experiment [exp] ("t1", "t13" or "t14") to completion
@@ -110,10 +150,12 @@ val soaked_system : exp:string -> seed:int64 -> System.t
     events-executed and the metrics registry off it. *)
 
 val metrics_digest : exp:string -> seed:int64 -> int64
-(** Build and run experiment [exp] ("t1", "t13" or "t14") with the given
-    seed and return the {!Lastcpu_sim.Metrics.digest} of its telemetry
-    registry. This is the golden value the determinism-equivalence test
-    pins: hot-path optimisations must keep it bit-identical. *)
+(** Build and run experiment [exp] ("t1", "t13", "t14" or "t15") with the
+    given seed and return the {!Lastcpu_sim.Metrics.digest} of its
+    telemetry registry ("t15": the shard-ordered combination of per-shard
+    digests, [t15_digest]). This is the golden value the
+    determinism-equivalence test pins: hot-path optimisations must keep it
+    bit-identical. *)
 
 val sanitize_journal :
   exp:string ->
@@ -130,10 +172,20 @@ val sanitize : ?seed:int64 -> exp:string -> unit -> sanitize_report list
     observable-state digest after every multi-event tick. A report's
     [san_divergence] names the first tick where the perturbed run's
     observable state differs — a same-tick ordering race, with the
-    colliding events' labels. Raises [Invalid_argument] for unknown [exp]. *)
+    colliding events' labels. Raises [Invalid_argument] for unknown [exp].
+
+    "t15" is multi-shard and its journal samples the trajectory at
+    collisions of independent streams, which legitimate tie-break drift
+    dissolves, so the FIFO-vs-perturbed diff is replaced by the strict t15
+    contracts: the final digest must be tie-invariant, and under each
+    perturbed tie the shard-ordered journal must be bit-identical between
+    one and four execution lanes. *)
 
 val all : unit -> table list
 (** Every figure and table, in order. *)
 
-val by_id : string -> (unit -> table) option
-(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens", "t2".."t14"). *)
+val by_id : ?shards:int -> string -> (unit -> table) option
+(** Look up an experiment by id ("f1", "f2", "t1", "t1-notokens",
+    "t2".."t15"). [shards] (default 1) sets the execution-lane count for
+    "t15" (ignored by every other experiment — their tables are
+    single-engine runs). *)

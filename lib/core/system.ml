@@ -33,6 +33,7 @@ type spec = {
   fault_plan : Lastcpu_sim.Faults.plan;
   tie : Engine.tie_break;
   sanitize : bool;
+  shard : int;
 }
 
 let default_spec =
@@ -56,6 +57,7 @@ let default_spec =
     fault_plan = Lastcpu_sim.Faults.zero;
     tie = Engine.Fifo;
     sanitize = false;
+    shard = 0;
   }
 
 type t = {
@@ -79,7 +81,7 @@ let build ?(spec = default_spec) () =
       ~tie:spec.tie ~sanitize:spec.sanitize ()
   in
   let memory = Physmem.create ~size:(Int64.shift_left 1L 31) () in
-  let network = Netsim.create engine in
+  let network = Netsim.create ~shard:spec.shard engine in
   let sysbus =
     Sysbus.create
       ~config:
@@ -90,7 +92,7 @@ let build ?(spec = default_spec) () =
           lane_capacity = spec.bus_lane_capacity;
           device_queue_capacity = spec.device_queue_capacity;
         }
-      engine
+      ~shard:spec.shard engine
   in
   let mc_list =
     List.init (max 1 spec.memctl_count) (fun i ->

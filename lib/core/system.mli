@@ -36,6 +36,9 @@ type spec = {
   sanitize : bool;
       (** journal multi-event ticks for the ordering sanitizer (default
           [false]: zero overhead) *)
+  shard : int;
+      (** home shard id for this system's bus and network in a temporally
+          decoupled multi-shard run (default [0]; irrelevant outside one) *)
 }
 
 val default_spec : spec

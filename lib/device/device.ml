@@ -264,7 +264,7 @@ let handle t msg =
                 }))
       end
 
-let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
+let create ?shard sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
   let engine = Sysbus.engine sysbus in
   let m = Engine.metrics engine in
   let actor = Metrics.claim_actor m name in
@@ -318,7 +318,9 @@ let create sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       m_expired = None;
     }
   in
-  let id = Sysbus.attach sysbus ~name ~iommu ~handler:(fun msg -> handle t msg) in
+  let id =
+    Sysbus.attach ?shard sysbus ~name ~iommu ~handler:(fun msg -> handle t msg)
+  in
   t.dev_id <- id;
   Iommu.attach_fault_handler iommu (fun fault ->
       Metrics.incr t.m_faults;
@@ -334,6 +336,7 @@ let id t = t.dev_id
 let name t = t.dev_name
 let bus t = t.sysbus
 let engine t = t.engine
+let shard t = Sysbus.device_shard t.sysbus t.dev_id
 
 let dma t ~pasid =
   match Hashtbl.find_opt t.dmas pasid with

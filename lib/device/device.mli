@@ -43,6 +43,7 @@ type service_impl = {
 }
 
 val create :
+  ?shard:int ->
   Lastcpu_bus.Sysbus.t ->
   mem:Lastcpu_mem.Physmem.t ->
   name:string ->
@@ -51,10 +52,16 @@ val create :
   ?no_tlb:bool ->
   unit ->
   t
-(** Attach a new device to the bus (not yet live; call [start]). *)
+(** Attach a new device to the bus (not yet live; call [start]). [shard]
+    (default the bus's home shard) is the slot's shard affinity — see
+    {!Lastcpu_bus.Sysbus.attach}. *)
 
 val id : t -> Types.device_id
 val name : t -> string
+
+val shard : t -> int
+(** The device slot's shard affinity on its bus. *)
+
 val bus : t -> Lastcpu_bus.Sysbus.t
 val engine : t -> Lastcpu_sim.Engine.t
 

@@ -8,37 +8,81 @@ type endpoint = {
   net : t;
   addr : int;
   ep_name : string;
+  ep_shard : int;  (* affinity; <> home shard makes this a boundary port *)
   egress : Station.t;  (* serialisation port: models finite link bandwidth *)
   mutable rx : (src:int -> string -> unit) option;
 }
 
 and t = {
   engine : Engine.t;
+  actor : string;
+  home_shard : int;
+  (* Cross-shard uplink, wired by the run's shard glue. Frames addressed
+     to an endpoint with remote affinity are handed here after
+     serialisation instead of flying the local link. *)
+  mutable boundary : (dst_shard:int -> src:int -> dst:int -> string -> unit) option;
   mutable endpoints : endpoint array;
   names : (string, int) Hashtbl.t;
   m_delivered : Metrics.counter;
   m_dropped : Metrics.counter;
   m_bytes : Metrics.counter;
+  (* Lazy, like Sysbus's boundary counter: single-shard runs must keep a
+     telemetry snapshot identical to pre-shard builds. *)
+  mutable m_boundary_out : Metrics.counter option;
 }
 
-let create engine =
+let create ?(shard = 0) engine =
   let m = Engine.metrics engine in
   let actor = Metrics.claim_actor m "net" in
   {
     engine;
+    actor;
+    home_shard = shard;
+    boundary = None;
     endpoints = [||];
     names = Hashtbl.create 8;
     m_delivered = Metrics.counter m ~actor ~name:"frames_delivered";
     m_dropped = Metrics.counter m ~actor ~name:"frames_dropped";
     m_bytes = Metrics.counter m ~actor ~name:"bytes_carried";
+    m_boundary_out = None;
   }
 
-let endpoint t ~name =
+let home_shard t = t.home_shard
+
+let set_boundary t uplink =
+  if t.boundary <> None then
+    invalid_arg "Netsim.set_boundary: boundary uplink already wired";
+  t.boundary <- Some uplink
+
+let boundary_out t =
+  match t.m_boundary_out with None -> 0 | Some c -> Metrics.counter_value c
+
+let bump_boundary_out t =
+  let c =
+    match t.m_boundary_out with
+    | Some c -> c
+    | None ->
+      let m = Engine.metrics t.engine in
+      let c = Metrics.counter m ~actor:t.actor ~name:"boundary_out" in
+      t.m_boundary_out <- Some c;
+      c
+  in
+  Metrics.incr c
+
+let endpoint ?shard t ~name =
   if Hashtbl.mem t.names name then
     invalid_arg (Printf.sprintf "Netsim.endpoint: duplicate name %S" name);
   let addr = Array.length t.endpoints in
+  let ep_shard = match shard with None -> t.home_shard | Some s -> s in
   let ep =
-    { net = t; addr; ep_name = name; egress = Station.create t.engine; rx = None }
+    {
+      net = t;
+      addr;
+      ep_name = name;
+      ep_shard;
+      egress = Station.create t.engine;
+      rx = None;
+    }
   in
   t.endpoints <- Array.append t.endpoints [| ep |];
   Hashtbl.replace t.names name addr;
@@ -46,6 +90,7 @@ let endpoint t ~name =
 
 let address ep = ep.addr
 let name ep = ep.ep_name
+let shard ep = ep.ep_shard
 let endpoint_count t = Array.length t.endpoints
 let set_receiver ep f = ep.rx <- Some f
 
@@ -66,6 +111,8 @@ let deliver t ~src ~dst frame =
       Metrics.incr ~by:(String.length frame) t.m_bytes;
       rx ~src frame
   end
+
+let inject t ~src ~dst frame = deliver t ~src ~dst frame
 
 (* Fault content key: equals [Faults.key_of_string] of
    ["net:<src>><dst>:<frame>"], folded directly through the streaming FNV
@@ -88,6 +135,18 @@ let fly t ~src ~dst ~extra frame =
       t.engine ~delay deliver
   else Engine.schedule t.engine ~delay deliver
 
+let boundary_post t ~src ~dst frame =
+  match t.boundary with
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Netsim: frame for remote endpoint %d but no boundary uplink wired"
+         dst)
+  | Some uplink ->
+    bump_boundary_out t;
+    Metrics.incr ~by:(String.length frame) t.m_bytes;
+    uplink ~dst_shard:t.endpoints.(dst).ep_shard ~src ~dst frame
+
 let send ep ~dst frame =
   let t = ep.net in
   let src = ep.addr in
@@ -95,12 +154,21 @@ let send ep ~dst frame =
      link. The fault plan can drop the frame on the wire or add delay
      (which reorders it past later frames). *)
   Station.submit ep.egress ~service:(serialisation_ns t frame) (fun () ->
-      let faults = Engine.faults t.engine in
-      if not (Faults.active faults) then fly t ~src ~dst ~extra:0L frame
+      if dst >= 0 && dst < Array.length t.endpoints
+         && t.endpoints.(dst).ep_shard <> t.home_shard
+      then
+        (* Remote port: serialisation is paid locally, then the frame rides
+           the boundary uplink — the local link latency and fault plan do
+           not apply past the border. *)
+        boundary_post t ~src ~dst frame
       else begin
-        let key = frame_fault_key ~src ~dst frame in
-        if Faults.drop_frame faults ~key then Metrics.incr t.m_dropped
-        else fly t ~src ~dst ~extra:(Faults.reorder_delay faults ~key) frame
+        let faults = Engine.faults t.engine in
+        if not (Faults.active faults) then fly t ~src ~dst ~extra:0L frame
+        else begin
+          let key = frame_fault_key ~src ~dst frame in
+          if Faults.drop_frame faults ~key then Metrics.incr t.m_dropped
+          else fly t ~src ~dst ~extra:(Faults.reorder_delay faults ~key) frame
+        end
       end)
 
 let broadcast ep frame =

@@ -125,6 +125,9 @@ let schedule ?label t ~delay f =
 let pending t = Heap.length t.queue
 let events_executed t = t.executed
 
+let next_event_time t =
+  if Heap.is_empty t.queue then None else Some (Heap.top_prio t.queue)
+
 let step t =
   if Heap.is_empty t.queue then false
   else begin

@@ -72,6 +72,11 @@ val pending : t -> int
 val events_executed : t -> int
 (** Total events run so far — the denominator for events/sec reporting. *)
 
+val next_event_time : t -> int64 option
+(** Timestamp of the earliest queued event, [None] when the queue is
+    empty. The shard coordinator ({!Temporal}) uses this to pick the next
+    quantum rendezvous without popping anything. *)
+
 val run : ?until:int64 -> ?max_events:int -> t -> unit
 (** [run t] executes events until the queue is empty, [until] (inclusive)
     is passed, or [max_events] have run. The clock advances to each event's

@@ -9,12 +9,23 @@
 
    Output ordering is the caller's concern by construction: results come
    back positionally, in submission order, regardless of which domain
-   finished first. *)
+   finished first.
+
+   [Pool] is the repeated-barrier variant for the shard coordinator
+   (Temporal): spawning a domain costs tens of microseconds, far too much
+   to pay once per quantum window, so a pool keeps its helper domains
+   parked on a condition variable between rounds. Every round is bracketed
+   by the pool mutex on both sides, which is the happens-before edge the
+   memory model needs: shard state written by lane A in window w is
+   visible to whichever lane reads it in window w+1. *)
 
 let run_jobs ~jobs tasks =
+  if jobs <= 0 then
+    invalid_arg
+      (Printf.sprintf "Parallel.run_jobs: jobs must be >= 1 (got %d)" jobs);
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
-  if jobs <= 1 || n <= 1 then
+  if jobs = 1 || n <= 1 then
     (* Sequential degenerate case: identical to the parallel path's
        semantics, with no domains spawned (used by --jobs 1 and by
        single-task lists). *)
@@ -38,6 +49,8 @@ let run_jobs ~jobs tasks =
       in
       go ()
     in
+    (* [jobs > n] degrades to [n] lanes: a domain that would find the
+       ticket counter already exhausted is never spawned. *)
     let helpers =
       Array.init
         (min jobs n - 1)
@@ -53,3 +66,113 @@ let run_jobs ~jobs tasks =
            | None -> assert false)
          results)
   end
+
+module Pool = struct
+  type t = {
+    lanes : int;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable tasks : (unit -> unit) array;  (* current round's work *)
+    mutable errors : exn option array;  (* per-task, distinct slots *)
+    mutable generation : int;  (* bumped once per round *)
+    mutable outstanding : int;  (* helpers yet to finish the round *)
+    mutable stopped : bool;
+    mutable helpers : unit Domain.t array;
+  }
+
+  (* Helper lane: park until the generation moves, run every task whose
+     index hashes to this lane, report back. Exceptions land in the
+     per-task [errors] slot so the caller can re-raise the earliest-index
+     one — a deterministic choice no matter which lane hit it first. *)
+  let helper_loop pool lane =
+    let seen = ref 0 in
+    let rec loop () =
+      Mutex.lock pool.mutex;
+      while (not pool.stopped) && pool.generation = !seen do
+        Condition.wait pool.cond pool.mutex
+      done;
+      if pool.stopped then Mutex.unlock pool.mutex
+      else begin
+        seen := pool.generation;
+        let tasks = pool.tasks and errors = pool.errors in
+        Mutex.unlock pool.mutex;
+        Array.iteri
+          (fun i task ->
+            if i mod pool.lanes = lane then
+              match task () with
+              | () -> ()
+              | exception e -> errors.(i) <- Some e)
+          tasks;
+        Mutex.lock pool.mutex;
+        pool.outstanding <- pool.outstanding - 1;
+        if pool.outstanding = 0 then Condition.broadcast pool.cond;
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~lanes =
+    if lanes <= 0 then
+      invalid_arg
+        (Printf.sprintf "Parallel.Pool.create: lanes must be >= 1 (got %d)"
+           lanes);
+    let pool =
+      {
+        lanes;
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        tasks = [||];
+        errors = [||];
+        generation = 0;
+        outstanding = 0;
+        stopped = false;
+        helpers = [||];
+      }
+    in
+    pool.helpers <-
+      Array.init (lanes - 1) (fun i ->
+          Domain.spawn (fun () -> helper_loop pool (i + 1)));
+    pool
+
+  let lanes pool = pool.lanes
+
+  let run pool tasks =
+    if pool.stopped then invalid_arg "Parallel.Pool.run: pool is shut down";
+    if pool.lanes = 1 || Array.length tasks <= 1 then
+      (* Sequential lane: no synchronisation at all — byte-identical to a
+         pool-less loop, which is what --shards 1 promises. *)
+      Array.iter (fun task -> task ()) tasks
+    else begin
+      let errors = Array.make (Array.length tasks) None in
+      Mutex.lock pool.mutex;
+      pool.tasks <- tasks;
+      pool.errors <- errors;
+      pool.generation <- pool.generation + 1;
+      pool.outstanding <- Array.length pool.helpers;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex;
+      (* The calling domain is lane 0. *)
+      Array.iteri
+        (fun i task ->
+          if i mod pool.lanes = 0 then
+            match task () with () -> () | exception e -> errors.(i) <- Some e)
+        tasks;
+      Mutex.lock pool.mutex;
+      while pool.outstanding > 0 do
+        Condition.wait pool.cond pool.mutex
+      done;
+      Mutex.unlock pool.mutex;
+      Array.iter (function Some e -> raise e | None -> ()) errors
+    end
+
+  let shutdown pool =
+    if not pool.stopped then begin
+      Mutex.lock pool.mutex;
+      pool.stopped <- true;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex;
+      Array.iter Domain.join pool.helpers;
+      pool.helpers <- [||]
+    end
+end

@@ -1,0 +1,5 @@
+(* Fixture: D006 — direct station submits bypassing the boundary mailbox. *)
+let rush st k = Station.submit st ~service:100L k
+let sneak st k = match Station.try_submit st ~service:10L k with
+  | true -> ()
+  | false -> ()

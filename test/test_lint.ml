@@ -14,7 +14,8 @@ let config =
      D002 scope=lint_fixtures\n\
      D003 scope=lint_fixtures\n\
      D004 scope=lint_fixtures\n\
-     D005 scope=lint_fixtures\n"
+     D005 scope=lint_fixtures\n\
+     D006 scope=lint_fixtures\n"
 
 let scan name =
   let path = fixture name in
@@ -55,6 +56,11 @@ let test_d005 () =
   Alcotest.check finding "d005_print.ml"
     [ ("D005", 2, "report"); ("D005", 3, "shout") ]
     (scan "d005_print.ml")
+
+let test_d006 () =
+  Alcotest.check finding "d006_station.ml"
+    [ ("D006", 2, "rush"); ("D006", 3, "sneak") ]
+    (scan "d006_station.ml")
 
 let test_clean () = Alcotest.check finding "clean.ml" [] (scan "clean.ml")
 
@@ -163,6 +169,7 @@ let () =
           Alcotest.test_case "d003" `Quick test_d003;
           Alcotest.test_case "d004" `Quick test_d004;
           Alcotest.test_case "d005" `Quick test_d005;
+          Alcotest.test_case "d006" `Quick test_d006;
           Alcotest.test_case "clean" `Quick test_clean;
         ] );
       ( "scoping",

@@ -17,6 +17,14 @@
            and address-dependent behaviour.
      D005  stdout/stderr printing from library modules — libraries must
            report through telemetry/trace, not ambient side channels.
+     D006  direct [Station.submit]/[Station.try_submit] — device/bus code
+           must route frames through the shard boundary mailbox
+           ([Sysbus.send]/[Netsim.send]) so cross-shard traffic is
+           deferred to the quantum edge; a direct station submit bypasses
+           shard affinity and breaks the temporal-decoupling determinism
+           contract. The blessed homes (the bus/net/device frameworks
+           themselves and the centralized baseline) are exempted in
+           lint.rules.
 
    Findings are suppressible per (rule, file, enclosing top-level binding)
    via a checked-in suppressions file; a suppression that matches nothing
@@ -214,6 +222,15 @@ let classify path =
           "physical equality (%s) compares addresses, not contents; use = \
            / <> or an explicit key"
           (List.hd path) );
+    ]
+  | [ "Station"; (("submit" | "try_submit") as fn) ] ->
+    [
+      ( "D006",
+        Printf.sprintf
+          "Station.%s submits work directly, bypassing the shard boundary \
+           mailbox; route frames through Sysbus.send/Netsim.send so \
+           cross-shard traffic defers to the quantum edge"
+          fn );
     ]
   | _ when List.mem path d005_idents ->
     [
