@@ -320,6 +320,72 @@ module Core_bench = struct
     let n = Engine.events_executed (System.engine system) in
     (n, float_of_int n /. dt)
 
+  (* Checkpoint/restore round-trip over the booted KVS machine: how long a
+     quiescent whole-machine snapshot takes to collect + atomically write,
+     and how long the overlay onto a freshly rebuilt topology takes to
+     apply (rebuild excluded — the restore path is the new code, the
+     rebuild is the ordinary deterministic bring-up). Restore correctness
+     is asserted, not assumed: a digest mismatch fails the bench. *)
+  let snapshot_roundtrip () =
+    let module Scenario = Lastcpu_core.Scenario_kvs in
+    let module Checkpoint = Lastcpu_core.Checkpoint in
+    let module Metrics = Lastcpu_sim.Metrics in
+    let module Kv_app = Lastcpu_kv.Kv_app in
+    let module Kv_proto = Lastcpu_kv.Kv_proto in
+    let build () =
+      match Scenario.run ~smoke_ops:0 () with
+      | Error e -> failwith ("snapshot bench: scenario failed: " ^ e)
+      | Ok outcome -> outcome
+    in
+    let outcome = build () in
+    let system = outcome.Scenario.system in
+    for i = 1 to 50 do
+      Kv_app.local_op outcome.Scenario.app
+        (Kv_proto.Put (Printf.sprintf "snap-%03d" i, Printf.sprintf "v-%d" i))
+        (fun _ -> ())
+    done;
+    System.run_until_quiescent system;
+    let digest = Metrics.digest (Engine.metrics (System.engine system)) in
+    let path = Filename.temp_file "lastcpu-bench" ".snap" in
+    let tag = "bench-snapshot" in
+    let saves = 20 in
+    let t0 = Sys.time () in
+    for _ = 1 to saves do
+      Checkpoint.save ~path ~tag (Checkpoint.Single (System.engine system))
+    done;
+    let save_us = Float.max (Sys.time () -. t0) 1e-9
+                  /. float_of_int saves *. 1e6 in
+    let bytes =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      close_in ic;
+      n
+    in
+    let restores = 5 in
+    let elapsed = ref 0. in
+    for _ = 1 to restores do
+      let fresh = (build ()).Scenario.system in
+      let t0 = Sys.time () in
+      (match
+         Checkpoint.restore ~path ~tag (Checkpoint.Single (System.engine fresh))
+       with
+      | Ok _ -> ()
+      | Error e -> failwith ("snapshot bench: restore failed: " ^ e));
+      elapsed := !elapsed +. (Sys.time () -. t0);
+      let got = Metrics.digest (Engine.metrics (System.engine fresh)) in
+      if got <> digest then begin
+        Printf.eprintf
+          "FATAL: snapshot restore digest 0x%016Lx <> saved 0x%016Lx — the \
+           checkpoint round-trip is lossy\n"
+          got digest;
+        exit 1
+      end
+    done;
+    let restore_us = Float.max !elapsed 1e-9 /. float_of_int restores *. 1e6 in
+    Sys.remove path;
+    (try Sys.remove (path ^ ".1") with Sys_error _ -> ());
+    (save_us, restore_us, bytes)
+
   (* Temporal decoupling: the T15 four-cluster soak with its shard windows
      executed on [shards] lanes (Domains). Only the coupled phase is timed
      (t15_run_seconds) — per-cluster bring-up is sequential in every
@@ -343,6 +409,7 @@ module Core_bench = struct
     let off_words, off_ns = bus_route ~trace:false ~msgs in
     let on_words, on_ns = bus_route ~trace:true ~msgs in
     let t1_events, t1_rate = t1_end_to_end () in
+    let snap_save_us, snap_restore_us, snap_bytes = snapshot_roundtrip () in
     let t15_events, t15_rate1, t15_digest1 = t15_end_to_end ~shards:1 in
     let t15_events4, t15_rate4, t15_digest4 = t15_end_to_end ~shards:4 in
     if t15_digest1 <> t15_digest4 || t15_events <> t15_events4 then begin
@@ -365,6 +432,10 @@ module Core_bench = struct
       "bus route (trace on)" on_ns on_words;
     Printf.printf "  %-28s %12.2e events/s  (%d events)\n" "t1 end-to-end"
       t1_rate t1_events;
+    Printf.printf "  %-28s %12.1f us/op     (%d snapshot bytes)\n"
+      "snapshot.save" snap_save_us snap_bytes;
+    Printf.printf "  %-28s %12.1f us/op     (overlay only)\n"
+      "snapshot.restore" snap_restore_us;
     Printf.printf "  %-28s %12.2e events/s  (digest 0x%016Lx)\n"
       "t15 soak (--shards 1)" t15_rate1 t15_digest1;
     Printf.printf "  %-28s %12.2e events/s  (digest 0x%016Lx)\n"
@@ -386,14 +457,17 @@ module Core_bench = struct
          \"bus_route_trace_on_ns_per_msg\": %.1f, \
          \"bus_route_trace_on_minor_words_per_msg\": %.2f, \
          \"t1_events_executed\": %d, \"t1_events_per_sec\": %.0f, \
+         \"snapshot.save_us_per_op\": %.1f, \
+         \"snapshot.restore_us_per_op\": %.1f, \
+         \"snapshot.bytes\": %d, \
          \"t15_events_executed\": %d, \
          \"t15_shards1_events_per_sec\": %.0f, \
          \"t15_shards4_events_per_sec\": %.0f, \
          \"t15_speedup\": %.2f, \"t15_digest\": \"0x%016Lx\", \
          \"t15_host_cores\": %d}"
         sched_rate sched_words off_ns off_words on_ns on_words t1_events
-        t1_rate t15_events t15_rate1 t15_rate4 t15_speedup t15_digest1
-        host_cores
+        t1_rate snap_save_us snap_restore_us snap_bytes t15_events t15_rate1
+        t15_rate4 t15_speedup t15_digest1 host_cores
     in
     let oc = open_out json_path in
     output_string oc json;

@@ -20,6 +20,7 @@ module Trace = Lastcpu_sim.Trace
 module Parallel = Lastcpu_sim.Parallel
 module Kv_app = Lastcpu_kv.Kv_app
 module Kv_proto = Lastcpu_kv.Kv_proto
+module Snapshot = Lastcpu_sim.Snapshot
 
 let seed_arg =
   let doc = "Deterministic seed for the virtual machine room." in
@@ -89,33 +90,71 @@ let figure2_cmd =
 
 let known_ids =
   [ "f1"; "f2"; "t1"; "t1-notokens"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8";
-    "t9"; "t10"; "t11"; "t12"; "t13"; "t14"; "t15" ]
+    "t9"; "t10"; "t11"; "t12"; "t13"; "t14"; "t15"; "t16" ]
+
+(* The one line the resume-smoke CI job diffs between an uninterrupted
+   checkpointed run and a killed-then-resumed one: everything observable,
+   nothing about provenance (which leg ran how many segments goes to
+   stderr). *)
+let t16_final_line (r : Experiments.t16_result) =
+  Printf.sprintf "t16 final: digest=0x%016Lx events=%d elapsed_ns=%Ld"
+    r.Experiments.t16_digest r.Experiments.t16_events r.Experiments.t16_elapsed
 
 (* Each experiment owns its engine, so distinct ids are independent tasks:
    render every table to a string (in the worker domain), then print the
    strings in submission order. A parallel run's bytes are identical to a
    sequential run's. *)
-let experiment list jobs shards ids =
+let experiment list jobs shards seed snapshot_path checkpoint_every kill_at ids
+    =
   if list then begin
     List.iter print_endline known_ids;
     0
   end
-  else begin
-    let render id () =
-      match Experiments.by_id ~shards id with
-      | None -> Error id
-      | Some f -> Ok (Format.asprintf "%a" Experiments.print_table (f ()))
-    in
-    let rc = ref 0 in
-    List.iter
-      (function
-        | Ok table -> print_string table
-        | Error id ->
-          Printf.eprintf "unknown experiment %S (see 'experiment --list')\n" id;
-          rc := 1)
-      (Parallel.run_jobs ~jobs (List.map render ids));
-    !rc
-  end
+  else
+    match snapshot_path with
+    | Some path -> (
+      (* Checkpointed soak mode: run the single t16 leg this process is
+         asked for, writing whole-machine snapshots at segment
+         boundaries. [--chaos-kill-at B] emulates a kill mid-checkpoint:
+         the boundary-B snapshot is written deliberately torn and the
+         process dies with the canonical SIGKILL exit status. *)
+      match ids with
+      | [] | [ "t16" ] -> (
+        let r =
+          Experiments.t16_soak ~lanes:shards ~seed ~snapshot_path:path
+            ~checkpoint_every ?stop_after:kill_at
+            ~torn_final:(kill_at <> None) ()
+        in
+        match kill_at with
+        | Some _ ->
+          Printf.eprintf
+            "killed mid-checkpoint after %d segment(s); torn snapshot at %s\n"
+            r.Experiments.t16_segments_run path;
+          exit 137
+        | None ->
+          print_endline (t16_final_line r);
+          0)
+      | _ ->
+        Printf.eprintf
+          "--snapshot-path drives the t16 soak only (got: %s)\n"
+          (String.concat " " ids);
+        1)
+    | None ->
+      let render id () =
+        match Experiments.by_id ~shards id with
+        | None -> Error id
+        | Some f -> Ok (Format.asprintf "%a" Experiments.print_table (f ()))
+      in
+      let rc = ref 0 in
+      List.iter
+        (function
+          | Ok table -> print_string table
+          | Error id ->
+            Printf.eprintf "unknown experiment %S (see 'experiment --list')\n"
+              id;
+            rc := 1)
+        (Parallel.run_jobs ~jobs (List.map render ids));
+      !rc
 
 let jobs_arg =
   let doc =
@@ -134,6 +173,28 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let snapshot_path_arg =
+  let doc =
+    "Run the t16 soak in checkpointed mode, writing a whole-machine \
+     snapshot to $(docv) at every segment boundary (the displaced \
+     previous file is kept as a fallback generation)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "snapshot-path" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint every $(docv)-th segment boundary (default 1)." in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let chaos_kill_arg =
+  let doc =
+    "Chaos hook: die 'mid-checkpoint' at segment boundary $(docv) — the \
+     snapshot written there is deliberately torn (truncated, as if the \
+     process was killed between write and rename) and the process exits \
+     with status 137. Resume with 'lastcpu resume'."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos-kill-at" ] ~docv:"B" ~doc)
+
 let experiment_cmd =
   let doc = "Run experiment tables (see EXPERIMENTS.md for the index)." in
   let ids =
@@ -143,7 +204,43 @@ let experiment_cmd =
     Arg.(value & flag & info [ "list" ] ~doc:"List known experiment ids.")
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const experiment $ list_arg $ jobs_arg $ shards_arg $ ids)
+    Term.(
+      const experiment $ list_arg $ jobs_arg $ shards_arg $ seed_arg
+      $ snapshot_path_arg $ checkpoint_every_arg $ chaos_kill_arg $ ids)
+
+(* --- resume ------------------------------------------------------------------------ *)
+
+let resume seed shards path =
+  let r =
+    Experiments.t16_soak ~lanes:shards ~seed ~snapshot_path:path ~resume:true ()
+  in
+  (match r.Experiments.t16_restored with
+  | Some g ->
+    Printf.eprintf "resumed from %s generation; ran %d remaining segment(s)\n"
+      (match g with
+      | Snapshot.Primary -> "primary"
+      | Snapshot.Previous -> "previous")
+      r.Experiments.t16_segments_run
+  | None -> ());
+  print_endline (t16_final_line r);
+  0
+
+let resume_cmd =
+  let doc =
+    "Resume a killed t16 soak from its snapshot file: rebuild the \
+     identical topology (same seed), overlay the on-disk state — falling \
+     back to the previous generation when the primary is torn or corrupt \
+     — and run the remaining segments. The final line printed is \
+     byte-identical to an uninterrupted run's."
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file written by the killed run.")
+  in
+  Cmd.v (Cmd.info "resume" ~doc)
+    Term.(const resume $ seed_arg $ shards_arg $ path)
 
 (* --- kv ----------------------------------------------------------------------- *)
 
@@ -309,5 +406,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ topology_cmd; figure2_cmd; experiment_cmd; kv_cmd; metrics_cmd;
-            chaos_cmd; overload_cmd; sanitize_cmd ]))
+          [ topology_cmd; figure2_cmd; experiment_cmd; resume_cmd; kv_cmd;
+            metrics_cmd; chaos_cmd; overload_cmd; sanitize_cmd ]))

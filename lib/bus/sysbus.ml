@@ -10,6 +10,7 @@ module Costs = Lastcpu_sim.Costs
 module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
 module Sanitizer = Lastcpu_sim.Sanitizer
+module Snapshot = Lastcpu_sim.Snapshot
 
 type config = {
   enable_tokens : bool;
@@ -84,6 +85,12 @@ type t = {
      nonces and addresses inside payloads legally permute when same-tick
      events reorder, and hashing them would report benign swaps as races. *)
   mutable frame_digest : int64;
+  (* Heartbeat-sweep bookkeeping for checkpoint/restore: [next_sweep] is
+     the absolute time of the armed sweep event; bumping [sweep_gen]
+     cancels it (the event cannot be unscheduled, but the stale closure
+     sees an old generation and does nothing). *)
+  mutable next_sweep : int64;
+  mutable sweep_gen : int;
 }
 
 let bus_src = -1 (* messages originated by the bus itself *)
@@ -158,6 +165,106 @@ let mark_failed t id =
     broadcast_from_bus t (Message.Device_failed { device = id })
   end
 
+(* The heartbeat sweep re-arms itself one period ahead. Static (it exists
+   whether or not any workload is pending), so it must not keep
+   [Engine.run_until_quiescent] spinning — hence [schedule_static_at]. *)
+let rec arm_sweep t ~time =
+  t.next_sweep <- time;
+  let gen = t.sweep_gen in
+  Engine.schedule_static_at t.engine ~time (fun () ->
+      if gen = t.sweep_gen then begin
+        let now = Engine.now t.engine in
+        Array.iteri
+          (fun id slot ->
+            (* Boundary proxies never heartbeat locally — liveness of the
+               real device is the remote bus's job. *)
+            if
+              slot.live
+              && slot.shard = t.home_shard
+              && Int64.sub now slot.last_heartbeat
+                 > t.config.heartbeat_timeout_ns
+            then begin
+              Engine.trace_event t.engine ~actor:"bus" ~kind:"bus.liveness"
+                (Printf.sprintf "%s (dev%d) timed out" slot.name id);
+              mark_failed t id
+            end)
+          t.devices;
+        arm_sweep t ~time:(Int64.add now t.config.heartbeat_timeout_ns)
+      end)
+
+(* Checkpointing. Saved per slot: liveness, service registry and IOMMU
+   contents — everything [Device_alive]/crash handling mutates after
+   attach. Controller keys are deliberately excluded: boot re-registers
+   them deterministically before any checkpoint can be taken. *)
+let save_state t =
+  let w = Snapshot.W.create () in
+  Snapshot.W.array w
+    (fun w (s : device_slot) ->
+      Snapshot.W.string w s.name;
+      Snapshot.W.bool w s.live;
+      Snapshot.W.bool w s.connected;
+      Snapshot.W.i64 w s.last_heartbeat;
+      Snapshot.W.list w
+        (fun w (d : Message.service_desc) ->
+          Snapshot.W.string w (Types.service_kind_to_string d.Message.kind);
+          Snapshot.W.string w d.Message.name;
+          Snapshot.W.varint w d.Message.version)
+        s.services;
+      Iommu.save w s.iommu)
+    t.devices;
+  Array.iter (fun lane -> Station.save w lane) t.lanes;
+  Snapshot.W.i64 w t.frame_digest;
+  Snapshot.W.i64 w t.next_sweep;
+  Snapshot.W.contents w
+
+let restore_state t body =
+  let r = Snapshot.R.of_string body in
+  let n = Snapshot.R.varint r in
+  if n <> Array.length t.devices then
+    invalid_arg
+      (Printf.sprintf
+         "Sysbus.restore: checkpoint has %d devices, rebuilt bus has %d \
+          (mid-run attach is not checkpointable)"
+         n
+         (Array.length t.devices));
+  for id = 0 to n - 1 do
+    let slot = t.devices.(id) in
+    let name = Snapshot.R.string r in
+    if not (String.equal name slot.name) then
+      invalid_arg
+        (Printf.sprintf "Sysbus.restore: device %d is %s, checkpoint has %s"
+           id slot.name name);
+    slot.live <- Snapshot.R.bool r;
+    slot.connected <- Snapshot.R.bool r;
+    slot.last_heartbeat <- Snapshot.R.i64 r;
+    slot.services <-
+      Snapshot.R.list r (fun r ->
+          let kind_s = Snapshot.R.string r in
+          let kind =
+            match Types.service_kind_of_string kind_s with
+            | Some k -> k
+            | None ->
+              raise (Snapshot.R.Corrupt ("unknown service kind " ^ kind_s))
+          in
+          let name = Snapshot.R.string r in
+          let version = Snapshot.R.varint r in
+          { Message.kind; name; version });
+    Iommu.restore r slot.iommu
+  done;
+  Array.iter (fun lane -> Station.restore r lane) t.lanes;
+  t.frame_digest <- Snapshot.R.i64 r;
+  let next_sweep = Snapshot.R.i64 r in
+  (* Re-point the sweep at the interrupted run's schedule. When the saved
+     and rebuilt times already agree, the rebuilt sweep event (kept by the
+     engine's queue filter) stays armed under the current generation. Runs
+     after Engine.restore_state, so the event it schedules is not subject
+     to the pending-event filter. *)
+  if t.config.heartbeat_timeout_ns > 0L && next_sweep <> t.next_sweep then begin
+    t.sweep_gen <- t.sweep_gen + 1;
+    arm_sweep t ~time:next_sweep
+  end
+  else t.next_sweep <- next_sweep
+
 let create ?(config = default_config) ?(shard = 0) engine =
   let m = Engine.metrics engine in
   let actor = Metrics.claim_actor m "bus" in
@@ -189,10 +296,15 @@ let create ?(config = default_config) ?(shard = 0) engine =
       m_expired = None;
       m_boundary_out = None;
       frame_digest = 0L;
+      next_sweep = 0L;
+      sweep_gen = 0;
     }
   in
   if Engine.sanitizing engine then
     Engine.register_probe engine (fun () -> t.frame_digest);
+  Engine.register_snapshot engine ~name:actor
+    ~save:(fun () -> save_state t)
+    ~restore:(restore_state t);
   (* Scheduled crash→revive windows from the engine's fault plan. Devices
      attach after [create], so resolve names at fire time, not here. *)
   let faults = Engine.faults engine in
@@ -205,7 +317,7 @@ let create ?(config = default_config) ?(shard = 0) engine =
           t.devices;
         !found
       in
-      Engine.schedule_at engine ~time:at_ns (fun () ->
+      Engine.schedule_static_at engine ~time:at_ns (fun () ->
           match find_by_name () with
           | None -> ()
           | Some id ->
@@ -213,7 +325,8 @@ let create ?(config = default_config) ?(shard = 0) engine =
             Engine.trace_event engine ~actor:"bus" ~kind:"fault.crash"
               (Printf.sprintf "%s (dev%d) crashed by fault plan" device id);
             mark_failed t id);
-      Engine.schedule_at engine ~time:(Int64.add at_ns down_ns) (fun () ->
+      Engine.schedule_static_at engine ~time:(Int64.add at_ns down_ns)
+        (fun () ->
           match find_by_name () with
           | None -> ()
           | Some id ->
@@ -229,26 +342,9 @@ let create ?(config = default_config) ?(shard = 0) engine =
               (Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0
                  Message.Reset_device)))
     (Faults.crashes faults);
-  (if config.heartbeat_timeout_ns > 0L then
-     let rec sweep () =
-       let now = Engine.now t.engine in
-       Array.iteri
-         (fun id slot ->
-           (* Boundary proxies never heartbeat locally — liveness of the
-              real device is the remote bus's job. *)
-           if
-             slot.live
-             && slot.shard = t.home_shard
-             && Int64.sub now slot.last_heartbeat > config.heartbeat_timeout_ns
-           then begin
-             Engine.trace_event t.engine ~actor:"bus" ~kind:"bus.liveness"
-               (Printf.sprintf "%s (dev%d) timed out" slot.name id);
-             mark_failed t id
-           end)
-         t.devices;
-       Engine.schedule t.engine ~delay:config.heartbeat_timeout_ns sweep
-     in
-     Engine.schedule t.engine ~delay:config.heartbeat_timeout_ns sweep);
+  if config.heartbeat_timeout_ns > 0L then
+    arm_sweep t
+      ~time:(Int64.add (Engine.now engine) config.heartbeat_timeout_ns);
   t
 
 let engine t = t.engine

@@ -27,6 +27,7 @@ module Sanitizer = Lastcpu_sim.Sanitizer
 module Temporal = Lastcpu_sim.Temporal
 module Parallel = Lastcpu_sim.Parallel
 module Shardlink = Lastcpu_bus.Shardlink
+module Snapshot = Lastcpu_sim.Snapshot
 
 type table = {
   id : string;
@@ -2216,6 +2217,328 @@ let t15 ?(shards = 1) ?(quantum = t15_lookahead_ns) ?(seed = 42L) () =
       ];
   }
 
+(* --- T16: crash-survivable simulation (kill-resume soak) --------------------- *)
+
+(* The t15 ring again — four full Systems coupled at quantum edges — but
+   run as a sequence of SEGMENTS with a whole-machine checkpoint written
+   at every segment boundary (a quiescent point: every shard drained to
+   static-only, aligned at a quantum edge). The soak can then be killed
+   after any boundary and resumed in a fresh process: the resumed run
+   rebuilds the identical topology, overlays the snapshot, and finishes
+   the remaining segments. The claim is bit-identical observability —
+   final metrics digest, event counts and virtual clocks equal between
+   the uninterrupted run and the killed-and-resumed run, including when
+   the kill lands mid-checkpoint and leaves a torn primary on disk. *)
+
+let t16_shard_count = 4
+let t16_lookahead_ns = 50_000L
+let t16_segments = 5
+let t16_kv_clients = 2
+let t16_kv_ops = 80
+let t16_think_ns = 5_000L
+let t16_remote_allocs = 40
+let t16_remote_gap_ns = 300_000L
+let t16_pings = 12
+let t16_ping_gap_ns = 150_000L
+
+(* Shard 0 carries a second SSD — deliberately NOT the KVS provider (the
+   scenario provisions /kv on ssd0 only, pinning discovery there) — that
+   crashes just after bring-up quiesces (~2.3 ms) and stays down long
+   enough for the window to straddle two segment boundaries (~54 ms per
+   segment): checkpoints are taken with the device dead and its
+   statically scheduled revive still pending, and the resume must carry
+   both the NIC's tripped circuit breaker and the remainder of the crash
+   window across the restore. The ping bursts of segments 1 and 2 land
+   inside the window and bounce off the dead device, tripping the
+   breaker in both the original and the resumed process. *)
+let t16_crash =
+  { Faults.device = "ssd1"; at_ns = 5_000_000L; down_ns = 135_000_000L }
+
+let t16_tag seed = Printf.sprintf "t16:%Ld" seed
+
+type t16_result = {
+  t16_digest : int64;  (** per-shard metrics digests, combined in shard order *)
+  t16_events : int;  (** events executed, summed over shards *)
+  t16_elapsed : int64;  (** max shard virtual clock at drain *)
+  t16_segments_run : int;  (** segments executed by THIS process *)
+  t16_restored : Snapshot.generation option;
+      (** [Some g] when this run resumed from a snapshot; [g] says whether
+          the primary file or the previous-generation fallback restored *)
+  t16_systems : System.t array;
+}
+
+let t16_soak ?(lanes = 1) ?(tie = Engine.Fifo) ?(sanitize = false)
+    ?snapshot_path ?(checkpoint_every = 1) ?(resume = false) ?stop_after
+    ?(torn_final = false) ~seed () =
+  if lanes < 1 then invalid_arg "t16: lanes must be >= 1";
+  if checkpoint_every < 1 then invalid_arg "t16: checkpoint_every must be >= 1";
+  (* Deterministic rebuild: this block is the "identical builder" the
+     snapshot contract requires — a resumed process runs exactly it, then
+     overlays the saved state. *)
+  let systems =
+    Array.init t16_shard_count (fun i ->
+        let spec =
+          {
+            System.default_spec with
+            System.seed = Int64.add seed (Int64.of_int (1000 * i));
+            shard = i;
+            tie;
+            sanitize;
+            ssd_count = (if i = 0 then 2 else 1);
+            fault_plan =
+              (if i = 0 then
+                 { Faults.zero with Faults.crashes = [ t16_crash ] }
+               else Faults.zero);
+          }
+        in
+        match Scenario_kvs.run ~spec ~smoke_ops:0 () with
+        | Error e -> invalid_arg (Printf.sprintf "t16: shard %d: %s" i e)
+        | Ok outcome -> outcome.Scenario_kvs.system)
+  in
+  let engines = Array.map System.engine systems in
+  let temporal = Temporal.create ~lookahead:t16_lookahead_ns engines in
+  let links = Shardlink.create temporal (Array.map System.bus systems) in
+  let remote_mc =
+    Array.init t16_shard_count (fun i ->
+        let next = (i + 1) mod t16_shard_count in
+        let nic_dev = Smart_nic.device (System.nic systems.(i) 0) in
+        let proxy_on_i, _ =
+          Shardlink.link links
+            ~a:(i, Device.id nic_dev)
+            ~b:(next, Memctl.id (System.memctl systems.(next)))
+        in
+        proxy_on_i)
+  in
+  (* Breaker on the shard that pings the crashing SSD: its Open /
+     Half_open phase at each boundary is exactly the device-state-machine
+     payload the checkpoint must carry. *)
+  Device.enable_circuit_breaker
+    (Smart_nic.device (System.nic systems.(0) 0))
+    ~threshold:3 ~cooldown_ns:1_000_000L;
+  (* Segment progress rides the snapshot like any other state: a resumed
+     process learns where to continue from the file, not from flags. *)
+  let progress = ref 0 in
+  Engine.register_snapshot engines.(0) ~name:"t16-progress"
+    ~save:(fun () ->
+      let w = Snapshot.W.create () in
+      Snapshot.W.varint w !progress;
+      Snapshot.W.contents w)
+    ~restore:(fun data ->
+      progress := Snapshot.R.varint (Snapshot.R.of_string data));
+  let target = Checkpoint.Sharded temporal in
+  let tag = t16_tag seed in
+  let restored = ref None in
+  if resume then begin
+    match snapshot_path with
+    | None -> invalid_arg "t16: resume requires a snapshot path"
+    | Some path -> (
+      match Checkpoint.restore ~path ~tag target with
+      | Ok gen -> restored := Some gen
+      | Error e -> invalid_arg ("t16: resume: " ^ e))
+  end;
+  let kv_done = Array.make t16_shard_count 0 in
+  let install_segment seg =
+    Array.iteri
+      (fun i system ->
+        let engine = engines.(i) in
+        let lat = experiment_hist engine "kv_t16" in
+        let app_addr = Smart_nic.endpoint_address (System.nic system 0) in
+        for c = 0 to t16_kv_clients - 1 do
+          kv_closed_loop_client system ~app_addr ~ops:t16_kv_ops
+            ~think_ns:t16_think_ns
+            ~make_op:(fun j ->
+              let key =
+                Printf.sprintf "key-%d-%03d" seg ((j + (c * 13)) mod 48)
+              in
+              if (j + seg) mod 3 = 0 then
+                Kv_proto.Put (key, Printf.sprintf "v-%d-%d-%d" seg c j)
+              else Kv_proto.Get key)
+            ~lat
+            ~on_done:(fun () -> kv_done.(i) <- kv_done.(i) + 1)
+        done;
+        (* Cross-shard alloc/free churn over the ring, as in t15 — every
+           request and response crosses the quantum boundary. *)
+        let nic_dev = Smart_nic.device (System.nic system 0) in
+        let pasid = System.fresh_pasid system in
+        let proxy = remote_mc.(i) in
+        let rec churn j =
+          if j < t16_remote_allocs then begin
+            let va =
+              Int64.add 0xA000_0000L
+                (Int64.of_int (((seg * t16_remote_allocs) + j) * 4096))
+            in
+            Device.alloc nic_dev ~memctl:proxy ~pasid ~va ~bytes:4096L
+              ~perm:Types.perm_rw ~timeout:800_000L ~retries:4 (fun _ ->
+                Device.free nic_dev ~memctl:proxy ~pasid ~va ~bytes:4096L
+                  (fun _ -> ()));
+            Engine.schedule engine ~delay:t16_remote_gap_ns (fun () ->
+                churn (j + 1))
+          end
+        in
+        churn 0;
+        if i = 0 then begin
+          (* Pings against the crash-windowed SSD: image loads, which a
+             live SSD answers with "load-ok". While it is down they time
+             out and trip the NIC's per-peer breaker. *)
+          let target_ssd = Smart_ssd.id (System.ssd system 1) in
+          let rec ping j =
+            if j < t16_pings then
+              Device.request nic_dev ~timeout:200_000L ~retries:1
+                ~dst:(Types.Device target_ssd)
+                (Message.Load_image
+                   { image = Printf.sprintf "probe-%d-%02d" seg j; bytes = 512L })
+                (fun _ ->
+                  Engine.schedule engine ~delay:t16_ping_gap_ns (fun () ->
+                      ping (j + 1)))
+          in
+          ping 0
+        end)
+      systems
+  in
+  let segments_run = ref 0 in
+  let stopping = ref false in
+  let pool = Parallel.Pool.create ~lanes in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      while !progress < t16_segments && not !stopping do
+        let seg = !progress in
+        let before = Array.copy kv_done in
+        install_segment seg;
+        Temporal.run_until_quiescent ~pool temporal;
+        Array.iteri
+          (fun i n ->
+            if n - before.(i) <> t16_kv_clients then
+              invalid_arg
+                (Printf.sprintf
+                   "t16: shard %d segment %d: %d/%d kv clients converged" i seg
+                   (n - before.(i))
+                   t16_kv_clients))
+          kv_done;
+        progress := seg + 1;
+        incr segments_run;
+        let boundary = seg + 1 in
+        (match snapshot_path with
+        | Some path when boundary mod checkpoint_every = 0 ->
+          let torn =
+            torn_final
+            && (match stop_after with Some s -> s = boundary | None -> false)
+          in
+          if torn then Checkpoint.save ~torn_keep_bytes:96 ~path ~tag target
+          else Checkpoint.save ~path ~tag target
+        | _ -> ());
+        match stop_after with
+        | Some s when s = boundary -> stopping := true
+        | _ -> ()
+      done);
+  let digest =
+    Array.fold_left
+      (fun acc e -> Sanitizer.combine acc (Metrics.digest (Engine.metrics e)))
+      0x743136L (* "t16" *) engines
+  in
+  {
+    t16_digest = digest;
+    t16_events =
+      Array.fold_left (fun a e -> a + Engine.events_executed e) 0 engines;
+    t16_elapsed = Array.fold_left (fun a e -> max a (Engine.now e)) 0L engines;
+    t16_segments_run = !segments_run;
+    t16_restored = !restored;
+    t16_systems = systems;
+  }
+
+let t16_kill_boundary = 3
+
+let t16 ?(lanes = 1) ?(seed = 42L) () =
+  let path = Filename.temp_file "lastcpu-t16" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; Snapshot.previous_generation path ])
+    (fun () ->
+      let full = t16_soak ~lanes ~seed () in
+      (* Kill leg: checkpoint every boundary, die "mid-checkpoint" at
+         boundary 3 — the file written there is torn, exactly the on-disk
+         state of a process killed between write and rename. *)
+      let killed =
+        t16_soak ~lanes ~seed ~snapshot_path:path ~stop_after:t16_kill_boundary
+          ~torn_final:true ()
+      in
+      (* Resume leg: fresh topology; the torn primary must be rejected and
+         the previous generation (boundary 2) restored, re-running one
+         segment deterministically before the remaining two. *)
+      let resumed = t16_soak ~lanes ~seed ~snapshot_path:path ~resume:true () in
+      let fellback =
+        match resumed.t16_restored with
+        | Some Snapshot.Previous -> true
+        | Some Snapshot.Primary | None -> false
+      in
+      let identical =
+        resumed.t16_digest = full.t16_digest
+        && resumed.t16_events = full.t16_events
+        && resumed.t16_elapsed = full.t16_elapsed
+      in
+      (* Lane-count-free output: CI diffs the rendered table between
+         --shards 1 and --shards 4 runs of the whole kill/resume cycle. *)
+      {
+        id = "t16";
+        title = "crash-survivable simulation: kill-resume soak over snapshots";
+        claim =
+          "a run checkpointed at quiescent segment boundaries can be \
+           killed — even mid-checkpoint, leaving a torn file — and \
+           resumed from disk into a freshly rebuilt topology with \
+           bit-identical observable state";
+        columns = [ "run"; "segments"; "events"; "elapsed (ns)"; "digest" ];
+        rows =
+          [
+            [
+              "uninterrupted";
+              string_of_int full.t16_segments_run;
+              string_of_int full.t16_events;
+              ns64 full.t16_elapsed;
+              Printf.sprintf "0x%016Lx" full.t16_digest;
+            ];
+            [
+              "killed at boundary 3 (torn)";
+              string_of_int killed.t16_segments_run;
+              "-";
+              "-";
+              "-";
+            ];
+            [
+              (match resumed.t16_restored with
+              | Some Snapshot.Previous -> "resumed (previous generation)"
+              | Some Snapshot.Primary -> "resumed (primary)"
+              | None -> "resumed (no snapshot!)");
+              string_of_int resumed.t16_segments_run;
+              string_of_int resumed.t16_events;
+              ns64 resumed.t16_elapsed;
+              Printf.sprintf "0x%016Lx" resumed.t16_digest;
+            ];
+            [
+              "verdict";
+              "";
+              "";
+              "";
+              (if identical && fellback then "bit-identical"
+               else "DIVERGED");
+            ];
+          ];
+        notes =
+          [
+            Printf.sprintf
+              "%d segments, checkpoint per boundary; ring of %d clusters, %d \
+               kv clients x %d ops + %d cross-shard alloc/free pairs per \
+               shard per segment; ssd1 crash window [%Ldns, %Ldns] spans two \
+               checkpoints"
+              t16_segments t16_shard_count t16_kv_clients t16_kv_ops
+              t16_remote_allocs t16_crash.Faults.at_ns
+              (Int64.add t16_crash.Faults.at_ns t16_crash.Faults.down_ns);
+            "torn primary at the kill boundary forces restore from the \
+             previous generation: one segment is re-run deterministically";
+          ];
+      })
+
 type sanitize_report = {
   san_exp : string;
   san_perturbation : string;  (** ["lifo"] or ["salted"] *)
@@ -2374,6 +2697,7 @@ let all () =
     t13 ();
     t14 ();
     t15 ();
+    t16 ();
   ]
 
 let by_id ?(shards = 1) = function
@@ -2395,4 +2719,5 @@ let by_id ?(shards = 1) = function
   | "t13" -> Some (fun () -> t13 ())
   | "t14" -> Some (fun () -> t14 ())
   | "t15" -> Some (fun () -> t15 ~shards ())
+  | "t16" -> Some (fun () -> t16 ~lanes:shards ())
   | _ -> None

@@ -130,6 +130,57 @@ val t15 : ?shards:int -> ?quantum:int64 -> ?seed:int64 -> unit -> table
     (seed, quantum) — CI diffs the output of [--shards 1] vs [--shards 4]
     runs verbatim. *)
 
+(** {2 T16: crash-survivable simulation} *)
+
+type t16_result = {
+  t16_digest : int64;
+      (** per-shard metrics digests combined in shard order — THE value the
+          crash-survivability contract pins: equal between an
+          uninterrupted run and a killed-and-resumed run *)
+  t16_events : int;  (** events executed, summed over shards *)
+  t16_elapsed : int64;  (** max shard virtual clock at drain *)
+  t16_segments_run : int;  (** segments executed by THIS process *)
+  t16_restored : Lastcpu_sim.Snapshot.generation option;
+      (** [Some g] when this run resumed from a snapshot; [g] says whether
+          the primary file or the previous-generation fallback restored *)
+  t16_systems : System.t array;
+}
+
+val t16_soak :
+  ?lanes:int ->
+  ?tie:Lastcpu_sim.Engine.tie_break ->
+  ?sanitize:bool ->
+  ?snapshot_path:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?stop_after:int ->
+  ?torn_final:bool ->
+  seed:int64 ->
+  unit ->
+  t16_result
+(** The t15 ring run as checkpointed segments. With [snapshot_path] a
+    whole-machine snapshot ({!Checkpoint.save}) is written after every
+    [checkpoint_every]-th segment boundary (a quiescent quantum edge).
+    [stop_after:b] abandons the run right after boundary [b]'s checkpoint
+    — the in-process stand-in for a kill; with [torn_final] that last
+    checkpoint is written deliberately truncated (a kill mid-checkpoint).
+    [resume] rebuilds nothing differently: the identical topology is
+    built, then {!Checkpoint.restore} overlays the snapshot (falling back
+    to the previous generation when the primary is torn) and the loop
+    continues from the restored segment counter. [lanes] is the
+    execution-lane count only; results are lane-independent. *)
+
+val t16_kill_boundary : int
+(** Segment boundary after which the kill leg of {!t16} dies (3). *)
+
+val t16 : ?lanes:int -> ?seed:int64 -> unit -> table
+(** The full kill-resume cycle in one table: an uninterrupted run, a run
+    killed mid-checkpoint at boundary {!t16_kill_boundary} (leaving a torn
+    primary), and a resumed run that must fall back to the previous
+    generation and still finish bit-identical. Every cell is a pure
+    function of the seed — CI diffs [--shards 1] vs [--shards 4] output
+    verbatim. *)
+
 (** {2 Same-tick ordering sanitizer} *)
 
 type sanitize_report = {

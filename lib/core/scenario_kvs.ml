@@ -42,7 +42,7 @@ let run ?spec ?(log_path = default_log_path) ?(smoke_ops = 3) () =
           | Lastcpu_proto.Message.Auth_response { ok = true; session = s } ->
             session := s
           | _ -> ());
-      System.run_until_idle system);
+      System.run_until_quiescent system);
     (match (System.auth system, !session) with
     | Some _, None -> invalid_arg "scenario: authentication failed"
     | _ -> ());
@@ -52,7 +52,7 @@ let run ?spec ?(log_path = default_log_path) ?(smoke_ops = 3) () =
       ~memctl:(Memctl.id (System.memctl system))
       ~pasid ~shm_va ~user:"kvs" ~log_path ?auth:!session ()
       (fun r -> result := Some r);
-    System.run_until_idle system;
+    System.run_until_quiescent system;
     (match !result with
     | None -> Error "KVS launch never completed (event queue drained)"
     | Some (Error e) -> Error e
@@ -68,12 +68,12 @@ let run ?spec ?(log_path = default_log_path) ?(smoke_ops = 3) () =
             match reply with
             | Kv_proto.Done -> ()
             | _ -> failures := (key ^ ": put failed") :: !failures);
-        System.run_until_idle system;
+        System.run_until_quiescent system;
         Kv_app.local_op app (Kv_proto.Get key) (fun reply ->
             match reply with
             | Kv_proto.Value (Some v) when String.equal v ("value-" ^ key) -> ()
             | _ -> failures := (key ^ ": get mismatch") :: !failures);
-        System.run_until_idle system
+        System.run_until_quiescent system
       done;
       if !failures <> [] then Error (String.concat "; " !failures)
       else Ok { system; app; boot_ns })

@@ -131,20 +131,42 @@ let build ?(spec = default_spec) () =
     List.init spec.accel_count (fun i ->
         Accel_dev.create sysbus ~mem:memory ~name:(Printf.sprintf "accel%d" i) ())
   in
-  {
-    spec;
-    engine;
-    memory;
-    network;
-    sysbus;
-    mc_list;
-    ssd_list;
-    nic_list;
-    accel_list;
-    auth_dev;
-    console_dev;
-    next_pasid = 1;
-  }
+  let t =
+    {
+      spec;
+      engine;
+      memory;
+      network;
+      sysbus;
+      mc_list;
+      ssd_list;
+      nic_list;
+      accel_list;
+      auth_dev;
+      console_dev;
+      next_pasid = 1;
+    }
+  in
+  (* Whole-machine checkpoint hooks owned by the assembly itself: the DRAM
+     image (every virtqueue ring and request slot lives in it) and the
+     PASID allocator. Registered after the hardware above, before any
+     boot-time application hook — so apps whose restore looks through a
+     DMA view find the restored DRAM already in place. *)
+  let module Snapshot = Lastcpu_sim.Snapshot in
+  Engine.register_snapshot engine ~name:"dram"
+    ~save:(fun () ->
+      let w = Snapshot.W.create () in
+      Physmem.save w memory;
+      Snapshot.W.contents w)
+    ~restore:(fun data -> Physmem.restore (Snapshot.R.of_string data) memory);
+  Engine.register_snapshot engine ~name:"system"
+    ~save:(fun () ->
+      let w = Snapshot.W.create () in
+      Snapshot.W.varint w t.next_pasid;
+      Snapshot.W.contents w)
+    ~restore:(fun data ->
+      t.next_pasid <- Snapshot.R.varint (Snapshot.R.of_string data));
+  t
 
 let engine t = t.engine
 let mem t = t.memory
@@ -207,6 +229,9 @@ let boot ?(timeout = 1_000_000L) t =
 
 let run_until_idle ?(max_events = 10_000_000) t =
   Engine.run ~max_events t.engine
+
+let run_until_quiescent ?(max_events = 10_000_000) t =
+  Engine.run_until_quiescent ~max_events t.engine
 
 let run_for t ns = Engine.run ~until:(Int64.add (Engine.now t.engine) ns) t.engine
 

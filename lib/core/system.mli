@@ -76,6 +76,13 @@ val fresh_pasid : t -> Types.pasid
 val run_until_idle : ?max_events:int -> t -> unit
 (** Drain the event queue (bounded by [max_events], default 10 million). *)
 
+val run_until_quiescent : ?max_events:int -> t -> unit
+(** Drain volatile events only, stopping as soon as the queue holds
+    nothing but statics (bounded by [max_events], default 10 million).
+    Unlike {!run_until_idle} this does not fast-forward through pending
+    fault-plan statics, so a crash window scheduled for the future
+    survives bring-up. *)
+
 val run_for : t -> int64 -> unit
 (** Advance virtual time by the given nanoseconds. *)
 

@@ -264,6 +264,94 @@ let handle t msg =
                 }))
       end
 
+let dma t ~pasid =
+  match Hashtbl.find_opt t.dmas pasid with
+  | Some d -> d
+  | None ->
+    let d = Dma.create ~iommu:t.iommu ~pasid ~mem:t.mem in
+    Hashtbl.replace t.dmas pasid d;
+    d
+
+(* Checkpointing: counters, the recent-corr dedup ring, open connections,
+   circuit breakers and per-PASID DMA access counts — everything a resumed
+   run observes. [pending] continuations are deliberately not saved: at a
+   quiescent checkpoint every in-flight request has either completed or
+   timed out, so the table holds at most dead entries whose responses were
+   already lost. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save_state t =
+  let w = Snapshot.W.create () in
+  Snapshot.W.varint w t.next_corr;
+  Snapshot.W.varint w t.next_conn;
+  Snapshot.W.varint w t.next_queue;
+  Snapshot.W.array w (fun w c -> Snapshot.W.vint w c) t.recent;
+  Snapshot.W.varint w t.recent_idx;
+  Snapshot.W.list w
+    (fun w (conn, (info : connection_info)) ->
+      Snapshot.W.varint w conn;
+      Snapshot.W.string w info.service;
+      Snapshot.W.vint w info.client;
+      Snapshot.W.vint w info.conn_pasid)
+    (Detmap.bindings t.conns);
+  Snapshot.W.list w
+    (fun w (peer, (b : breaker)) ->
+      Snapshot.W.vint w peer;
+      (match b.state with
+      | Closed -> Snapshot.W.u8 w 0
+      | Open until ->
+        Snapshot.W.u8 w 1;
+        Snapshot.W.i64 w until
+      | Half_open -> Snapshot.W.u8 w 2);
+      Snapshot.W.varint w b.failures)
+    (Detmap.bindings t.breakers);
+  Snapshot.W.list w
+    (fun w (pasid, d) ->
+      Snapshot.W.vint w pasid;
+      Snapshot.W.varint w (Dma.accesses d))
+    (Detmap.bindings t.dmas);
+  Snapshot.W.contents w
+
+let restore_state t body =
+  let r = Snapshot.R.of_string body in
+  t.next_corr <- Snapshot.R.varint r;
+  t.next_conn <- Snapshot.R.varint r;
+  t.next_queue <- Snapshot.R.varint r;
+  let ring = Snapshot.R.array r Snapshot.R.vint in
+  if Array.length ring <> recent_size then
+    invalid_arg "Device.restore: recent-ring size differs from checkpoint";
+  Array.blit ring 0 t.recent 0 recent_size;
+  t.recent_idx <- Snapshot.R.varint r;
+  Hashtbl.reset t.conns;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let conn_id = Snapshot.R.varint r in
+    let service = Snapshot.R.string r in
+    let client = Snapshot.R.vint r in
+    let conn_pasid = Snapshot.R.vint r in
+    Hashtbl.replace t.conns conn_id { conn_id; service; client; conn_pasid }
+  done;
+  Hashtbl.reset t.breakers;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let peer = Snapshot.R.vint r in
+    let state =
+      match Snapshot.R.u8 r with
+      | 0 -> Closed
+      | 1 -> Open (Snapshot.R.i64 r)
+      | 2 -> Half_open
+      | _ -> raise (Snapshot.R.Corrupt "bad breaker state tag")
+    in
+    let failures = Snapshot.R.varint r in
+    Hashtbl.replace t.breakers peer { state; failures }
+  done;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let pasid = Snapshot.R.vint r in
+    let accesses = Snapshot.R.varint r in
+    Dma.set_accesses (dma t ~pasid) accesses
+  done
+
 let create ?shard sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
   let engine = Sysbus.engine sysbus in
   let m = Engine.metrics engine in
@@ -322,6 +410,9 @@ let create ?shard sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
     Sysbus.attach ?shard sysbus ~name ~iommu ~handler:(fun msg -> handle t msg)
   in
   t.dev_id <- id;
+  Engine.register_snapshot engine ~name:("dev:" ^ actor)
+    ~save:(fun () -> save_state t)
+    ~restore:(restore_state t);
   Iommu.attach_fault_handler iommu (fun fault ->
       Metrics.incr t.m_faults;
       Engine.trace_event engine ~actor:name ~kind:"device.fault"
@@ -337,14 +428,6 @@ let name t = t.dev_name
 let bus t = t.sysbus
 let engine t = t.engine
 let shard t = Sysbus.device_shard t.sysbus t.dev_id
-
-let dma t ~pasid =
-  match Hashtbl.find_opt t.dmas pasid with
-  | Some d -> d
-  | None ->
-    let d = Dma.create ~iommu:t.iommu ~pasid ~mem:t.mem in
-    Hashtbl.replace t.dmas pasid d;
-    d
 
 let add_service t impl =
   t.services <- t.services @ [ impl ];
@@ -452,16 +535,18 @@ let breaker_is_open t peer =
     | Open until -> Engine.now t.engine < until
     | Closed | Half_open -> false)
 
-(* A busy answer (including the local "request timed out" give-up) is a
-   failure; anything else — even an application-level error — proves the
-   peer is alive and serving, and closes the breaker. *)
+(* A busy answer (including the local "request timed out" give-up) or the
+   bus bouncing the frame off a dead peer is a failure; anything else —
+   even an application-level error — proves the peer is alive and
+   serving, and closes the breaker. *)
 let observe_peer_result t peer (payload : Message.payload) =
   match t.breaker_cfg with
   | None -> ()
   | Some { threshold; cooldown_ns } -> (
     let b = breaker_for t peer in
     match payload with
-    | Message.Error_msg { code = Types.E_busy; detail } ->
+    | Message.Error_msg
+        { code = Types.E_busy | Types.E_device_failed; detail } ->
       b.failures <- b.failures + 1;
       let probe_failed = b.state = Half_open in
       if b.failures >= threshold || probe_failed then begin

@@ -219,7 +219,8 @@ val request :
 
 val enable_circuit_breaker : t -> threshold:int -> cooldown_ns:int64 -> unit
 (** Arm a per-peer circuit breaker on {!request}: after [threshold]
-    consecutive busy/timeout failures to a peer the breaker opens for
+    consecutive failures to a peer — busy answers, timeout give-ups, or
+    the bus bouncing the frame off a dead device — the breaker opens for
     [cooldown_ns] (or the peer's retry-after hint, whichever is longer) and
     new requests fast-fail locally; the first request after the window is a
     half-open probe whose outcome closes or reopens the breaker. Registers

@@ -5,6 +5,8 @@ module Device = Lastcpu_device.Device
 module Sysbus = Lastcpu_bus.Sysbus
 module Engine = Lastcpu_sim.Engine
 module Rng = Lastcpu_sim.Rng
+module Snapshot = Lastcpu_sim.Snapshot
+module Detmap = Lastcpu_sim.Detmap
 
 type t = {
   dev : Device.t;
@@ -79,6 +81,34 @@ let create sysbus ~mem ?(users = []) () =
             (Message.Auth_response { ok = false; session = None })
         end
       | _ -> ());
+  (* Checkpoint: attempt counters, the nonce stream position (so resumed
+     runs mint bit-identical session tokens) and the passwd table (users
+     can be added mid-run). [signing_key] and [salt] are drawn from the
+     fork before any state restore, so the rebuild re-derives them. *)
+  Engine.register_snapshot engine ~name:(Device.actor dev)
+    ~save:(fun () ->
+      let w = Snapshot.W.create () in
+      Snapshot.W.varint w t.attempts;
+      Snapshot.W.varint w t.failures;
+      Snapshot.W.i64 w (Rng.state t.rng);
+      Snapshot.W.list w
+        (fun w (user, d) ->
+          Snapshot.W.string w user;
+          Snapshot.W.i64 w d)
+        (Detmap.bindings t.passwd);
+      Snapshot.W.contents w)
+    ~restore:(fun data ->
+      let r = Snapshot.R.of_string data in
+      t.attempts <- Snapshot.R.varint r;
+      t.failures <- Snapshot.R.varint r;
+      Rng.set_state t.rng (Snapshot.R.i64 r);
+      Hashtbl.reset t.passwd;
+      List.iter
+        (fun (user, d) -> Hashtbl.replace t.passwd user d)
+        (Snapshot.R.list r (fun r ->
+             let user = Snapshot.R.string r in
+             let d = Snapshot.R.i64 r in
+             (user, d))));
   Device.start dev;
   t
 

@@ -54,6 +54,22 @@ let create sysbus ~mem ?(capacity = 4096) () =
         Device.reply dev ~to_:msg.Message.src ~corr:msg.Message.corr
           (Message.App_message { tag = "log-data"; body = String.concat "\n" tail })
       | _ -> ());
+  (* Checkpoint: the ring of log lines (newest first, order preserved) and
+     the receive counter. *)
+  let module Snapshot = Lastcpu_sim.Snapshot in
+  Lastcpu_sim.Engine.register_snapshot (Device.engine dev)
+    ~name:(Device.actor dev)
+    ~save:(fun () ->
+      let w = Snapshot.W.create () in
+      Snapshot.W.varint w t.received;
+      Snapshot.W.list w (fun w line -> Snapshot.W.string w line) t.lines;
+      Snapshot.W.contents w)
+    ~restore:(fun data ->
+      let r = Snapshot.R.of_string data in
+      t.received <- Snapshot.R.varint r;
+      t.lines <- Snapshot.R.list r Snapshot.R.string;
+      t.count <- List.length t.lines;
+      trim t);
   Device.start dev;
   t
 

@@ -17,7 +17,7 @@ type t = {
   pasid : int;
   memctl : Types.device_id;
   queue_id : int;
-  driver : Vq.Driver.t;
+  mutable driver : Vq.Driver.t;
   dma : Dma.t;
   shm_va : int64;
   token : Token.t;
@@ -111,6 +111,34 @@ let on_doorbell t () =
   in
   drain ();
   pump t
+
+(* Checkpointing -------------------------------------------------------------
+   At a quiescent point [by_head] and [waiting] are empty (they hold live
+   continuations, which quiescence forbids), so only the driver-side ring
+   bookkeeping, the free-slot pool (its order decides which DMA addresses
+   future requests use) and the completion counter need to travel. *)
+
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.varint w t.completed;
+  Snapshot.W.list w
+    (fun w s ->
+      Snapshot.W.i64 w s.req_va;
+      Snapshot.W.i64 w s.resp_va)
+    t.free_slots;
+  Vq.Driver.save w t.driver
+
+let restore r t =
+  t.completed <- Snapshot.R.varint r;
+  t.free_slots <-
+    Snapshot.R.list r (fun r ->
+        let req_va = Snapshot.R.i64 r in
+        let resp_va = Snapshot.R.i64 r in
+        { req_va; resp_va });
+  Hashtbl.reset t.by_head;
+  Queue.clear t.waiting;
+  t.driver <- Vq.Driver.restore r ~dma:t.dma
 
 (* Connection (the Figure-2 sequence) ---------------------------------------- *)
 

@@ -95,3 +95,15 @@ val close : t -> (unit -> unit) -> unit
 
 val in_flight : t -> int
 val requests_completed : t -> int
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the virtqueue driver state, free request-slot pool (in reuse
+    order) and completion counter (checkpointing). Must be called at a
+    quiescent point — in-flight requests hold continuations a snapshot
+    cannot carry. *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite a freshly connected client with {!save}d state. Ring memory
+    itself returns with the DRAM image; this only rebuilds the driver-local
+    view over it.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

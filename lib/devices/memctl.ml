@@ -36,6 +36,83 @@ type t = {
 let default_dram_base = 0x1000_0000L
 let default_dram_pages = 65536
 
+(* Checkpointing. The token [key] is deliberately excluded: it is drawn
+   from the engine's root RNG during the deterministic rebuild, which
+   re-derives the identical key before the engine's RNG position is then
+   restored. The nonce stream [rng] is a forked stream whose position only
+   advances with mints, so it must be saved. *)
+module Snapshot = Lastcpu_sim.Snapshot
+module Detmap = Lastcpu_sim.Detmap
+
+let save_state t =
+  let w = Snapshot.W.create () in
+  Buddy.save w t.buddy;
+  Snapshot.W.i64 w (Rng.state t.rng);
+  Snapshot.W.list w
+    (fun w (pasid, pages) ->
+      Snapshot.W.vint w pasid;
+      Snapshot.W.varint w pages)
+    (Detmap.bindings t.charged);
+  Snapshot.W.list w
+    (fun w ((pasid, va), (a : allocation)) ->
+      Snapshot.W.vint w pasid;
+      Snapshot.W.i64 w va;
+      Snapshot.W.i64 w a.pa;
+      Snapshot.W.i64 w a.bytes;
+      Snapshot.W.varint w a.pages;
+      Snapshot.W.vint w a.subject)
+    (Detmap.bindings t.allocations);
+  (* [by_pasid] lists are ordered (most recent first); saved verbatim, not
+     re-derived, so [allocations_of] enumerates identically after resume. *)
+  Snapshot.W.list w
+    (fun w (pasid, l) ->
+      Snapshot.W.vint w pasid;
+      Snapshot.W.list w (fun w va -> Snapshot.W.i64 w va) !l)
+    (Detmap.bindings t.by_pasid);
+  Snapshot.W.list w
+    (fun w (pasid, va) ->
+      Snapshot.W.vint w pasid;
+      Snapshot.W.i64 w va)
+    (List.map fst (Detmap.bindings t.inflight));
+  Snapshot.W.contents w
+
+let restore_state t body =
+  let r = Snapshot.R.of_string body in
+  Buddy.restore r t.buddy;
+  Rng.set_state t.rng (Snapshot.R.i64 r);
+  Hashtbl.reset t.charged;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let pasid = Snapshot.R.vint r in
+    let pages = Snapshot.R.varint r in
+    Hashtbl.replace t.charged pasid pages
+  done;
+  Hashtbl.reset t.allocations;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let pasid = Snapshot.R.vint r in
+    let va = Snapshot.R.i64 r in
+    let pa = Snapshot.R.i64 r in
+    let bytes = Snapshot.R.i64 r in
+    let pages = Snapshot.R.varint r in
+    let subject = Snapshot.R.vint r in
+    Hashtbl.replace t.allocations (pasid, va) { va; pa; bytes; pages; subject }
+  done;
+  Hashtbl.reset t.by_pasid;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let pasid = Snapshot.R.vint r in
+    let l = Snapshot.R.list r Snapshot.R.i64 in
+    Hashtbl.replace t.by_pasid pasid (ref l)
+  done;
+  Hashtbl.reset t.inflight;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let pasid = Snapshot.R.vint r in
+    let va = Snapshot.R.i64 r in
+    Hashtbl.replace t.inflight (pasid, va) ()
+  done
+
 let mint t ~subject ~pasid ~pa ~bytes ~perm =
   Token.mint ~key:t.key ~issuer:(Device.id t.dev) ~subject ~pasid
     ~resource:"dram" ~base:pa ~length:bytes ~perm ~nonce:(Rng.int64 t.rng)
@@ -180,6 +257,9 @@ let create sysbus ~mem ?(name = "memctl") ?(dram_base = default_dram_base)
         handle_free t ~src:msg.Message.src ~corr:msg.Message.corr ~pasid ~va
       | _ -> ());
   Sysbus.register_controller sysbus (Device.id dev) ~resource:"dram" ~key:t.key;
+  Engine.register_snapshot engine ~name:(Device.actor dev)
+    ~save:(fun () -> save_state t)
+    ~restore:(restore_state t);
   Device.start dev;
   t
 

@@ -295,6 +295,63 @@ let handle_vq_detach t (msg : Message.t) body =
   Device.reply t.dev ~to_:msg.Message.src ~corr:msg.Message.corr
     (Message.App_message { tag = "vq-ok"; body = "" })
 
+(* Checkpointing: the full storage stack this device owns — NAND image,
+   FTL maps, FS block cache — plus every attached virtqueue's device-side
+   state and open block handles. Queues are re-wired to their doorbells on
+   restore; the rings themselves live in DRAM and come back with the
+   memory image. *)
+module Snapshot = Lastcpu_sim.Snapshot
+module Detmap = Lastcpu_sim.Detmap
+
+let save_state t =
+  let w = Snapshot.W.create () in
+  Nand.save w (Ftl.nand t.ftl);
+  Ftl.save w t.ftl;
+  Fs.save w t.filesystem;
+  Snapshot.W.list w
+    (fun w (queue, (qs : queue_state)) ->
+      Snapshot.W.varint w queue;
+      Snapshot.W.vint w qs.client;
+      Snapshot.W.string w qs.user;
+      Snapshot.W.vint w qs.q_pasid;
+      Vq.Device.save w qs.vq;
+      Snapshot.W.list w
+        (fun w (h, { backing; block_size }) ->
+          Snapshot.W.varint w h;
+          Snapshot.W.string w backing;
+          Snapshot.W.varint w block_size)
+        (Detmap.bindings qs.handles);
+      Snapshot.W.varint w qs.next_handle)
+    (Detmap.bindings t.queues);
+  Snapshot.W.contents w
+
+let restore_state t body =
+  let r = Snapshot.R.of_string body in
+  Nand.restore r (Ftl.nand t.ftl);
+  Ftl.restore r t.ftl;
+  Fs.restore r t.filesystem;
+  Hashtbl.reset t.queues;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let queue = Snapshot.R.varint r in
+    let client = Snapshot.R.vint r in
+    let user = Snapshot.R.string r in
+    let q_pasid = Snapshot.R.vint r in
+    let vq = Vq.Device.restore r ~dma:(Device.dma t.dev ~pasid:q_pasid) in
+    let handles = Hashtbl.create 4 in
+    let nh = Snapshot.R.varint r in
+    for _ = 1 to nh do
+      let h = Snapshot.R.varint r in
+      let backing = Snapshot.R.string r in
+      let block_size = Snapshot.R.varint r in
+      Hashtbl.replace handles h { backing; block_size }
+    done;
+    let next_handle = Snapshot.R.varint r in
+    Hashtbl.replace t.queues queue
+      { vq; client; user; q_pasid; handles; next_handle };
+    Device.on_doorbell t.dev ~queue (fun () -> process_queue t ~queue)
+  done
+
 let create sysbus ~mem ~name ?geometry ?auth_key () =
   (* The device claims the actor name; FTL and FS telemetry registers in
      the same engine registry under derived actors. *)
@@ -416,6 +473,9 @@ let create sysbus ~mem ~name ?geometry ?auth_key () =
             (Message.Error_msg
                { code = Types.E_invalid; detail = Fs.error_to_string e }))
       | _ -> ());
+  Engine.register_snapshot (Device.engine dev) ~name:actor
+    ~save:(fun () -> save_state t)
+    ~restore:(restore_state t);
   Device.start dev;
   t
 

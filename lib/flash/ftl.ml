@@ -233,6 +233,59 @@ let write_amplification t =
   let hw = host_writes t in
   if hw = 0 then 1.0 else float_of_int (hw + moved_pages t) /. float_of_int hw
 
+(* Checkpointing: the full translation state — mapping table, per-page
+   states, per-block fill/invalid counts, the active block and the free
+   list (order matters: blocks are taken from the head and GC appends to
+   the tail, so wear leveling depends on it). The NAND underneath is saved
+   by its owner, not here. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.varint w t.logical;
+  Snapshot.W.array w (fun w p -> Snapshot.W.vint w p) t.map;
+  Snapshot.W.array w
+    (fun w s ->
+      match s with
+      | Free -> Snapshot.W.u8 w 0
+      | Valid lpn ->
+        Snapshot.W.u8 w 1;
+        Snapshot.W.varint w lpn
+      | Invalid -> Snapshot.W.u8 w 2)
+    t.state;
+  Snapshot.W.array w (fun w n -> Snapshot.W.varint w n) t.free_in_block;
+  Snapshot.W.array w (fun w n -> Snapshot.W.varint w n) t.invalid_in_block;
+  Snapshot.W.varint w t.active;
+  Snapshot.W.list w (fun w b -> Snapshot.W.varint w b) t.free_blocks;
+  Snapshot.W.varint w t.free_block_count
+
+let restore r t =
+  let logical = Snapshot.R.varint r in
+  if logical <> t.logical then
+    invalid_arg "Ftl.restore: logical size differs from checkpoint";
+  let read_into dest decode name =
+    let n = Snapshot.R.varint r in
+    if n <> Array.length dest then
+      raise (Snapshot.R.Corrupt ("ftl " ^ name ^ " length mismatch"));
+    for i = 0 to n - 1 do
+      dest.(i) <- decode r
+    done
+  in
+  read_into t.map Snapshot.R.vint "map";
+  read_into t.state
+    (fun r ->
+      match Snapshot.R.u8 r with
+      | 0 -> Free
+      | 1 -> Valid (Snapshot.R.varint r)
+      | 2 -> Invalid
+      | _ -> raise (Snapshot.R.Corrupt "bad ftl page state tag"))
+    "state";
+  read_into t.free_in_block Snapshot.R.varint "free_in_block";
+  read_into t.invalid_in_block Snapshot.R.varint "invalid_in_block";
+  t.active <- Snapshot.R.varint r;
+  t.free_blocks <- Snapshot.R.list r Snapshot.R.varint;
+  t.free_block_count <- Snapshot.R.varint r;
+  Metrics.set t.m_free_blocks (float_of_int t.free_block_count)
+
 let max_erase_skew t =
   let mn = ref max_int and mx = ref 0 in
   for b = 0 to t.geo.blocks - 1 do

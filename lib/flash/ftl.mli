@@ -54,3 +54,13 @@ val max_erase_skew : t -> int
     quality). *)
 
 val nand : t -> Nand.t
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the translation state — map, page states, free list (in order;
+    wear leveling depends on it), active block (checkpointing). The NAND
+    underneath is saved separately by its owner. *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite the translation state with state written by {!save}.
+    @raise Invalid_argument if the logical size differs from the checkpoint.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

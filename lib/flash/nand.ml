@@ -123,3 +123,60 @@ let erase_count t ~block =
 let total_erases t = t.erase_total
 let reads t = t.read_count
 let programs t = t.program_count
+
+(* Checkpointing: programmed pages sparsely, per block, plus wear and op
+   counters. Page CRCs are recomputed from contents on restore — they are
+   a pure function of the page bytes. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.varint w t.geo.blocks;
+  Snapshot.W.varint w t.geo.pages_per_block;
+  Snapshot.W.varint w t.geo.page_size;
+  Array.iter
+    (fun blk ->
+      Snapshot.W.varint w blk.erases;
+      let programmed = ref [] in
+      Array.iteri
+        (fun i p ->
+          match p with
+          | None -> ()
+          | Some b -> programmed := (i, b) :: !programmed)
+        blk.pages;
+      Snapshot.W.list w
+        (fun w (i, b) ->
+          Snapshot.W.varint w i;
+          Snapshot.W.string w (Bytes.to_string b))
+        (List.rev !programmed))
+    t.data;
+  Snapshot.W.varint w t.read_count;
+  Snapshot.W.varint w t.program_count;
+  Snapshot.W.varint w t.erase_total
+
+let restore r t =
+  let blocks = Snapshot.R.varint r in
+  let pages_per_block = Snapshot.R.varint r in
+  let page_size = Snapshot.R.varint r in
+  if
+    blocks <> t.geo.blocks
+    || pages_per_block <> t.geo.pages_per_block
+    || page_size <> t.geo.page_size
+  then invalid_arg "Nand.restore: geometry differs from checkpoint";
+  Array.iter
+    (fun blk ->
+      blk.erases <- Snapshot.R.varint r;
+      Array.fill blk.pages 0 pages_per_block None;
+      Array.fill blk.crcs 0 pages_per_block 0;
+      let n = Snapshot.R.varint r in
+      for _ = 1 to n do
+        let i = Snapshot.R.varint r in
+        let contents = Snapshot.R.string r in
+        if i < 0 || i >= pages_per_block || String.length contents <> page_size
+        then raise (Snapshot.R.Corrupt "nand page out of shape");
+        blk.pages.(i) <- Some (Bytes.of_string contents);
+        blk.crcs.(i) <- Wire.crc32 contents
+      done)
+    t.data;
+  t.read_count <- Snapshot.R.varint r;
+  t.program_count <- Snapshot.R.varint r;
+  t.erase_total <- Snapshot.R.varint r

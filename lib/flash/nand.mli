@@ -38,3 +38,12 @@ val erase_count : t -> block:int -> int
 val total_erases : t -> int
 val reads : t -> int
 val programs : t -> int
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append programmed pages (sparsely), wear and op counters
+    (checkpointing). Page CRCs are recomputed on restore. *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite the array contents with state written by {!save}.
+    @raise Invalid_argument if the geometry differs from the checkpoint.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

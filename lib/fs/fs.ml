@@ -927,3 +927,36 @@ let pp_fsck_report ppf r =
     "files=%d dirs=%d used=%d leaked=%d shared=%d unmarked=%d orphans=%d"
     r.files r.directories r.used_blocks r.leaked_blocks r.shared_blocks
     r.unmarked_blocks r.orphan_inodes
+
+(* Checkpointing: everything durable lives in the FTL/NAND image (saved by
+   the device that owns the chip). The only in-memory state is the block
+   cache — and it must be saved, because cache hits skip NAND reads, and
+   both the NAND op counters and the per-page fault-occurrence streams are
+   observable; a resumed run with a cold cache would diverge. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.option w
+    (fun w cache ->
+      Snapshot.W.list w
+        (fun w (b, data) ->
+          Snapshot.W.varint w b;
+          Snapshot.W.string w (Bytes.to_string data))
+        (Detmap.bindings cache))
+    t.cache
+
+let restore r t =
+  match (Snapshot.R.bool r, t.cache) with
+  | false, None -> ()
+  | true, Some cache ->
+    Hashtbl.reset cache;
+    let n = Snapshot.R.varint r in
+    for _ = 1 to n do
+      let b = Snapshot.R.varint r in
+      let data = Snapshot.R.string r in
+      if String.length data <> t.block_size then
+        raise (Snapshot.R.Corrupt "fs cache block has wrong size");
+      Hashtbl.replace cache b (Bytes.of_string data)
+    done
+  | true, None | false, Some _ ->
+    invalid_arg "Fs.restore: cache presence differs from checkpoint"

@@ -104,3 +104,13 @@ val fsck : t -> (fsck_report, error) result
     sequence). *)
 
 val pp_fsck_report : Format.formatter -> fsck_report -> unit
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the block cache (checkpointing). Durable state is in the FTL
+    image, saved by the chip's owner; the cache is saved because hits skip
+    observable NAND reads. *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite the block cache with state written by {!save}.
+    @raise Invalid_argument if cache presence differs from the checkpoint.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

@@ -144,3 +144,29 @@ let reset_counters t =
   Metrics.reset_counter t.m_walk_levels;
   Metrics.reset_counter t.m_faults;
   match t.tlb with None -> () | Some tlb -> Tlb.reset_counters tlb
+
+(* Checkpointing: per-PASID page tables plus the TLB (counters restore via
+   the shared Metrics registry; the fault handler is a closure the rebuilt
+   device re-attaches). *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.list w
+    (fun w (pasid, pt) ->
+      Snapshot.W.vint w pasid;
+      Pagetable.save w pt)
+    (Lastcpu_sim.Detmap.bindings t.tables);
+  Snapshot.W.option w (fun w tlb -> Tlb.save w tlb) t.tlb
+
+let restore r t =
+  Hashtbl.reset t.tables;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let pasid = Snapshot.R.vint r in
+    Pagetable.restore r (table t ~pasid)
+  done;
+  match (Snapshot.R.bool r, t.tlb) with
+  | true, Some tlb -> Tlb.restore r tlb
+  | false, None -> ()
+  | true, None | false, Some _ ->
+    invalid_arg "Iommu.restore: TLB presence differs from checkpoint"

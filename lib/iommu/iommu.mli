@@ -79,3 +79,13 @@ val reset_counters : t -> unit
 
 val access_perm : access -> Proto_perm.t
 (** The minimal permission required for an access. *)
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append all per-PASID mappings and the TLB state (checkpointing).
+    Counters live in the shared Metrics registry and restore there; the
+    fault handler is re-attached by the rebuilt device. *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite tables and TLB with state written by {!save}.
+    @raise Invalid_argument if TLB presence/geometry differs.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

@@ -1,4 +1,5 @@
 module Layout = Lastcpu_mem.Layout
+module Snapshot = Lastcpu_sim.Snapshot
 
 type prot = Proto_perm.t
 
@@ -164,6 +165,10 @@ let unmap_range t ~va ~bytes =
 
 let mapped_pages t = t.mapped
 
+let reset t =
+  t.root <- Array.make fanout None;
+  t.mapped <- 0
+
 let iter t f =
   let visit_leaves base3 leaves =
     Array.iteri
@@ -208,3 +213,28 @@ let iter t f =
                 l2)
           l1)
     t.root
+
+(* Checkpointing: the radix structure is derivable from the leaf mappings,
+   so the encoding is just the (va, pa, perm) list — [iter] visits leaves
+   in ascending va order, which keeps the bytes deterministic. *)
+let save w t =
+  let entries = ref [] in
+  iter t (fun ~va ~pa ~perm -> entries := (va, pa, perm) :: !entries);
+  Snapshot.W.list w
+    (fun w (va, pa, perm) ->
+      Snapshot.W.i64 w va;
+      Snapshot.W.i64 w pa;
+      Snapshot.W.u8 w (Proto_perm.to_bits perm))
+    (List.rev !entries)
+
+let restore r t =
+  reset t;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let va = Snapshot.R.i64 r in
+    let pa = Snapshot.R.i64 r in
+    let perm = Proto_perm.of_bits (Snapshot.R.u8 r) in
+    match map t ~va ~pa ~perm with
+    | Ok () -> ()
+    | Error e -> raise (Snapshot.R.Corrupt ("pagetable entry rejected: " ^ e))
+  done

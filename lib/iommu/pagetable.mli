@@ -40,3 +40,13 @@ val mapped_pages : t -> int
 
 val iter : t -> (va:int64 -> pa:int64 -> perm:prot -> unit) -> unit
 (** Iterate over all leaf mappings (diagnostics, invariant checks). *)
+
+val reset : t -> unit
+(** Drop every mapping (checkpoint restore starts from empty). *)
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append all leaf mappings, in ascending va order (checkpointing). *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Replace the table's contents with mappings written by {!save}.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

@@ -113,3 +113,46 @@ let reset_counters t =
   Metrics.reset_counter t.m_evictions
 
 let capacity t = t.sets * t.ways
+
+(* Checkpointing: replacement state (valid bits, LRU stamps, the clock) is
+   observable through future hit/miss counts, so the whole slot array is
+   captured verbatim. Counters live in the shared registry and restore
+   there. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.varint w t.sets;
+  Snapshot.W.varint w t.ways;
+  Snapshot.W.varint w t.clock;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun s ->
+          Snapshot.W.bool w s.valid;
+          Snapshot.W.vint w s.pasid;
+          Snapshot.W.i64 w s.vpn;
+          Snapshot.W.i64 w s.data.ppn;
+          Snapshot.W.u8 w (Proto_perm.to_bits s.data.perm);
+          Snapshot.W.varint w s.lru)
+        set)
+    t.slots
+
+let restore r t =
+  let sets = Snapshot.R.varint r in
+  let ways = Snapshot.R.varint r in
+  if sets <> t.sets || ways <> t.ways then
+    invalid_arg "Tlb.restore: geometry differs from checkpoint";
+  t.clock <- Snapshot.R.varint r;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun s ->
+          s.valid <- Snapshot.R.bool r;
+          s.pasid <- Snapshot.R.vint r;
+          s.vpn <- Snapshot.R.i64 r;
+          let ppn = Snapshot.R.i64 r in
+          let perm = Proto_perm.of_bits (Snapshot.R.u8 r) in
+          s.data <- { ppn; perm };
+          s.lru <- Snapshot.R.varint r)
+        set)
+    t.slots

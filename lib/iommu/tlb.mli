@@ -35,3 +35,12 @@ val evictions : t -> int
 
 val reset_counters : t -> unit
 val capacity : t -> int
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the full slot array and LRU clock (checkpointing): replacement
+    state is observable through future hit/miss counts. *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite the slots with state written by {!save}.
+    @raise Invalid_argument if the geometry differs from the checkpoint.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

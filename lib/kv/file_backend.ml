@@ -105,3 +105,9 @@ let backend t =
   }
 
 let log_bytes t = t.log_end
+
+(* Checkpointing: only the end-of-log offset. A rebuilt backend learns its
+   [log_end] by stat-ing a freshly formatted filesystem (zero), so the
+   restore must bring back the offset matching the restored flash image. *)
+let save w t = Lastcpu_sim.Snapshot.W.varint w t.log_end
+let restore r t = t.log_end <- Lastcpu_sim.Snapshot.R.varint r

@@ -16,3 +16,10 @@ val create :
 val backend : t -> Store.backend
 val log_bytes : t -> int
 (** Current end-of-log offset. *)
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the end-of-log offset (checkpointing). *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite the end-of-log offset from {!save}d state.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

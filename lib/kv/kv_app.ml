@@ -20,6 +20,7 @@ type t = {
   nic : Smart_nic.t;
   mutable kv : Store.t;
   mutable fc : File_client.t;
+  mutable fb : File_backend.t;
   engine : Engine.t;
   actor : string;
   m_served : Metrics.counter;
@@ -123,6 +124,40 @@ let install_fast_path t =
 let failovers t =
   match t.m_failovers with None -> 0 | Some c -> Metrics.counter_value c
 
+(* Checkpointing: store index + watermark, log offset, file-client ring
+   state, and the app's own counters. [parked] holds continuations, which
+   are empty at any quiescent point (a parked op implies a failover in
+   flight, and a failover in flight implies volatile events).
+
+   A checkpoint taken after a completed failover is refused: the restored
+   state would describe a connection to a provider the rebuilt topology
+   never attached to (rebuild replays the original boot-time discovery,
+   not the failover). T-series soaks that checkpoint therefore crash
+   non-provider devices only. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save_state t =
+  if failovers t > 0 then
+    invalid_arg "Kv_app: checkpoint after a failover is not supported";
+  let w = Snapshot.W.create () in
+  Snapshot.W.bool w t.failing_over;
+  Snapshot.W.varint w t.recovered;
+  Snapshot.W.varint w t.client_in_flight;
+  Store.save w t.kv;
+  File_backend.save w t.fb;
+  File_client.save w t.fc;
+  Snapshot.W.contents w
+
+let restore_state t data =
+  let r = Snapshot.R.of_string data in
+  t.failing_over <- Snapshot.R.bool r;
+  t.recovered <- Snapshot.R.varint r;
+  t.client_in_flight <- Snapshot.R.varint r;
+  Queue.clear t.parked;
+  Store.restore r t.kv;
+  File_backend.restore r t.fb;
+  File_client.restore r t.fc
+
 let max_failover_attempts = 10
 
 (* Re-run the whole Figure-2 attach against whichever file service now
@@ -171,6 +206,7 @@ let rec reattach t ~dev ~memctl ~user ~log_path ~auth ~req_timeout ~req_retries
                   | Ok n ->
                     t.kv <- store;
                     t.fc <- fc;
+                    t.fb <- fb;
                     t.recovered <- n;
                     Engine.trace_event t.engine ~actor:t.actor
                       ~kind:"kv.failover"
@@ -233,6 +269,7 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
                   nic;
                   kv = store;
                   fc;
+                  fb;
                   engine;
                   actor;
                   m_served = Metrics.counter m ~actor ~name:"ops_served";
@@ -252,6 +289,9 @@ let launch ~nic ~memctl ~pasid ~shm_va ~user ~log_path ?auth
                   | Error m -> k (Error ("recover: " ^ m))
                   | Ok n ->
                     t.recovered <- n;
+                    Engine.register_snapshot engine ~name:actor
+                      ~save:(fun () -> save_state t)
+                      ~restore:(restore_state t);
                     install_fast_path t;
                     (match supervisor with
                     | None -> ()

@@ -26,10 +26,17 @@ let memory_backend () =
 
 module Metrics = Lastcpu_sim.Metrics
 module Detmap = Lastcpu_sim.Detmap
+module Snapshot = Lastcpu_sim.Snapshot
 
 type t = {
   backend : backend;
   index : (string, string) Hashtbl.t;
+  (* Snapshot watermark: how many decodable log records the index already
+     reflects. Zero for a fresh store (recovery replays everything); a
+     checkpoint restore sets it, so a later [recover] — say, after the
+     provider device revives — skips the prefix that produced the restored
+     index instead of double-applying it. *)
+  mutable applied : int;
   m_puts : Metrics.counter;
   m_gets : Metrics.counter;
   m_dels : Metrics.counter;
@@ -40,6 +47,7 @@ let create ?metrics ?(actor = "kv") backend =
   {
     backend;
     index = Hashtbl.create 256;
+    applied = 0;
     m_puts = Metrics.counter m ~actor ~name:"puts";
     m_gets = Metrics.counter m ~actor ~name:"gets";
     m_dels = Metrics.counter m ~actor ~name:"deletes";
@@ -49,15 +57,25 @@ let apply_record t = function
   | Wal.Put { key; value } -> Hashtbl.replace t.index key value
   | Wal.Del { key } -> Hashtbl.remove t.index key
 
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
+
 let recover t k =
   t.backend.read_log (fun res ->
       match res with
       | Error e -> k (Error e)
       | Ok data ->
         let records, _valid = Wal.decode_all data in
-        Hashtbl.reset t.index;
-        List.iter (apply_record t) records;
-        k (Ok (List.length records)))
+        let total = List.length records in
+        (* Records at or below the watermark are already in the index (it
+           came from a snapshot of this store); replaying them would
+           double-apply. Only the suffix is news. A watermark past the end
+           of the log clamps harmlessly: the log is authoritative. *)
+        let skip = min t.applied total in
+        if skip = 0 then Hashtbl.reset t.index;
+        let fresh = drop skip records in
+        List.iter (apply_record t) fresh;
+        t.applied <- total;
+        k (Ok (List.length fresh)))
 
 let get t key k =
   Metrics.incr t.m_gets;
@@ -71,6 +89,7 @@ let put t ~key ~value k =
       | Error _ as e -> k e
       | Ok () ->
         Hashtbl.replace t.index key value;
+        t.applied <- t.applied + 1;
         k (Ok ()))
 
 let delete t key k =
@@ -82,6 +101,7 @@ let delete t key k =
         | Error e -> k (Error e)
         | Ok () ->
           Hashtbl.remove t.index key;
+          t.applied <- t.applied + 1;
           k (Ok true))
 
 let scan_prefix t ~prefix k =
@@ -101,8 +121,39 @@ let compact t k =
       (fun (key, value) -> Wal.encode (Wal.Put { key; value }))
       (Detmap.bindings t.index)
   in
-  t.backend.replace_log (String.concat "" snapshot) k
+  let n = List.length snapshot in
+  t.backend.replace_log (String.concat "" snapshot) (fun res ->
+      (* The compacted log is one Put per live key, all of which the index
+         already holds — the watermark is exactly its record count. *)
+      (match res with Ok () -> t.applied <- n | Error _ -> ());
+      k res)
 
 let puts t = Metrics.counter_value t.m_puts
 let gets t = Metrics.counter_value t.m_gets
 let deletes t = Metrics.counter_value t.m_dels
+
+let applied_watermark t = t.applied
+let set_applied_watermark t n =
+  if n < 0 then invalid_arg "set_applied_watermark: negative";
+  t.applied <- n
+
+(* Checkpointing: the index (key order, for byte-stable snapshots) and the
+   replay watermark. Op counters live in the shared Metrics registry and
+   are restored with it. *)
+let save w t =
+  Snapshot.W.varint w t.applied;
+  Snapshot.W.list w
+    (fun w (key, value) ->
+      Snapshot.W.string w key;
+      Snapshot.W.string w value)
+    (Detmap.bindings t.index)
+
+let restore r t =
+  t.applied <- Snapshot.R.varint r;
+  Hashtbl.reset t.index;
+  List.iter
+    (fun (key, value) -> Hashtbl.replace t.index key value)
+    (Snapshot.R.list r (fun r ->
+         let key = Snapshot.R.string r in
+         let value = Snapshot.R.string r in
+         (key, value)))

@@ -31,7 +31,14 @@ val create : ?metrics:Lastcpu_sim.Metrics.t -> ?actor:string -> backend -> t
 val recover : t -> ((int, string) result -> unit) -> unit
 (** Replay the log into the index; continuation receives the number of
     records applied (torn tails are discarded silently — crash
-    semantics). *)
+    semantics).
+
+    Replay honours the {e snapshot watermark}: records the index already
+    reflects — because the store was just {!restore}d from a checkpoint —
+    are skipped rather than double-applied, and only the log suffix past
+    the watermark is replayed (the index is {e not} reset in that case).
+    A fresh store has watermark zero, so first-boot recovery replays the
+    whole log exactly as before. *)
 
 val get : t -> string -> (string option -> unit) -> unit
 val put : t -> key:string -> value:string -> ((unit, string) result -> unit) -> unit
@@ -51,3 +58,17 @@ val compact : t -> ((unit, string) result -> unit) -> unit
 val puts : t -> int
 val gets : t -> int
 val deletes : t -> int
+
+val applied_watermark : t -> int
+(** Number of decodable log records the index currently reflects. *)
+
+val set_applied_watermark : t -> int -> unit
+(** Override the watermark (tests and checkpoint plumbing).
+    @raise Invalid_argument when negative. *)
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the index (key order) and watermark (checkpointing). *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite index and watermark from {!save}d state.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

@@ -118,6 +118,49 @@ let largest_free_block t =
   in
   go t.max_order
 
+(* Checkpointing: per-order free sets plus the allocated-block table.
+   Geometry (base, pages) is structural — the rebuilt allocator must match
+   or the saved block indices are meaningless. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.i64 w t.base;
+  Snapshot.W.varint w t.pages;
+  Array.iter
+    (fun set ->
+      Snapshot.W.list w
+        (fun w idx -> Snapshot.W.varint w idx)
+        (Lastcpu_sim.Detmap.sorted_keys set))
+    t.free_sets;
+  Snapshot.W.varint w t.free_count;
+  Snapshot.W.list w
+    (fun w (idx, order) ->
+      Snapshot.W.varint w idx;
+      Snapshot.W.varint w order)
+    (Lastcpu_sim.Detmap.bindings t.allocated)
+
+let restore r t =
+  let base = Snapshot.R.i64 r in
+  let pages = Snapshot.R.varint r in
+  if base <> t.base || pages <> t.pages then
+    invalid_arg "Buddy.restore: geometry differs from checkpoint";
+  Array.iter
+    (fun set ->
+      Hashtbl.reset set;
+      let n = Snapshot.R.varint r in
+      for _ = 1 to n do
+        Hashtbl.replace set (Snapshot.R.varint r) ()
+      done)
+    t.free_sets;
+  t.free_count <- Snapshot.R.varint r;
+  Hashtbl.reset t.allocated;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let idx = Snapshot.R.varint r in
+    let order = Snapshot.R.varint r in
+    Hashtbl.replace t.allocated idx order
+  done
+
 let check_invariants t =
   (* Sum of free-list block sizes equals free_count, blocks are in range
      and properly aligned, and no free block overlaps an allocated one. *)

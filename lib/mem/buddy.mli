@@ -31,3 +31,11 @@ val largest_free_block : t -> int
 val check_invariants : t -> bool
 (** Internal consistency: free lists disjoint, sizes accounted. Used by
     property tests. *)
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append the free sets and allocated-block table (checkpointing). *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Overwrite allocator state with state written by {!save}.
+    @raise Invalid_argument if [base]/[pages] differ from the checkpoint.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

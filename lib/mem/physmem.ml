@@ -86,3 +86,31 @@ let write_bytes t addr s =
 let fill t addr len c = write_bytes t addr (String.make len c)
 
 let touched_frames t = Hashtbl.length t.frames
+
+(* Checkpointing: every touched frame verbatim, sparsely, in frame-number
+   order. Untouched frames are definitionally zero, and the touched count
+   itself is observable via [touched_frames], so frames are saved even
+   when their contents have been rewritten to zero. *)
+module Snapshot = Lastcpu_sim.Snapshot
+
+let save w t =
+  Snapshot.W.i64 w t.size;
+  Snapshot.W.list w
+    (fun w (page, b) ->
+      Snapshot.W.i64 w page;
+      Snapshot.W.string w (Bytes.to_string b))
+    (Lastcpu_sim.Detmap.bindings t.frames)
+
+let restore r t =
+  let size = Snapshot.R.i64 r in
+  if size <> t.size then
+    invalid_arg "Physmem.restore: DRAM size differs from checkpoint";
+  Hashtbl.reset t.frames;
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let page = Snapshot.R.i64 r in
+    let contents = Snapshot.R.string r in
+    if String.length contents <> frame_size then
+      raise (Snapshot.R.Corrupt "physmem frame has wrong size");
+    Hashtbl.replace t.frames page (Bytes.of_string contents)
+  done

@@ -24,3 +24,11 @@ val fill : t -> int64 -> int -> char -> unit
 
 val touched_frames : t -> int
 (** Number of frames materialised so far (memory-footprint metric). *)
+
+val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+(** Append every touched frame, sparsely (checkpointing). *)
+
+val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
+(** Replace the frame store with state written by {!save}.
+    @raise Invalid_argument if the DRAM size differs from the checkpoint.
+    @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)

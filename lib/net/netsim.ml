@@ -3,6 +3,7 @@ module Station = Lastcpu_sim.Station
 module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
 module Sanitizer = Lastcpu_sim.Sanitizer
+module Snapshot = Lastcpu_sim.Snapshot
 
 type endpoint = {
   net : t;
@@ -31,21 +32,80 @@ and t = {
   mutable m_boundary_out : Metrics.counter option;
 }
 
+(* Checkpoint hook. Frame counters live in Metrics (restored there); what
+   the fabric itself must carry across a restore is the endpoint roster —
+   name, shard affinity, egress-port accounting. A checkpointed run may
+   have created endpoints the rebuilt topology does not recreate (workload
+   phases attach fresh clients, then abandon them); those are restored as
+   receiverless placeholders so the address counter lines up and
+   endpoints attached after the resume get the same addresses they would
+   have gotten in the uninterrupted run. *)
+let save_state t =
+  let w = Snapshot.W.create () in
+  Snapshot.W.array w
+    (fun w ep ->
+      Snapshot.W.string w ep.ep_name;
+      Snapshot.W.vint w ep.ep_shard;
+      Station.save w ep.egress)
+    t.endpoints;
+  Snapshot.W.contents w
+
+let restore_state t s =
+  let r = Snapshot.R.of_string s in
+  let n = Snapshot.R.varint r in
+  for i = 0 to n - 1 do
+    let name = Snapshot.R.string r in
+    let ep_shard = Snapshot.R.vint r in
+    let ep =
+      if i < Array.length t.endpoints then begin
+        let ep = t.endpoints.(i) in
+        if not (String.equal ep.ep_name name) then
+          invalid_arg
+            (Printf.sprintf
+               "Netsim.restore_state: endpoint %d is %S, checkpoint has %S" i
+               ep.ep_name name);
+        ep
+      end
+      else begin
+        let ep =
+          {
+            net = t;
+            addr = i;
+            ep_name = name;
+            ep_shard;
+            egress = Station.create t.engine;
+            rx = None;
+          }
+        in
+        t.endpoints <- Array.append t.endpoints [| ep |];
+        Hashtbl.replace t.names name i;
+        ep
+      end
+    in
+    Station.restore r ep.egress
+  done
+
 let create ?(shard = 0) engine =
   let m = Engine.metrics engine in
   let actor = Metrics.claim_actor m "net" in
-  {
-    engine;
-    actor;
-    home_shard = shard;
-    boundary = None;
-    endpoints = [||];
-    names = Hashtbl.create 8;
-    m_delivered = Metrics.counter m ~actor ~name:"frames_delivered";
-    m_dropped = Metrics.counter m ~actor ~name:"frames_dropped";
-    m_bytes = Metrics.counter m ~actor ~name:"bytes_carried";
-    m_boundary_out = None;
-  }
+  let t =
+    {
+      engine;
+      actor;
+      home_shard = shard;
+      boundary = None;
+      endpoints = [||];
+      names = Hashtbl.create 8;
+      m_delivered = Metrics.counter m ~actor ~name:"frames_delivered";
+      m_dropped = Metrics.counter m ~actor ~name:"frames_dropped";
+      m_bytes = Metrics.counter m ~actor ~name:"bytes_carried";
+      m_boundary_out = None;
+    }
+  in
+  Engine.register_snapshot engine ~name:t.actor
+    ~save:(fun () -> save_state t)
+    ~restore:(fun s -> restore_state t s);
+  t
 
 let home_shard t = t.home_shard
 

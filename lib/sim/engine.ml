@@ -42,6 +42,13 @@ type t = {
   mutable executed : int;
   sani : sani option;
   mutable probes : (unit -> int64) list; (* order-insensitive: summed *)
+  (* Statics are events whose closures a rebuilt topology recreates
+     identically (crash windows, periodic sweeps): the count of pending
+     statics defines quiescence — the only points where a whole-machine
+     checkpoint can capture the event queue as data. *)
+  mutable static_pending : int;
+  mutable hooks : (string * (unit -> string) * (string -> unit)) list;
+  (* reversed registration order *)
 }
 
 let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
@@ -62,6 +69,8 @@ let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
          Some { cur_time = -1L; cur_labels = []; cur_count = 0; ticks = [] }
        else None);
     probes = [];
+    static_pending = 0;
+    hooks = [];
   }
 
 let now t = t.clock
@@ -122,7 +131,19 @@ let schedule ?label t ~delay f =
   assert (delay >= 0L);
   schedule_at ?label t ~time:(Int64.add t.clock delay) f
 
+(* A static event is one a rebuilt topology re-schedules identically from
+   declarative inputs (a crash window from the fault plan, a periodic
+   sweep): it never needs to be serialized, only counted, so the engine can
+   tell "the queue holds only reconstructible work" (quiescent) apart from
+   "there are in-flight closures nobody can rebuild". *)
+let schedule_static_at ?label t ~time f =
+  t.static_pending <- t.static_pending + 1;
+  schedule_at ?label t ~time (fun () ->
+      t.static_pending <- t.static_pending - 1;
+      f ())
+
 let pending t = Heap.length t.queue
+let pending_volatile t = Heap.length t.queue - t.static_pending
 let events_executed t = t.executed
 
 let next_event_time t =
@@ -177,6 +198,119 @@ let run ?until ?max_events t =
     (match until with
     | Some stop when Heap.is_empty t.queue && t.clock < stop -> t.clock <- stop
     | Some _ | None -> ())
+
+(* Drain every volatile event, leaving only statics (if any) in the queue:
+   the first point at or past the current time where a checkpoint can be
+   taken. Statics whose time arrives during the drain still execute —
+   events run strictly in time order regardless of kind. *)
+let run_until_quiescent ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some m -> m) in
+  while t.static_pending < Heap.length t.queue && !budget > 0 do
+    ignore (step t);
+    decr budget
+  done
+
+let quiescent t = t.static_pending = Heap.length t.queue
+
+(* --- checkpoint/restore ---------------------------------------------------- *)
+
+let register_snapshot t ~name ~save ~restore =
+  if List.exists (fun (n, _, _) -> String.equal n name) t.hooks then
+    invalid_arg ("Engine.register_snapshot: duplicate hook " ^ name);
+  t.hooks <- (name, save, restore) :: t.hooks
+
+let snapshot_hooks t = List.rev t.hooks
+
+let save_sani w s =
+  Snapshot.W.i64 w s.cur_time;
+  Snapshot.W.varint w s.cur_count;
+  (* Raw stored order on both lists (labels reversed, ticks newest-first):
+     restore writes them back verbatim, so journal output is unchanged. *)
+  Snapshot.W.list w Snapshot.W.string s.cur_labels;
+  Snapshot.W.list w
+    (fun w (tk : Sanitizer.tick) ->
+      Snapshot.W.i64 w tk.time;
+      Snapshot.W.list w Snapshot.W.string tk.labels;
+      Snapshot.W.i64 w tk.state_hash)
+    s.ticks
+
+let restore_sani r s =
+  s.cur_time <- Snapshot.R.i64 r;
+  s.cur_count <- Snapshot.R.varint r;
+  s.cur_labels <- Snapshot.R.list r Snapshot.R.string;
+  s.ticks <-
+    Snapshot.R.list r (fun r ->
+        let time = Snapshot.R.i64 r in
+        let labels = Snapshot.R.list r Snapshot.R.string in
+        { Sanitizer.time; labels; state_hash = Snapshot.R.i64 r })
+
+(* Capture the engine's own state. The queue must be quiescent: closures
+   cannot be serialized, so only the multiset of pending STATIC timestamps
+   is written — restore re-derives the closures from a rebuilt topology and
+   uses the timestamps to decide which rebuilt statics are still live.
+   Draining and re-pushing the heap here is order-preserving: entries
+   re-enter in pop order with fresh ascending sequence numbers. *)
+let save_state t =
+  if not (quiescent t) then
+    invalid_arg "Engine.save_state: queue has volatile events";
+  let w = Snapshot.W.create () in
+  Snapshot.W.i64 w t.clock;
+  Snapshot.W.varint w t.executed;
+  Snapshot.W.varint w t.next_span;
+  Snapshot.W.i64 w (Rng.state t.rng);
+  let entries = Heap.to_sorted_list t.queue in
+  Snapshot.W.list w (fun w (time, _) -> Snapshot.W.i64 w time) entries;
+  List.iter (fun (time, f) -> Heap.push t.queue ~priority:time f) entries;
+  Snapshot.W.option w save_sani t.sani;
+  Snapshot.W.string w (Metrics.save_state t.metrics);
+  Snapshot.W.string w (Faults.save_state t.faults);
+  Snapshot.W.contents w
+
+(* Restore over a freshly REBUILT engine: the same deterministic builder
+   that produced the checkpointed machine has already re-created every
+   subsystem, handle and static event. What remains is to overwrite the
+   mutable state and reconcile the queue: keep each rebuilt static whose
+   timestamp matches one saved pending time at or past the restored clock
+   (consuming multiset matches), drop the rest — those are statics that had
+   already fired before the checkpoint (e.g. a crash whose revive is the
+   surviving half of the window). *)
+let restore_state t s =
+  let r = Snapshot.R.of_string s in
+  let clock = Snapshot.R.i64 r in
+  t.executed <- Snapshot.R.varint r;
+  t.next_span <- Snapshot.R.varint r;
+  Rng.set_state t.rng (Snapshot.R.i64 r);
+  let saved_times = Snapshot.R.list r Snapshot.R.i64 in
+  (* [W.option] frames the sani payload with a presence bool. *)
+  (match (Snapshot.R.bool r, t.sani) with
+  | true, Some s -> restore_sani r s
+  | false, None -> ()
+  | true, None | false, Some _ ->
+    invalid_arg "Engine.restore_state: sanitize mode differs from checkpoint");
+  Metrics.restore_state t.metrics (Snapshot.R.string r);
+  Faults.restore_state t.faults (Snapshot.R.string r);
+  let remaining = Hashtbl.create 16 in
+  List.iter
+    (fun time ->
+      Hashtbl.replace remaining time
+        (1 + Option.value (Hashtbl.find_opt remaining time) ~default:0))
+    saved_times;
+  let entries = Heap.to_sorted_list t.queue in
+  let kept =
+    List.filter
+      (fun (time, _) ->
+        time >= clock
+        &&
+        match Hashtbl.find_opt remaining time with
+        | Some n when n > 0 ->
+          Hashtbl.replace remaining time (n - 1);
+          true
+        | _ -> false)
+      entries
+  in
+  t.clock <- clock;
+  List.iter (fun (time, f) -> Heap.push t.queue ~priority:time f) kept;
+  t.static_pending <- List.length kept
 
 let trace_event t ~actor ~kind detail =
   Trace.append t.trace ~time:t.clock ~actor ~kind detail

@@ -66,8 +66,21 @@ val schedule_at :
   ?label:(unit -> string) -> t -> time:int64 -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
 
+val schedule_static_at :
+  ?label:(unit -> string) -> t -> time:int64 -> (unit -> unit) -> unit
+(** Like {!schedule_at}, but marks the event {e static}: one that a rebuilt
+    topology re-schedules identically from declarative inputs (fault-plan
+    crash windows, periodic sweeps). Static events do not block quiescence
+    ({!quiescent}), because a checkpoint can represent them as bare
+    timestamps and a resume re-derives their closures from the rebuild —
+    see {!save_state}/{!restore_state}. *)
+
 val pending : t -> int
 (** Number of queued events. *)
+
+val pending_volatile : t -> int
+(** Queued events that are {e not} static: closures a checkpoint cannot
+    capture. [0] iff the engine is {!quiescent}. *)
 
 val events_executed : t -> int
 (** Total events run so far — the denominator for events/sec reporting. *)
@@ -84,6 +97,50 @@ val run : ?until:int64 -> ?max_events:int -> t -> unit
 
 val step : t -> bool
 (** Execute exactly one event. [false] if the queue was empty. *)
+
+val run_until_quiescent : ?max_events:int -> t -> unit
+(** Execute events (in time order, statics included) until only static
+    events remain — the earliest point at which {!save_state} may run. *)
+
+val quiescent : t -> bool
+(** Whether every queued event is static ({!pending_volatile} is [0]). *)
+
+(** {2 Checkpoint/restore}
+
+    A whole-machine checkpoint is driven from outside (see
+    [Core.Checkpoint]): each subsystem registers a named hook at creation
+    time; at a quiescent point the orchestrator collects {!save_state} plus
+    every hook's [save] into one {!Snapshot} file. Restore rebuilds the
+    topology with the identical deterministic builder (recreating closures,
+    handles and static events), then feeds each section back through
+    {!restore_state} and the hooks' [restore]. *)
+
+val register_snapshot :
+  t -> name:string -> save:(unit -> string) -> restore:(string -> unit) -> unit
+(** Register a subsystem checkpoint hook. Hooks are kept in registration
+    order; a rebuild therefore re-registers the same names in the same
+    order.
+    @raise Invalid_argument on a duplicate [name]. *)
+
+val snapshot_hooks :
+  t -> (string * (unit -> string) * (string -> unit)) list
+(** All registered hooks, in registration order. *)
+
+val save_state : t -> string
+(** Serialize the engine's own state: clock, event/span counters, RNG
+    position, sanitizer journal, metrics and fault state, and the multiset
+    of pending static timestamps (closures are never serialized).
+    @raise Invalid_argument unless {!quiescent}. *)
+
+val restore_state : t -> string -> unit
+(** Overwrite a freshly rebuilt engine with checkpointed state. The
+    rebuilt queue is reconciled against the saved timestamps: each rebuilt
+    static whose time matches a saved pending time at or past the restored
+    clock survives (multiset matching); the rest — statics that had already
+    fired before the checkpoint, such as the crash half of a crash→revive
+    window — are dropped.
+    @raise Invalid_argument if sanitize mode differs from the checkpoint.
+    @raise Snapshot.R.Corrupt on malformed input. *)
 
 val trace_event : t -> actor:string -> kind:string -> string -> unit
 (** Append to the run trace at the current virtual time. *)

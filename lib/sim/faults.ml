@@ -229,3 +229,27 @@ let nand_bit_flip t ~key ~len =
 let crashes t = t.plan.crashes
 let note_crash t = tally t (fun c -> c.crashes_injected)
 let note_revive t = tally t (fun c -> c.revives_injected)
+
+(* Checkpointing needs only the occurrence table: the plan and salted seed
+   are rebuilt from the experiment spec, and decisions are pure functions
+   of (seed, key, class, occurrence). Restoring occurrence counts makes a
+   resumed run draw the exact continuation of the interrupted stream. *)
+let save_state t =
+  let w = Snapshot.W.create () in
+  Snapshot.W.list w
+    (fun w ((key, cls), n) ->
+      Snapshot.W.i64 w key;
+      Snapshot.W.varint w cls;
+      Snapshot.W.varint w n)
+    (Detmap.bindings t.occ);
+  Snapshot.W.contents w
+
+let restore_state t s =
+  let r = Snapshot.R.of_string s in
+  Hashtbl.reset t.occ;
+  List.iter
+    (fun (slot, n) -> Hashtbl.replace t.occ slot n)
+    (Snapshot.R.list r (fun r ->
+         let key = Snapshot.R.i64 r in
+         let cls = Snapshot.R.varint r in
+         ((key, cls), Snapshot.R.varint r)))

@@ -103,3 +103,14 @@ val note_crash : t -> unit
 (** Tally an injected crash (called by the bus when a window fires). *)
 
 val note_revive : t -> unit
+
+(** {2 Checkpointing} *)
+
+val save_state : t -> string
+(** Serialize the per-key occurrence counters. The plan and seed are not
+    included — a resume rebuilds them from the experiment spec. *)
+
+val restore_state : t -> string -> unit
+(** Overwrite the occurrence counters with state from {!save_state}, so
+    subsequent decisions continue the interrupted stream exactly.
+    @raise Snapshot.R.Corrupt on malformed input. *)

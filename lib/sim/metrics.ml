@@ -122,6 +122,92 @@ let digest t =
 
 let size t = Hashtbl.length t.table
 
+(* --- checkpoint/restore ---------------------------------------------------- *)
+
+(* Restore mutates instrument records IN PLACE wherever the key already
+   exists: subsystems hold handles resolved at creation time, and a
+   rebuilt topology re-resolves the same keys, so overwriting the record
+   a handle points at is what makes the handle see restored values.
+   Instruments that existed at checkpoint time but not yet in the rebuilt
+   registry (lazily created ones) are pre-created here; a later lazy
+   [counter]/[gauge]/[histogram] call finds and binds to the restored
+   record. The claimed-actor table is part of the state: a post-restore
+   [claim_actor] must uniquify against the original run's claims, not the
+   rebuild's. *)
+let save_state t =
+  let w = Snapshot.W.create () in
+  Snapshot.W.list w
+    (fun w (name, n) ->
+      Snapshot.W.string w name;
+      Snapshot.W.varint w n)
+    (Detmap.bindings t.claimed);
+  Snapshot.W.varint w (Hashtbl.length t.table);
+  List.iter
+    (fun ((actor, name), ins) ->
+      Snapshot.W.string w actor;
+      Snapshot.W.string w name;
+      match ins with
+      | Counter c ->
+        Snapshot.W.u8 w 0;
+        Snapshot.W.vint w c.count
+      | Gauge g ->
+        Snapshot.W.u8 w 1;
+        Snapshot.W.float w g.level
+      | Histogram h ->
+        Snapshot.W.u8 w 2;
+        Stats.Histogram.save w h.hist;
+        Stats.Summary.save w h.summ)
+    (Detmap.bindings t.table);
+  Snapshot.W.contents w
+
+let restore_state t s =
+  let r = Snapshot.R.of_string s in
+  Hashtbl.reset t.claimed;
+  List.iter
+    (fun (name, n) -> Hashtbl.replace t.claimed name n)
+    (Snapshot.R.list r (fun r ->
+         let name = Snapshot.R.string r in
+         (name, Snapshot.R.varint r)));
+  let n = Snapshot.R.varint r in
+  for _ = 1 to n do
+    let actor = Snapshot.R.string r in
+    let name = Snapshot.R.string r in
+    let key = (actor, name) in
+    let mismatch () =
+      invalid_arg
+        (Printf.sprintf "Metrics.restore_state: %s/%s changed instrument type"
+           actor name)
+    in
+    match Snapshot.R.u8 r with
+    | 0 -> (
+      let v = Snapshot.R.vint r in
+      match Hashtbl.find_opt t.table key with
+      | Some (Counter c) -> c.count <- v
+      | None -> Hashtbl.replace t.table key (Counter { count = v })
+      | Some _ -> mismatch ())
+    | 1 -> (
+      let v = Snapshot.R.float r in
+      match Hashtbl.find_opt t.table key with
+      | Some (Gauge g) -> g.level <- v
+      | None -> Hashtbl.replace t.table key (Gauge { level = v })
+      | Some _ -> mismatch ())
+    | 2 ->
+      let h =
+        match Hashtbl.find_opt t.table key with
+        | Some (Histogram h) -> h
+        | None ->
+          let h =
+            { hist = Stats.Histogram.create (); summ = Stats.Summary.create () }
+          in
+          Hashtbl.replace t.table key (Histogram h);
+          h
+        | Some _ -> mismatch ()
+      in
+      Stats.Histogram.restore r h.hist;
+      Stats.Summary.restore r h.summ
+    | _ -> raise (Snapshot.R.Corrupt "bad instrument tag")
+  done
+
 (* --- export: Prometheus text exposition ----------------------------------- *)
 
 let sanitize s =

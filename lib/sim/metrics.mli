@@ -60,6 +60,19 @@ val actors : t -> string list
 
 val size : t -> int
 
+val save_state : t -> string
+(** Serialize the whole registry (instrument values, histogram buckets,
+    claimed-actor table) for a checkpoint. *)
+
+val restore_state : t -> string -> unit
+(** Overwrite the registry with state written by {!save_state}.
+    Instrument records already present (a rebuilt topology re-registered
+    them) are mutated in place so existing handles observe the restored
+    values; instruments not yet re-created are added and later lazy
+    registration binds to them.
+    @raise Invalid_argument if a key changed instrument type.
+    @raise Snapshot.R.Corrupt on malformed input. *)
+
 val digest : t -> int64
 (** Deterministic digest of the registry for the ordering sanitizer:
     counter and gauge values plus histogram observation counts (quantiles

@@ -18,6 +18,13 @@ let mix z =
 
 let create ~seed = { state = seed; zipf_cache = None }
 
+(* Stream-position accessors for checkpoint/restore. The zipf cache is
+   deliberately not part of the captured state: it memoizes a pure
+   function of (n, theta), so a restored generator recomputes it on first
+   use with no observable difference. *)
+let state t = t.state
+let set_state t s = t.state <- s
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

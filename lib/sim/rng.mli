@@ -17,6 +17,13 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 
+val state : t -> int64
+(** Current stream position, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a position previously read with {!state}: the generator
+    continues with exactly the stream it would have produced. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,280 @@
+(* Versioned, CRC-framed snapshot container and field codec.
+
+   A snapshot file is a flat sequence of named sections:
+
+     "LCSN" | u32 version
+     repeat: 'S' | varint |name| | name | varint |body| | u32 crc32(body) | body
+     'E' | u32 crc32(everything before this u32)
+
+   Every length is explicit and every body is checksummed, so a torn write
+   (partial append, zero-filled tail, bit rot) is detected structurally:
+   the reader either runs out of bytes mid-frame or hits a CRC mismatch,
+   and in both cases the whole file is rejected — there is no "partially
+   restored" state. Durability is generation-based: [write] replaces the
+   previous snapshot atomically (tmp + rename) and keeps the displaced
+   file as [path ^ ".1"], and [load] falls back to that previous
+   generation when the primary is missing or corrupt.
+
+   This module is deliberately engine-free: it knows bytes, not
+   simulations. Subsystems encode their state with [W]/[R]; the engine's
+   hook registry (see Engine.register_snapshot) decides what gets written.
+   lastcpu_sim depends only on fmt, so the CRC32 lives here rather than
+   reusing the wire-protocol one in lib/proto. *)
+
+let version = 1
+let magic = "LCSN"
+
+(* --- CRC32 (IEEE 802.3, reflected), table-driven ------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+(* --- field codec ---------------------------------------------------------- *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let contents w = Buffer.contents w
+  let u8 w n = Buffer.add_char w (Char.chr (n land 0xff))
+
+  let u32 w n =
+    u8 w n;
+    u8 w (n lsr 8);
+    u8 w (n lsr 16);
+    u8 w (n lsr 24)
+
+  let i64 w n =
+    for shift = 0 to 7 do
+      u8 w (Int64.to_int (Int64.shift_right_logical n (8 * shift)))
+    done
+
+  (* Unsigned LEB128; lengths and other non-negative quantities. *)
+  let rec varint w n =
+    assert (n >= 0);
+    if n < 0x80 then u8 w n
+    else begin
+      u8 w (0x80 lor (n land 0x7f));
+      varint w (n lsr 7)
+    end
+
+  (* Zigzag-encoded signed int, for quantities that may go negative. *)
+  let vint w n = varint w ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+  let bool w b = u8 w (if b then 1 else 0)
+  let float w f = i64 w (Int64.bits_of_float f)
+
+  let string w s =
+    varint w (String.length s);
+    Buffer.add_string w s
+
+  let list w f xs =
+    varint w (List.length xs);
+    List.iter (f w) xs
+
+  let array w f xs =
+    varint w (Array.length xs);
+    Array.iter (f w) xs
+
+  let option w f = function
+    | None -> bool w false
+    | Some x ->
+      bool w true;
+      f w x
+end
+
+module R = struct
+  exception Corrupt of string
+
+  type t = { buf : string; mutable pos : int }
+
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+  let of_string buf = { buf; pos = 0 }
+  let eof r = r.pos >= String.length r.buf
+
+  let u8 r =
+    if r.pos >= String.length r.buf then corrupt "truncated (u8 at %d)" r.pos;
+    let c = Char.code r.buf.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let u32 r =
+    let a = u8 r in
+    let b = u8 r in
+    let c = u8 r in
+    let d = u8 r in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let i64 r =
+    let v = ref 0L in
+    for shift = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 r)) (8 * shift))
+    done;
+    !v
+
+  let varint r =
+    let rec go shift acc =
+      if shift > Sys.int_size then corrupt "varint overflow at %d" r.pos;
+      let b = u8 r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let vint r =
+    let n = varint r in
+    (n lsr 1) lxor (-(n land 1))
+
+  let bool r = u8 r <> 0
+  let float r = Int64.float_of_bits (i64 r)
+
+  let string r =
+    let len = varint r in
+    if r.pos + len > String.length r.buf then
+      corrupt "truncated (string of %d bytes at %d)" len r.pos;
+    let s = String.sub r.buf r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let list r f =
+    let n = varint r in
+    List.init n (fun _ -> f r)
+
+  let array r f =
+    let n = varint r in
+    Array.init n (fun _ -> f r)
+
+  let option r f = if bool r then Some (f r) else None
+end
+
+(* --- container ------------------------------------------------------------ *)
+
+type section = { name : string; body : string }
+
+let encode sections =
+  let w = W.create () in
+  Buffer.add_string w magic;
+  W.u32 w version;
+  List.iter
+    (fun { name; body } ->
+      W.u8 w (Char.code 'S');
+      W.string w name;
+      W.varint w (String.length body);
+      W.u32 w (crc32 body);
+      Buffer.add_string w body)
+    sections;
+  W.u8 w (Char.code 'E');
+  let prefix = Buffer.length w in
+  W.u32 w (crc32_sub (Buffer.contents w) 0 prefix);
+  W.contents w
+
+let decode s =
+  try
+    let r = R.of_string s in
+    if String.length s < 8 || String.sub s 0 4 <> magic then
+      R.corrupt "bad magic";
+    r.R.pos <- 4;
+    let v = R.u32 r in
+    if v <> version then R.corrupt "unsupported version %d" v;
+    let rec sections acc =
+      match Char.chr (R.u8 r) with
+      | 'S' ->
+        let name = R.string r in
+        let len = R.varint r in
+        let crc = R.u32 r in
+        let start = r.R.pos in
+        if start + len > String.length s then
+          R.corrupt "truncated section %S" name;
+        if crc32_sub s start len <> crc then
+          R.corrupt "checksum mismatch in section %S" name;
+        let body = String.sub s start len in
+        r.R.pos <- start + len;
+        sections ({ name; body } :: acc)
+      | 'E' ->
+        let prefix = r.R.pos in
+        if R.u32 r <> crc32_sub s 0 prefix then
+          R.corrupt "file checksum mismatch";
+        List.rev acc
+      | c -> R.corrupt "bad frame tag %C" c
+      | exception Invalid_argument _ -> R.corrupt "bad frame tag"
+    in
+    Ok (sections [])
+  with R.Corrupt m -> Error m
+
+let find sections name =
+  List.find_map (fun s -> if s.name = name then Some s.body else None) sections
+
+(* --- file I/O with generations -------------------------------------------- *)
+
+let previous_generation path = path ^ ".1"
+
+let write_raw path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let rotate path =
+  if Sys.file_exists path then Sys.rename path (previous_generation path)
+
+let write ~path sections =
+  let data = encode sections in
+  let tmp = path ^ ".tmp" in
+  write_raw tmp data;
+  rotate path;
+  Sys.rename tmp path
+
+(* Chaos hook: simulate the host dying mid-checkpoint. The previous
+   generation has already been rotated out of the way (as a real
+   checkpoint would), and the primary is left torn at [keep_bytes] — the
+   exact on-disk state a kill -9 between [write_raw] and [rename] of a
+   non-atomic writer would leave. [load] must reject it and fall back. *)
+let write_torn ~path ~keep_bytes sections =
+  let data = encode sections in
+  let keep = min keep_bytes (String.length data - 1) in
+  let keep = if keep < 0 then 0 else keep in
+  rotate path;
+  write_raw path (String.sub data 0 keep)
+
+let read_file path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    Ok data
+  end
+
+type generation = Primary | Previous
+
+let load ~path =
+  let attempt p =
+    match read_file p with
+    | Error e -> Error e
+    | Ok data -> (
+      match decode data with
+      | Ok sections -> Ok sections
+      | Error e -> Error (p ^ ": " ^ e))
+  in
+  match attempt path with
+  | Ok sections -> Ok (Primary, sections)
+  | Error primary_err -> (
+    match attempt (previous_generation path) with
+    | Ok sections -> Ok (Previous, sections)
+    | Error fallback_err ->
+      Error (Printf.sprintf "%s; fallback %s" primary_err fallback_err))

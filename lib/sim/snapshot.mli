@@ -1,0 +1,97 @@
+(** Versioned, CRC-framed snapshot container and field codec.
+
+    A snapshot is a flat list of named, length-prefixed, individually
+    checksummed sections. The framing makes torn writes structurally
+    detectable: a reader either runs out of bytes mid-frame or hits a CRC
+    mismatch, and in both cases the whole file is rejected — never
+    partially applied. {!write} is atomic (tmp + rename) and keeps the
+    displaced previous snapshot as [path ^ ".1"]; {!load} falls back to
+    that generation when the primary is missing or corrupt.
+
+    The module is engine-free by design (bytes only); what gets written is
+    decided by the engine's snapshot-hook registry
+    ({!Engine.register_snapshot}). *)
+
+val version : int
+(** Format version stamped into (and required of) every file. *)
+
+val crc32 : string -> int
+(** IEEE CRC32 of a string (also used by tests to corrupt files precisely). *)
+
+(** Field writer: append-only buffer of primitive encodings. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> string
+  val u8 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; the argument must be non-negative. *)
+
+  val vint : t -> int -> unit
+  (** Zigzag-encoded signed int. *)
+
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  val string : t -> string -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val array : t -> (t -> 'a -> unit) -> 'a array -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+end
+
+(** Field reader over a section body. Every decoder raises {!R.Corrupt} on
+    malformed input rather than returning garbage. *)
+module R : sig
+  exception Corrupt of string
+
+  type t
+
+  val of_string : string -> t
+  val eof : t -> bool
+  val u8 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val varint : t -> int
+  val vint : t -> int
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val array : t -> (t -> 'a) -> 'a array
+  val option : t -> (t -> 'a) -> 'a option
+end
+
+type section = { name : string; body : string }
+
+val encode : section list -> string
+(** Serialize sections into one framed, checksummed byte string. *)
+
+val decode : string -> (section list, string) result
+(** Parse and verify a framed byte string; [Error] describes the first
+    structural or checksum failure (torn file, bad magic, bad version). *)
+
+val find : section list -> string -> string option
+(** Body of the first section with the given name. *)
+
+type generation = Primary | Previous
+
+val previous_generation : string -> string
+(** The on-disk name of the displaced previous snapshot ([path ^ ".1"]). *)
+
+val write : path:string -> section list -> unit
+(** Atomically replace the snapshot at [path]: write to a temp file,
+    rotate any existing [path] to [path ^ ".1"], then rename into place.
+    At most two generations are kept. *)
+
+val write_torn : path:string -> keep_bytes:int -> section list -> unit
+(** Chaos hook: leave [path] deliberately torn (first [keep_bytes] bytes
+    only) after rotating the previous generation, reproducing the on-disk
+    state of a process killed mid-checkpoint by a non-atomic writer.
+    {!load} must reject the primary and fall back. *)
+
+val load : path:string -> (generation * section list, string) result
+(** Read and verify [path]; on any failure (missing, torn, corrupt), try
+    the previous generation. [Error] combines both failures. *)

@@ -58,3 +58,12 @@ val drain_ns : t -> now:int64 -> int64
 
 val utilization : t -> now:int64 -> float
 (** [busy_ns / now]; 0 when [now = 0]. *)
+
+val save : Snapshot.W.t -> t -> unit
+(** Append the station's accounting (busy horizon, completion/rejection
+    counts, busy/wait totals) to a checkpoint. In-flight completion
+    callbacks live in the engine queue and are not captured — checkpoint
+    only a drained station. *)
+
+val restore : Snapshot.R.t -> t -> unit
+(** Overwrite the accounting with state written by {!save}. *)

@@ -28,6 +28,24 @@ module Summary = struct
   let max t = if t.n = 0 then 0. else t.mx
   let total t = t.total
 
+  (* Checkpoint support: the accumulator is observable through percentile
+     exports, so restore must reproduce every field bit-for-bit. *)
+  let save w t =
+    Snapshot.W.varint w t.n;
+    Snapshot.W.float w t.mean;
+    Snapshot.W.float w t.m2;
+    Snapshot.W.float w t.mn;
+    Snapshot.W.float w t.mx;
+    Snapshot.W.float w t.total
+
+  let restore r t =
+    t.n <- Snapshot.R.varint r;
+    t.mean <- Snapshot.R.float r;
+    t.m2 <- Snapshot.R.float r;
+    t.mn <- Snapshot.R.float r;
+    t.mx <- Snapshot.R.float r;
+    t.total <- Snapshot.R.float r
+
   (* Chan et al. parallel-merge formulas. *)
   let merge a b =
     if a.n = 0 then { b with n = b.n }
@@ -116,6 +134,34 @@ module Histogram = struct
     Array.fill t.counts 0 (Array.length t.counts) 0;
     t.n <- 0;
     t.sum <- 0.
+
+  (* Buckets encode sparsely: soak histograms touch a few dozen of the
+     481 buckets, so (index, count) pairs beat a dense dump. *)
+  let save w t =
+    Snapshot.W.varint w t.n;
+    Snapshot.W.float w t.sum;
+    let nonzero = ref [] in
+    for i = Array.length t.counts - 1 downto 0 do
+      if t.counts.(i) <> 0 then nonzero := (i, t.counts.(i)) :: !nonzero
+    done;
+    Snapshot.W.list w
+      (fun w (i, c) ->
+        Snapshot.W.varint w i;
+        Snapshot.W.varint w c)
+      !nonzero
+
+  let restore r t =
+    t.n <- Snapshot.R.varint r;
+    t.sum <- Snapshot.R.float r;
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    List.iter
+      (fun (i, c) ->
+        if i >= Array.length t.counts then
+          raise (Snapshot.R.Corrupt "histogram bucket index out of range");
+        t.counts.(i) <- c)
+      (Snapshot.R.list r (fun r ->
+           let i = Snapshot.R.varint r in
+           (i, Snapshot.R.varint r)))
 end
 
 type latency_report = {

@@ -23,6 +23,12 @@ module Summary : sig
   val total : t -> float
   val merge : t -> t -> t
   (** [merge a b] is a summary equivalent to having observed both streams. *)
+
+  val save : Snapshot.W.t -> t -> unit
+  (** Append the accumulator's exact state (checkpointing). *)
+
+  val restore : Snapshot.R.t -> t -> unit
+  (** Overwrite the accumulator with state written by {!save}. *)
 end
 
 module Histogram : sig
@@ -43,6 +49,12 @@ module Histogram : sig
   val mean : t -> float
   val merge : t -> t -> t
   val reset : t -> unit
+
+  val save : Snapshot.W.t -> t -> unit
+  (** Append the histogram (sparse bucket encoding) for checkpointing. *)
+
+  val restore : Snapshot.R.t -> t -> unit
+  (** Overwrite the histogram with state written by {!save}. *)
 end
 
 type latency_report = {

@@ -50,7 +50,12 @@ type t = {
   quantum : int64;
   lookahead : int64;
   shards : shard array;
-  base : int64;  (* common clock origin; window edges are base + k*quantum *)
+  (* Common clock origin; window edges are base + k*quantum. Mutable only
+     for checkpoint restore: a rebuilt coordinator starts from the boot
+     clocks but must resume with the checkpointed origin so the edge
+     arithmetic — and therefore every future rendezvous point — is
+     identical to the uninterrupted run. *)
+  mutable base : int64;
   mutable boundary_events : int;
   mutable windows : int;
 }
@@ -204,3 +209,51 @@ let run ?pool t =
   while run_window ?pool t do
     ()
   done
+
+(* --- checkpoint/restore ---------------------------------------------------- *)
+
+(* Quiescent = checkpointable: no outbox entries awaiting a flush and no
+   volatile events on any shard. Pending statics (crash windows, sweeps)
+   are fine — the engine represents them as bare timestamps. After any
+   window every shard clock equals the window target exactly (Engine.run
+   ~until leaves the clock at the target in all branches), so at
+   quiescence the clocks are uniform and sit on a window edge. *)
+let quiescent t =
+  Array.for_all
+    (fun s -> s.out = [] && Engine.pending_volatile s.sh_engine = 0)
+    t.shards
+
+let run_until_quiescent ?pool t =
+  while not (quiescent t) do
+    (* A non-quiescent shard has a pending event or outbox entry, so the
+       horizon is non-empty and the window makes progress. *)
+    let progressed = run_window ?pool t in
+    assert progressed
+  done
+
+let save_state t =
+  Array.iter
+    (fun s ->
+      if s.out <> [] then
+        invalid_arg "Temporal.save_state: unflushed outbox entries")
+    t.shards;
+  let w = Snapshot.W.create () in
+  Snapshot.W.i64 w t.base;
+  Snapshot.W.varint w t.boundary_events;
+  Snapshot.W.varint w t.windows;
+  Snapshot.W.array w (fun w s -> Snapshot.W.varint w s.oseq) t.shards;
+  Snapshot.W.contents w
+
+let restore_state t s =
+  let r = Snapshot.R.of_string s in
+  t.base <- Snapshot.R.i64 r;
+  t.boundary_events <- Snapshot.R.varint r;
+  t.windows <- Snapshot.R.varint r;
+  let oseqs = Snapshot.R.array r Snapshot.R.varint in
+  if Array.length oseqs <> Array.length t.shards then
+    invalid_arg "Temporal.restore_state: shard count differs from checkpoint";
+  Array.iteri
+    (fun i s ->
+      s.out <- [];
+      s.oseq <- oseqs.(i))
+    t.shards

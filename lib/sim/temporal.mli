@@ -69,3 +69,29 @@ val boundary_events : t -> int
 
 val windows_run : t -> int
 (** Number of rendezvous windows executed. *)
+
+(** {2 Checkpoint/restore}
+
+    Checkpoints are taken only at quiescent window edges: every shard
+    clock is then uniform (equal to the last rendezvous target), outboxes
+    are empty, and each shard engine holds only static events — the one
+    configuration a rebuilt coordinator can be restored into
+    bit-identically, for any lane count. *)
+
+val quiescent : t -> bool
+(** No unflushed outbox entries and no volatile events on any shard. *)
+
+val run_until_quiescent : ?pool:Parallel.Pool.t -> t -> unit
+(** Run windows until {!quiescent} — the nearest checkpointable point. *)
+
+val save_state : t -> string
+(** Serialize the coordinator: clock origin, window/boundary counters and
+    per-shard posting sequence numbers. Shard engine state is saved
+    separately via {!Engine.save_state}.
+    @raise Invalid_argument if an outbox is non-empty (not quiescent). *)
+
+val restore_state : t -> string -> unit
+(** Overwrite a rebuilt coordinator (same shard count) with checkpointed
+    state.
+    @raise Invalid_argument on a shard-count mismatch.
+    @raise Snapshot.R.Corrupt on malformed input. *)

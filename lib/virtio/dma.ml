@@ -91,3 +91,4 @@ let write_bytes t va s =
   go va 0 (String.length s)
 
 let accesses t = t.access_count
+let set_accesses t n = t.access_count <- n

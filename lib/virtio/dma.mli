@@ -32,3 +32,6 @@ val accesses : t -> int
 (** Number of translated accesses performed (cost accounting: each is at
     most one DRAM touch after translation; multi-byte accesses within one
     page count once). *)
+
+val set_accesses : t -> int -> unit
+(** Overwrite the access counter (checkpoint restore only). *)

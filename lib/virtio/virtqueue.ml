@@ -225,6 +225,48 @@ module Driver = struct
     end
 
   let completions t = t.completion_count
+
+  (* Checkpointing: the descriptor table, rings and buffers live in
+     simulated DRAM (saved by Physmem); only the driver's local free-list
+     and shadow indices are here. [restore] reconstructs the record
+     without re-zeroing the rings — the ring contents come back with the
+     memory image. *)
+  module Snapshot = Lastcpu_sim.Snapshot
+
+  let save w t =
+    Snapshot.W.i64 w t.raw.Raw.base;
+    Snapshot.W.varint w t.raw.Raw.size;
+    Snapshot.W.varint w t.free_head;
+    Snapshot.W.varint w t.free_count;
+    Snapshot.W.array w (fun w i -> Snapshot.W.varint w i) t.next_free;
+    Snapshot.W.array w (fun w n -> Snapshot.W.varint w n) t.chain_len;
+    Snapshot.W.varint w t.avail_shadow;
+    Snapshot.W.varint w t.used_seen;
+    Snapshot.W.varint w t.completion_count
+
+  let restore r ~dma =
+    let base = Snapshot.R.i64 r in
+    let size = Snapshot.R.varint r in
+    check_size size;
+    let free_head = Snapshot.R.varint r in
+    let free_count = Snapshot.R.varint r in
+    let next_free = Snapshot.R.array r Snapshot.R.varint in
+    let chain_len = Snapshot.R.array r Snapshot.R.varint in
+    if Array.length next_free <> size || Array.length chain_len <> size then
+      raise (Snapshot.R.Corrupt "virtqueue driver table length mismatch");
+    let avail_shadow = Snapshot.R.varint r in
+    let used_seen = Snapshot.R.varint r in
+    let completion_count = Snapshot.R.varint r in
+    {
+      raw = { Raw.dma; base; size };
+      free_head;
+      free_count;
+      next_free;
+      chain_len;
+      avail_shadow;
+      used_seen;
+      completion_count;
+    }
 end
 
 module Device = struct
@@ -283,4 +325,20 @@ module Device = struct
     let used = Raw.used_idx t.raw in
     Raw.set_used_ring t.raw (used mod t.raw.Raw.size) ~id:head ~len:written;
     Raw.set_used_idx t.raw (used + 1)
+
+  (* Checkpointing: the device side only keeps a shadow of avail.idx;
+     [restore] rebuilds the record without touching ring memory. *)
+  module Snapshot = Lastcpu_sim.Snapshot
+
+  let save w t =
+    Snapshot.W.i64 w t.raw.Raw.base;
+    Snapshot.W.varint w t.raw.Raw.size;
+    Snapshot.W.varint w t.avail_seen
+
+  let restore r ~dma =
+    let base = Snapshot.R.i64 r in
+    let size = Snapshot.R.varint r in
+    check_size size;
+    let avail_seen = Snapshot.R.varint r in
+    { raw = { Raw.dma; base; size }; avail_seen }
 end

@@ -51,6 +51,15 @@ module Driver : sig
       descriptors. *)
 
   val completions : t -> int
+
+  val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+  (** Append the driver-local free list and shadow indices (checkpointing).
+      Ring memory itself is part of the DRAM image. *)
+
+  val restore : Lastcpu_sim.Snapshot.R.t -> dma:Dma.t -> t
+  (** Reconstruct a driver handle from {!save}d state over [dma] without
+      re-initialising ring memory (contents come back with DRAM).
+      @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)
 end
 
 module Device : sig
@@ -70,4 +79,12 @@ module Device : sig
 
   val pending : t -> int
   (** Chains posted but not yet popped. *)
+
+  val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
+  (** Append the device-side shadow index (checkpointing). *)
+
+  val restore : Lastcpu_sim.Snapshot.R.t -> dma:Dma.t -> t
+  (** Reconstruct a device handle from {!save}d state over [dma] without
+      touching ring memory.
+      @raise Lastcpu_sim.Snapshot.R.Corrupt on malformed input. *)
 end
