@@ -44,7 +44,7 @@ module Micro = struct
 
   let sample_token =
     Token.mint ~key ~issuer:1 ~subject:2 ~pasid:3 ~resource:"dram"
-      ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L
+      ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L ()
 
   let sample_msg =
     Message.make ~src:1 ~dst:Lastcpu_proto.Types.Bus ~corr:42
@@ -250,10 +250,52 @@ end
 module Core_bench = struct
   module Types = Lastcpu_proto.Types
   module Message = Lastcpu_proto.Message
+  module Codec = Lastcpu_proto.Codec
+  module Token = Lastcpu_proto.Token
   module Engine = Lastcpu_sim.Engine
   module Sysbus = Lastcpu_bus.Sysbus
   module Iommu = Lastcpu_iommu.Iommu
   module System = Lastcpu_core.System
+
+  (* Containment micro-costs pinned in the core baseline: capability
+     verification (every privileged bus message pays it, and the epoch
+     check rides the same MAC) and rejection of a malformed frame (the
+     hardened decode path the protocol fuzzer hammers — it must be cheap
+     enough that a rogue device cannot turn garbage frames into a
+     CPU-side amplification attack on the bus). *)
+  let token_verify_ns () =
+    let key = 0xFEEDL in
+    let token =
+      Token.mint ~key ~issuer:1 ~subject:2 ~pasid:3 ~resource:"dram"
+        ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L ()
+    in
+    let iters = 2_000_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Token.verify ~key token)
+    done;
+    Float.max (Sys.time () -. t0) 1e-9 /. float_of_int iters *. 1e9
+
+  let decode_malformed_ns () =
+    let good =
+      Codec.encode_framed
+        (Message.make ~src:1 ~dst:Types.Bus ~corr:7 Message.Heartbeat)
+    in
+    let hostile =
+      [|
+        "\xde\xad\xbe\xef";
+        String.sub good 0 (String.length good - 3);
+        String.map (fun c -> Char.chr (Char.code c lxor 0x41)) good;
+      |]
+    in
+    let iters = 1_000_000 in
+    let t0 = Sys.time () in
+    for i = 1 to iters do
+      match Codec.decode_framed_result hostile.(i mod 3) with
+      | Error _ -> ()
+      | Ok _ -> failwith "malformed frame decoded"
+    done;
+    Float.max (Sys.time () -. t0) 1e-9 /. float_of_int iters *. 1e9
 
   (* Raw schedule->pop throughput: a fixed-width wave of self-rescheduling
      events drains through the engine with trace and sanitize off. The
@@ -409,6 +451,8 @@ module Core_bench = struct
     let off_words, off_ns = bus_route ~trace:false ~msgs in
     let on_words, on_ns = bus_route ~trace:true ~msgs in
     let t1_events, t1_rate = t1_end_to_end () in
+    let verify_ns = token_verify_ns () in
+    let malformed_ns = decode_malformed_ns () in
     let snap_save_us, snap_restore_us, snap_bytes = snapshot_roundtrip () in
     let t15_events, t15_rate1, t15_digest1 = t15_end_to_end ~shards:1 in
     let t15_events4, t15_rate4, t15_digest4 = t15_end_to_end ~shards:4 in
@@ -432,6 +476,9 @@ module Core_bench = struct
       "bus route (trace on)" on_ns on_words;
     Printf.printf "  %-28s %12.2e events/s  (%d events)\n" "t1 end-to-end"
       t1_rate t1_events;
+    Printf.printf "  %-28s %12.1f ns/op\n" "token.verify" verify_ns;
+    Printf.printf "  %-28s %12.1f ns/op\n" "codec.decode-malformed"
+      malformed_ns;
     Printf.printf "  %-28s %12.1f us/op     (%d snapshot bytes)\n"
       "snapshot.save" snap_save_us snap_bytes;
     Printf.printf "  %-28s %12.1f us/op     (overlay only)\n"
@@ -457,6 +504,8 @@ module Core_bench = struct
          \"bus_route_trace_on_ns_per_msg\": %.1f, \
          \"bus_route_trace_on_minor_words_per_msg\": %.2f, \
          \"t1_events_executed\": %d, \"t1_events_per_sec\": %.0f, \
+         \"token.verify_ns_per_op\": %.1f, \
+         \"codec.decode-malformed_ns_per_op\": %.1f, \
          \"snapshot.save_us_per_op\": %.1f, \
          \"snapshot.restore_us_per_op\": %.1f, \
          \"snapshot.bytes\": %d, \
@@ -466,7 +515,8 @@ module Core_bench = struct
          \"t15_speedup\": %.2f, \"t15_digest\": \"0x%016Lx\", \
          \"t15_host_cores\": %d}"
         sched_rate sched_words off_ns off_words on_ns on_words t1_events
-        t1_rate snap_save_us snap_restore_us snap_bytes t15_events t15_rate1
+        t1_rate verify_ns malformed_ns snap_save_us snap_restore_us snap_bytes
+        t15_events t15_rate1
         t15_rate4 t15_speedup t15_digest1 host_cores
     in
     let oc = open_out json_path in

@@ -14,6 +14,7 @@ open Cmdliner
 module System = Lastcpu_core.System
 module Scenario = Lastcpu_core.Scenario_kvs
 module Experiments = Lastcpu_core.Experiments
+module Protofuzz = Lastcpu_core.Protofuzz
 module Engine = Lastcpu_sim.Engine
 module Metrics = Lastcpu_sim.Metrics
 module Trace = Lastcpu_sim.Trace
@@ -90,7 +91,7 @@ let figure2_cmd =
 
 let known_ids =
   [ "f1"; "f2"; "t1"; "t1-notokens"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8";
-    "t9"; "t10"; "t11"; "t12"; "t13"; "t14"; "t15"; "t16" ]
+    "t9"; "t10"; "t11"; "t12"; "t13"; "t14"; "t15"; "t16"; "t17" ]
 
 (* The one line the resume-smoke CI job diffs between an uninterrupted
    checkpointed run and a killed-then-resumed one: everything observable,
@@ -99,6 +100,14 @@ let known_ids =
 let t16_final_line (r : Experiments.t16_result) =
   Printf.sprintf "t16 final: digest=0x%016Lx events=%d elapsed_ns=%Ld"
     r.Experiments.t16_digest r.Experiments.t16_events r.Experiments.t16_elapsed
+
+let t17_final_line (r : Experiments.t17_result) =
+  Printf.sprintf
+    "t17 final: digest=0x%016Lx events=%d elapsed_ns=%Ld quarantines=%d \
+     stale=%d failovers=%d trust=%s"
+    r.Experiments.t17_digest r.Experiments.t17_events r.Experiments.t17_elapsed
+    r.Experiments.t17_quarantines r.Experiments.t17_stale
+    r.Experiments.t17_failovers r.Experiments.t17_rogue_trust
 
 (* Each experiment owns its engine, so distinct ids are independent tasks:
    render every table to a string (in the worker domain), then print the
@@ -134,9 +143,23 @@ let experiment list jobs shards seed snapshot_path checkpoint_every kill_at ids
         | None ->
           print_endline (t16_final_line r);
           0)
+      | [ "t17" ] -> (
+        let r =
+          Experiments.t17_soak ~seed ~snapshot_path:path ~checkpoint_every
+            ?stop_after:kill_at ~torn_final:(kill_at <> None) ()
+        in
+        match kill_at with
+        | Some _ ->
+          Printf.eprintf
+            "killed mid-checkpoint after %d segment(s); torn snapshot at %s\n"
+            r.Experiments.t17_segments_run path;
+          exit 137
+        | None ->
+          print_endline (t17_final_line r);
+          0)
       | _ ->
         Printf.eprintf
-          "--snapshot-path drives the t16 soak only (got: %s)\n"
+          "--snapshot-path drives the t16 and t17 soaks only (got: %s)\n"
           (String.concat " " ids);
         1)
     | None ->
@@ -175,7 +198,7 @@ let shards_arg =
 
 let snapshot_path_arg =
   let doc =
-    "Run the t16 soak in checkpointed mode, writing a whole-machine \
+    "Run the t16 (or t17) soak in checkpointed mode, writing a whole-machine \
      snapshot to $(docv) at every segment boundary (the displaced \
      previous file is kept as a fallback generation)."
   in
@@ -210,20 +233,38 @@ let experiment_cmd =
 
 (* --- resume ------------------------------------------------------------------------ *)
 
-let resume seed shards path =
-  let r =
-    Experiments.t16_soak ~lanes:shards ~seed ~snapshot_path:path ~resume:true ()
-  in
-  (match r.Experiments.t16_restored with
-  | Some g ->
-    Printf.eprintf "resumed from %s generation; ran %d remaining segment(s)\n"
-      (match g with
-      | Snapshot.Primary -> "primary"
-      | Snapshot.Previous -> "previous")
-      r.Experiments.t16_segments_run
-  | None -> ());
-  print_endline (t16_final_line r);
-  0
+let generation_name = function
+  | Snapshot.Primary -> "primary"
+  | Snapshot.Previous -> "previous"
+
+let resume seed shards exp path =
+  match exp with
+  | "t16" ->
+    let r =
+      Experiments.t16_soak ~lanes:shards ~seed ~snapshot_path:path ~resume:true
+        ()
+    in
+    (match r.Experiments.t16_restored with
+    | Some g ->
+      Printf.eprintf "resumed from %s generation; ran %d remaining segment(s)\n"
+        (generation_name g) r.Experiments.t16_segments_run
+    | None -> ());
+    print_endline (t16_final_line r);
+    0
+  | "t17" ->
+    let r =
+      Experiments.t17_soak ~seed ~snapshot_path:path ~resume:true ()
+    in
+    (match r.Experiments.t17_restored with
+    | Some g ->
+      Printf.eprintf "resumed from %s generation; ran %d remaining segment(s)\n"
+        (generation_name g) r.Experiments.t17_segments_run
+    | None -> ());
+    print_endline (t17_final_line r);
+    0
+  | other ->
+    Printf.eprintf "resume drives the t16 and t17 soaks only (got: %s)\n" other;
+    1
 
 let resume_cmd =
   let doc =
@@ -239,8 +280,14 @@ let resume_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Snapshot file written by the killed run.")
   in
+  let exp =
+    Arg.(
+      value
+      & opt string "t16"
+      & info [ "exp" ] ~docv:"ID" ~doc:"Soak to resume: t16 or t17.")
+  in
   Cmd.v (Cmd.info "resume" ~doc)
-    Term.(const resume $ seed_arg $ shards_arg $ path)
+    Term.(const resume $ seed_arg $ shards_arg $ exp $ path)
 
 (* --- kv ----------------------------------------------------------------------- *)
 
@@ -349,6 +396,36 @@ let overload_cmd =
   in
   Cmd.v (Cmd.info "overload" ~doc) Term.(const overload $ seed_arg $ json_arg)
 
+(* --- fuzz ------------------------------------------------------------------------- *)
+
+let fuzz seed iters =
+  let r = Protofuzz.run ~seed ~iters () in
+  print_endline (Protofuzz.summary r);
+  List.iter
+    (fun d -> Printf.eprintf "violation: %s\n" d)
+    r.Protofuzz.violation_details;
+  if r.Protofuzz.engine_crashes = 0 && r.Protofuzz.containment_violations = 0
+  then 0
+  else 1
+
+let fuzz_cmd =
+  let doc =
+    "Run the deterministic structure-aware protocol fuzzer: a rogue smart \
+     NIC injects seed-salted mutants of real control-plane frames as raw \
+     bytes on the bus while the campaign asserts the containment \
+     invariants — no engine crash, no path from the rogue's IOMMU into \
+     another tenant's frames, victim memory intact. Prints one summary \
+     line (byte-identical for equal seeds; CI diffs it against a \
+     committed golden) and exits non-zero on any crash or containment \
+     violation."
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "iters" ] ~docv:"N" ~doc:"Mutant frames to inject.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const fuzz $ seed_arg $ iters_arg)
+
 (* --- sanitize --------------------------------------------------------------------- *)
 
 let sanitize seed exps =
@@ -407,4 +484,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ topology_cmd; figure2_cmd; experiment_cmd; resume_cmd; kv_cmd;
-            metrics_cmd; chaos_cmd; overload_cmd; sanitize_cmd ]))
+            metrics_cmd; chaos_cmd; overload_cmd; fuzz_cmd; sanitize_cmd ]))

@@ -12,12 +12,42 @@ module Faults = Lastcpu_sim.Faults
 module Sanitizer = Lastcpu_sim.Sanitizer
 module Snapshot = Lastcpu_sim.Snapshot
 
+(* Misbehavior scoring weights and thresholds for the quarantine machine.
+   Each class of evidence adds its weight to a per-device score; crossing
+   [suspect_score] demotes Trusted -> Suspect (observability only), crossing
+   [quarantine_score] fences the device. Legitimate retry storms reuse a
+   correlation id, so same-corr privileged repeats only score past
+   [replay_allowance]. *)
+type quarantine_config = {
+  suspect_score : int;
+  quarantine_score : int;
+  bad_token_weight : int;
+  malformed_weight : int;
+  dma_fault_weight : int;
+  replay_weight : int;
+  spoof_weight : int;
+  replay_allowance : int;
+}
+
+let default_quarantine =
+  {
+    suspect_score = 4;
+    quarantine_score = 10;
+    bad_token_weight = 3;
+    malformed_weight = 2;
+    dma_fault_weight = 2;
+    replay_weight = 1;
+    spoof_weight = 4;
+    replay_allowance = 8;
+  }
+
 type config = {
   enable_tokens : bool;
   heartbeat_timeout_ns : int64;
   lanes : int;
   lane_capacity : int option;
   device_queue_capacity : int option;
+  quarantine : quarantine_config option;
 }
 
 let default_config =
@@ -27,7 +57,10 @@ let default_config =
     lanes = 1;
     lane_capacity = None (* unbounded *);
     device_queue_capacity = None (* unbounded *);
+    quarantine = None (* scoring off: bit-identical to pre-containment *);
   }
+
+type trust = Trusted | Suspect | Quarantined
 
 type device_slot = {
   name : string;
@@ -38,6 +71,13 @@ type device_slot = {
   mutable connected : bool;  (* false after fail_device *)
   mutable services : Message.service_desc list;
   mutable last_heartbeat : int64;
+  (* Containment bookkeeping. Scored only when [config.quarantine] is set;
+     a bus without the policy never touches these. *)
+  mutable trust : trust;
+  mutable misbehavior : int;
+  mutable malformed_frames : int;
+  mutable last_priv_corr : int;  (* replay detection: last privileged corr *)
+  mutable last_priv_corr_count : int;
 }
 
 type counters = {
@@ -63,6 +103,11 @@ type t = {
   lanes : Station.t array;
   mutable devices : device_slot array;
   controller_keys : (Types.device_id * string, Token.key) Hashtbl.t;
+  (* Capability epochs, one per device (keyed by the token subject). Absent
+     means epoch 0. Revocation bumps the entry; every token minted under an
+     older epoch then fails verification without being touched. *)
+  epochs : (Types.device_id, int) Hashtbl.t;
+  mutable revoke_hooks : (device:Types.device_id -> unit) list;
   actor : string;
   (* Instrument handles into the engine's registry; [counters] rebuilds the
      legacy record from these, so existing call sites read unchanged. *)
@@ -80,6 +125,14 @@ type t = {
   (* Same lazy policy: single-shard runs never cross a boundary, and their
      telemetry snapshot must stay identical to pre-shard builds. *)
   mutable m_boundary_out : Metrics.counter option;
+  (* Containment telemetry, all lazy for the same reason: a run with no
+     misbehaving device keeps a pre-containment telemetry snapshot. *)
+  mutable m_stale_tokens : Metrics.counter option;
+  mutable m_malformed : Metrics.counter option;
+  mutable m_misbehavior : Metrics.counter option;
+  mutable m_fenced : Metrics.counter option;
+  mutable m_quarantines : Metrics.counter option;
+  mutable m_revocations : Metrics.counter option;
   (* Sanitizer probe: commutative (order-insensitive) digest of every frame
      committed to the wire. Hashes route and payload kind only — corr ids,
      nonces and addresses inside payloads legally permute when same-tick
@@ -94,6 +147,58 @@ type t = {
 }
 
 let bus_src = -1 (* messages originated by the bus itself *)
+
+let trace t kind detail = Engine.trace_event t.engine ~actor:"bus" ~kind detail
+
+(* All containment counters follow the lazy-registration policy: first
+   increment creates the instrument, so a clean run's telemetry snapshot is
+   byte-identical to a build without the containment layer. *)
+let lazy_bump t get set name =
+  let c =
+    match get t with
+    | Some c -> c
+    | None ->
+      let c = Metrics.counter (Engine.metrics t.engine) ~actor:t.actor ~name in
+      set t (Some c);
+      c
+  in
+  Metrics.incr c
+
+let bump_stale t =
+  lazy_bump t
+    (fun t -> t.m_stale_tokens)
+    (fun t v -> t.m_stale_tokens <- v)
+    "stale_tokens"
+
+let bump_malformed t =
+  lazy_bump t
+    (fun t -> t.m_malformed)
+    (fun t v -> t.m_malformed <- v)
+    "malformed_frames"
+
+let bump_misbehavior t =
+  lazy_bump t
+    (fun t -> t.m_misbehavior)
+    (fun t v -> t.m_misbehavior <- v)
+    "misbehavior_reports"
+
+let bump_fenced t =
+  lazy_bump t
+    (fun t -> t.m_fenced)
+    (fun t v -> t.m_fenced <- v)
+    "messages_fenced"
+
+let bump_quarantines t =
+  lazy_bump t
+    (fun t -> t.m_quarantines)
+    (fun t v -> t.m_quarantines <- v)
+    "quarantines"
+
+let bump_revocations t =
+  lazy_bump t
+    (fun t -> t.m_revocations)
+    (fun t v -> t.m_revocations <- v)
+    "revocations"
 
 (* One stable identity per frame: route + payload kind. Triple duty — the
    sanitizer event label, the fault-injection content key, and the frame
@@ -156,11 +261,18 @@ let broadcast_from_bus t payload =
       end)
     t.devices
 
-let mark_failed t id =
+(* [disconnect:false] is the heartbeat sweep's variant: the device is
+   declared dead (and consumers told), but the slot stays connected so an
+   explicit re-announce — [Device_alive], the same handshake used at boot —
+   can re-admit it. A bare [Heartbeat] never can: liveness refresh requires
+   [live], and nothing below sets [live] except the announce path. Explicit
+   [fail_device]/quarantine keep [disconnect:true]: those need the reset
+   line first. *)
+let mark_failed ?(disconnect = true) t id =
   let slot = t.devices.(id) in
   if slot.live || slot.connected then begin
     slot.live <- false;
-    slot.connected <- false;
+    if disconnect then slot.connected <- false;
     (* Broadcast the failure so consumers can recover (§4). *)
     broadcast_from_bus t (Message.Device_failed { device = id })
   end
@@ -186,11 +298,125 @@ let rec arm_sweep t ~time =
             then begin
               Engine.trace_event t.engine ~actor:"bus" ~kind:"bus.liveness"
                 (Printf.sprintf "%s (dev%d) timed out" slot.name id);
-              mark_failed t id
+              mark_failed ~disconnect:false t id
             end)
           t.devices;
         arm_sweep t ~time:(Int64.add now t.config.heartbeat_timeout_ns)
       end)
+
+(* --- containment: epochs, revocation, quarantine ------------------------ *)
+
+let current_epoch t id =
+  match Hashtbl.find_opt t.epochs id with Some e -> e | None -> 0
+
+let on_revoke t f = t.revoke_hooks <- t.revoke_hooks @ [ f ]
+
+(* Revoke every capability a device wields: one epoch bump, then the
+   cascade. Order matters — the bump comes first so controller teardown
+   (the hooks, e.g. memctl unmapping its grants) mints its own directives
+   under the *new* epoch and they still verify. The device's IOMMU is then
+   cleared per PASID, which shoots down the TLB as a side effect. Stale
+   tokens are not chased: they die passively at the next [verify_token]. *)
+let revoke t id =
+  Hashtbl.replace t.epochs id (current_epoch t id + 1);
+  bump_revocations t;
+  trace t "bus.revoke"
+    (Printf.sprintf "dev%d (%s) capabilities revoked, epoch now %d" id
+       t.devices.(id).name (current_epoch t id));
+  List.iter (fun f -> f ~device:id) t.revoke_hooks;
+  let s = t.devices.(id) in
+  List.iter (fun pasid -> Iommu.clear_pasid s.iommu ~pasid) (Iommu.pasids s.iommu)
+
+let quarantine_device t id =
+  let s = t.devices.(id) in
+  if s.trust <> Quarantined then begin
+    s.trust <- Quarantined;
+    bump_quarantines t;
+    trace t "bus.quarantine"
+      (Printf.sprintf "dev%d (%s) quarantined, score=%d" id s.name
+         s.misbehavior);
+    revoke t id;
+    (* Fence + tell consumers, exactly like a crash: the failure broadcast
+       is the recovery signal the PR-2 failover path already understands. *)
+    mark_failed t id
+  end
+
+(* Operator re-admission: the reset-line -> re-announce handshake, same as
+   a fault-plan revive. The slot comes back connected-but-not-live and on
+   parole (Suspect, score cleared): only the device's own [Device_alive]
+   makes it live again. *)
+let release_quarantine t id =
+  let s = t.devices.(id) in
+  if s.trust = Quarantined then begin
+    s.trust <- Suspect;
+    s.misbehavior <- 0;
+    s.last_priv_corr <- -1;
+    s.last_priv_corr_count <- 0;
+    s.connected <- true;
+    trace t "bus.release-quarantine"
+      (Printf.sprintf "dev%d (%s) released on parole" id s.name);
+    s.handler
+      (Message.make ~src:bus_src ~dst:(Types.Device id) ~corr:0
+         Message.Reset_device)
+  end
+
+(* Score one piece of evidence against [src]. No-op unless the bus was
+   configured with a quarantine policy, so default-config runs never take
+   this path at all. *)
+let report_misbehavior t ~src ~weight ~what =
+  match t.config.quarantine with
+  | None -> ()
+  | Some qc ->
+    if src >= 0 && src < Array.length t.devices then begin
+      let s = t.devices.(src) in
+      if s.shard = t.home_shard && s.trust <> Quarantined then begin
+        s.misbehavior <- s.misbehavior + weight;
+        bump_misbehavior t;
+        trace t "bus.misbehavior"
+          (Printf.sprintf "dev%d (%s): %s, score %d" src s.name what
+             s.misbehavior);
+        if s.misbehavior >= qc.quarantine_score then quarantine_device t src
+        else if s.misbehavior >= qc.suspect_score && s.trust = Trusted then begin
+          s.trust <- Suspect;
+          trace t "bus.suspect"
+            (Printf.sprintf "dev%d (%s) now suspect, score %d" src s.name
+               s.misbehavior)
+        end
+      end
+    end
+
+let score_bad_token t ~src ~what =
+  match t.config.quarantine with
+  | None -> ()
+  | Some qc -> report_misbehavior t ~src ~weight:qc.bad_token_weight ~what
+
+let score_malformed t ~src ~what =
+  match t.config.quarantine with
+  | None -> ()
+  | Some qc -> report_misbehavior t ~src ~weight:qc.malformed_weight ~what
+
+(* Replay evidence: privileged operations arriving again and again under
+   one correlation id. Legitimate [Device.request] retransmits reuse their
+   corr (that is how receiver-side dedup works), so the first
+   [replay_allowance] repeats are free; past that each repeat scores. *)
+let note_privileged_corr t ~src ~corr =
+  match t.config.quarantine with
+  | None -> ()
+  | Some qc ->
+    if src >= 0 && src < Array.length t.devices then begin
+      let s = t.devices.(src) in
+      if corr = s.last_priv_corr then begin
+        s.last_priv_corr_count <- s.last_priv_corr_count + 1;
+        if s.last_priv_corr_count > qc.replay_allowance then
+          report_misbehavior t ~src ~weight:qc.replay_weight
+            ~what:(Printf.sprintf "replayed corr %d (x%d)" corr
+                     s.last_priv_corr_count)
+      end
+      else begin
+        s.last_priv_corr <- corr;
+        s.last_priv_corr_count <- 1
+      end
+    end
 
 (* Checkpointing. Saved per slot: liveness, service registry and IOMMU
    contents — everything [Device_alive]/crash handling mutates after
@@ -215,6 +441,21 @@ let save_state t =
   Array.iter (fun lane -> Station.save w lane) t.lanes;
   Snapshot.W.i64 w t.frame_digest;
   Snapshot.W.i64 w t.next_sweep;
+  (* Containment state, appended so the layout above keeps its shape. *)
+  Snapshot.W.array w
+    (fun w (s : device_slot) ->
+      Snapshot.W.vint w
+        (match s.trust with Trusted -> 0 | Suspect -> 1 | Quarantined -> 2);
+      Snapshot.W.vint w s.misbehavior;
+      Snapshot.W.vint w s.malformed_frames;
+      Snapshot.W.vint w s.last_priv_corr;
+      Snapshot.W.vint w s.last_priv_corr_count)
+    t.devices;
+  Snapshot.W.list w
+    (fun w (id, e) ->
+      Snapshot.W.vint w id;
+      Snapshot.W.vint w e)
+    (Lastcpu_sim.Detmap.bindings t.epochs);
   Snapshot.W.contents w
 
 let restore_state t body =
@@ -254,6 +495,29 @@ let restore_state t body =
   Array.iter (fun lane -> Station.restore r lane) t.lanes;
   t.frame_digest <- Snapshot.R.i64 r;
   let next_sweep = Snapshot.R.i64 r in
+  let nc = Snapshot.R.varint r in
+  if nc <> Array.length t.devices then
+    raise (Snapshot.R.Corrupt "containment state device count mismatch");
+  for id = 0 to nc - 1 do
+    let s = t.devices.(id) in
+    (s.trust <-
+       (match Snapshot.R.vint r with
+       | 0 -> Trusted
+       | 1 -> Suspect
+       | 2 -> Quarantined
+       | n -> raise (Snapshot.R.Corrupt (Printf.sprintf "bad trust tag %d" n))));
+    s.misbehavior <- Snapshot.R.vint r;
+    s.malformed_frames <- Snapshot.R.vint r;
+    s.last_priv_corr <- Snapshot.R.vint r;
+    s.last_priv_corr_count <- Snapshot.R.vint r
+  done;
+  Hashtbl.reset t.epochs;
+  List.iter
+    (fun (id, e) -> Hashtbl.replace t.epochs id e)
+    (Snapshot.R.list r (fun r ->
+         let id = Snapshot.R.vint r in
+         let e = Snapshot.R.vint r in
+         (id, e)));
   (* Re-point the sweep at the interrupted run's schedule. When the saved
      and rebuilt times already agree, the rebuilt sweep event (kept by the
      engine's queue filter) stays armed under the current generation. Runs
@@ -284,6 +548,8 @@ let create ?(config = default_config) ?(shard = 0) engine =
               ?telemetry:lane_telemetry engine);
       devices = [||];
       controller_keys = Hashtbl.create 8;
+      epochs = Hashtbl.create 8;
+      revoke_hooks = [];
       actor;
       m_routed = counter "routed";
       m_broadcasts = counter "broadcasts";
@@ -295,6 +561,12 @@ let create ?(config = default_config) ?(shard = 0) engine =
       m_doorbells_dropped = counter "doorbells_dropped";
       m_expired = None;
       m_boundary_out = None;
+      m_stale_tokens = None;
+      m_malformed = None;
+      m_misbehavior = None;
+      m_fenced = None;
+      m_quarantines = None;
+      m_revocations = None;
       frame_digest = 0L;
       next_sweep = 0L;
       sweep_gen = 0;
@@ -329,6 +601,12 @@ let create ?(config = default_config) ?(shard = 0) engine =
         (fun () ->
           match find_by_name () with
           | None -> ()
+          | Some id when t.devices.(id).trust = Quarantined ->
+            (* A fault-plan revive is a power cycle, not a pardon: the
+               quarantine holds until an operator releases it. *)
+            trace t "fault.revive"
+              (Printf.sprintf "%s (dev%d) still quarantined, revive ignored"
+                 device id)
           | Some id ->
             let s = t.devices.(id) in
             Faults.note_revive faults;
@@ -403,9 +681,26 @@ let attach ?shard t ~name ~iommu ~handler =
       connected = true;
       services = [];
       last_heartbeat = 0L;
+      trust = Trusted;
+      misbehavior = 0;
+      malformed_frames = 0;
+      last_priv_corr = -1;
+      last_priv_corr_count = 0;
     }
   in
   t.devices <- Array.append t.devices [| slot |];
+  (* With a quarantine policy in force, tap the device's IOMMU fault stream:
+     an out-of-grant DMA is containment evidence. The device's own fault
+     handler (its fault queue) is untouched — this is a read-only observer. *)
+  (match t.config.quarantine with
+  | None -> ()
+  | Some qc ->
+    if shard = t.home_shard then
+      Iommu.add_fault_observer iommu (fun (f : Iommu.fault) ->
+          report_misbehavior t ~src:id ~weight:qc.dma_fault_weight
+            ~what:
+              (Printf.sprintf "DMA fault pasid=%d va=0x%Lx" f.Iommu.pasid
+                 f.Iommu.va)));
   id
 
 let slot t id =
@@ -413,8 +708,15 @@ let slot t id =
     invalid_arg (Printf.sprintf "Sysbus: unknown device %d" id)
   else t.devices.(id)
 
+(* Hostile frames can name any device id. Every path that dereferences an
+   id taken from a decoded frame must check it here first: an unknown id
+   is a protocol error to NACK and count, never an [Invalid_argument]
+   unwinding the event loop. *)
+let known_device t id = id >= 0 && id < Array.length t.devices
+
 let device_name t id = (slot t id).name
 let device_shard t id = (slot t id).shard
+let iommu_of t id = (slot t id).iommu
 let is_remote t id = (slot t id).shard <> t.home_shard
 let is_live t id = (slot t id).live
 
@@ -471,8 +773,6 @@ let lane_for t src =
 
 (* --- privileged operations ---------------------------------------------- *)
 
-let trace t kind detail = Engine.trace_event t.engine ~actor:"bus" ~kind detail
-
 let reply t ~to_ ~corr payload =
   (* Bus-originated response: one hop back to the device. *)
   let costs = Engine.costs t.engine in
@@ -500,6 +800,14 @@ let verify_token t ~src ~expect_wielder (token : Token.t) =
     | None -> Error "issuer is not a registered controller for this resource"
     | Some key ->
       if not (Token.verify ~key token) then Error "bad MAC"
+      else if token.epoch <> current_epoch t token.subject then begin
+        (* MAC is genuine but the capability generation is over: the subject
+           was revoked since mint. Counted apart from forgeries — a burst of
+           stale uses is the expected echo of a revocation, not an attack on
+           the MAC. *)
+        bump_stale t;
+        Error "stale capability epoch"
+      end
       else begin
         match expect_wielder with
         | `Issuer when src <> token.issuer -> Error "sender is not the issuer"
@@ -519,6 +827,7 @@ let handle_map_directive t ~src ~corr ~device ~pasid ~va ~pa ~bytes ~perm
     ~(auth : Token.t) =
   let fail reason =
     Metrics.incr t.m_token_failures;
+    score_bad_token t ~src ~what:("map denied: " ^ reason);
     trace t "bus.map-denied" reason;
     reply t ~to_:src ~corr
       (Message.Error_msg { code = Types.E_bad_token; detail = reason })
@@ -535,6 +844,15 @@ let handle_map_directive t ~src ~corr ~device ~pasid ~va ~pa ~bytes ~perm
     else if
       t.config.enable_tokens && not (Types.perm_subsumes auth.perm perm)
     then fail "permissions exceed token grant"
+    else if not (known_device t device) then begin
+      trace t "bus.map-denied" (Printf.sprintf "no such device %d" device);
+      reply t ~to_:src ~corr
+        (Message.Error_msg
+           {
+             code = Types.E_bad_address;
+             detail = Printf.sprintf "no such device %d" device;
+           })
+    end
     else begin
       let target = slot t device in
       match Iommu.map target.iommu ~pasid ~va ~pa ~bytes ~perm with
@@ -558,6 +876,8 @@ let handle_grant t ~src ~corr ~to_device ~pasid ~va ~bytes ~perm
     ~(auth : Token.t) =
   let fail code reason =
     Metrics.incr t.m_token_failures;
+    (if code = Types.E_bad_token then
+       score_bad_token t ~src ~what:("grant denied: " ^ reason));
     trace t "bus.grant-denied" reason;
     reply t ~to_:src ~corr (Message.Error_msg { code; detail = reason })
   in
@@ -568,6 +888,8 @@ let handle_grant t ~src ~corr ~to_device ~pasid ~va ~bytes ~perm
       fail Types.E_bad_token "token pasid mismatch"
     else if t.config.enable_tokens && not (Types.perm_subsumes auth.perm perm)
     then fail Types.E_bad_token "permissions exceed token grant"
+    else if not (known_device t to_device) then
+      fail Types.E_bad_address (Printf.sprintf "no such grantee %d" to_device)
     else begin
       (* Replicate the owner's current translations for [va, va+bytes) into
          the grantee's IOMMU, page by page, validating each physical page
@@ -611,6 +933,7 @@ let handle_unmap t ~src ~corr ~device ~pasid ~va ~bytes ~(auth : Token.t) =
   match verify_token t ~src ~expect_wielder:wielder auth with
   | Error reason ->
     Metrics.incr t.m_token_failures;
+    score_bad_token t ~src ~what:("unmap denied: " ^ reason);
     reply t ~to_:src ~corr
       (Message.Error_msg { code = Types.E_bad_token; detail = reason })
   | Ok () ->
@@ -633,7 +956,10 @@ let handle_bus_message t (msg : Message.t) =
   match msg.payload with
   | Message.Device_alive { services } ->
     let s = slot t src in
-    if s.connected then begin
+    (* A quarantined slot is also disconnected, but check the trust state
+       explicitly: re-admission must go through [release_quarantine]'s
+       reset line, never a self-announce. *)
+    if s.connected && s.trust <> Quarantined then begin
       s.live <- true;
       s.services <- services;
       s.last_heartbeat <- Engine.now t.engine;
@@ -645,11 +971,14 @@ let handle_bus_message t (msg : Message.t) =
     let s = slot t src in
     if s.live then s.last_heartbeat <- Engine.now t.engine
   | Message.Map_directive { device; pasid; va; pa; bytes; perm; auth } ->
+    note_privileged_corr t ~src ~corr:msg.corr;
     handle_map_directive t ~src ~corr:msg.corr ~device ~pasid ~va ~pa ~bytes
       ~perm ~auth
   | Message.Grant_request { to_device; pasid; va; bytes; perm; auth } ->
+    note_privileged_corr t ~src ~corr:msg.corr;
     handle_grant t ~src ~corr:msg.corr ~to_device ~pasid ~va ~bytes ~perm ~auth
   | Message.Unmap_directive { device; pasid; va; bytes; auth } ->
+    note_privileged_corr t ~src ~corr:msg.corr;
     handle_unmap t ~src ~corr:msg.corr ~device ~pasid ~va ~bytes ~auth
   | Message.Resource_failed { resource } ->
     trace t "bus.resource-failed" resource;
@@ -689,9 +1018,9 @@ let schedule_delivery t (msg : Message.t) ~delay deliver =
       let i = bit / 8 in
       Bytes.set b i
         (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
-      match Codec.decode_framed (Bytes.to_string b) with
-      | _ -> false
-      | exception Wire.Malformed _ -> true
+      match Codec.decode_framed_result (Bytes.to_string b) with
+      | Ok _ -> false
+      | Error _ -> true
     in
     if corrupted_and_caught then
       trace t "fault.corrupt"
@@ -742,7 +1071,11 @@ let deliver_unicast t (msg : Message.t) dst =
         if s.live then s.handler msg)
   end
 
-let send t (msg : Message.t) =
+let quarantined_src t src =
+  src >= 0 && src < Array.length t.devices
+  && t.devices.(src).trust = Quarantined
+
+let send_routed t (msg : Message.t) =
   let costs = Engine.costs t.engine in
   let size = Message.wire_size msg in
   Metrics.incr ~by:size t.m_control_bytes;
@@ -754,6 +1087,18 @@ let send t (msg : Message.t) =
       ~kind:("msg." ^ Message.payload_tag msg.payload)
       (Format.asprintf "%a" Message.pp msg);
   match msg.dst with
+  | Types.Device dst when not (known_device t dst) ->
+    Metrics.incr t.m_undeliverable;
+    trace t "bus.undeliverable"
+      (Printf.sprintf "%s to unknown dev%d dropped"
+         (Message.payload_tag msg.payload) dst);
+    if known_device t msg.src && (slot t msg.src).live then
+      reply t ~to_:msg.src ~corr:msg.corr
+        (Message.Error_msg
+           {
+             code = Types.E_bad_address;
+             detail = Printf.sprintf "no such device %d" dst;
+           })
   | Types.Device dst when (slot t dst).shard <> t.home_shard ->
     (* Cross-shard frame: hand over at the border instead of taking a local
        lane — the destination's station discipline belongs to its shard. *)
@@ -824,7 +1169,63 @@ let send t (msg : Message.t) =
       t.engine ~delay:costs.Costs.bus_hop_ns arrive
   else Engine.schedule t.engine ~delay:costs.Costs.bus_hop_ns arrive
 
+(* The quarantine fence: a fenced device's frames never reach a lane — the
+   same structural cut the boundary-proxy skip uses, applied for trust
+   instead of shard affinity. *)
+let send t (msg : Message.t) =
+  if quarantined_src t msg.src then begin
+    bump_fenced t;
+    trace t "bus.fenced"
+      (Printf.sprintf "%s from quarantined dev%d dropped"
+         (Message.payload_tag msg.payload) msg.src)
+  end
+  else send_routed t msg
+
+(* Raw-byte ingress: the only entry point for bytes whose shape the bus
+   does not trust (a compromised device's egress, the fuzzer's mutations).
+   Decoding is the typed, never-raising kind; a frame that decodes but
+   claims someone else's source address is dropped as spoofing evidence. *)
+let send_raw t ~src bytes =
+  if quarantined_src t src then begin
+    bump_fenced t;
+    trace t "bus.fenced"
+      (Printf.sprintf "raw frame from quarantined dev%d dropped" src)
+  end
+  else begin
+    match Codec.decode_framed_result bytes with
+    | Error reason ->
+      (if src >= 0 && src < Array.length t.devices then
+         let s = t.devices.(src) in
+         s.malformed_frames <- s.malformed_frames + 1);
+      bump_malformed t;
+      score_malformed t ~src ~what:("malformed frame: " ^ reason);
+      trace t "bus.malformed"
+        (Printf.sprintf "frame from dev%d dropped: %s" src reason)
+    | Ok msg ->
+      if msg.src <> src then begin
+        (match t.config.quarantine with
+        | None -> ()
+        | Some qc ->
+          report_misbehavior t ~src ~weight:qc.spoof_weight
+            ~what:(Printf.sprintf "spoofed src %d" msg.src));
+        trace t "bus.spoofed"
+          (Printf.sprintf "dev%d forged src %d, dropped" src msg.src)
+      end
+      else send t msg
+  end
+
 let notify t ~src ~dst ~queue =
+  if quarantined_src t src then begin
+    bump_fenced t;
+    trace t "bus.fenced"
+      (Printf.sprintf "doorbell from quarantined dev%d dropped" src)
+  end
+  else if not (known_device t dst) then begin
+    Metrics.incr t.m_doorbells_dropped;
+    trace t "bus.doorbell-dropped"
+      (Printf.sprintf "dev%d -> unknown dev%d queue=%d" src dst queue)
+  end
+  else begin
   let costs = Engine.costs t.engine in
   let s = slot t dst in
   if s.shard <> t.home_shard then begin
@@ -852,6 +1253,7 @@ let notify t ~src ~dst ~queue =
     schedule_frame t msg ~delay:costs.Costs.doorbell_ns
       (fun () -> if s.live then s.handler msg)
   end
+  end
 
 (* --- failure injection --------------------------------------------------- *)
 
@@ -863,3 +1265,29 @@ let revive_device t id =
   let s = slot t id in
   s.connected <- true;
   trace t "bus.revive" (Printf.sprintf "dev%d (%s)" id s.name)
+
+(* --- containment observability ------------------------------------------ *)
+
+let trust_of t id = (slot t id).trust
+let misbehavior_score t id = (slot t id).misbehavior
+let malformed_frames_of t id = (slot t id).malformed_frames
+
+let trust_to_string = function
+  | Trusted -> "trusted"
+  | Suspect -> "suspect"
+  | Quarantined -> "quarantined"
+
+let stale_tokens t =
+  match t.m_stale_tokens with None -> 0 | Some c -> Metrics.counter_value c
+
+let messages_fenced t =
+  match t.m_fenced with None -> 0 | Some c -> Metrics.counter_value c
+
+let malformed_total t =
+  match t.m_malformed with None -> 0 | Some c -> Metrics.counter_value c
+
+let quarantines t =
+  match t.m_quarantines with None -> 0 | Some c -> Metrics.counter_value c
+
+let revocations t =
+  match t.m_revocations with None -> 0 | Some c -> Metrics.counter_value c

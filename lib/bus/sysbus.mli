@@ -20,6 +20,21 @@ module Iommu = Lastcpu_iommu.Iommu
 
 type t
 
+type quarantine_config = {
+  suspect_score : int;  (** score at which Trusted demotes to Suspect *)
+  quarantine_score : int;  (** score at which the device is fenced *)
+  bad_token_weight : int;  (** forged/stale/miswielded capability token *)
+  malformed_weight : int;  (** undecodable frame at the raw ingress *)
+  dma_fault_weight : int;  (** out-of-grant DMA (IOMMU fault observer) *)
+  replay_weight : int;  (** privileged corr replays past the allowance *)
+  spoof_weight : int;  (** frame claiming another device's source *)
+  replay_allowance : int;
+      (** same-corr privileged repeats tolerated before scoring —
+          legitimate [Device.request] retransmits reuse their corr *)
+}
+
+val default_quarantine : quarantine_config
+
 type config = {
   enable_tokens : bool;
       (** verify capability tokens (ablation: T1 --no-tokens) *)
@@ -35,6 +50,10 @@ type config = {
   device_queue_capacity : int option;
       (** advisory bound devices apply to their own request stations (read
           via {!device_queue_capacity}); [None] (default) = unbounded. *)
+  quarantine : quarantine_config option;
+      (** misbehavior scoring and automatic quarantine. [None] (default)
+          disables scoring entirely: no counters register, no observers
+          attach, and runs are bit-identical to pre-containment builds. *)
 }
 
 val default_config : config
@@ -70,6 +89,11 @@ val device_name : t -> Types.device_id -> string
 
 val device_shard : t -> Types.device_id -> int
 (** The slot's shard affinity (the home shard for ordinary devices). *)
+
+val iommu_of : t -> Types.device_id -> Iommu.t
+(** The IOMMU the bus programs for this slot. Read-only introspection for
+    containment assertions (pair with {!Iommu.probe} /
+    {!Iommu.iter_mappings}); devices keep their own handle from attach. *)
 
 val is_remote : t -> Types.device_id -> bool
 (** Whether the slot is a boundary proxy (affinity differs from home). *)
@@ -107,6 +131,64 @@ val fail_device : t -> Types.device_id -> unit
 val revive_device : t -> Types.device_id -> unit
 (** Reconnect after a reset: the device must re-announce [Device_alive]. *)
 
+(** {1 Containment: capability epochs, revocation, quarantine}
+
+    Every capability token carries the epoch of its subject at mint time,
+    covered by the MAC. The bus keeps the authoritative per-device epoch
+    table; {!revoke} bumps it and cascades — registered revoke hooks run
+    (the memory controller tears down its grants), then the device's IOMMU
+    is cleared per PASID with TLB shootdown. Outstanding stale tokens die
+    passively: the next {!val-send} of a privileged operation fails
+    verification with ["stale capability epoch"], counted in
+    [stale_tokens] and NACKed [E_bad_token].
+
+    When [config.quarantine] is set, the bus also scores misbehavior per
+    device (bad tokens, malformed frames at the raw ingress, out-of-grant
+    DMA faults, replayed privileged correlation ids, spoofed sources) and
+    walks the slot [Trusted -> Suspect -> Quarantined]. A quarantined
+    device is fenced from routing, its capabilities revoked, and its
+    failure broadcast so consumers fail over. Re-admission is only via
+    {!release_quarantine} — the reset-line -> re-announce handshake — never
+    a bare [Heartbeat] or self-announce. *)
+
+type trust = Trusted | Suspect | Quarantined
+
+val current_epoch : t -> Types.device_id -> int
+(** The device's capability epoch (0 until first revocation). Controllers
+    read this when minting so their tokens verify. *)
+
+val revoke : t -> Types.device_id -> unit
+(** Revoke every capability the device wields: bump its epoch, run the
+    revoke hooks, clear its IOMMU (all PASIDs, TLB shot down). *)
+
+val on_revoke : t -> (device:Types.device_id -> unit) -> unit
+(** Register a revocation-cascade hook (e.g. the memory controller frees
+    the device's allocations). Hooks run in registration order, inside
+    {!revoke}, after the epoch bump — directives they mint under the new
+    epoch verify. *)
+
+val release_quarantine : t -> Types.device_id -> unit
+(** Operator re-admission: the slot reconnects on parole ([Suspect], score
+    cleared) and receives the reset line; only its own re-announce makes it
+    live. No-op if the device is not quarantined. *)
+
+val trust_of : t -> Types.device_id -> trust
+val trust_to_string : trust -> string
+val misbehavior_score : t -> Types.device_id -> int
+
+val malformed_frames_of : t -> Types.device_id -> int
+(** Undecodable frames this device pushed through {!send_raw}. *)
+
+val stale_tokens : t -> int
+(** Token verifications that failed only on the epoch check. *)
+
+val messages_fenced : t -> int
+(** Frames from quarantined devices dropped at the fence. *)
+
+val malformed_total : t -> int
+val quarantines : t -> int
+val revocations : t -> int
+
 (** {1 Messaging} *)
 
 val send : t -> Message.t -> unit
@@ -121,6 +203,15 @@ val send : t -> Message.t -> unit
     If the lane's queue is full ([lane_capacity]), the message is rejected
     and the sender gets [Error_msg E_busy] whose detail carries a
     deterministic retry-after hint ({!Message.retry_after_of_detail}). *)
+
+val send_raw : t -> src:Types.device_id -> string -> unit
+(** Raw-byte ingress for untrusted egress traffic (a compromised device,
+    the protocol fuzzer): CRC-framed bytes are decoded with the typed
+    never-raising codec. Undecodable frames are dropped and counted
+    (per-device {!malformed_frames_of} + the bus [malformed_frames]
+    counter); frames whose decoded [src] differs from the physical [src]
+    are dropped as spoofing; well-formed frames proceed exactly as
+    {!val-send}. *)
 
 (** {1 Privileged operations (performed on [dst = Bus] messages)}
 

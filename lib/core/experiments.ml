@@ -23,6 +23,10 @@ module Store = Lastcpu_kv.Store
 module Kernel = Lastcpu_baseline.Kernel
 module Central = Lastcpu_baseline.Central
 module Faults = Lastcpu_sim.Faults
+module Fuzz = Lastcpu_sim.Fuzz
+module Codec = Lastcpu_proto.Codec
+module Token = Lastcpu_proto.Token
+module Dma = Lastcpu_virtio.Dma
 module Sanitizer = Lastcpu_sim.Sanitizer
 module Temporal = Lastcpu_sim.Temporal
 module Parallel = Lastcpu_sim.Parallel
@@ -2539,6 +2543,464 @@ let t16 ?(lanes = 1) ?(seed = 42L) () =
           ];
       })
 
+(* --- T17: rogue-device containment soak --------------------------------------- *)
+
+(* One smart NIC turns hostile mid-run: it replays privileged directives,
+   forges token MACs, overreaches its DMA grant, and pushes malformed and
+   spoofed frames through the raw ingress. The bus's misbehavior scoring
+   quarantines it and the revocation cascade tears down every capability
+   it held; the KV app survives a provider crash through the PR-2 failover
+   path; a revived device cannot resurrect on a bare heartbeat; parole
+   re-admission goes through the reset line, after which the rogue's
+   pre-revocation token dies on the epoch check. The whole soak is
+   deterministic and — like T16 — survives a kill–resume from a
+   quiescent-boundary checkpoint with a bit-identical digest. *)
+
+let t17_segments = 6
+let t17_kv_clients = 2
+let t17_kv_ops = 60
+let t17_think_ns = 5_000L
+let t17_rogue_va = 0x6000_0000L
+let t17_rogue_bytes = 8192L
+let t17_tag seed = Printf.sprintf "t17:%Ld" seed
+
+(* Checkpoints stop after this boundary: segment 2 crashes the KV provider
+   and [Kv_app.save_state] deliberately refuses to checkpoint a failed-over
+   app. The kill lands exactly at the last checkpointable boundary, torn,
+   so the resume must fall back one generation and re-run the entire rogue
+   barrage deterministically. *)
+let t17_kill_boundary = 2
+
+type t17_result = {
+  t17_digest : int64;
+  t17_events : int;
+  t17_elapsed : int64;
+  t17_segments_run : int;
+  t17_restored : Snapshot.generation option;
+  t17_quarantines : int;
+  t17_revocations : int;
+  t17_stale : int;  (** pre-revocation tokens NACKed on the epoch check *)
+  t17_fenced : int;  (** frames dropped at the quarantine fence *)
+  t17_malformed : int;
+  t17_failovers : int;
+  t17_rogue_trust : string;
+  t17_system : System.t;
+}
+
+let t17_soak ?snapshot_path ?(checkpoint_every = 1) ?(resume = false)
+    ?stop_after ?(torn_final = false) ~seed () =
+  if checkpoint_every < 1 then invalid_arg "t17: checkpoint_every must be >= 1";
+  (* Deterministic rebuild (the snapshot contract's "identical builder"):
+     topology, KV launch and the rogue's one legitimate allocation —
+     including the capability token it will later replay — are all
+     pre-checkpoint state, recomputed identically by a resuming process. *)
+  let spec =
+    {
+      System.default_spec with
+      System.seed;
+      nic_count = 2;
+      ssd_count = 2;
+      quarantine = Some Sysbus.default_quarantine;
+    }
+  in
+  let system = System.build ~spec () in
+  let provision ssd =
+    match Fs.mkdir (Smart_ssd.fs ssd) ~user:"root" ~mode:0o777 "/kv" with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("t17: mkdir /kv: " ^ Fs.error_to_string e)
+  in
+  (* Only ssd0 is provisioned before launch, as in T13: discovery pins the
+     app to the device segment 2 will crash. *)
+  provision (System.ssd system 0);
+  (match System.boot system with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("t17: boot: " ^ e));
+  let engine = System.engine system in
+  let bus = System.bus system in
+  let mc = System.memctl system in
+  let next_va = ref 0x4000_0000L in
+  let fresh_attach () =
+    let va = !next_va in
+    next_va := Int64.add va 0x100_0000L;
+    (System.fresh_pasid system, va)
+  in
+  let launched = ref None in
+  let pasid, shm_va = fresh_attach () in
+  Kv_app.launch
+    ~nic:(System.nic system 0)
+    ~memctl:(Memctl.id mc) ~pasid ~shm_va ~user:"kvs" ~log_path:"/kv/data.log"
+    ~req_timeout:300_000L ~req_retries:6 ~supervisor:fresh_attach ()
+    (fun r -> launched := Some r);
+  System.run_until_idle system;
+  let app =
+    match !launched with
+    | None -> invalid_arg "t17: launch did not complete"
+    | Some (Error e) -> invalid_arg ("t17: launch: " ^ e)
+    | Some (Ok app) -> app
+  in
+  (* The alternate provider comes up after the app pinned itself to ssd0:
+     when ssd0 dies, re-discovery finds ssd1 willing. *)
+  provision (System.ssd system 1);
+  let ssd0_id = Smart_ssd.id (System.ssd system 0) in
+  let ssd1_id = Smart_ssd.id (System.ssd system 1) in
+  let ssd0_services = Sysbus.services_of bus ssd0_id in
+  let victim_id = Device.id (Smart_nic.device (System.nic system 0)) in
+  (* The rogue: the second NIC. Before turning hostile it behaves — one
+     legitimate allocation whose token (and mapping) it will later abuse. *)
+  let rogue = Smart_nic.device (System.nic system 1) in
+  let rogue_id = Device.id rogue in
+  let rogue_pasid = System.fresh_pasid system in
+  let rogue_token = ref None in
+  Device.alloc rogue ~memctl:(Memctl.id mc) ~pasid:rogue_pasid
+    ~va:t17_rogue_va ~bytes:t17_rogue_bytes ~perm:Types.perm_rw (fun r ->
+      match r with Ok tok -> rogue_token := Some tok | Error _ -> ());
+  System.run_until_idle system;
+  let rogue_token =
+    match !rogue_token with
+    | Some tok -> tok
+    | None -> invalid_arg "t17: rogue bring-up allocation failed"
+  in
+  let rogue_pa =
+    match
+      Iommu.probe (Sysbus.iommu_of bus rogue_id) ~pasid:rogue_pasid
+        ~va:t17_rogue_va
+    with
+    | Some pa -> pa
+    | None -> invalid_arg "t17: rogue region not mapped"
+  in
+  let rogue_dma = Device.dma rogue ~pasid:rogue_pasid in
+  (* Rogue egress: raw CRC-framed bytes on the bus, the same ingress a
+     physically compromised endpoint would use. *)
+  let raw msg = Sysbus.send_raw bus ~src:rogue_id (Codec.encode_framed msg) in
+  let rogue_msg ?(dst = Types.Bus) ~corr payload =
+    Message.make ~src:rogue_id ~dst ~corr payload
+  in
+  let replay_directive ~corr =
+    rogue_msg ~corr
+      (Message.Map_directive
+         {
+           device = rogue_id;
+           pasid = rogue_pasid;
+           va = t17_rogue_va;
+           pa = rogue_pa;
+           bytes = t17_rogue_bytes;
+           perm = Types.perm_rw;
+           auth = rogue_token;
+         })
+  in
+  let kv_done = ref 0 in
+  let install_kv seg =
+    let lat = experiment_hist engine "kv_t17" in
+    let app_addr = Smart_nic.endpoint_address (System.nic system 0) in
+    for c = 0 to t17_kv_clients - 1 do
+      kv_closed_loop_client system ~app_addr ~ops:t17_kv_ops
+        ~think_ns:t17_think_ns
+        ~make_op:(fun j ->
+          let key = Printf.sprintf "key-%d-%03d" seg ((j + (c * 17)) mod 40) in
+          if (j + seg) mod 3 = 0 then
+            Kv_proto.Put (key, Printf.sprintf "v-%d-%d-%d" seg c j)
+          else Kv_proto.Get key)
+        ~lat
+        ~on_done:(fun () -> incr kv_done)
+    done
+  in
+  let at delay f = Engine.schedule engine ~delay f in
+  let require cond what = if not cond then invalid_arg ("t17: " ^ what) in
+  let install_segment seg =
+    install_kv seg;
+    match seg with
+    | 1 ->
+      (* The barrage. Each escalation exercises a distinct scoring channel:
+         a malformed frame (+2), a DMA fault (+2, Suspect at 4), a forged
+         MAC (+3), a ten-shot same-corr burst of privileged grants (two
+         past the allowance of eight, +1 each, scored before the handler
+         even looks at the token), and finally a spoofed source (+4) that
+         crosses the quarantine threshold of 10 — revoking every
+         capability the rogue holds. Traffic after that dies at the
+         fence. *)
+      let fz = Fuzz.create ~seed:(Int64.logxor seed 0x1717L) in
+      at 10_000L (fun () ->
+          (* A forged failure broadcast: decodes fine, scores nothing, and
+             must not perturb the bus's own liveness table. *)
+          raw
+            (rogue_msg ~dst:Types.Broadcast ~corr:9000
+               (Message.Device_failed { device = ssd1_id })));
+      at 15_000L (fun () ->
+          (* Undecodable bytes at the raw ingress: malformed, counted and
+             scored per device. *)
+          Sysbus.send_raw bus ~src:rogue_id "\xde\xad\xbe\xef");
+      at 20_000L (fun () ->
+          match
+            Dma.read_bytes rogue_dma (Int64.add t17_rogue_va 0x10000L) 8
+          with
+          | _ -> require false "rogue DMA overreach was not faulted"
+          | exception Dma.Dma_fault _ -> ());
+      at 30_000L (fun () ->
+          (* Forged MAC: flipping any covered bit must fail verification. *)
+          raw
+            (rogue_msg ~corr:9001
+               (Message.Map_directive
+                  {
+                    device = rogue_id;
+                    pasid = rogue_pasid;
+                    va = t17_rogue_va;
+                    pa = rogue_pa;
+                    bytes = t17_rogue_bytes;
+                    perm = Types.perm_rw;
+                    auth =
+                      {
+                        rogue_token with
+                        Token.mac = Int64.lognot rogue_token.Token.mac;
+                      };
+                  })));
+      at 40_000L (fun () ->
+          (* Replay storm: one corr id, ten privileged repeats. The token
+             is the rogue's own (subject-wielded, in range), so only the
+             replay channel scores — the allowance forgives eight. *)
+          for _k = 0 to 9 do
+            raw
+              (rogue_msg ~corr:9002
+                 (Message.Grant_request
+                    {
+                      to_device = rogue_id;
+                      pasid = rogue_pasid;
+                      va = t17_rogue_va;
+                      bytes = t17_rogue_bytes;
+                      perm = Types.perm_rw;
+                      auth = rogue_token;
+                    }))
+          done);
+      at 50_000L (fun () ->
+          (* Spoof: a frame claiming the victim NIC's source on the rogue's
+             physical lane. +4 crosses the threshold: quarantine. *)
+          raw
+            (Message.make ~src:victim_id ~dst:Types.Bus ~corr:9003
+               Message.Heartbeat));
+      at 60_000L (fun () ->
+          (* Everything below arrives at a quarantined slot: fenced. *)
+          Sysbus.send_raw bus ~src:rogue_id "\x00";
+          raw (replay_directive ~corr:9004));
+      at 70_000L (fun () ->
+          for _k = 0 to 3 do
+            Sysbus.send_raw bus ~src:rogue_id
+              (Fuzz.mutate_bytes fz
+                 (Codec.encode_framed (rogue_msg ~corr:9005 Message.Heartbeat)))
+          done)
+    | 2 ->
+      (* Provider crash: the app's PR-2 failover path re-discovers ssd1. *)
+      Sysbus.fail_device bus ssd0_id
+    | 3 ->
+      (* Reconnect ssd0 and show no silent resurrection: a bare heartbeat
+         from the revived-but-dead device must not restore liveness; only
+         the explicit re-announce handshake does. *)
+      Sysbus.revive_device bus ssd0_id;
+      at 10_000L (fun () ->
+          Sysbus.send bus
+            (Message.make ~src:ssd0_id ~dst:Types.Bus ~corr:0 Message.Heartbeat));
+      at 30_000L (fun () ->
+          require
+            (not (Sysbus.is_live bus ssd0_id))
+            "bare heartbeat resurrected ssd0");
+      at 40_000L (fun () ->
+          Sysbus.send bus
+            (Message.make ~src:ssd0_id ~dst:Types.Bus ~corr:0
+               (Message.Device_alive { services = ssd0_services })))
+    | 4 ->
+      (* Parole: reset line, re-announce, then the rogue replays its
+         pre-revocation token — stale under the bumped epoch, NACKed. *)
+      Sysbus.release_quarantine bus rogue_id;
+      at 20_000L (fun () ->
+          require (Sysbus.is_live bus rogue_id)
+            "rogue did not re-announce after the reset line";
+          raw (replay_directive ~corr:9101);
+          raw (replay_directive ~corr:9102))
+    | _ -> ()
+  in
+  let progress = ref 0 in
+  Engine.register_snapshot engine ~name:"t17-progress"
+    ~save:(fun () ->
+      let w = Snapshot.W.create () in
+      Snapshot.W.varint w !progress;
+      Snapshot.W.contents w)
+    ~restore:(fun data ->
+      progress := Snapshot.R.varint (Snapshot.R.of_string data));
+  let target = Checkpoint.Single engine in
+  let tag = t17_tag seed in
+  let restored = ref None in
+  if resume then begin
+    match snapshot_path with
+    | None -> invalid_arg "t17: resume requires a snapshot path"
+    | Some path -> (
+      match Checkpoint.restore ~path ~tag target with
+      | Ok gen -> restored := Some gen
+      | Error e -> invalid_arg ("t17: resume: " ^ e))
+  end;
+  let segments_run = ref 0 in
+  let stopping = ref false in
+  while !progress < t17_segments && not !stopping do
+    let seg = !progress in
+    let before = !kv_done in
+    install_segment seg;
+    System.run_until_idle system;
+    require
+      (!kv_done - before = t17_kv_clients)
+      (Printf.sprintf "segment %d: %d/%d kv clients converged" seg
+         (!kv_done - before) t17_kv_clients);
+    (match seg with
+    | 1 ->
+      require
+        (Sysbus.trust_of bus rogue_id = Sysbus.Quarantined)
+        "barrage did not quarantine the rogue";
+      require (Sysbus.revocations bus >= 1) "quarantine did not revoke";
+      require
+        (Memctl.allocations_of mc ~pasid:rogue_pasid = [])
+        "revocation cascade left the rogue's allocation";
+      require
+        (Iommu.pasids (Sysbus.iommu_of bus rogue_id) = [])
+        "revocation left mappings in the rogue's iommu"
+    | 2 ->
+      require
+        (Kv_app.failovers app = 1)
+        "kv app did not fail over to the alternate provider"
+    | 3 -> require (Sysbus.is_live bus ssd0_id) "ssd0 re-announce not honored"
+    | 4 ->
+      require (Sysbus.stale_tokens bus >= 2)
+        "pre-revocation token replays were not counted stale";
+      require
+        (Sysbus.trust_of bus rogue_id = Sysbus.Suspect)
+        "paroled rogue should be suspect, not quarantined or trusted"
+    | _ -> ());
+    progress := seg + 1;
+    incr segments_run;
+    let boundary = seg + 1 in
+    (match snapshot_path with
+    | Some path
+      when boundary mod checkpoint_every = 0 && boundary <= t17_kill_boundary
+      ->
+      let torn =
+        torn_final
+        && (match stop_after with Some s -> s = boundary | None -> false)
+      in
+      if torn then Checkpoint.save ~torn_keep_bytes:96 ~path ~tag target
+      else Checkpoint.save ~path ~tag target
+    | _ -> ());
+    match stop_after with
+    | Some s when s = boundary -> stopping := true
+    | _ -> ()
+  done;
+  {
+    t17_digest =
+      Sanitizer.combine 0x743137L (* "t17" *)
+        (Metrics.digest (Engine.metrics engine));
+    t17_events = Engine.events_executed engine;
+    t17_elapsed = Engine.now engine;
+    t17_segments_run = !segments_run;
+    t17_restored = !restored;
+    t17_quarantines = Sysbus.quarantines bus;
+    t17_revocations = Sysbus.revocations bus;
+    t17_stale = Sysbus.stale_tokens bus;
+    t17_fenced = Sysbus.messages_fenced bus;
+    t17_malformed = Sysbus.malformed_total bus;
+    t17_failovers = Kv_app.failovers app;
+    t17_rogue_trust = Sysbus.trust_to_string (Sysbus.trust_of bus rogue_id);
+    t17_system = system;
+  }
+
+let t17 ?(seed = 42L) () =
+  let path = Filename.temp_file "lastcpu-t17" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; Snapshot.previous_generation path ])
+    (fun () ->
+      let full = t17_soak ~seed () in
+      (* Kill leg: die mid-checkpoint at the last checkpointable boundary —
+         the barrage segment's own boundary — leaving a torn primary. *)
+      let killed =
+        t17_soak ~seed ~snapshot_path:path ~stop_after:t17_kill_boundary
+          ~torn_final:true ()
+      in
+      (* Resume leg: torn primary rejected, previous generation restored;
+         the entire barrage re-runs deterministically. *)
+      let resumed = t17_soak ~seed ~snapshot_path:path ~resume:true () in
+      let fellback =
+        match resumed.t17_restored with
+        | Some Snapshot.Previous -> true
+        | Some Snapshot.Primary | None -> false
+      in
+      let identical =
+        resumed.t17_digest = full.t17_digest
+        && resumed.t17_events = full.t17_events
+        && resumed.t17_elapsed = full.t17_elapsed
+      in
+      let run_row name (r : t17_result) final =
+        [
+          name;
+          string_of_int r.t17_segments_run;
+          string_of_int r.t17_quarantines;
+          string_of_int r.t17_stale;
+          string_of_int r.t17_failovers;
+          r.t17_rogue_trust;
+          (if final then Printf.sprintf "0x%016Lx" r.t17_digest else "-");
+        ]
+      in
+      {
+        id = "t17";
+        title = "rogue-device containment: quarantine, revocation, failover";
+        claim =
+          "a device that turns hostile mid-run is quarantined by \
+           misbehavior scoring, its capabilities revoked by one epoch \
+           bump, and the workload it served fails over and recovers — \
+           deterministically, surviving a torn-checkpoint kill-resume \
+           bit-identically";
+        columns =
+          [ "run"; "segments"; "quarantines"; "stale"; "failovers";
+            "rogue trust"; "digest" ];
+        rows =
+          [
+            run_row "uninterrupted" full true;
+            run_row
+              (Printf.sprintf "killed at boundary %d (torn)" t17_kill_boundary)
+              killed false;
+            run_row
+              (match resumed.t17_restored with
+              | Some Snapshot.Previous -> "resumed (previous generation)"
+              | Some Snapshot.Primary -> "resumed (primary)"
+              | None -> "resumed (no snapshot!)")
+              resumed true;
+            [
+              "verdict";
+              "";
+              "";
+              "";
+              "";
+              "";
+              (if identical && fellback then "bit-identical" else "DIVERGED");
+            ];
+          ];
+        notes =
+          [
+            Printf.sprintf
+              "%d segments, %d kv clients x %d ops each; barrage evidence: \
+               dma fault + forged mac + corr replay storm + spoofed source \
+               (weights %d/%d/%d/%d, threshold %d); %d frames fenced, %d \
+               malformed rejected"
+              t17_segments t17_kv_clients t17_kv_ops
+              Sysbus.default_quarantine.Sysbus.dma_fault_weight
+              Sysbus.default_quarantine.Sysbus.bad_token_weight
+              Sysbus.default_quarantine.Sysbus.replay_weight
+              Sysbus.default_quarantine.Sysbus.spoof_weight
+              Sysbus.default_quarantine.Sysbus.quarantine_score
+              full.t17_fenced full.t17_malformed;
+            "re-admission is reset-line -> re-announce only: a bare \
+             heartbeat from the revived provider is ignored, and the \
+             paroled rogue's pre-revocation token is NACKed stale";
+            "single-engine soak: --shards cannot perturb it, and the \
+             kill-resume legs above are the determinism evidence";
+          ];
+      })
+
 type sanitize_report = {
   san_exp : string;
   san_perturbation : string;  (** ["lifo"] or ["salted"] *)
@@ -2698,6 +3160,7 @@ let all () =
     t14 ();
     t15 ();
     t16 ();
+    t17 ();
   ]
 
 let by_id ?(shards = 1) = function
@@ -2720,4 +3183,5 @@ let by_id ?(shards = 1) = function
   | "t14" -> Some (fun () -> t14 ())
   | "t15" -> Some (fun () -> t15 ~shards ())
   | "t16" -> Some (fun () -> t16 ~lanes:shards ())
+  | "t17" -> Some (fun () -> t17 ())
   | _ -> None

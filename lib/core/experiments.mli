@@ -181,6 +181,55 @@ val t16 : ?lanes:int -> ?seed:int64 -> unit -> table
     function of the seed — CI diffs [--shards 1] vs [--shards 4] output
     verbatim. *)
 
+(** {2 T17: rogue-device containment soak} *)
+
+type t17_result = {
+  t17_digest : int64;
+      (** metrics digest under the t17 seed — pinned equal between the
+          uninterrupted run and the killed-and-resumed run *)
+  t17_events : int;
+  t17_elapsed : int64;
+  t17_segments_run : int;  (** segments executed by THIS process *)
+  t17_restored : Lastcpu_sim.Snapshot.generation option;
+  t17_quarantines : int;
+  t17_revocations : int;
+  t17_stale : int;  (** pre-revocation tokens NACKed on the epoch check *)
+  t17_fenced : int;  (** frames dropped at the quarantine fence *)
+  t17_malformed : int;
+  t17_failovers : int;  (** KV provider failovers (PR-2 path) *)
+  t17_rogue_trust : string;  (** rogue's trust state at drain *)
+  t17_system : System.t;
+}
+
+val t17_soak :
+  ?snapshot_path:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?stop_after:int ->
+  ?torn_final:bool ->
+  seed:int64 ->
+  unit ->
+  t17_result
+(** Six checkpointed segments on one engine: warm-up; the rogue NIC's
+    barrage (DMA overreach, forged MAC, a same-corr privileged replay
+    storm, a spoofed source, malformed raw frames) ending in quarantine
+    and revocation; a KV provider crash and failover; a no-silent-resurrection
+    revive (bare heartbeat ignored, explicit re-announce honored); parole
+    re-admission with a stale pre-revocation token replay; and recovery.
+    Checkpointing stops after boundary {!t17_kill_boundary} because
+    [Kv_app.save_state] refuses once the app has failed over. The soak
+    asserts each segment's containment postcondition and raises
+    [Invalid_argument] on any violation. *)
+
+val t17_kill_boundary : int
+(** Boundary where the kill leg of {!t17} dies mid-checkpoint (2) — the
+    resume leg must fall back a generation and re-run the barrage. *)
+
+val t17 : ?seed:int64 -> unit -> table
+(** Uninterrupted, killed-at-torn-checkpoint, and resumed runs of
+    {!t17_soak} in one table; the verdict row pins bit-identical digests,
+    events and virtual clocks. *)
+
 (** {2 Same-tick ordering sanitizer} *)
 
 type sanitize_report = {

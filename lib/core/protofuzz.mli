@@ -1,0 +1,35 @@
+(** Structure-aware deterministic protocol fuzzer.
+
+    A rogue smart NIC injects seed-salted mutants of real control-plane
+    frames straight onto the bus (raw bytes, bypassing the device
+    framework) while the campaign asserts the containment invariants: the
+    engine never crashes, the rogue's IOMMU never acquires a translation
+    into the victim tenant's physical frames, and the victim's sentinel
+    region stays mapped and intact. Same seed, same campaign, same
+    report — the summary line is golden-tested in CI. *)
+
+type report = {
+  seed : int64;
+  iterations : int;
+  structural : int;  (** field-level mutants (valid CRC, valid encoding) *)
+  decoder : int;  (** body-corrupted mutants re-framed with a valid CRC *)
+  raw : int;  (** framed-byte mutants (CRC usually broken) *)
+  engine_crashes : int;  (** exceptions that escaped the event loop *)
+  containment_violations : int;
+  violation_details : string list;  (** first few, newest last *)
+  malformed_rejected : int;  (** bus-counted undecodable frames *)
+  stale_rejected : int;  (** tokens killed by an epoch bump *)
+  token_failures : int;  (** MAC/wielder/range rejections *)
+  fenced : int;  (** frames dropped at the quarantine fence *)
+  quarantines : int;
+  releases : int;  (** re-admissions performed by the campaign *)
+  attacker_trust : string;  (** rogue's trust state at campaign end *)
+  digest : int64;  (** metrics digest — the reproducibility witness *)
+}
+
+val run : ?seed:int64 -> ?iters:int -> unit -> report
+(** Run a campaign (defaults: seed 42, 400 iterations). Deterministic:
+    equal arguments give byte-equal {!summary} lines. *)
+
+val summary : report -> string
+(** One-line report, suitable for a committed golden. *)

@@ -34,6 +34,7 @@ type spec = {
   tie : Engine.tie_break;
   sanitize : bool;
   shard : int;
+  quarantine : Sysbus.quarantine_config option;
 }
 
 let default_spec =
@@ -58,6 +59,7 @@ let default_spec =
     tie = Engine.Fifo;
     sanitize = false;
     shard = 0;
+    quarantine = None;
   }
 
 type t = {
@@ -91,6 +93,7 @@ let build ?(spec = default_spec) () =
           lanes = spec.bus_lanes;
           lane_capacity = spec.bus_lane_capacity;
           device_queue_capacity = spec.device_queue_capacity;
+          quarantine = spec.quarantine;
         }
       ~shard:spec.shard engine
   in

@@ -39,6 +39,9 @@ type spec = {
   shard : int;
       (** home shard id for this system's bus and network in a temporally
           decoupled multi-shard run (default [0]; irrelevant outside one) *)
+  quarantine : Lastcpu_bus.Sysbus.quarantine_config option;
+      (** bus misbehavior scoring + automatic quarantine; [None] (default)
+          disables the policy entirely (bit-identical to pre-containment) *)
 }
 
 val default_spec : spec

@@ -81,9 +81,26 @@ type t = {
   mutable m_breaker_opened : Metrics.counter option;
   mutable m_breaker_fast_fails : Metrics.counter option;
   mutable m_expired : Metrics.counter option;
+  (* Lazy for the same reason: only a run facing a rogue peer ever sees a
+     forged failure notification. *)
+  mutable m_forged_failures : Metrics.counter option;
 }
 
 let recent_size = 64
+
+let bump_forged_failures t =
+  let c =
+    match t.m_forged_failures with
+    | Some c -> c
+    | None ->
+      let c =
+        Metrics.counter (Engine.metrics t.engine) ~actor:t.actor
+          ~name:"forged_failures"
+      in
+      t.m_forged_failures <- Some c;
+      c
+  in
+  Metrics.incr c
 
 let remember_corr t corr =
   t.recent.(t.recent_idx) <- corr;
@@ -147,8 +164,20 @@ let dispatch t (msg : Message.t) =
       reannounce t;
       if Faults.active (Engine.faults t.engine) then announce_until_live t 8
     | Message.Device_failed { device } ->
-      List.iter (fun f -> f ~device) t.failed_watchers;
-      (match t.app_handler with Some f -> f msg | None -> ())
+      (* Failure notifications are management traffic: only the bus itself
+         (src < 0) originates them. A peer-sourced one is a forgery — a
+         rogue device trying to talk the fleet into failing over away from
+         a healthy provider — so it is counted and ignored, never acted on. *)
+      if msg.src < 0 then begin
+        List.iter (fun f -> f ~device) t.failed_watchers;
+        match t.app_handler with Some f -> f msg | None -> ()
+      end
+      else begin
+        bump_forged_failures t;
+        Engine.trace_event t.engine ~actor:t.dev_name ~kind:"device.forged-failure"
+          (Printf.sprintf "Device_failed{dev%d} claimed by dev%d, ignored"
+             device msg.src)
+      end
     | Message.Discover_request { kind; query } ->
       List.iter
         (fun s ->
@@ -404,6 +433,7 @@ let create ?shard sysbus ~mem ~name ?tlb_sets ?tlb_ways ?(no_tlb = false) () =
       m_breaker_opened = None;
       m_breaker_fast_fails = None;
       m_expired = None;
+      m_forged_failures = None;
     }
   in
   let id =
@@ -775,6 +805,9 @@ let messages_handled t = Metrics.counter_value t.m_handled
 let requests_sent t = Metrics.counter_value t.m_sent
 let late_discover_responses t = Metrics.counter_value t.m_discover_late
 let late_responses t = Metrics.counter_value t.m_request_late
+
+let forged_failures t =
+  match t.m_forged_failures with None -> 0 | Some c -> Metrics.counter_value c
 let request_retries t = Metrics.counter_value t.m_retries
 let requests_gave_up t = Metrics.counter_value t.m_gave_up
 let actor t = t.actor

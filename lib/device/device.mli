@@ -284,6 +284,11 @@ val late_responses : t -> int
 (** Responses that arrived after their request already completed (timed
     out or was answered by a duplicate); swallowed and counted. *)
 
+val forged_failures : t -> int
+(** [Device_failed] notifications that claimed a peer source. Only the bus
+    (src < 0) legitimately originates failure broadcasts; peer-sourced ones
+    are counted here and never acted on. *)
+
 val request_retries : t -> int
 (** Timed-out requests that were retransmitted. *)
 

@@ -71,6 +71,7 @@ let create sysbus ~mem ?(users = []) () =
             Token.mint ~key:t.signing_key ~issuer:(Device.id dev)
               ~subject:msg.Message.src ~pasid:0 ~resource:("session:" ^ user)
               ~base:0L ~length:0L ~perm:Types.perm_r ~nonce:(Rng.int64 t.rng)
+              ()
           in
           Device.reply dev ~to_:msg.Message.src ~corr:msg.Message.corr
             (Message.Auth_response { ok = true; session = Some session })

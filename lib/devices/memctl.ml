@@ -18,6 +18,7 @@ type allocation = {
 
 type t = {
   dev : Device.t;
+  mem : Lastcpu_mem.Physmem.t;
   buddy : Buddy.t;
   key : Token.key;
   rng : Rng.t;
@@ -113,9 +114,14 @@ let restore_state t body =
     Hashtbl.replace t.inflight (pasid, va) ()
   done
 
+(* Tokens carry the subject's current capability epoch (0 until a
+   revocation ever happens, so pre-containment nonce streams and MACs are
+   unchanged). The bus rejects any token minted under an older epoch. *)
 let mint t ~subject ~pasid ~pa ~bytes ~perm =
-  Token.mint ~key:t.key ~issuer:(Device.id t.dev) ~subject ~pasid
-    ~resource:"dram" ~base:pa ~length:bytes ~perm ~nonce:(Rng.int64 t.rng)
+  Token.mint
+    ~epoch:(Sysbus.current_epoch (Device.bus t.dev) subject)
+    ~key:t.key ~issuer:(Device.id t.dev) ~subject ~pasid ~resource:"dram"
+    ~base:pa ~length:bytes ~perm ~nonce:(Rng.int64 t.rng) ()
 
 let record t ~pasid alloc =
   Hashtbl.replace t.allocations (pasid, alloc.va) alloc;
@@ -192,6 +198,12 @@ let handle_alloc t ~src ~corr ~pasid ~va ~bytes ~perm =
             fail Types.E_bad_address)
   end
 
+(* Frames returning to the buddy pool are scrubbed first: the next owner
+   of those frames must never see the previous tenant's bytes. Costs no
+   virtual time and touches no metric, so digests are unaffected. *)
+let scrub t (alloc : allocation) =
+  Lastcpu_mem.Physmem.fill t.mem alloc.pa (Int64.to_int alloc.bytes) '\000'
+
 let handle_free t ~src ~corr ~pasid ~va =
   let respond payload = Device.reply t.dev ~to_:src ~corr payload in
   match Hashtbl.find_opt t.allocations (pasid, va) with
@@ -199,6 +211,19 @@ let handle_free t ~src ~corr ~pasid ~va =
     respond
       (Message.Alloc_response
          { ok = false; va; bytes = 0L; grant = None; error = Some Types.E_not_found })
+  | Some alloc when src <> alloc.subject ->
+    (* Only the device that holds the capability (the token subject) may
+       free the region — otherwise any peer able to guess a (pasid, va)
+       pair could tear down another tenant's memory. *)
+    respond
+      (Message.Alloc_response
+         {
+           ok = false;
+           va;
+           bytes = 0L;
+           grant = None;
+           error = Some Types.E_access_denied;
+         })
   | Some alloc ->
     (* Claim the allocation before the (asynchronous) unmap round trip: a
        duplicated Free_request — fault injection, or a retransmit racing
@@ -213,11 +238,42 @@ let handle_free t ~src ~corr ~pasid ~va =
       (Message.Unmap_directive
          { device = alloc.subject; pasid; va; bytes = alloc.bytes; auth = token })
       (fun _payload ->
+        scrub t alloc;
         Buddy.free t.buddy ~addr:alloc.pa ~pages:alloc.pages;
         refund t ~pasid alloc.pages;
         respond
           (Message.Alloc_response
              { ok = true; va; bytes = alloc.bytes; grant = None; error = None }))
+
+(* Revocation cascade (called from the bus's revoke hook): tear down every
+   allocation the revoked device holds as subject, across all address
+   spaces. Runs after the epoch bump, so the unmap directives minted here
+   carry the new epoch and verify; the device's now-stale grant tokens
+   cannot free, grant or remap anything. *)
+let revoke_subject t ~subject =
+  List.iter
+    (fun ((pasid, va), (alloc : allocation)) ->
+      if alloc.subject = subject then begin
+        forget t ~pasid ~va;
+        let token =
+          mint t ~subject:alloc.subject ~pasid ~pa:alloc.pa ~bytes:alloc.bytes
+            ~perm:Types.perm_rwx
+        in
+        Device.request t.dev ~dst:Types.Bus
+          (Message.Unmap_directive
+             {
+               device = alloc.subject;
+               pasid;
+               va = alloc.va;
+               bytes = alloc.bytes;
+               auth = token;
+             })
+          (fun _ -> ());
+        scrub t alloc;
+        Buddy.free t.buddy ~addr:alloc.pa ~pages:alloc.pages;
+        refund t ~pasid alloc.pages
+      end)
+    (Detmap.bindings t.allocations)
 
 let create sysbus ~mem ?(name = "memctl") ?(dram_base = default_dram_base)
     ?(dram_pages = default_dram_pages) ?quota_pages () =
@@ -226,6 +282,7 @@ let create sysbus ~mem ?(name = "memctl") ?(dram_base = default_dram_base)
   let t =
     {
       dev;
+      mem;
       buddy = Buddy.create ~base:dram_base ~pages:dram_pages;
       key = Rng.int64 (Engine.rng engine);
       rng = Engine.fork_rng engine;
@@ -257,6 +314,7 @@ let create sysbus ~mem ?(name = "memctl") ?(dram_base = default_dram_base)
         handle_free t ~src:msg.Message.src ~corr:msg.Message.corr ~pasid ~va
       | _ -> ());
   Sysbus.register_controller sysbus (Device.id dev) ~resource:"dram" ~key:t.key;
+  Sysbus.on_revoke sysbus (fun ~device -> revoke_subject t ~subject:device);
   Engine.register_snapshot engine ~name:(Device.actor dev)
     ~save:(fun () -> save_state t)
     ~restore:(restore_state t);
@@ -302,6 +360,7 @@ let release_pasid t ~pasid =
                  auth = token;
                })
             (fun _ -> ());
+          scrub t alloc;
           Buddy.free t.buddy ~addr:alloc.pa ~pages:alloc.pages;
           refund t ~pasid alloc.pages;
           Hashtbl.remove t.allocations (pasid, va))

@@ -19,6 +19,7 @@ type t = {
   tables : (int, Pagetable.t) Hashtbl.t;  (* pasid -> table *)
   tlb : Tlb.t option;
   mutable fault_handler : (fault -> unit) option;
+  mutable fault_observers : (fault -> unit) list;  (* registration order *)
   m_translations : Metrics.counter;
   m_walks : Metrics.counter;
   m_walk_levels : Metrics.counter;
@@ -33,6 +34,7 @@ let create ?tlb_sets ?tlb_ways ?(no_tlb = false) ?metrics ?(actor = "iommu") () 
       (if no_tlb then None
        else Some (Tlb.create ?sets:tlb_sets ?ways:tlb_ways ~metrics:m ~actor ()));
     fault_handler = None;
+    fault_observers = [];
     m_translations = Metrics.counter m ~actor ~name:"translations";
     m_walks = Metrics.counter m ~actor ~name:"walks";
     m_walk_levels = Metrics.counter m ~actor ~name:"walk_levels";
@@ -42,6 +44,8 @@ let create ?tlb_sets ?tlb_ways ?(no_tlb = false) ?metrics ?(actor = "iommu") () 
 let attach_fault_handler t f =
   assert (t.fault_handler = None);
   t.fault_handler <- Some f
+
+let add_fault_observer t f = t.fault_observers <- t.fault_observers @ [ f ]
 
 let table t ~pasid =
   match Hashtbl.find_opt t.tables pasid with
@@ -85,6 +89,7 @@ let access_perm = function
 let deliver_fault t fault =
   Metrics.incr t.m_faults;
   (match t.fault_handler with Some f -> f fault | None -> ());
+  List.iter (fun f -> f fault) t.fault_observers;
   Fault fault
 
 let translate t ~pasid ~va ~access =
@@ -129,6 +134,22 @@ let mapped_pages t ~pasid =
   match Hashtbl.find_opt t.tables pasid with
   | None -> 0
   | Some pt -> Pagetable.mapped_pages pt
+
+(* Side-effect-free translation probe: no TLB fill, no counters, no fault
+   delivery. The fuzzer and containment assertions use this to ask "can this
+   PASID reach physical address X?" without perturbing the digest. *)
+let probe t ~pasid ~va =
+  match Hashtbl.find_opt t.tables pasid with
+  | None -> None
+  | Some pt -> (
+    match Pagetable.walk pt ~va ~access:Types.perm_none with
+    | Pagetable.Translated { pa; _ } -> Some pa
+    | Pagetable.No_mapping _ | Pagetable.Permission_denied _ -> None)
+
+let iter_mappings t ~pasid f =
+  match Hashtbl.find_opt t.tables pasid with
+  | None -> ()
+  | Some pt -> Pagetable.iter pt (fun ~va ~pa ~perm:_ -> f ~va ~pa)
 
 let tlb_hits t = match t.tlb with None -> 0 | Some tlb -> Tlb.hits tlb
 let tlb_misses t = match t.tlb with None -> 0 | Some tlb -> Tlb.misses tlb

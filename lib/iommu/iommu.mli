@@ -39,6 +39,13 @@ val create :
 val attach_fault_handler : t -> (fault -> unit) -> unit
 (** The attached device's fault queue. At most one handler. *)
 
+val add_fault_observer : t -> (fault -> unit) -> unit
+(** Additional read-only fault taps, run after the handler in registration
+    order. The bus's quarantine scorer listens here: an out-of-grant DMA is
+    evidence of misbehavior, but the device's own fault queue stays the
+    single handler. Observers are closures and are re-attached on rebuild,
+    like the handler. *)
+
 val map :
   t -> pasid:int -> va:int64 -> pa:int64 -> bytes:int64 -> perm:Proto_perm.t ->
   (unit, string) result
@@ -58,6 +65,17 @@ val translate : t -> pasid:int -> va:int64 -> access:access -> translate_result
 
 val pasids : t -> int list
 val mapped_pages : t -> pasid:int -> int
+
+val probe : t -> pasid:int -> va:int64 -> int64 option
+(** Side-effect-free translation probe: no TLB fill, no counters, no fault
+    delivery. Containment assertions use it to ask whether a PASID can
+    reach a physical address without perturbing any digest. *)
+
+val iter_mappings : t -> pasid:int -> (va:int64 -> pa:int64 -> unit) -> unit
+(** Enumerate current translations of one address space in deterministic
+    (trie index = ascending VA) order. Side-effect-free, like {!probe};
+    the fuzzer walks these to prove a rogue device's IOMMU never acquired
+    a path into another tenant's frames. *)
 
 (** Counters for the cost model and T5: *)
 

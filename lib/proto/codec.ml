@@ -111,6 +111,7 @@ let w_token w (t : Token.t) =
   Writer.int64 w t.length;
   w_perm w t.perm;
   Writer.int64 w t.nonce;
+  Writer.varint w t.epoch;
   Writer.int64 w t.mac
 
 let r_token r : Token.t =
@@ -122,8 +123,9 @@ let r_token r : Token.t =
   let length = Reader.int64 r in
   let perm = r_perm r in
   let nonce = Reader.int64 r in
+  let epoch = Reader.varint r in
   let mac = Reader.int64 r in
-  { issuer; subject; pasid; resource; base; length; perm; nonce; mac }
+  { issuer; subject; pasid; resource; base; length; perm; nonce; epoch; mac }
 
 let w_kv w (k, v) =
   Writer.string w k;
@@ -372,11 +374,12 @@ let encoded_size m = String.length (encode m)
    codec above is the pinned conformance surface (its byte layout is
    asserted by tests); framing wraps it for channels that want end-to-end
    corruption detection, e.g. under fault injection. *)
-let encode_framed m =
-  let body = encode m in
+let frame body =
   let w = Writer.create () in
   Writer.int64 w (Int64.of_int (Wire.crc32 body));
   body ^ Writer.contents w
+
+let encode_framed m = frame (encode m)
 
 let decode_framed s =
   let n = String.length s in
@@ -387,3 +390,18 @@ let decode_framed s =
   if Int64.of_int (Wire.crc32 body) <> crc then
     raise (Malformed "CRC mismatch");
   decode body
+
+(* Typed decode surface for untrusted bytes. Anything a hostile or faulty
+   peer puts on a lane must land here, never in the exception-raising
+   decoders: a truncated varint, an out-of-range tag or a bad CRC become a
+   value the caller can count and NACK, not an exception that unwinds the
+   engine's event loop. *)
+let result_of_decoder f s =
+  match f s with
+  | m -> Ok m
+  | exception Malformed reason -> Error reason
+  | exception Invalid_argument reason -> Error ("invalid: " ^ reason)
+  | exception Failure reason -> Error ("failure: " ^ reason)
+
+let decode_result s = result_of_decoder decode s
+let decode_framed_result s = result_of_decoder decode_framed s

@@ -9,6 +9,7 @@ type t = {
   length : int64;
   perm : Types.perm;
   nonce : int64;
+  epoch : int;
   mac : int64;
 }
 
@@ -51,11 +52,14 @@ let compute_mac ~key t =
   in
   let h = mix_int64 h (Int64.of_int perm_bits) in
   let h = mix_int64 h t.nonce in
+  let h = mix_int64 h (Int64.of_int t.epoch) in
   finalize h
 
-let mint ~key ~issuer ~subject ~pasid ~resource ~base ~length ~perm ~nonce =
+let mint ?(epoch = 0) ~key ~issuer ~subject ~pasid ~resource ~base ~length
+    ~perm ~nonce () =
   let t =
-    { issuer; subject; pasid; resource; base; length; perm; nonce; mac = 0L }
+    { issuer; subject; pasid; resource; base; length; perm; nonce; epoch;
+      mac = 0L }
   in
   { t with mac = compute_mac ~key t }
 
@@ -63,6 +67,7 @@ let verify ~key t = Int64.equal (compute_mac ~key t) t.mac
 
 let pp ppf t =
   Format.fprintf ppf
-    "token{issuer=%d subject=%d pasid=%d res=%s base=%a len=%Ld perm=%s}"
+    "token{issuer=%d subject=%d pasid=%d res=%s base=%a len=%Ld perm=%s \
+     epoch=%d}"
     t.issuer t.subject t.pasid t.resource Types.pp_addr t.base t.length
-    (Types.perm_to_string t.perm)
+    (Types.perm_to_string t.perm) t.epoch

@@ -24,10 +24,17 @@ type t = {
   length : int64;  (** byte length of the granted range *)
   perm : Types.perm;
   nonce : int64;  (** anti-replay *)
+  epoch : int;
+      (** issuer capability epoch at mint time; covered by the MAC. The bus
+          tracks the current epoch per issuer — revocation is one epoch bump,
+          after which every outstanding token minted under the old epoch
+          fails verification ([E_bad_token]) without touching the tokens
+          themselves. *)
   mac : int64;
 }
 
 val mint :
+  ?epoch:int ->
   key:key ->
   issuer:Types.device_id ->
   subject:Types.device_id ->
@@ -37,8 +44,10 @@ val mint :
   length:int64 ->
   perm:Types.perm ->
   nonce:int64 ->
+  unit ->
   t
-(** Create a token whose MAC covers every other field under [key]. *)
+(** Create a token whose MAC covers every other field under [key].
+    [epoch] defaults to [0] — the epoch a bus with no revocations reports. *)
 
 val verify : key:key -> t -> bool
 (** [verify ~key t] recomputes the MAC; any altered field fails. *)

@@ -104,7 +104,7 @@ let controller_key = 0xFEEDL
 
 let mk_map_token ~issuer ~subject ~pasid ~pa ~bytes ~perm =
   Token.mint ~key:controller_key ~issuer ~subject ~pasid ~resource:"dram"
-    ~base:pa ~length:bytes ~perm ~nonce:1L
+    ~base:pa ~length:bytes ~perm ~nonce:1L ()
 
 let test_map_directive_programs_iommu () =
   let engine, bus, mc, dev = rig () in
@@ -348,7 +348,7 @@ let test_tokens_disabled_skips_checks () =
   (* Garbage token, never-registered issuer: accepted in the ablation. *)
   let token =
     Token.mint ~key:1L ~issuer:a.id ~subject:a.id ~pasid:1 ~resource:"dram"
-      ~base:0L ~length:0L ~perm:Types.perm_none ~nonce:0L
+      ~base:0L ~length:0L ~perm:Types.perm_none ~nonce:0L ()
   in
   Sysbus.send bus
     (Message.make ~src:a.id ~dst:Types.Bus ~corr:1
@@ -445,7 +445,7 @@ let bus_fuzz_prop =
           let token =
             Token.mint ~key:(Int64.of_int (String.length s)) ~issuer:src
               ~subject:src ~pasid:1 ~resource:s ~base:0L ~length:4096L
-              ~perm:Types.perm_rw ~nonce:0L
+              ~perm:Types.perm_rw ~nonce:0L ()
           in
           let payload =
             match kind with

@@ -74,7 +74,7 @@ let test_seed_sensitivity () =
 
 let sample_token =
   Token.mint ~key:0xFEEDL ~issuer:1 ~subject:2 ~pasid:3 ~resource:"dram"
-    ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L
+    ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L ()
 
 let sample_messages =
   [

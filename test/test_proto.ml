@@ -80,7 +80,7 @@ let test_service_kind_strings () =
 
 let mk_token ?(key = 0x1234L) () =
   Token.mint ~key ~issuer:1 ~subject:2 ~pasid:7 ~resource:"dram"
-    ~base:0x1000L ~length:4096L ~perm:Types.perm_rw ~nonce:99L
+    ~base:0x1000L ~length:4096L ~perm:Types.perm_rw ~nonce:99L ()
 
 let test_token_verify () =
   let t = mk_token () in

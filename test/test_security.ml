@@ -54,7 +54,7 @@ let test_forged_alloc_response_cannot_map () =
   let token =
     Token.mint ~key:evil_key ~issuer:(Device.id dev) ~subject:(Device.id dev)
       ~pasid:33 ~resource:"dram" ~base:0x1000_0000L ~length:4096L
-      ~perm:Types.perm_rw ~nonce:1L
+      ~perm:Types.perm_rw ~nonce:1L ()
   in
   Device.request dev ~dst:Types.Bus
     (Message.Map_directive
