@@ -445,6 +445,24 @@ module Core_bench = struct
 
   let json_path = "BENCH_core.json"
 
+  (* tooling: one full lastcpu-audit pass over every lib/ .cmt — the wall
+     time `dune build @audit` adds on top of @check itself. Reported as
+     (-1, 0) when no prior build left .cmt files to read (the row is then
+     absent from the printed table but still present in the JSON, so the
+     schema never shifts). *)
+  let audit_scan_lib () =
+    let dir = Filename.concat (Filename.concat "_build" "default") "lib" in
+    let cmts = Audit_core.cmt_files_under dir in
+    if cmts = [] then (-1.0, 0)
+    else begin
+      let config = Lint_core.parse_rules "D007,D008 scope=lib\n" in
+      let t0 = Sys.time () in
+      let inventories = List.filter_map Audit_core.inventory_of_cmt cmts in
+      let findings = Audit_core.findings ~config inventories in
+      ignore (List.length findings);
+      ((Sys.time () -. t0) *. 1e3, List.length inventories)
+    end
+
   let run () =
     let events = 2_000_000 and msgs = 100_000 in
     let sched_rate, sched_words = engine_hot_loop ~events in
@@ -465,6 +483,7 @@ module Core_bench = struct
       exit 1
     end;
     let t15_speedup = t15_rate4 /. t15_rate1 in
+    let audit_ms, audit_units = audit_scan_lib () in
     let host_cores = Domain.recommended_domain_count () in
     print_newline ();
     print_endline "CORE — engine macro-benchmarks (real time on this host)";
@@ -489,6 +508,9 @@ module Core_bench = struct
       "t15 soak (--shards 4)" t15_rate4 t15_digest4;
     Printf.printf "  %-28s %12.2fx          (%d host cores)\n"
       "t15 lane speedup 4 vs 1" t15_speedup host_cores;
+    if audit_units > 0 then
+      Printf.printf "  %-28s %12.1f ms/scan   (%d units)\n" "audit.scan-lib"
+        audit_ms audit_units;
     if host_cores < 2 then
       print_endline
         "  note: single-core host — lanes cannot run concurrently, so the \
@@ -513,11 +535,12 @@ module Core_bench = struct
          \"t15_shards1_events_per_sec\": %.0f, \
          \"t15_shards4_events_per_sec\": %.0f, \
          \"t15_speedup\": %.2f, \"t15_digest\": \"0x%016Lx\", \
-         \"t15_host_cores\": %d}"
+         \"t15_host_cores\": %d, \
+         \"audit.scan-lib_ms\": %.1f, \"audit.units\": %d}"
         sched_rate sched_words off_ns off_words on_ns on_words t1_events
         t1_rate verify_ns malformed_ns snap_save_us snap_restore_us snap_bytes
         t15_events t15_rate1
-        t15_rate4 t15_speedup t15_digest1 host_cores
+        t15_rate4 t15_speedup t15_digest1 host_cores audit_ms audit_units
     in
     let oc = open_out json_path in
     output_string oc json;

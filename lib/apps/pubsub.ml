@@ -1,6 +1,8 @@
 module Smart_nic = Lastcpu_devices.Smart_nic
 module Device = Lastcpu_device.Device
 module Detmap = Lastcpu_sim.Detmap
+module Engine = Lastcpu_sim.Engine
+module Snapshot = Lastcpu_sim.Snapshot
 
 type t = {
   nic : Smart_nic.t;
@@ -65,6 +67,46 @@ let publish t ~topic ~payload ~retain =
     !reached;
   List.length !reached
 
+(* Checkpoint hook. The subscription and retained tables are broker state
+   a rebuild cannot re-derive (they accumulate from client traffic), so a
+   restore without them would silently drop every subscriber. Tables are
+   written in sorted key order so the section bytes are a function of
+   content, never of Hashtbl internals. *)
+let save_state t =
+  let w = Snapshot.W.create () in
+  Snapshot.W.varint w t.publish_count;
+  Snapshot.W.varint w t.event_count;
+  Snapshot.W.varint w (Hashtbl.length t.subs);
+  Detmap.iter_sorted
+    (fun pattern l ->
+      Snapshot.W.string w pattern;
+      Snapshot.W.list w (fun w a -> Snapshot.W.varint w a) !l)
+    t.subs;
+  Snapshot.W.varint w (Hashtbl.length t.retained);
+  Detmap.iter_sorted
+    (fun topic payload ->
+      Snapshot.W.string w topic;
+      Snapshot.W.string w payload)
+    t.retained;
+  Snapshot.W.contents w
+
+let restore_state t s =
+  let r = Snapshot.R.of_string s in
+  t.publish_count <- Snapshot.R.varint r;
+  t.event_count <- Snapshot.R.varint r;
+  Hashtbl.reset t.subs;
+  for _ = 1 to Snapshot.R.varint r do
+    let pattern = Snapshot.R.string r in
+    let l = Snapshot.R.list r Snapshot.R.varint in
+    Hashtbl.replace t.subs pattern (ref l)
+  done;
+  Hashtbl.reset t.retained;
+  for _ = 1 to Snapshot.R.varint r do
+    let topic = Snapshot.R.string r in
+    let payload = Snapshot.R.string r in
+    Hashtbl.replace t.retained topic payload
+  done
+
 let launch ~nic ?(start_device = true) () =
   let t =
     {
@@ -75,6 +117,11 @@ let launch ~nic ?(start_device = true) () =
       event_count = 0;
     }
   in
+  let dev = Smart_nic.device nic in
+  Engine.register_snapshot (Device.engine dev)
+    ~name:("pubsub:" ^ Device.actor dev)
+    ~save:(fun () -> save_state t)
+    ~restore:(fun s -> restore_state t s);
   if start_device then Device.start (Smart_nic.device nic);
   Smart_nic.on_packet nic (fun ~src frame ->
       match Pubsub_proto.decode_request frame with

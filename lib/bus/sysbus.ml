@@ -11,6 +11,7 @@ module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
 module Sanitizer = Lastcpu_sim.Sanitizer
 module Snapshot = Lastcpu_sim.Snapshot
+module Ownership = Lastcpu_sim.Ownership
 
 (* Misbehavior scoring weights and thresholds for the quarantine machine.
    Each class of evidence adds its weight to a per-device score; crossing
@@ -109,6 +110,11 @@ type t = {
   epochs : (Types.device_id, int) Hashtbl.t;
   mutable revoke_hooks : (device:Types.device_id -> unit) list;
   actor : string;
+  (* Ownership tag for the dynamic shard sanitizer: every ingress entry
+     point (send / send_raw / notify) is a guarded access, so a closure
+     running on another shard's lane that pokes this bus directly —
+     bypassing the boundary mailbox — trips at the call site. *)
+  owner_cell : Ownership.tracker;
   (* Instrument handles into the engine's registry; [counters] rebuilds the
      legacy record from these, so existing call sites read unchanged. *)
   m_routed : Metrics.counter;
@@ -551,6 +557,7 @@ let create ?(config = default_config) ?(shard = 0) engine =
       epochs = Hashtbl.create 8;
       revoke_hooks = [];
       actor;
+      owner_cell = Ownership.tracker ~name:("bus:" ^ actor) ~owner:shard;
       m_routed = counter "routed";
       m_broadcasts = counter "broadcasts";
       m_maps = counter "maps_programmed";
@@ -1173,6 +1180,7 @@ let send_routed t (msg : Message.t) =
    same structural cut the boundary-proxy skip uses, applied for trust
    instead of shard affinity. *)
 let send t (msg : Message.t) =
+  Ownership.touch t.owner_cell;
   if quarantined_src t msg.src then begin
     bump_fenced t;
     trace t "bus.fenced"
@@ -1186,6 +1194,7 @@ let send t (msg : Message.t) =
    Decoding is the typed, never-raising kind; a frame that decodes but
    claims someone else's source address is dropped as spoofing evidence. *)
 let send_raw t ~src bytes =
+  Ownership.touch t.owner_cell;
   if quarantined_src t src then begin
     bump_fenced t;
     trace t "bus.fenced"
@@ -1215,6 +1224,7 @@ let send_raw t ~src bytes =
   end
 
 let notify t ~src ~dst ~queue =
+  Ownership.touch t.owner_cell;
   if quarantined_src t src then begin
     bump_fenced t;
     trace t "bus.fenced"

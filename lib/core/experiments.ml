@@ -28,6 +28,7 @@ module Codec = Lastcpu_proto.Codec
 module Token = Lastcpu_proto.Token
 module Dma = Lastcpu_virtio.Dma
 module Sanitizer = Lastcpu_sim.Sanitizer
+module Ownership = Lastcpu_sim.Ownership
 module Temporal = Lastcpu_sim.Temporal
 module Parallel = Lastcpu_sim.Parallel
 module Shardlink = Lastcpu_bus.Shardlink
@@ -3088,6 +3089,12 @@ let sanitize ?(seed = 42L) ~exp () =
        execute the shards — the temporal layer's boundary merge must not
        leak lane scheduling even through a perturbed heap. *)
     let run ~tie ~shards =
+      (* These runs double as the ownership sanitizer's soak (the dynamic
+         half of the D007 audit): every guarded cell touched during a
+         window is checked against the touching lane's shard context, so
+         a cross-shard access would abort the sanitize pass right here. *)
+      Ownership.enable ();
+      Fun.protect ~finally:Ownership.disable @@ fun () ->
       let r = t15_soak ~shards ~tie ~sanitize:true ~seed () in
       let journal =
         List.concat_map

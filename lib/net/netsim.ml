@@ -4,6 +4,7 @@ module Metrics = Lastcpu_sim.Metrics
 module Faults = Lastcpu_sim.Faults
 module Sanitizer = Lastcpu_sim.Sanitizer
 module Snapshot = Lastcpu_sim.Snapshot
+module Ownership = Lastcpu_sim.Ownership
 
 type endpoint = {
   net : t;
@@ -30,6 +31,8 @@ and t = {
   (* Lazy, like Sysbus's boundary counter: single-shard runs must keep a
      telemetry snapshot identical to pre-shard builds. *)
   mutable m_boundary_out : Metrics.counter option;
+  (* Ownership tag for the dynamic shard sanitizer (see Sysbus). *)
+  owner_cell : Ownership.tracker;
 }
 
 (* Checkpoint hook. Frame counters live in Metrics (restored there); what
@@ -100,6 +103,7 @@ let create ?(shard = 0) engine =
       m_dropped = Metrics.counter m ~actor ~name:"frames_dropped";
       m_bytes = Metrics.counter m ~actor ~name:"bytes_carried";
       m_boundary_out = None;
+      owner_cell = Ownership.tracker ~name:("net:" ^ actor) ~owner:shard;
     }
   in
   Engine.register_snapshot engine ~name:t.actor
@@ -209,6 +213,7 @@ let boundary_post t ~src ~dst frame =
 
 let send ep ~dst frame =
   let t = ep.net in
+  Ownership.touch t.owner_cell;
   let src = ep.addr in
   (* Serialise through the egress port (queueing under load), then fly the
      link. The fault plan can drop the frame on the wire or add delay

@@ -49,6 +49,12 @@ type t = {
   mutable static_pending : int;
   mutable hooks : (string * (unit -> string) * (string -> unit)) list;
   (* reversed registration order *)
+  (* Ownership tag, set by the shard coordinator when this engine becomes
+     a shard: every schedule is then a guarded access, so a closure that
+     runs on one lane and schedules onto another shard's engine trips the
+     ownership sanitizer at the call site (when enabled). [None] for
+     uncoupled engines — the common single-run case pays one branch. *)
+  mutable owner_cell : Ownership.tracker option;
 }
 
 let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
@@ -71,7 +77,18 @@ let create ?(seed = 42L) ?(costs = Costs.default) ?trace_capacity ?fault_plan
     probes = [];
     static_pending = 0;
     hooks = [];
+    owner_cell = None;
   }
+
+let bind_shard t ~shard =
+  match t.owner_cell with
+  | Some cell -> Ownership.rebind cell ~owner:shard
+  | None ->
+    t.owner_cell <-
+      Some (Ownership.tracker ~name:(Printf.sprintf "engine[%d]" shard)
+              ~owner:shard)
+
+let shard_owner t = Option.map Ownership.owner t.owner_cell
 
 let now t = t.clock
 let costs t = t.costs
@@ -114,6 +131,9 @@ let sanitizer_journal t =
 
 let schedule_at ?label t ~time f =
   assert (time >= t.clock);
+  (match t.owner_cell with
+  | Some cell -> Ownership.touch cell
+  | None -> ());
   match t.sani with
   | None -> Heap.push t.queue ~priority:time f
   | Some s ->

@@ -46,6 +46,17 @@ val create :
 val now : t -> int64
 (** Current virtual time in nanoseconds. *)
 
+val bind_shard : t -> shard:int -> unit
+(** Tag this engine as owned by the given shard for the dynamic
+    ownership sanitizer ({!Ownership}): every subsequent schedule is a
+    guarded access, so cross-shard scheduling during a parallel window
+    raises {!Ownership.Violation} when checking is enabled. Called by
+    the shard coordinator ({!Temporal.create}); idempotent (re-binding
+    re-homes the cell). *)
+
+val shard_owner : t -> int option
+(** The shard this engine is bound to, if {!bind_shard} has run. *)
+
 val costs : t -> Costs.t
 val trace : t -> Trace.t
 val rng : t -> Rng.t

@@ -11,6 +11,13 @@ type t = { rng : Rng.t }
 
 let create ~seed = { rng = Rng.create ~seed }
 let rng t = t.rng
+
+(* Campaign checkpoint: the mutator is one stream position, so a resumed
+   campaign continues the exact mutant sequence the uninterrupted one
+   would have produced. The harness that owns the campaign (Protofuzz)
+   embeds these in its own snapshot section. *)
+let save w t = Snapshot.W.i64 w (Rng.state t.rng)
+let restore r t = Rng.set_state t.rng (Snapshot.R.i64 r)
 let pick t n = Rng.int t.rng n
 let choice t arr = arr.(Rng.int t.rng (Array.length arr))
 let byte t = Rng.int t.rng 256

@@ -13,6 +13,12 @@ type t
 val create : seed:int64 -> t
 (** Equal seeds give equal mutant streams. *)
 
+val save : Snapshot.W.t -> t -> unit
+(** Append the campaign's stream position: a restored mutator continues
+    the exact mutant sequence of the uninterrupted campaign. *)
+
+val restore : Snapshot.R.t -> t -> unit
+
 val rng : t -> Rng.t
 (** The underlying generator, for campaign-level choices. *)
 

@@ -1,0 +1,68 @@
+(** Dynamic shard-ownership sanitizer (debug mode).
+
+    The static auditor ([lastcpu-audit], rule D007) proves that no
+    module-global mutable cell is reachable from shard closures; this
+    module is its dynamic counterpart, validating the same invariant the
+    way the tie-break sanitizer validates the determinism lint. Audited
+    cells are tagged with the shard that owns them; while a parallel
+    window is executing, any access to a cell from a lane that is running
+    a {e different} shard raises {!Violation} at the access site instead
+    of silently corrupting cross-shard state.
+
+    Disabled (the default) the whole layer is a single atomic load per
+    guarded access and touches no simulation-observable state: no metrics,
+    no trace, no RNG — enabling it cannot move a digest, only crash a run
+    that breaks the ownership contract.
+
+    The shard context is lane-local (domain-local storage): the shard
+    coordinator brackets each window task with {!enter_shard}/{!exit_shard},
+    so code running outside any window — bring-up, rendezvous flush,
+    single-engine runs — is never checked. *)
+
+exception Violation of string
+(** Raised at the access site of a cross-shard touch. The message names
+    the cell, its owning shard and the accessing shard. *)
+
+val enable : unit -> unit
+(** Turn checking on (also resets the check counter). Call from
+    sequential setup code, before any parallel window runs. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+type tracker
+(** One audited cell (or cell group): a name and an owning shard. *)
+
+val tracker : name:string -> owner:int -> tracker
+(** [tracker ~name ~owner] tags a cell as owned by shard [owner].
+    Creation is cheap and unconditional; call it at subsystem-create
+    time whether or not checking is enabled. *)
+
+val name : tracker -> string
+val owner : tracker -> int
+
+val rebind : tracker -> owner:int -> unit
+(** Re-home a cell (e.g. when a rebuilt topology is re-coupled with a
+    different shard layout). Sequential setup only. *)
+
+val touch : tracker -> unit
+(** Assert the current lane may access the cell. No-op unless checking
+    is enabled {e and} a shard context is live on this domain.
+    @raise Violation when the live shard differs from the cell's owner. *)
+
+val checks : unit -> int
+(** Cross-checked touches since {!enable} — the denominator proving the
+    sanitizer actually exercised the contract (a clean run with zero
+    checks validated nothing). *)
+
+(** {2 Shard context} — set by the coordinator, not by subsystems. *)
+
+val enter_shard : int -> unit
+(** Declare that this domain is now executing the given shard's window. *)
+
+val exit_shard : unit -> unit
+val current_shard : unit -> int option
+
+val with_shard : int -> (unit -> 'a) -> 'a
+(** [with_shard i f] brackets [f] with {!enter_shard}/{!exit_shard},
+    restoring the previous context even if [f] raises. *)

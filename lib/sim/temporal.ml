@@ -77,6 +77,10 @@ let create ?quantum ~lookahead engines =
      [~until] a time past its events only advances its clock. *)
   let base = Array.fold_left (fun m e -> max m (Engine.now e)) 0L engines in
   Array.iter (fun e -> Engine.run ~until:base e) engines;
+  (* Tag each engine with its shard id for the ownership sanitizer: from
+     here on, scheduling onto an engine from a lane running a different
+     shard is a contract violation the sanitizer can catch at the site. *)
+  Array.iteri (fun i e -> Engine.bind_shard e ~shard:i) engines;
   let shards =
     Array.map (fun e -> { sh_engine = e; out = []; oseq = 0 }) engines
   in
@@ -193,10 +197,20 @@ let run_window ?pool t =
   | None -> false
   | Some tm ->
     let target = next_target t tm in
+    (* Each window task runs under its shard's ownership context, so any
+       guarded cell touched from the wrong lane is caught while the race
+       is actually happening — the dynamic half of the D007 audit. With
+       the sanitizer disabled the context bracket is skipped entirely and
+       the task array is identical to the pre-sanitizer build. *)
     let tasks =
-      Array.map
-        (fun s () -> Engine.run ~until:target s.sh_engine)
-        t.shards
+      if Ownership.enabled () then
+        Array.mapi
+          (fun i s () ->
+            Ownership.with_shard i (fun () ->
+                Engine.run ~until:target s.sh_engine))
+          t.shards
+      else
+        Array.map (fun s () -> Engine.run ~until:target s.sh_engine) t.shards
     in
     (match pool with
     | Some p -> Parallel.Pool.run p tasks

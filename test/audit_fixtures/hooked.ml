@@ -1,0 +1,15 @@
+(* Snapshot-participating subsystem: same shape as unregistered.ml, but
+   create registers a hook (the local Engine stub stands in for
+   Lastcpu_sim.Engine — participation matches on the path suffix). *)
+module Engine = struct
+  let register_snapshot ~name:_ ~save:_ ~restore:_ = ()
+end
+
+type t = { mutable count : int }
+
+let create () =
+  let t = { count = 0 } in
+  Engine.register_snapshot ~name:"hooked"
+    ~save:(fun () -> string_of_int t.count)
+    ~restore:(fun s -> t.count <- int_of_string s);
+  t

@@ -1,0 +1,10 @@
+(* Per-shard clone: the same state shape racy_global.ml keeps at module
+   toplevel lives here in an instance record the topology builder
+   creates once per shard — nothing module-global, so D007 is quiet. *)
+type t = { cells : (int, int) Hashtbl.t; mutable hits : int }
+
+let create () = { cells = Hashtbl.create 16; hits = 0 }
+
+let touch t k =
+  t.hits <- t.hits + 1;
+  Hashtbl.replace t.cells k t.hits

@@ -1,0 +1,12 @@
+(* Deliberately racy: module-global mutable cells of every flavour the
+   audit must catch — typed containers, refs, and state hidden behind a
+   closure whose own visible type is an innocent arrow. *)
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let counter = ref 0
+
+let next_id =
+  let state = ref 0 in
+  fun () ->
+    incr state;
+    Hashtbl.replace table !state !state;
+    !counter + !state

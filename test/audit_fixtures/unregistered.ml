@@ -1,0 +1,12 @@
+(* A stateful subsystem that never touches the snapshot protocol: both
+   the directly mutable inner type and the wrapper reaching it through a
+   field (the whole-program fixpoint) must be flagged. *)
+module Inner = struct
+  type t = { mutable depth : int }
+end
+
+type t = { inner : Inner.t; log : Buffer.t }
+
+let create () = { inner = { Inner.depth = 0 }; log = Buffer.create 64 }
+
+let bump t = t.inner.Inner.depth <- t.inner.Inner.depth + 1

@@ -1,0 +1,92 @@
+(* lastcpu-audit driver: whole-program mutable-state audit over .cmt files.
+
+   Usage:
+     audit_main --rules lint.rules --suppressions lint.suppressions \
+               [--root DIR] _build/default/lib
+
+   Positional arguments are directories searched recursively for .cmt
+   files (dune's @check output). Every unit found contributes to the
+   whole-program stateful-type fixpoint; rule scoping (lint.rules) then
+   decides which units' findings are reported. Exit status mirrors
+   lint_main: 0 only when every D007/D008 finding is suppressed with a
+   justification and no audit-rule suppression is stale. *)
+
+let () =
+  let rules_file = ref "lint.rules" in
+  let supp_file = ref "lint.suppressions" in
+  let root = ref "." in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--rules", Arg.Set_string rules_file, "FILE rule configuration");
+      ("--suppressions", Arg.Set_string supp_file, "FILE suppression baseline");
+      ("--root", Arg.Set_string root, "DIR repo root paths are relative to");
+    ]
+  in
+  Arg.parse spec
+    (fun d -> dirs := d :: !dirs)
+    "lastcpu-audit: mutable-state audit (rules D007-D008)";
+  let dirs = List.rev !dirs in
+  if dirs = [] then begin
+    prerr_endline "lastcpu-audit: no .cmt directories to scan";
+    exit 2
+  end;
+  let config = Lint_core.parse_rules (Lint_core.read_file !rules_file) in
+  let suppressions =
+    Lint_core.parse_suppressions (Lint_core.read_file !supp_file)
+  in
+  let errors = ref 0 in
+  let inventories = ref [] in
+  List.iter
+    (fun dir ->
+      let cmts = Audit_core.cmt_files_under (Filename.concat !root dir) in
+      List.iter
+        (fun cmt ->
+          match Audit_core.inventory_of_cmt cmt with
+          | Some inv -> inventories := inv :: !inventories
+          | None -> ()  (* interface-only or generated wrapper unit *)
+          | exception exn ->
+            Printf.eprintf "%s: unreadable cmt: %s\n" cmt
+              (Printexc.to_string exn);
+            incr errors)
+        cmts)
+    dirs;
+  let inventories = List.rev !inventories in
+  if inventories = [] then begin
+    prerr_endline
+      "lastcpu-audit: no units found (run `dune build @check` first)";
+    exit 2
+  end;
+  let findings = Audit_core.findings ~config inventories in
+  let unsuppressed, stale =
+    Lint_core.apply_suppressions ~known_rules:Audit_core.audit_rules
+      suppressions findings
+  in
+  List.iter
+    (fun f ->
+      Format.eprintf "%a@." Lint_core.pp_finding f;
+      incr errors)
+    unsuppressed;
+  List.iter
+    (fun s ->
+      Printf.eprintf
+        "stale suppression: %s %s %s matched no finding (remove it)\n"
+        s.Lint_core.s_rule s.Lint_core.s_path s.Lint_core.s_binding;
+      incr errors)
+    stale;
+  if !errors = 0 then begin
+    let suppressed =
+      List.length
+        (List.filter
+           (fun s -> List.mem s.Lint_core.s_rule Audit_core.audit_rules)
+           suppressions)
+    in
+    Printf.printf
+      "lastcpu-audit: %d unit(s) clean (%d finding(s) suppressed)\n"
+      (List.length inventories) suppressed;
+    exit 0
+  end
+  else begin
+    Printf.eprintf "lastcpu-audit: %d error(s)\n" !errors;
+    exit 1
+  end

@@ -26,9 +26,16 @@
            themselves and the centralized baseline) are exempted in
            lint.rules.
 
+   Rules D007/D008 (shard-ownership escape and snapshot coverage) share
+   this config and suppression machinery but are computed by the
+   Typedtree pass in audit_core.ml, driven by audit_main over .cmt files.
+
    Findings are suppressible per (rule, file, enclosing top-level binding)
    via a checked-in suppressions file; a suppression that matches nothing
-   is itself an error, so the baseline never rots. *)
+   is itself an error, so the baseline never rots. Because the lint and
+   audit drivers read the same suppressions file, each passes the rule ids
+   it owns as [known_rules] to {!apply_suppressions}: staleness is only
+   judged for entries a driver is responsible for. *)
 
 type finding = {
   rule : string;
@@ -56,6 +63,9 @@ type suppression = {
 
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
+(* A line is <IDS> <field>..., where <IDS> is one rule id or a
+   comma-separated group (e.g. "D001,D004") that shares the line's
+   scope/exempt fields — one rule_config per id either way. *)
 let parse_rules_line lineno line =
   let line =
     match String.index_opt line '#' with
@@ -63,10 +73,13 @@ let parse_rules_line lineno line =
     | None -> line
   in
   let line = String.trim line in
-  if line = "" then None
+  if line = "" then []
   else
     match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-    | id :: fields ->
+    | ids :: fields ->
+      let ids = split_commas ids in
+      if ids = [] then
+        failwith (Printf.sprintf "lint.rules:%d: missing rule id" lineno);
       let scopes = ref [] and exempt = ref [] in
       List.iter
         (fun f ->
@@ -83,16 +96,14 @@ let parse_rules_line lineno line =
             failwith
               (Printf.sprintf "lint.rules:%d: malformed field %S" lineno f))
         fields;
-      Some { id; scopes = !scopes; exempt = !exempt }
-    | [] -> None
+      List.map (fun id -> { id; scopes = !scopes; exempt = !exempt }) ids
+    | [] -> []
 
 let parse_rules text =
   let rules = ref [] in
   List.iteri
     (fun i line ->
-      match parse_rules_line (i + 1) line with
-      | Some r -> rules := r :: !rules
-      | None -> ())
+      rules := List.rev_append (parse_rules_line (i + 1) line) !rules)
     (String.split_on_char '\n' text);
   List.rev !rules
 
@@ -330,7 +341,11 @@ let scan_file config ~root ~path =
 
 (* --- suppression application ----------------------------------------------- *)
 
-let apply_suppressions suppressions findings =
+(* [known_rules], when given, restricts the stale-entry check to
+   suppressions whose rule id the calling driver owns: the lint and audit
+   drivers share one suppressions file, and neither may declare the
+   other's entries stale. *)
+let apply_suppressions ?known_rules suppressions findings =
   let unsuppressed =
     List.filter
       (fun f ->
@@ -347,7 +362,12 @@ let apply_suppressions suppressions findings =
         | None -> true)
       findings
   in
-  let stale = List.filter (fun s -> not s.s_used) suppressions in
+  let owned s =
+    match known_rules with
+    | None -> true
+    | Some rules -> List.mem s.s_rule rules
+  in
+  let stale = List.filter (fun s -> (not s.s_used) && owned s) suppressions in
   (unsuppressed, stale)
 
 (* --- directory walk -------------------------------------------------------- *)

@@ -57,7 +57,12 @@ let () =
             incr errors)
         files)
     dirs;
-  let unsuppressed, stale = Lint_core.apply_suppressions suppressions !findings in
+  (* This driver owns the Parsetree rules only; D007/D008 entries in the
+     shared suppressions file belong to audit_main and are not stale here. *)
+  let known_rules = [ "D001"; "D002"; "D003"; "D004"; "D005"; "D006" ] in
+  let unsuppressed, stale =
+    Lint_core.apply_suppressions ~known_rules suppressions !findings
+  in
   List.iter
     (fun f ->
       Format.eprintf "%a@." Lint_core.pp_finding f;
@@ -77,7 +82,10 @@ let () =
            acc
            + List.length (Lint_core.ml_files_under (Filename.concat !root dir)))
          0 dirs)
-      (List.length suppressions);
+      (List.length
+         (List.filter
+            (fun s -> List.mem s.Lint_core.s_rule known_rules)
+            suppressions));
     exit 0
   end
   else begin
