@@ -443,6 +443,174 @@ module Core_bench = struct
       float_of_int r.Experiments.t15_events /. dt,
       r.Experiments.t15_digest )
 
+  (* Data plane: raw DRAM byte throughput. Every payload byte a device
+     moves (virtqueue descriptors, NAND pages, net frames) crosses
+     Physmem, so this row bounds everything below it. *)
+  let physmem_read_mb_s () =
+    let module Physmem = Lastcpu_mem.Physmem in
+    let mem = Physmem.create () in
+    let chunk = 65536 in
+    Physmem.write_bytes mem 0x10_0000L (String.make chunk 'x');
+    let iters = 4_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Physmem.read_bytes mem 0x10_0000L chunk)
+    done;
+    let dt = Float.max (Sys.time () -. t0) 1e-9 in
+    float_of_int iters *. float_of_int chunk /. dt /. 1e6
+
+  (* Zero-copy codec: encode a representative control message straight
+     into a Physmem view ([encode_into]) vs through the heap Writer
+     ([encode]). The delta is the string round-trip the Emit functor
+     removed from the data plane. *)
+  let codec_encode_into_ns () =
+    let module Physmem = Lastcpu_mem.Physmem in
+    let module Token = Lastcpu_proto.Token in
+    let mem = Physmem.create () in
+    let token =
+      Token.mint ~key:0xFEEDL ~issuer:1 ~subject:2 ~pasid:3 ~resource:"dram"
+        ~base:0x1000L ~length:65536L ~perm:Types.perm_rw ~nonce:9L ()
+    in
+    let msg =
+      Message.make ~src:1 ~dst:Types.Bus ~corr:42
+        (Message.Map_directive
+           {
+             device = 2;
+             pasid = 3;
+             va = 0x4000_0000L;
+             pa = 0x1000_0000L;
+             bytes = 65536L;
+             perm = Types.perm_rw;
+             auth = token;
+           })
+    in
+    let size = Codec.encoded_size msg in
+    let v = Physmem.view mem 0x20_0000L size in
+    let iters = 1_000_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (Codec.encode_into msg v ~pos:0)
+    done;
+    Float.max (Sys.time () -. t0) 1e-9 /. float_of_int iters *. 1e9
+
+  (* Batched virtqueue service: a driver posts [batch] two-segment chains,
+     the device drains them in one event. Chains per host-second over the
+     full ring protocol (descriptor walk, per-entry used publication). *)
+  let vq_drain_chains_s () =
+    let module Physmem = Lastcpu_mem.Physmem in
+    let module Vq = Lastcpu_virtio.Virtqueue in
+    let module Dma = Lastcpu_virtio.Dma in
+    let mem = Physmem.create () in
+    let iommu = Iommu.create () in
+    (match
+       Iommu.map iommu ~pasid:1 ~va:0x4000_0000L ~pa:0x10_0000L
+         ~bytes:(Int64.of_int (256 * 4096))
+         ~perm:Types.perm_rw
+     with
+    | Ok () -> ()
+    | Error e -> failwith ("vq bench: map failed: " ^ e));
+    let dma = Dma.create ~iommu ~pasid:1 ~mem in
+    let base = 0x4000_0000L in
+    let size = 256 in
+    let driver = Vq.Driver.create ~dma ~base ~size in
+    let device = Vq.Device.create ~dma ~base ~size in
+    (* Buffer slots live past the rings, inside the same mapping. *)
+    let slots_base = Int64.add base (Int64.of_int 0x8_0000) in
+    let batch = 64 in
+    let rounds = 2_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to rounds do
+      for i = 0 to batch - 1 do
+        let va = Int64.add slots_base (Int64.of_int (i * 4096)) in
+        match
+          Vq.Driver.add driver
+            [
+              { Vq.va; len = 512; writable = false };
+              { Vq.va = Int64.add va 2048L; len = 512; writable = true };
+            ]
+        with
+        | Ok _ -> ()
+        | Error e -> failwith ("vq bench: add failed: " ^ e)
+      done;
+      let drained = Vq.Device.drain device ~f:(fun _ -> 512) in
+      if drained <> batch then failwith "vq bench: drain count mismatch";
+      let rec recycle () =
+        match Vq.Driver.poll_used driver with
+        | Some _ -> recycle ()
+        | None -> ()
+      in
+      recycle ()
+    done;
+    let dt = Float.max (Sys.time () -. t0) 1e-9 in
+    float_of_int (batch * rounds) /. dt
+
+  (* Data plane, end to end: a closed-loop remote client pushes Put/Get
+     pairs through the NIC fast path into the SSD-backed store (WAL
+     append -> virtqueue -> NAND) and reads them back. Reported as value
+     payload bytes per host-second. The workload is run twice on fresh
+     systems and the metrics digests must match — the zero-copy fast
+     path is only allowed to change host time, never modeled behaviour. *)
+  let kv_value_bytes = 4096
+  let kv_pairs = 150
+
+  let kv_put_get_once () =
+    let module Scenario = Lastcpu_core.Scenario_kvs in
+    let module Netsim = Lastcpu_net.Netsim in
+    let module Kv_proto = Lastcpu_kv.Kv_proto in
+    let module Smart_nic = Lastcpu_devices.Smart_nic in
+    let module Metrics = Lastcpu_sim.Metrics in
+    match Scenario.run ~smoke_ops:0 () with
+    | Error e -> failwith ("kv bench: scenario failed: " ^ e)
+    | Ok outcome ->
+      let system = outcome.Scenario.system in
+      let app_addr = Smart_nic.endpoint_address (System.nic system 0) in
+      let ep = Netsim.endpoint (System.net system) ~name:"bench-client" in
+      let value = String.make kv_value_bytes 'z' in
+      let ops = kv_pairs * 2 in
+      let sent = ref 0 and completed = ref 0 in
+      let send_next () =
+        if !sent < ops then begin
+          let corr = !sent in
+          incr sent;
+          let key = Printf.sprintf "bench-%04d" (corr / 2) in
+          let op =
+            if corr land 1 = 0 then Kv_proto.Put (key, value)
+            else Kv_proto.Get key
+          in
+          Netsim.send ep ~dst:app_addr
+            (Kv_proto.encode_request { Kv_proto.corr; op })
+        end
+      in
+      Netsim.set_receiver ep (fun ~src:_ frame ->
+          match Kv_proto.decode_response frame with
+          | Error _ -> ()
+          | Ok _ ->
+            incr completed;
+            send_next ());
+      let t0 = Sys.time () in
+      send_next ();
+      System.run_until_quiescent system;
+      let dt = Float.max (Sys.time () -. t0) 1e-9 in
+      if !completed <> ops then
+        failwith
+          (Printf.sprintf "kv bench: %d/%d ops completed" !completed ops);
+      let digest =
+        Metrics.digest (Lastcpu_sim.Engine.metrics (System.engine system))
+      in
+      (float_of_int (ops * kv_value_bytes) /. dt, digest)
+
+  let kv_put_get () =
+    let rate1, digest1 = kv_put_get_once () in
+    let rate2, digest2 = kv_put_get_once () in
+    if digest1 <> digest2 then begin
+      Printf.eprintf
+        "FATAL: kv.put-get digest diverged across identical runs: \
+         0x%016Lx vs 0x%016Lx — the KV data plane is nondeterministic\n"
+        digest1 digest2;
+      exit 1
+    end;
+    (Float.max rate1 rate2, digest1)
+
   let json_path = "BENCH_core.json"
 
   (* tooling: one full lastcpu-audit pass over every lib/ .cmt — the wall
@@ -483,6 +651,10 @@ module Core_bench = struct
       exit 1
     end;
     let t15_speedup = t15_rate4 /. t15_rate1 in
+    let physmem_mb_s = physmem_read_mb_s () in
+    let encode_into_ns = codec_encode_into_ns () in
+    let vq_chains_s = vq_drain_chains_s () in
+    let kv_rate, kv_digest = kv_put_get () in
     let audit_ms, audit_units = audit_scan_lib () in
     let host_cores = Domain.recommended_domain_count () in
     print_newline ();
@@ -508,6 +680,11 @@ module Core_bench = struct
       "t15 soak (--shards 4)" t15_rate4 t15_digest4;
     Printf.printf "  %-28s %12.2fx          (%d host cores)\n"
       "t15 lane speedup 4 vs 1" t15_speedup host_cores;
+    Printf.printf "  %-28s %12.1f MB/s\n" "physmem.read-bytes" physmem_mb_s;
+    Printf.printf "  %-28s %12.1f ns/op\n" "codec.encode-into" encode_into_ns;
+    Printf.printf "  %-28s %12.2e chains/s\n" "vq.drain" vq_chains_s;
+    Printf.printf "  %-28s %12.2e bytes/s   (digest 0x%016Lx)\n" "kv.put-get"
+      kv_rate kv_digest;
     if audit_units > 0 then
       Printf.printf "  %-28s %12.1f ms/scan   (%d units)\n" "audit.scan-lib"
         audit_ms audit_units;
@@ -536,11 +713,17 @@ module Core_bench = struct
          \"t15_shards4_events_per_sec\": %.0f, \
          \"t15_speedup\": %.2f, \"t15_digest\": \"0x%016Lx\", \
          \"t15_host_cores\": %d, \
+         \"physmem.read-bytes_mb_per_sec\": %.1f, \
+         \"codec.encode-into_ns_per_op\": %.1f, \
+         \"vq.drain_chains_per_sec\": %.0f, \
+         \"kv.put-get_bytes_per_sec\": %.0f, \
+         \"kv.put-get_digest\": \"0x%016Lx\", \
          \"audit.scan-lib_ms\": %.1f, \"audit.units\": %d}"
         sched_rate sched_words off_ns off_words on_ns on_words t1_events
         t1_rate verify_ns malformed_ns snap_save_us snap_restore_us snap_bytes
         t15_events t15_rate1
-        t15_rate4 t15_speedup t15_digest1 host_cores audit_ms audit_units
+        t15_rate4 t15_speedup t15_digest1 host_cores physmem_mb_s
+        encode_into_ns vq_chains_s kv_rate kv_digest audit_ms audit_units
     in
     let oc = open_out json_path in
     output_string oc json;

@@ -35,15 +35,22 @@ let requests_completed t = t.completed
 
 (* Submission --------------------------------------------------------------- *)
 
+module Iommu = Lastcpu_iommu.Iommu
+
 let submit t req k slot =
-  let encoded = Ssd_proto.encode_request req in
-  if String.length encoded > slot_bytes then
-    k (Ssd_proto.Err "request too large for slot")
+  (* Size first, then encode straight into the granted slot view: the
+     request bytes are written to DRAM exactly once. Slots are carved
+     inside single pages, so [map_single] costs the same one translation
+     the copying path would; the fallback covers any exotic geometry. *)
+  let size = Ssd_proto.request_size req in
+  if size > slot_bytes then k (Ssd_proto.Err "request too large for slot")
   else begin
-    Dma.write_bytes t.dma slot.req_va encoded;
+    (match Dma.map_single t.dma ~va:slot.req_va ~len:size ~perm:Iommu.Write with
+    | Some v -> ignore (Ssd_proto.encode_request_into req v ~pos:0)
+    | None -> Dma.write_bytes t.dma slot.req_va (Ssd_proto.encode_request req));
     let chain =
       [
-        { Vq.va = slot.req_va; len = String.length encoded; writable = false };
+        { Vq.va = slot.req_va; len = size; writable = false };
         { Vq.va = slot.resp_va; len = slot_bytes; writable = true };
       ]
     in
@@ -99,9 +106,16 @@ let on_doorbell t () =
       | Some (slot, k) ->
         Hashtbl.remove t.by_head head;
         t.completed <- t.completed + 1;
-        let raw = Dma.read_bytes t.dma slot.resp_va (min written slot_bytes) in
+        let rlen = min written slot_bytes in
+        let decoded =
+          (* Parse the response straight out of the mapped slot; the
+             copying fallback reads the same translated range. *)
+          match Dma.map_single t.dma ~va:slot.resp_va ~len:rlen ~perm:Iommu.Read with
+          | Some v -> Ssd_proto.decode_response_view v
+          | None -> Ssd_proto.decode_response (Dma.read_bytes t.dma slot.resp_va rlen)
+        in
         let resp =
-          match Ssd_proto.decode_response raw with
+          match decoded with
           | Ok r -> r
           | Error m -> Ssd_proto.Err ("malformed response: " ^ m)
         in

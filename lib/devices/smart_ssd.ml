@@ -181,6 +181,8 @@ let exec_request t ~(qs : queue_state) (req : Ssd_proto.request) :
 
 (* Chain helpers ------------------------------------------------------------ *)
 
+module Iommu = Lastcpu_iommu.Iommu
+
 let read_chain_out dma (buffers : Vq.buffer list) =
   let buf = Buffer.create 256 in
   List.iter
@@ -189,6 +191,19 @@ let read_chain_out dma (buffers : Vq.buffer list) =
         Buffer.add_string buf (Dma.read_bytes dma b.Vq.va b.Vq.len))
     buffers;
   Buffer.contents buf
+
+(* Zero-copy request parse: the common chain shape is one device-readable
+   segment inside one page, where a direct grant costs exactly the
+   translation the copying path would have spent and the decoder runs
+   straight over DRAM. Anything else falls back to the gather-and-copy
+   path. *)
+let decode_chain_request dma (buffers : Vq.buffer list) =
+  match List.filter (fun (b : Vq.buffer) -> not b.Vq.writable) buffers with
+  | [ b ] -> (
+    match Dma.map_single dma ~va:b.Vq.va ~len:b.Vq.len ~perm:Iommu.Read with
+    | Some v -> Ssd_proto.decode_request_view v
+    | None -> Ssd_proto.decode_request (Dma.read_bytes dma b.Vq.va b.Vq.len))
+  | _ -> Ssd_proto.decode_request (read_chain_out dma buffers)
 
 let write_chain_in dma (buffers : Vq.buffer list) data =
   (* Scatter the response across device-writable segments; returns bytes
@@ -206,6 +221,19 @@ let write_chain_in dma (buffers : Vq.buffer list) data =
   in
   go 0 buffers
 
+(* Zero-copy response emit: when the sized response fits the (single)
+   writable segment and sits in one page, encode straight into the
+   granted view — same translated range as the copying path writing the
+   same bytes, no intermediate string. *)
+let write_chain_response dma (buffers : Vq.buffer list) resp =
+  match List.filter (fun (b : Vq.buffer) -> b.Vq.writable) buffers with
+  | [ b ] when Ssd_proto.response_size resp <= b.Vq.len -> (
+    let size = Ssd_proto.response_size resp in
+    match Dma.map_single dma ~va:b.Vq.va ~len:size ~perm:Iommu.Write with
+    | Some v -> Ok (Ssd_proto.encode_response_into resp v ~pos:0)
+    | None -> write_chain_in dma buffers (Ssd_proto.encode_response resp))
+  | _ -> write_chain_in dma buffers (Ssd_proto.encode_response resp)
+
 (* Doorbell service --------------------------------------------------------- *)
 
 let process_queue t ~queue =
@@ -213,37 +241,34 @@ let process_queue t ~queue =
   | None -> ()
   | Some qs ->
     let dma = Device.dma t.dev ~pasid:qs.q_pasid in
-    let rec drain total_cost completions =
-      match Vq.Device.pop qs.vq with
-      | None -> (total_cost, completions)
-      | Some { Vq.Device.head; buffers } ->
-        let snapshot = nand_snapshot t in
-        let response =
-          match Ssd_proto.decode_request (read_chain_out dma buffers) with
-          | Error m -> Ssd_proto.Err ("malformed request: " ^ m)
-          | Ok req ->
-            Metrics.incr t.m_served;
-            exec_request t ~qs req
-        in
-        let encoded = Ssd_proto.encode_response response in
-        let written =
-          match write_chain_in dma buffers encoded with
-          | Ok n -> n
-          | Error m ->
-            let err = Ssd_proto.encode_response (Ssd_proto.Err m) in
-            (match write_chain_in dma buffers err with Ok n -> n | Error _ -> 0)
-        in
-        let cost = nand_cost t snapshot in
-        drain (Int64.add total_cost cost) ((head, written) :: completions)
+    let total_cost = ref 0L in
+    let completions =
+      Vq.Device.drain_deferred qs.vq ~f:(fun { Vq.Device.buffers; _ } ->
+          let snapshot = nand_snapshot t in
+          let response =
+            match decode_chain_request dma buffers with
+            | Error m -> Ssd_proto.Err ("malformed request: " ^ m)
+            | Ok req ->
+              Metrics.incr t.m_served;
+              exec_request t ~qs req
+          in
+          let written =
+            match write_chain_response dma buffers response with
+            | Ok n -> n
+            | Error m -> (
+              match write_chain_response dma buffers (Ssd_proto.Err m) with
+              | Ok n -> n
+              | Error _ -> 0)
+          in
+          total_cost := Int64.add !total_cost (nand_cost t snapshot);
+          written)
     in
-    (match drain 0L [] with
-    | _, [] -> ()
-    | total_cost, completions ->
+    (match completions with
+    | [] -> ()
+    | completions ->
       (* Completions surface after the flash work is done. *)
-      Engine.schedule (Device.engine t.dev) ~delay:total_cost (fun () ->
-          List.iter
-            (fun (head, written) -> Vq.Device.push_used qs.vq ~head ~written)
-            (List.rev completions);
+      Engine.schedule (Device.engine t.dev) ~delay:!total_cost (fun () ->
+          Vq.Device.publish_used qs.vq completions;
           Device.doorbell t.dev ~dst:qs.client ~queue))
 
 (* Control plane ------------------------------------------------------------ *)

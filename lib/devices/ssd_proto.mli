@@ -38,4 +38,27 @@ val decode_request : string -> (request, string) result
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 
+(** Zero-copy variants over DRAM views (the same byte layout, emitted by
+    the same single-source codec): size a message without materialising
+    it, encode it straight into a mapped virtqueue slot, decode it
+    straight out of one. *)
+
+val request_size : request -> int
+(** [String.length (encode_request r)], computed against a byte counter. *)
+
+val encode_request_into : request -> Lastcpu_proto.Slice.t -> pos:int -> int
+(** Encode into a caller-provided slice at [pos]; returns bytes written
+    ([= request_size r]). @raise Lastcpu_proto.Wire.Malformed on overflow. *)
+
+val decode_request_view :
+  ?pos:int -> ?len:int -> Lastcpu_proto.Slice.t -> (request, string) result
+(** Decode from a window of a slice without copying the frame first
+    (string payloads are still materialised for the caller). *)
+
+val response_size : response -> int
+val encode_response_into : response -> Lastcpu_proto.Slice.t -> pos:int -> int
+
+val decode_response_view :
+  ?pos:int -> ?len:int -> Lastcpu_proto.Slice.t -> (response, string) result
+
 val request_path : request -> string

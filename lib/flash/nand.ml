@@ -9,7 +9,12 @@ type page_state = Erased | Programmed
 
 type block = {
   pages : Bytes.t option array;  (* None = erased *)
-  crcs : int array;  (* CRC-32 of each programmed page (the on-die ECC) *)
+  crcs : int array;  (* CRC-32 of each programmed page (the on-die ECC);
+                        -1 = not yet computed. The CRC is a pure function
+                        of the immutable page bytes, so it is computed
+                        lazily, on the first fault-injected read — most
+                        pages are programmed, read cleanly and erased
+                        without ever needing it. *)
   mutable erases : int;
 }
 
@@ -33,7 +38,7 @@ let create ?(geometry = default_geometry) ?faults ?(tag = "nand") () =
       Array.init geometry.blocks (fun _ ->
           {
             pages = Array.make geometry.pages_per_block None;
-            crcs = Array.make geometry.pages_per_block 0;
+            crcs = Array.make geometry.pages_per_block (-1);
             erases = 0;
           });
     faults;
@@ -54,6 +59,20 @@ let page_state t ~block ~page =
   | Error _ -> invalid_arg "Nand.page_state: out of range"
   | Ok () -> (
     match t.data.(block).pages.(page) with None -> Erased | Some _ -> Programmed)
+
+(* The stored checksum of a programmed page, computing and caching it on
+   first use. [b] must be the stored (unflipped) page bytes; they are
+   never mutated between program and erase, so the lazy value is
+   identical to what eager computation at program time would have
+   stored. *)
+let page_crc t ~block ~page b =
+  let c = t.data.(block).crcs.(page) in
+  if c >= 0 then c
+  else begin
+    let c = Wire.crc32 (Bytes.unsafe_to_string b) in
+    t.data.(block).crcs.(page) <- c;
+    c
+  end
 
 let read_page t ~block ~page =
   match check t ~block ~page with
@@ -83,7 +102,7 @@ let read_page t ~block ~page =
               (Char.chr
                  (Char.code (Bytes.get flipped i) lxor (1 lsl (bit mod 8))));
             let s = Bytes.to_string flipped in
-            if Wire.crc32 s <> t.data.(block).crcs.(page) then
+            if Wire.crc32 s <> page_crc t ~block ~page b then
               Error "uncorrectable bit error (ECC)"
             else Ok s)
       | Some _ | None -> Ok (Bytes.to_string b)))
@@ -98,10 +117,16 @@ let program_page t ~block ~page data =
       | Some _ -> Error "page not erased"
       | None ->
         t.program_count <- t.program_count + 1;
-        let b = Bytes.make t.geo.page_size '\xff' in
-        Bytes.blit_string data 0 b 0 (String.length data);
+        let b =
+          if String.length data = t.geo.page_size then Bytes.of_string data
+          else begin
+            let b = Bytes.make t.geo.page_size '\xff' in
+            Bytes.blit_string data 0 b 0 (String.length data);
+            b
+          end
+        in
         t.data.(block).pages.(page) <- Some b;
-        t.data.(block).crcs.(page) <- Wire.crc32 (Bytes.to_string b);
+        t.data.(block).crcs.(page) <- -1;
         Ok ()
     end
 
@@ -125,8 +150,8 @@ let reads t = t.read_count
 let programs t = t.program_count
 
 (* Checkpointing: programmed pages sparsely, per block, plus wear and op
-   counters. Page CRCs are recomputed from contents on restore — they are
-   a pure function of the page bytes. *)
+   counters. Page CRCs never travel — they are a pure function of the
+   page bytes and are recomputed lazily after restore. *)
 module Snapshot = Lastcpu_sim.Snapshot
 
 let save w t =
@@ -166,15 +191,14 @@ let restore r t =
     (fun blk ->
       blk.erases <- Snapshot.R.varint r;
       Array.fill blk.pages 0 pages_per_block None;
-      Array.fill blk.crcs 0 pages_per_block 0;
+      Array.fill blk.crcs 0 pages_per_block (-1);
       let n = Snapshot.R.varint r in
       for _ = 1 to n do
         let i = Snapshot.R.varint r in
         let contents = Snapshot.R.string r in
         if i < 0 || i >= pages_per_block || String.length contents <> page_size
         then raise (Snapshot.R.Corrupt "nand page out of shape");
-        blk.pages.(i) <- Some (Bytes.of_string contents);
-        blk.crcs.(i) <- Wire.crc32 contents
+        blk.pages.(i) <- Some (Bytes.of_string contents)
       done)
     t.data;
   t.read_count <- Snapshot.R.varint r;

@@ -20,6 +20,10 @@ type t = {
   tlb : Tlb.t option;
   mutable fault_handler : (fault -> unit) option;
   mutable fault_observers : (fault -> unit) list;  (* registration order *)
+  mutable invalidate_hooks : (pasid:int -> unit) list;  (* registration order *)
+  (* Details of the most recent fault [translate_pa] delivered; the
+     int-returning fast path cannot carry the record in its result. *)
+  mutable last_fault : fault option;
   m_translations : Metrics.counter;
   m_walks : Metrics.counter;
   m_walk_levels : Metrics.counter;
@@ -35,6 +39,8 @@ let create ?tlb_sets ?tlb_ways ?(no_tlb = false) ?metrics ?(actor = "iommu") () 
        else Some (Tlb.create ?sets:tlb_sets ?ways:tlb_ways ~metrics:m ~actor ()));
     fault_handler = None;
     fault_observers = [];
+    invalidate_hooks = [];
+    last_fault = None;
     m_translations = Metrics.counter m ~actor ~name:"translations";
     m_walks = Metrics.counter m ~actor ~name:"walks";
     m_walk_levels = Metrics.counter m ~actor ~name:"walk_levels";
@@ -46,6 +52,14 @@ let attach_fault_handler t f =
   t.fault_handler <- Some f
 
 let add_fault_observer t f = t.fault_observers <- t.fault_observers @ [ f ]
+
+(* Mapping-change notification, the DMI invalidation edge: anything that
+   cached a translation (Dma direct-map grants) must drop it when the
+   mapping it rode on changes. Hooks are host-side bookkeeping — they
+   touch no registry counter, so firing them is digest-neutral. *)
+let on_invalidate t f = t.invalidate_hooks <- t.invalidate_hooks @ [ f ]
+let fire_invalidate t ~pasid =
+  List.iter (fun f -> f ~pasid) t.invalidate_hooks
 
 let table t ~pasid =
   match Hashtbl.find_opt t.tables pasid with
@@ -73,18 +87,26 @@ let unmap t ~pasid ~va ~bytes =
         in
         Tlb.invalidate_page tlb ~pasid ~vpn
       done);
+    fire_invalidate t ~pasid;
     removed
 
 let clear_pasid t ~pasid =
   Hashtbl.remove t.tables pasid;
-  match t.tlb with
+  (match t.tlb with
   | None -> ()
-  | Some tlb -> Tlb.invalidate_pasid tlb ~pasid
+  | Some tlb -> Tlb.invalidate_pasid tlb ~pasid);
+  fire_invalidate t ~pasid
+
+(* Hoisted constants: [translate] runs per DMA byte, and building a fresh
+   permission record per call would allocate on every access. *)
+let need_read = Types.perm_r
+let need_write = { Types.read = false; write = true; exec = false }
+let need_exec = { Types.read = false; write = false; exec = true }
 
 let access_perm = function
-  | Read -> Types.perm_r
-  | Write -> { Types.read = false; write = true; exec = false }
-  | Exec -> { Types.read = false; write = false; exec = true }
+  | Read -> need_read
+  | Write -> need_write
+  | Exec -> need_exec
 
 let deliver_fault t fault =
   Metrics.incr t.m_faults;
@@ -92,41 +114,80 @@ let deliver_fault t fault =
   List.iter (fun f -> f fault) t.fault_observers;
   Fault fault
 
-let translate t ~pasid ~va ~access =
+(* The TLB miss / no-TLB path: full page-table walk, with walk-depth
+   accounting and a TLB refill on success. *)
+let translate_walk t ~pasid ~va ~access ~need ~vpn =
+  match Hashtbl.find_opt t.tables pasid with
+  | None -> deliver_fault t { pasid; va; access; reason = Not_mapped }
+  | Some pt -> (
+    Metrics.incr t.m_walks;
+    match Pagetable.walk pt ~va ~access:need with
+    | Pagetable.Translated { pa; levels; perm } ->
+      Metrics.incr ~by:levels t.m_walk_levels;
+      (match t.tlb with
+      | None -> ()
+      | Some tlb ->
+        Tlb.insert tlb ~pasid ~vpn { Tlb.ppn = Layout.page_of_addr pa; perm });
+      Ok_pa pa
+    | Pagetable.No_mapping { level } ->
+      Metrics.incr ~by:level t.m_walk_levels;
+      deliver_fault t { pasid; va; access; reason = Not_mapped }
+    | Pagetable.Permission_denied _ ->
+      Metrics.incr ~by:4 t.m_walk_levels;
+      deliver_fault t { pasid; va; access; reason = Protection })
+
+let page_off_mask = Int64.to_int Layout.page_mask
+
+(* Per-DMA-byte fast path: native-int virtual address in, native-int
+   physical address out, or [-1] on a fault (the record is then in
+   [last_fault]). Virtual addresses in this simulation are well below
+   2^62, so the round trip is exact; on a TLB hit nothing is allocated.
+   Counter effects (translations, tlb hits/misses, walks, walk levels,
+   faults) are digest material and exactly match the pre-probe
+   implementation — [translate] below is the same code path, so the two
+   entry points cannot drift. *)
+let translate_pa t ~pasid ~vai ~access =
   Metrics.incr t.m_translations;
-  let vpn = Layout.page_of_addr va in
   let need = access_perm access in
-  let from_tlb =
-    match t.tlb with
-    | None -> None
-    | Some tlb -> Tlb.lookup tlb ~pasid ~vpn
+  let slow ~vpn =
+    match
+      translate_walk t ~pasid ~va:(Int64.of_int vai) ~access ~need ~vpn
+    with
+    | Ok_pa pa -> Int64.to_int pa
+    | Fault f ->
+      t.last_fault <- Some f;
+      -1
   in
-  match from_tlb with
-  | Some { ppn; perm } when Proto_perm.subsumes perm need ->
-    let off = Int64.of_int (Layout.offset_in_page va) in
-    Ok_pa (Int64.add (Layout.addr_of_page ppn) off)
-  | Some { perm = _; _ } ->
-    (* Cached translation exists but lacks rights: protection fault. *)
-    deliver_fault t { pasid; va; access; reason = Protection }
-  | None -> (
-    match Hashtbl.find_opt t.tables pasid with
-    | None -> deliver_fault t { pasid; va; access; reason = Not_mapped }
-    | Some pt -> (
-      Metrics.incr t.m_walks;
-      match Pagetable.walk pt ~va ~access:need with
-      | Pagetable.Translated { pa; levels; perm } ->
-        Metrics.incr ~by:levels t.m_walk_levels;
-        (match t.tlb with
-        | None -> ()
-        | Some tlb ->
-          Tlb.insert tlb ~pasid ~vpn { Tlb.ppn = Layout.page_of_addr pa; perm });
-        Ok_pa pa
-      | Pagetable.No_mapping { level } ->
-        Metrics.incr ~by:level t.m_walk_levels;
-        deliver_fault t { pasid; va; access; reason = Not_mapped }
-      | Pagetable.Permission_denied _ ->
-        Metrics.incr ~by:4 t.m_walk_levels;
-        deliver_fault t { pasid; va; access; reason = Protection }))
+  match t.tlb with
+  | Some tlb ->
+    let vpn_i = vai lsr Layout.page_bits in
+    let ppn = Tlb.probe tlb ~pasid ~vpn:vpn_i in
+    if ppn >= 0 then begin
+      if Proto_perm.subsumes (Tlb.probe_perm tlb) need then
+        (ppn lsl Layout.page_bits) lor (vai land page_off_mask)
+      else begin
+        (* Cached translation exists but lacks rights: protection fault. *)
+        match
+          deliver_fault t
+            { pasid; va = Int64.of_int vai; access; reason = Protection }
+        with
+        | Fault f ->
+          t.last_fault <- Some f;
+          -1
+        | Ok_pa _ -> assert false
+      end
+    end
+    else slow ~vpn:(Int64.of_int vpn_i)
+  | None -> slow ~vpn:(Int64.of_int (vai lsr Layout.page_bits))
+
+let last_fault t =
+  match t.last_fault with
+  | Some f -> f
+  | None -> invalid_arg "Iommu.last_fault: no fault delivered yet"
+
+let translate t ~pasid ~va ~access =
+  let pa = translate_pa t ~pasid ~vai:(Int64.to_int va) ~access in
+  if pa >= 0 then Ok_pa (Int64.of_int pa) else Fault (last_fault t)
 
 let pasids t = Lastcpu_sim.Detmap.sorted_keys t.tables
 

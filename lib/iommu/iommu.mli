@@ -46,6 +46,15 @@ val add_fault_observer : t -> (fault -> unit) -> unit
     single handler. Observers are closures and are re-attached on rebuild,
     like the handler. *)
 
+val on_invalidate : t -> (pasid:int -> unit) -> unit
+(** Mapping-change notification: runs (in registration order) whenever a
+    PASID's translations shrink — {!unmap} and {!clear_pasid}, which the
+    bus's capability revocation and quarantine paths both funnel through.
+    Holders of cached translations (the DMA layer's direct-map grants)
+    listen here and drop them. Hooks are host-side bookkeeping: they touch
+    no registry counter, so firing them never moves a digest. Closures,
+    re-attached on rebuild like fault handlers. *)
+
 val map :
   t -> pasid:int -> va:int64 -> pa:int64 -> bytes:int64 -> perm:Proto_perm.t ->
   (unit, string) result
@@ -62,6 +71,17 @@ val clear_pasid : t -> pasid:int -> unit
 val translate : t -> pasid:int -> va:int64 -> access:access -> translate_result
 (** Translate one access; on fault, the fault handler (if any) runs before
     this returns. *)
+
+val translate_pa : t -> pasid:int -> vai:int -> access:access -> int
+(** Allocation-free [translate] for per-byte DMA: native-int virtual
+    address in, physical address out, or [-1] on a fault (read
+    {!last_fault} for the record; handlers have already run). Identical
+    counter and fault-delivery effects to [translate] — it is the same
+    code path. *)
+
+val last_fault : t -> fault
+(** The fault behind the most recent [-1] from [translate_pa].
+    @raise Invalid_argument if no fault was ever delivered. *)
 
 val pasids : t -> int list
 val mapped_pages : t -> pasid:int -> int

@@ -1,10 +1,15 @@
 type entry = { ppn : int64; perm : Proto_perm.t }
 
+(* Slots hold page numbers as native ints: every DMA byte access funnels
+   through [probe], and boxed Int64 keys would put ~10 minor-heap
+   allocations on that path. Page numbers are < 2^51 in this simulation,
+   so the conversion at the (cold) int64 API boundary is exact. *)
 type slot = {
   mutable valid : bool;
   mutable pasid : int;
-  mutable vpn : int64;
-  mutable data : entry;
+  mutable vpn : int;
+  mutable ppn : int;
+  mutable perm : Proto_perm.t;
   mutable lru : int;  (* higher = more recently used *)
 }
 
@@ -15,19 +20,20 @@ type t = {
   ways : int;
   slots : slot array array;  (* sets x ways *)
   mutable clock : int;
+  mutable last_perm : Proto_perm.t;  (* perms of the latest [probe] hit *)
   m_hits : Metrics.counter;
   m_misses : Metrics.counter;
   m_evictions : Metrics.counter;
 }
 
-let dummy_entry = { ppn = 0L; perm = Lastcpu_proto.Types.perm_none }
+let perm_none = Lastcpu_proto.Types.perm_none
 
 let create ?(sets = 64) ?(ways = 4) ?metrics ?(actor = "tlb") () =
   if sets <= 0 || sets land (sets - 1) <> 0 then
     invalid_arg "Tlb.create: sets must be a power of two";
   if ways <= 0 then invalid_arg "Tlb.create: ways must be positive";
   let mk_slot () =
-    { valid = false; pasid = -1; vpn = -1L; data = dummy_entry; lru = 0 }
+    { valid = false; pasid = -1; vpn = -1; ppn = 0; perm = perm_none; lru = 0 }
   in
   (* Without a shared registry (standalone unit tests), counters live in a
      private one so the hot path never branches on an option. *)
@@ -37,6 +43,7 @@ let create ?(sets = 64) ?(ways = 4) ?metrics ?(actor = "tlb") () =
     ways;
     slots = Array.init sets (fun _ -> Array.init ways (fun _ -> mk_slot ()));
     clock = 0;
+    last_perm = perm_none;
     m_hits = Metrics.counter m ~actor ~name:"tlb_hits";
     m_misses = Metrics.counter m ~actor ~name:"tlb_misses";
     m_evictions = Metrics.counter m ~actor ~name:"tlb_evictions";
@@ -45,53 +52,72 @@ let create ?(sets = 64) ?(ways = 4) ?metrics ?(actor = "tlb") () =
 let set_index t ~pasid ~vpn =
   (* Mix pasid into the index so different address spaces do not collide
      on identical low page numbers. *)
-  let h = Int64.to_int (Int64.logxor vpn (Int64.of_int (pasid * 0x9E3779B1))) in
-  h land (t.sets - 1)
+  (vpn lxor (pasid * 0x9E3779B1)) land (t.sets - 1)
 
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-let lookup t ~pasid ~vpn =
-  let set = t.slots.(set_index t ~pasid ~vpn) in
-  let found = ref None in
-  Array.iter
-    (fun s ->
-      if s.valid && s.pasid = pasid && Int64.equal s.vpn vpn then begin
+(* The translate fast path: no closure, no option, no boxing. Returns the
+   physical page number on a (pasid, vpn) match — permission checking is
+   the caller's job, via [probe_perm] — or -1 on a miss. Counter and LRU
+   effects are exactly those of [lookup]: a tag match counts as a hit
+   even if the permissions later prove insufficient. *)
+let probe t ~pasid ~vpn =
+  let set = Array.unsafe_get t.slots (set_index t ~pasid ~vpn) in
+  let n = Array.length set in
+  let rec go i =
+    if i >= n then begin
+      Metrics.incr t.m_misses;
+      -1
+    end
+    else begin
+      let s = Array.unsafe_get set i in
+      if s.valid && s.pasid = pasid && s.vpn = vpn then begin
         s.lru <- tick t;
-        found := Some s.data
-      end)
-    set;
-  (match !found with
-  | Some _ -> Metrics.incr t.m_hits
-  | None -> Metrics.incr t.m_misses);
-  !found
+        t.last_perm <- s.perm;
+        Metrics.incr t.m_hits;
+        s.ppn
+      end
+      else go (i + 1)
+    end
+  in
+  go 0
 
-let insert t ~pasid ~vpn data =
+let probe_perm t = t.last_perm
+
+let lookup t ~pasid ~vpn =
+  let ppn = probe t ~pasid ~vpn:(Int64.to_int vpn) in
+  if ppn < 0 then None
+  else Some { ppn = Int64.of_int ppn; perm = t.last_perm }
+
+let insert t ~pasid ~vpn (e : entry) =
+  let vpn = Int64.to_int vpn in
+  let ppn = Int64.to_int e.ppn in
   let set = t.slots.(set_index t ~pasid ~vpn) in
   (* Reuse an existing slot for the same page, else the LRU victim. *)
   let victim = ref set.(0) in
   Array.iter
     (fun s ->
-      if s.valid && s.pasid = pasid && Int64.equal s.vpn vpn then victim := s
+      if s.valid && s.pasid = pasid && s.vpn = vpn then victim := s
       else if not s.valid && !victim.valid then victim := s
       else if s.lru < !victim.lru && !victim.valid && s.valid then victim := s)
     set;
   let s = !victim in
-  if s.valid && not (s.pasid = pasid && Int64.equal s.vpn vpn) then
+  if s.valid && not (s.pasid = pasid && s.vpn = vpn) then
     Metrics.incr t.m_evictions;
   s.valid <- true;
   s.pasid <- pasid;
   s.vpn <- vpn;
-  s.data <- data;
+  s.ppn <- ppn;
+  s.perm <- e.perm;
   s.lru <- tick t
 
 let invalidate_page t ~pasid ~vpn =
+  let vpn = Int64.to_int vpn in
   let set = t.slots.(set_index t ~pasid ~vpn) in
   Array.iter
-    (fun s ->
-      if s.valid && s.pasid = pasid && Int64.equal s.vpn vpn then
-        s.valid <- false)
+    (fun s -> if s.valid && s.pasid = pasid && s.vpn = vpn then s.valid <- false)
     set
 
 let invalidate_pasid t ~pasid =
@@ -117,7 +143,8 @@ let capacity t = t.sets * t.ways
 (* Checkpointing: replacement state (valid bits, LRU stamps, the clock) is
    observable through future hit/miss counts, so the whole slot array is
    captured verbatim. Counters live in the shared registry and restore
-   there. *)
+   there. Page numbers still travel as i64 — the on-disk format predates
+   the int-keyed slots and must keep restoring old checkpoints. *)
 module Snapshot = Lastcpu_sim.Snapshot
 
 let save w t =
@@ -130,9 +157,9 @@ let save w t =
         (fun s ->
           Snapshot.W.bool w s.valid;
           Snapshot.W.vint w s.pasid;
-          Snapshot.W.i64 w s.vpn;
-          Snapshot.W.i64 w s.data.ppn;
-          Snapshot.W.u8 w (Proto_perm.to_bits s.data.perm);
+          Snapshot.W.i64 w (Int64.of_int s.vpn);
+          Snapshot.W.i64 w (Int64.of_int s.ppn);
+          Snapshot.W.u8 w (Proto_perm.to_bits s.perm);
           Snapshot.W.varint w s.lru)
         set)
     t.slots
@@ -149,10 +176,9 @@ let restore r t =
         (fun s ->
           s.valid <- Snapshot.R.bool r;
           s.pasid <- Snapshot.R.vint r;
-          s.vpn <- Snapshot.R.i64 r;
-          let ppn = Snapshot.R.i64 r in
-          let perm = Proto_perm.of_bits (Snapshot.R.u8 r) in
-          s.data <- { ppn; perm };
+          s.vpn <- Int64.to_int (Snapshot.R.i64 r);
+          s.ppn <- Int64.to_int (Snapshot.R.i64 r);
+          s.perm <- Proto_perm.of_bits (Snapshot.R.u8 r);
           s.lru <- Snapshot.R.varint r)
         set)
     t.slots

@@ -23,6 +23,17 @@ val create :
 val lookup : t -> pasid:int -> vpn:int64 -> entry option
 (** Updates LRU state on hit. *)
 
+val probe : t -> pasid:int -> vpn:int -> int
+(** Allocation-free [lookup] for the translate fast path: the physical
+    page number on a (pasid, vpn) tag match, or [-1] on a miss. Counter
+    and LRU effects are identical to [lookup] — a tag match counts as a
+    hit even when the cached permissions turn out to be insufficient
+    (read [probe_perm] to decide). *)
+
+val probe_perm : t -> Proto_perm.t
+(** Permissions of the most recent [probe] hit. Only meaningful directly
+    after a non-negative [probe] return. *)
+
 val insert : t -> pasid:int -> vpn:int64 -> entry -> unit
 val invalidate_page : t -> pasid:int -> vpn:int64 -> unit
 val invalidate_pasid : t -> pasid:int -> unit

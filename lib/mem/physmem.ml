@@ -1,13 +1,54 @@
+(* DRAM on chunk-granular Bigarray backing.
+
+   Frames (4 KiB, the IOMMU translation unit) remain the sparse-
+   materialisation and snapshot unit: a frame counts as touched only once
+   written (or handed out as a view), and [save] emits exactly the touched
+   set, so the snapshot byte format is unchanged from the Hashtbl-of-Bytes
+   implementation. Chunks (16 frames) are merely the allocation unit of
+   the backing store, sized so any naturally aligned page range fits in
+   one chunk and [view] can return a real sub-array over it. *)
+
+module Slice = Lastcpu_proto.Slice
+
+type view = Slice.t
+
 type t = {
   size : int64;
-  frames : (int64, Bytes.t) Hashtbl.t;  (* frame number -> contents *)
+  size_i : int;  (* [size] as a native int, for the byte-access fast path *)
+  chunks : (int64, view) Hashtbl.t;  (* chunk number -> backing store *)
+  touched : (int64, unit) Hashtbl.t; (* frame numbers materialised so far *)
+  (* One-entry caches for the per-byte DMA path. [read_u8]/[write_u8] run
+     for every descriptor and ring byte a device touches; an int64-keyed
+     [Hashtbl.find_opt] per byte (polymorphic hash of a boxed key) would
+     dominate the whole access. Pure host-side memoisation: the cached
+     chunk is the same Bigarray the table holds, and the touched-page
+     cache only skips idempotent set re-insertions. *)
+  mutable last_cnum : int;           (* -1 = invalid *)
+  mutable last_chunk : view;
+  mutable last_touched : int;        (* frame number, -1 = invalid *)
 }
 
 let default_size = Int64.shift_left 1L 30 (* 1 GiB *)
 
+let chunk_bits = 16 (* 64 KiB *)
+let chunk_bytes = 1 lsl chunk_bits
+let chunk_mask = Int64.of_int (chunk_bytes - 1)
+let chunk_of_addr a = Int64.shift_right_logical a chunk_bits
+let offset_in_chunk a = Int64.to_int (Int64.logand a chunk_mask)
+
 let create ?(size = default_size) () =
   if size <= 0L then invalid_arg "Physmem.create: size must be positive";
-  { size; frames = Hashtbl.create 1024 }
+  {
+    size;
+    size_i = Int64.to_int size;
+    chunks = Hashtbl.create 64;
+    touched = Hashtbl.create 1024;
+    last_cnum = -1;
+    (* Placeholder until the first cache fill: per-instance, so the cell
+       is owned by this DRAM like every other mutable field. *)
+    last_chunk = Bigarray.Array1.create Bigarray.char Bigarray.c_layout 1;
+    last_touched = -1;
+  }
 
 let size t = t.size
 
@@ -18,25 +59,70 @@ let check t addr len =
 
 let frame_size = Int64.to_int Layout.page_size
 
-let frame t page =
-  match Hashtbl.find_opt t.frames page with
-  | Some b -> b
+let chunk t idx =
+  match Hashtbl.find_opt t.chunks idx with
+  | Some c -> c
   | None ->
-    let b = Bytes.make frame_size '\000' in
-    Hashtbl.replace t.frames page b;
-    b
+    let c = Bigarray.Array1.create Bigarray.char Bigarray.c_layout chunk_bytes in
+    Bigarray.Array1.fill c '\000';
+    Hashtbl.replace t.chunks idx c;
+    c
 
-let read_u8 t addr =
-  check t addr 1;
-  let page = Layout.page_of_addr addr in
-  match Hashtbl.find_opt t.frames page with
-  | None -> 0
-  | Some b -> Char.code (Bytes.get b (Layout.offset_in_page addr))
+(* Cached [chunk], keyed by native-int chunk number; materialises the
+   chunk if absent (write path). *)
+let chunk_c t cnum =
+  if cnum = t.last_cnum then t.last_chunk
+  else begin
+    let c = chunk t (Int64.of_int cnum) in
+    t.last_cnum <- cnum;
+    t.last_chunk <- c;
+    c
+  end
 
-let write_u8 t addr v =
-  check t addr 1;
-  let b = frame t (Layout.page_of_addr addr) in
-  Bytes.set b (Layout.offset_in_page addr) (Char.chr (v land 0xff))
+let mark_touched t frame =
+  if frame <> t.last_touched then begin
+    Hashtbl.replace t.touched (Int64.of_int frame) ();
+    t.last_touched <- frame
+  end
+
+(* Untouched frames are definitionally zero; the touched set, not the
+   chunk table, is what [save] persists and [touched_frames] reports. *)
+let touch_range t addr len =
+  if len > 0 then begin
+    let first = Layout.page_of_addr addr
+    and last = Layout.page_of_addr (Int64.add addr (Int64.of_int (len - 1))) in
+    let p = ref first in
+    while !p <= last do
+      Hashtbl.replace t.touched !p ();
+      p := Int64.add !p 1L
+    done
+  end
+
+(* Native-int byte accessors — the form the DMA per-byte path calls so
+   no boxed address crosses the module boundary. *)
+let read_byte t ai =
+  if ai < 0 || ai >= t.size_i then check t (Int64.of_int ai) 1;
+  let cnum = ai lsr chunk_bits in
+  if cnum = t.last_cnum then
+    Char.code (Bigarray.Array1.unsafe_get t.last_chunk (ai land (chunk_bytes - 1)))
+  else begin
+    match Hashtbl.find_opt t.chunks (Int64.of_int cnum) with
+    | None -> 0 (* untouched, definitionally zero; nothing to cache *)
+    | Some c ->
+      t.last_cnum <- cnum;
+      t.last_chunk <- c;
+      Char.code (Bigarray.Array1.unsafe_get c (ai land (chunk_bytes - 1)))
+  end
+
+let write_byte t ai v =
+  if ai < 0 || ai >= t.size_i then check t (Int64.of_int ai) 1;
+  mark_touched t (ai lsr Layout.page_bits);
+  let c = chunk_c t (ai lsr chunk_bits) in
+  Bigarray.Array1.unsafe_set c (ai land (chunk_bytes - 1))
+    (Char.unsafe_chr (v land 0xff))
+
+let read_u8 t addr = read_byte t (Int64.to_int addr)
+let write_u8 t addr v = write_byte t (Int64.to_int addr) v
 
 let read_u64 t addr =
   check t addr 8;
@@ -55,62 +141,114 @@ let write_u64 t addr v =
       (Int64.to_int (Int64.shift_right_logical v (i * 8)) land 0xff)
   done
 
-let read_bytes t addr len =
+let read_into t addr out ~pos:start ~len =
   check t addr len;
-  let out = Bytes.create len in
   let pos = ref 0 in
   while !pos < len do
     let a = Int64.add addr (Int64.of_int !pos) in
-    let off = Layout.offset_in_page a in
-    let chunk = min (len - !pos) (frame_size - off) in
-    (match Hashtbl.find_opt t.frames (Layout.page_of_addr a) with
-    | None -> Bytes.fill out !pos chunk '\000'
-    | Some b -> Bytes.blit b off out !pos chunk);
-    pos := !pos + chunk
-  done;
+    let off = offset_in_chunk a in
+    let n = min (len - !pos) (chunk_bytes - off) in
+    (match Hashtbl.find_opt t.chunks (chunk_of_addr a) with
+    | None -> Bytes.fill out (start + !pos) n '\000'
+    | Some c -> Slice.blit_to_bytes c ~src_pos:off out ~dst_pos:(start + !pos) ~len:n);
+    pos := !pos + n
+  done
+
+let read_bytes t addr len =
+  let out = Bytes.create len in
+  read_into t addr out ~pos:0 ~len;
   Bytes.unsafe_to_string out
 
-let write_bytes t addr s =
-  let len = String.length s in
+let write_sub t addr blit src ~pos:start ~len =
   check t addr len;
+  touch_range t addr len;
   let pos = ref 0 in
   while !pos < len do
     let a = Int64.add addr (Int64.of_int !pos) in
-    let off = Layout.offset_in_page a in
-    let chunk = min (len - !pos) (frame_size - off) in
-    let b = frame t (Layout.page_of_addr a) in
-    Bytes.blit_string s !pos b off chunk;
-    pos := !pos + chunk
+    let off = offset_in_chunk a in
+    let n = min (len - !pos) (chunk_bytes - off) in
+    blit src (start + !pos) (chunk t (chunk_of_addr a)) off n;
+    pos := !pos + n
   done
+
+let blit_string_in src src_pos c dst_pos len =
+  Slice.blit_string src ~src_pos c ~dst_pos ~len
+
+let blit_bytes_in src src_pos c dst_pos len =
+  Slice.blit_bytes src ~src_pos c ~dst_pos ~len
+
+let write_bytes t addr s =
+  write_sub t addr blit_string_in s ~pos:0 ~len:(String.length s)
+
+let write_bytes_sub t addr b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Physmem.write_bytes_sub";
+  write_sub t addr blit_bytes_in b ~pos ~len
+
+let write_string_sub t addr s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Physmem.write_string_sub";
+  write_sub t addr blit_string_in s ~pos ~len
 
 let fill t addr len c = write_bytes t addr (String.make len c)
 
-let touched_frames t = Hashtbl.length t.frames
+let view t addr len =
+  check t addr len;
+  if len <= 0 then invalid_arg "Physmem.view: length must be positive";
+  let c0 = chunk_of_addr addr
+  and c1 = chunk_of_addr (Int64.add addr (Int64.of_int (len - 1))) in
+  if c0 <> c1 then
+    invalid_arg
+      (Printf.sprintf "Physmem.view: [0x%Lx, +%d) crosses a chunk boundary"
+         addr len);
+  (* A view is a write-capable window: every frame under it must join the
+     touched set now, or bytes written through it would be invisible to
+     [save]. *)
+  touch_range t addr len;
+  Bigarray.Array1.sub (chunk t c0) (offset_in_chunk addr) len
+
+let touched_frames t = Hashtbl.length t.touched
 
 (* Checkpointing: every touched frame verbatim, sparsely, in frame-number
-   order. Untouched frames are definitionally zero, and the touched count
-   itself is observable via [touched_frames], so frames are saved even
-   when their contents have been rewritten to zero. *)
+   order — byte-identical to the format the Bytes-backed implementation
+   wrote, so old checkpoints restore and new ones replay under old
+   readers. Untouched frames are definitionally zero, and the touched
+   count itself is observable via [touched_frames], so frames are saved
+   even when their contents have been rewritten to zero. *)
 module Snapshot = Lastcpu_sim.Snapshot
+
+let frame_contents t page =
+  (* The format always carries whole frames. If DRAM ends mid-frame the
+     tail beyond [size] travels as zeros (it is unaddressable anyway). *)
+  let out = Bytes.make frame_size '\000' in
+  let addr = Layout.addr_of_page page in
+  let len = min frame_size (Int64.to_int (Int64.sub t.size addr)) in
+  read_into t addr out ~pos:0 ~len;
+  Bytes.unsafe_to_string out
 
 let save w t =
   Snapshot.W.i64 w t.size;
   Snapshot.W.list w
-    (fun w (page, b) ->
+    (fun w (page, ()) ->
       Snapshot.W.i64 w page;
-      Snapshot.W.string w (Bytes.to_string b))
-    (Lastcpu_sim.Detmap.bindings t.frames)
+      Snapshot.W.string w (frame_contents t page))
+    (Lastcpu_sim.Detmap.bindings t.touched)
 
 let restore r t =
   let size = Snapshot.R.i64 r in
   if size <> t.size then
     invalid_arg "Physmem.restore: DRAM size differs from checkpoint";
-  Hashtbl.reset t.frames;
+  Hashtbl.reset t.chunks;
+  Hashtbl.reset t.touched;
+  t.last_cnum <- -1;
+  t.last_touched <- -1;
   let n = Snapshot.R.varint r in
   for _ = 1 to n do
     let page = Snapshot.R.i64 r in
     let contents = Snapshot.R.string r in
     if String.length contents <> frame_size then
       raise (Snapshot.R.Corrupt "physmem frame has wrong size");
-    Hashtbl.replace t.frames page (Bytes.of_string contents)
+    let addr = Layout.addr_of_page page in
+    let len = min frame_size (Int64.to_int (Int64.sub t.size addr)) in
+    write_string_sub t addr contents ~pos:0 ~len
   done

@@ -1,10 +1,19 @@
 (** Simulated physical memory (DRAM).
 
-    Sparse, frame-granular byte store: frames are materialised on first
-    write so multi-GiB address spaces cost only what is touched. All device
-    DMA in the emulation lands here (after IOMMU translation). *)
+    Sparse byte store on [Bigarray] chunk backing: frames (4 KiB) are
+    materialised on first write so multi-GiB address spaces cost only what
+    is touched. All device DMA in the emulation lands here (after IOMMU
+    translation). The chunk granularity exists so {!view} can hand out
+    real sub-arrays over the backing store — the zero-copy data plane
+    (DMI grants, NAND page I/O, codec slices) is built on those views. *)
 
 type t
+
+type view =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A window directly over backing DRAM: writes through it are real
+    memory writes (no copy, no further bookkeeping). See DESIGN.md §14
+    for the lifetime rules. *)
 
 val create : ?size:int64 -> unit -> t
 (** [create ~size ()] models [size] bytes of DRAM (default 1 GiB). Accesses
@@ -14,19 +23,48 @@ val size : t -> int64
 
 val read_u8 : t -> int64 -> int
 val write_u8 : t -> int64 -> int -> unit
+
+(** Native-int forms of [read_u8]/[write_u8], for per-byte hot paths
+    where a boxed address per access would dominate. Physical addresses
+    fit a native int (DRAM is well under 2^62 bytes). *)
+
+val read_byte : t -> int -> int
+
+val write_byte : t -> int -> int -> unit
 val read_u64 : t -> int64 -> int64
 (** Little-endian, may span frames. *)
 
 val write_u64 : t -> int64 -> int64 -> unit
 val read_bytes : t -> int64 -> int -> string
 val write_bytes : t -> int64 -> string -> unit
+
+val read_into : t -> int64 -> Bytes.t -> pos:int -> len:int -> unit
+(** [read_into t addr buf ~pos ~len] copies DRAM into a caller-provided
+    buffer — [read_bytes] without the result allocation. *)
+
+val write_bytes_sub : t -> int64 -> Bytes.t -> pos:int -> len:int -> unit
+(** Write a slice of [b] without first carving it into a string. *)
+
+val write_string_sub : t -> int64 -> string -> pos:int -> len:int -> unit
+(** Write a slice of [s] without first carving it into a fresh string. *)
+
 val fill : t -> int64 -> int -> char -> unit
+
+val view : t -> int64 -> int -> view
+(** [view t addr len] is a window straight onto backing DRAM. The range
+    must lie within one backing chunk (64 KiB, so any naturally aligned
+    4 KiB page qualifies) or [Invalid_argument] is raised. The frames
+    under the view join the touched set immediately: a view is a
+    write-capable surface, and bytes written through it must be visible
+    to {!save}. *)
 
 val touched_frames : t -> int
 (** Number of frames materialised so far (memory-footprint metric). *)
 
 val save : Lastcpu_sim.Snapshot.W.t -> t -> unit
-(** Append every touched frame, sparsely (checkpointing). *)
+(** Append every touched frame, sparsely (checkpointing). The byte format
+    is unchanged from the pre-Bigarray implementation: old checkpoints
+    restore, new checkpoints replay under old readers. *)
 
 val restore : Lastcpu_sim.Snapshot.R.t -> t -> unit
 (** Replace the frame store with state written by {!save}.

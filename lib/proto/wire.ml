@@ -1,5 +1,34 @@
 exception Malformed of string
 
+(* The shared shapes of the three write targets (growable buffer, slice
+   cursor, byte counter) and the two read cursors (string, slice). Codecs
+   written as functors over these define their byte layout exactly once
+   and get the copying, zero-copy and sizing variants for free. *)
+module type SINK = sig
+  type t
+
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  val int64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val bool : t -> bool -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+end
+
+module type SOURCE = sig
+  type t
+
+  val byte : t -> int
+  val varint : t -> int
+  val int64 : t -> int64
+  val string : t -> string
+  val bool : t -> bool
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val at_end : t -> bool
+end
+
 module Writer = struct
   type t = Buffer.t
 
@@ -91,8 +120,190 @@ module Reader = struct
   let at_end t = t.pos = String.length t.data
 end
 
-(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-   Guards framed payloads against in-flight corruption. *)
+(* Byte counter with the Writer's exact signature: drive the same encode
+   logic through it and [size] is the encoded length, with no buffer and
+   no bytes materialised. Codec.encoded_size is built on this. *)
+module Sizer = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let byte t _ = t.n <- t.n + 1
+
+  let varint t v =
+    assert (v >= 0);
+    let rec go v n = if v < 0x80 then n + 1 else go (v lsr 7) (n + 1) in
+    t.n <- t.n + go v 0
+
+  let int64 t _ = t.n <- t.n + 8
+
+  let string t s =
+    varint t (String.length s);
+    t.n <- t.n + String.length s
+
+  let bool t _ = t.n <- t.n + 1
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> bool t false
+    | Some x ->
+      bool t true;
+      f t x
+
+  let size t = t.n
+end
+
+(* Cursor writing into a caller-provided slice (a DRAM view, a virtqueue
+   slot): the encoded bytes land directly in backing memory, no
+   intermediate string. Running off the end of the slice raises
+   [Malformed] — the caller sized the buffer, so overflow is a framing
+   bug, not a grow condition. *)
+module View_writer = struct
+  type t = { data : Slice.t; mutable pos : int }
+
+  let create ?(pos = 0) data = { data; pos }
+
+  let ensure t n =
+    if t.pos + n > Slice.length t.data then raise (Malformed "view overflow")
+
+  let byte t b =
+    ensure t 1;
+    Bigarray.Array1.unsafe_set t.data t.pos (Char.unsafe_chr (b land 0xff));
+    t.pos <- t.pos + 1
+
+  let varint t v =
+    assert (v >= 0);
+    let rec go v =
+      if v < 0x80 then byte t v
+      else begin
+        byte t (v land 0x7f lor 0x80);
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let int64 t v =
+    for shift = 0 to 7 do
+      byte t (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+    done
+
+  let raw_string t s ~src_pos ~len =
+    ensure t len;
+    Slice.blit_string s ~src_pos t.data ~dst_pos:t.pos ~len;
+    t.pos <- t.pos + len
+
+  let string t s =
+    varint t (String.length s);
+    raw_string t s ~src_pos:0 ~len:(String.length s)
+
+  let raw_view t v ~src_pos ~len =
+    ensure t len;
+    Slice.blit v ~src_pos t.data ~dst_pos:t.pos ~len;
+    t.pos <- t.pos + len
+
+  let view t v =
+    (* Length-prefixed like [string], but the payload bytes blit
+       bigarray-to-bigarray. *)
+    varint t (Slice.length v);
+    raw_view t v ~src_pos:0 ~len:(Slice.length v)
+
+  let bool t b = byte t (if b then 1 else 0)
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> bool t false
+    | Some x ->
+      bool t true;
+      f t x
+
+  let pos t = t.pos
+end
+
+(* Cursor over a slice (a DRAM view): decode straight out of backing
+   memory. [view] hands payload fields back as sub-windows — storage
+   stays shared, nothing is copied until someone needs a string. *)
+module View_reader = struct
+  type t = { data : Slice.t; mutable pos : int; limit : int }
+
+  let create ?(pos = 0) ?len data =
+    let limit =
+      match len with None -> Slice.length data | Some n -> pos + n
+    in
+    if pos < 0 || limit > Slice.length data || pos > limit then
+      invalid_arg "View_reader.create: window out of range";
+    { data; pos; limit }
+
+  let byte t =
+    if t.pos >= t.limit then raise (Malformed "truncated");
+    let b = Char.code (Bigarray.Array1.unsafe_get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    b
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then raise (Malformed "varint too long");
+      let b = byte t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int64 t =
+    let v = ref 0L in
+    for shift = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte t)) (shift * 8))
+    done;
+    !v
+
+  let take t len =
+    if len < 0 || t.pos + len > t.limit then
+      raise (Malformed "truncated string");
+    let v = Slice.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    v
+
+  let string t =
+    let len = varint t in
+    if t.pos + len > t.limit then raise (Malformed "truncated string");
+    let s = Slice.to_string t.data ~pos:t.pos ~len in
+    t.pos <- t.pos + len;
+    s
+
+  let view t = take t (varint t)
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Malformed (Printf.sprintf "bad bool %d" n))
+
+  let list t f =
+    let n = varint t in
+    List.init n (fun _ -> f t)
+
+  let option t f = if bool t then Some (f t) else None
+  let at_end t = t.pos = t.limit
+end
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Guards framed
+   payloads against in-flight corruption, doubles as the NAND ECC model
+   and the WAL record checksum, so it runs over every 4 KiB page on the
+   storage path — hence the slice-by-8 C stub. [crc32_reference] is the
+   original OCaml loop, kept so the test suite can pin the stub to it. *)
+external crc32_stub : string -> int -> int -> int = "lastcpu_crc32" [@@noalloc]
+
+let crc32_sub s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Wire.crc32_sub";
+  crc32_stub s pos len
+
+let crc32 s = crc32_stub s 0 (String.length s)
+
 let crc_table =
   lazy
     (Array.init 256 (fun n ->
@@ -102,7 +313,7 @@ let crc_table =
          done;
          !c))
 
-let crc32 s =
+let crc32_reference s =
   let table = Lazy.force crc_table in
   let c = ref 0xFFFFFFFF in
   String.iter

@@ -6,6 +6,35 @@
 
 exception Malformed of string
 
+(** The shared shape of the write targets ({!Writer}, {!View_writer},
+    {!Sizer}): a codec functorized over [SINK] defines its byte layout
+    once and gets the copying, zero-copy and sizing encoders for free. *)
+module type SINK = sig
+  type t
+
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  val int64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val bool : t -> bool -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+end
+
+(** The shared shape of the read cursors ({!Reader}, {!View_reader}). *)
+module type SOURCE = sig
+  type t
+
+  val byte : t -> int
+  val varint : t -> int
+  val int64 : t -> int64
+  val string : t -> string
+  val bool : t -> bool
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val at_end : t -> bool
+end
+
 module Writer : sig
   type t
 
@@ -37,6 +66,80 @@ module Reader : sig
   val at_end : t -> bool
 end
 
+(** Byte counter with {!Writer}'s signature: drive the same encode logic
+    through it and {!Sizer.size} is the encoded length — no buffer, no
+    bytes materialised. *)
+module Sizer : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  val int64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val bool : t -> bool -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val size : t -> int
+end
+
+(** Cursor writing into a caller-provided slice (a DRAM view, a virtqueue
+    slot): encoded bytes land directly in backing memory. Overflowing the
+    slice raises [Malformed]. *)
+module View_writer : sig
+  type t
+
+  val create : ?pos:int -> Slice.t -> t
+  val byte : t -> int -> unit
+  val varint : t -> int -> unit
+  val int64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val view : t -> Slice.t -> unit
+  (** Length-prefixed like [string]; payload bytes blit slice-to-slice. *)
+
+  val raw_string : t -> string -> src_pos:int -> len:int -> unit
+  val raw_view : t -> Slice.t -> src_pos:int -> len:int -> unit
+  (** Unprefixed raw bytes (caller frames them). *)
+
+  val bool : t -> bool -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val pos : t -> int
+  (** Bytes written so far (next write offset). *)
+end
+
+(** Cursor over a slice (a DRAM view): decode straight out of backing
+    memory. {!View_reader.view} hands payload fields back as sub-windows
+    sharing storage with the underlying slice. *)
+module View_reader : sig
+  type t
+
+  val create : ?pos:int -> ?len:int -> Slice.t -> t
+  val byte : t -> int
+  val varint : t -> int
+  val int64 : t -> int64
+  val string : t -> string
+  val view : t -> Slice.t
+  val take : t -> int -> Slice.t
+  (** [take t len] consumes [len] raw bytes as a sub-window. *)
+
+  val bool : t -> bool
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  val at_end : t -> bool
+end
+
 val crc32 : string -> int
 (** CRC-32 (IEEE 802.3) of the whole string, in [\[0, 2^32)]. Any
-    single-bit flip changes the checksum. *)
+    single-bit flip changes the checksum. Computed by a slice-by-8 C
+    stub — this checksum runs over every NAND page program and WAL
+    record, so it is squarely on the storage hot path. *)
+
+val crc32_sub : string -> int -> int -> int
+(** [crc32_sub s pos len]: CRC-32 of the [len] bytes at [pos]. Raises
+    [Invalid_argument] when the range falls outside [s]. *)
+
+val crc32_reference : string -> int
+(** The original table-driven OCaml implementation, kept as the oracle
+    the test suite pins the C stub against. *)

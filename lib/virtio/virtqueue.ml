@@ -326,6 +326,31 @@ module Device = struct
     Raw.set_used_ring t.raw (used mod t.raw.Raw.size) ~id:head ~len:written;
     Raw.set_used_idx t.raw (used + 1)
 
+  (* Batched service. [drain] takes every available chain in one event and
+     publishes the used entries in one shot at the end; [drain_deferred] /
+     [publish_used] split the two halves for devices that surface
+     completions later (the SSD publishes only after the flash work's
+     simulated cost has elapsed). Publication deliberately replays the
+     per-entry used-ring access sequence of a [push_used] loop: ring
+     traffic goes through the IOMMU, whose counters are folded into the
+     golden digests, so batching may only save host time — closure
+     dispatch, list churn — never modeled accesses. *)
+  let drain_deferred t ~f =
+    let rec go acc =
+      match pop t with
+      | None -> List.rev acc
+      | Some chain -> go ((chain.head, f chain) :: acc)
+    in
+    go []
+
+  let publish_used t completions =
+    List.iter (fun (head, written) -> push_used t ~head ~written) completions
+
+  let drain t ~f =
+    let completions = drain_deferred t ~f in
+    publish_used t completions;
+    List.length completions
+
   (* Checkpointing: the device side only keeps a shadow of avail.idx;
      [restore] rebuilds the record without touching ring memory. *)
   module Snapshot = Lastcpu_sim.Snapshot

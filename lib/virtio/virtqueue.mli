@@ -77,6 +77,25 @@ module Device : sig
   val push_used : t -> head:int -> written:int -> unit
   (** Complete a chain, making it visible on the used ring. *)
 
+  val drain : t -> f:(chain -> int) -> int
+  (** Service every available chain in one event: pop each, apply [f]
+      (which returns the bytes written into the chain's writable
+      segments), then publish all used entries in one shot. Returns the
+      number of chains drained. The ring access sequence is exactly that
+      of a [pop]/[push_used] loop — the batching saves host work only,
+      keeping the IOMMU/TLB accounting (and with it the golden digests)
+      unchanged. *)
+
+  val drain_deferred : t -> f:(chain -> int) -> (int * int) list
+  (** The pop half of {!drain}: service every available chain but return
+      the [(head, written)] completions instead of publishing them, for
+      devices that surface completions after a simulated delay. *)
+
+  val publish_used : t -> (int * int) list -> unit
+  (** The publish half of {!drain}: push each completion onto the used
+      ring, in order, replaying the per-entry access sequence of a
+      [push_used] loop. *)
+
   val pending : t -> int
   (** Chains posted but not yet popped. *)
 

@@ -1,0 +1,6 @@
+(* Fixture: D009 — Physmem copy path in data-plane hot code. *)
+let slurp m pa len = Physmem.read_bytes m pa len
+let stuff m pa s = Physmem.write_bytes m pa s
+(* The _sub variants and views are not the copy path and must not fire. *)
+let ok m pa s = Physmem.write_string_sub m pa s ~pos:0 ~len:(String.length s)
+let also_ok m pa len = Physmem.view m pa len

@@ -140,12 +140,82 @@ let test_block_proto_roundtrip () =
   | Ok (Ssd_proto.Ok_handle 7) -> ()
   | _ -> Alcotest.fail "handle response roundtrip"
 
+(* Zero-copy Ssd_proto variants: the into/view codecs must agree byte-for-
+   byte with the string codecs, and the sizers with the encoders — the
+   data plane trusts [request_size] to reserve virtqueue slot space. *)
+let test_ssd_proto_view_roundtrip () =
+  let module Slice = Lastcpu_proto.Slice in
+  let reqs =
+    [
+      Ssd_proto.Create { path = "/vol/a"; mode = 0o644 };
+      Ssd_proto.Unlink { path = "/vol/a" };
+      Ssd_proto.Mkdir { path = "/vol/d"; mode = 0o755 };
+      Ssd_proto.Read { path = "/vol/a"; off = 17; len = 4096 };
+      Ssd_proto.Write { path = "/vol/a"; off = 0; data = String.make 100 '\xfe' };
+      Ssd_proto.Stat { path = "/vol/a" };
+      Ssd_proto.Readdir { path = "/vol" };
+      Ssd_proto.Truncate { path = "/vol/a"; len = 12 };
+      Ssd_proto.Fsync { path = "/vol/a" };
+      Ssd_proto.Rename { from_path = "/vol/a"; to_path = "/vol/b" };
+      Ssd_proto.Bopen { path = "/vol/x"; block_size = 4096 };
+      Ssd_proto.Bread { handle = 3; lba = 99; count = 8 };
+      Ssd_proto.Bwrite { handle = 3; lba = 0; data = String.make 512 'x' };
+      Ssd_proto.Bclose { handle = 3 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let str = Ssd_proto.encode_request r in
+      Alcotest.(check int) "request_size = encode length" (String.length str)
+        (Ssd_proto.request_size r);
+      let v = Slice.create (String.length str + 5) in
+      let n = Ssd_proto.encode_request_into r v ~pos:5 in
+      Alcotest.(check int) "encode_into returns the sizer's answer"
+        (Ssd_proto.request_size r) n;
+      Alcotest.(check string) "same bytes as the string codec" str
+        (Slice.to_string v ~pos:5 ~len:n);
+      match Ssd_proto.decode_request_view ~pos:5 ~len:n v with
+      | Ok r' -> Alcotest.(check bool) "view decode roundtrips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    reqs;
+  let resps =
+    [
+      Ssd_proto.Ok_unit;
+      Ssd_proto.Ok_data (String.make 4096 '\x5a');
+      Ssd_proto.Ok_names [ "a"; "b"; "longer-name" ];
+      Ssd_proto.Ok_stat { size = 123; kind_dir = false; owner = "app1"; mode = 0o644 };
+      Ssd_proto.Ok_handle 7;
+      Ssd_proto.Err "no such file";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let str = Ssd_proto.encode_response r in
+      Alcotest.(check int) "response_size = encode length" (String.length str)
+        (Ssd_proto.response_size r);
+      let v = Slice.create (String.length str) in
+      let n = Ssd_proto.encode_response_into r v ~pos:0 in
+      Alcotest.(check string) "same bytes as the string codec" str
+        (Slice.to_string v ~pos:0 ~len:n);
+      match Ssd_proto.decode_response_view v with
+      | Ok r' -> Alcotest.(check bool) "view decode roundtrips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    resps;
+  (* A truncated window must fail cleanly, not read past ~len. *)
+  let str = Ssd_proto.encode_request (Ssd_proto.Stat { path = "/vol/a" }) in
+  let v = Slice.of_string str in
+  match Ssd_proto.decode_request_view ~pos:0 ~len:(String.length str - 1) v with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated view decoded"
+
 let () =
   Alcotest.run "block"
     [
       ( "block service",
         [
           Alcotest.test_case "proto roundtrip" `Quick test_block_proto_roundtrip;
+          Alcotest.test_case "proto view roundtrip" `Quick
+            test_ssd_proto_view_roundtrip;
           Alcotest.test_case "read/write roundtrip" `Quick test_block_roundtrip;
           Alcotest.test_case "alignment enforced" `Quick test_block_alignment_enforced;
           Alcotest.test_case "bad handle" `Quick test_bad_handle_rejected;

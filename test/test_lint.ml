@@ -15,7 +15,8 @@ let config =
      D003 scope=lint_fixtures\n\
      D004 scope=lint_fixtures\n\
      D005 scope=lint_fixtures\n\
-     D006 scope=lint_fixtures\n"
+     D006 scope=lint_fixtures\n\
+     D009 scope=lint_fixtures\n"
 
 let scan name =
   let path = fixture name in
@@ -61,6 +62,11 @@ let test_d006 () =
   Alcotest.check finding "d006_station.ml"
     [ ("D006", 2, "rush"); ("D006", 3, "sneak") ]
     (scan "d006_station.ml")
+
+let test_d009 () =
+  Alcotest.check finding "d009_copypath.ml"
+    [ ("D009", 2, "slurp"); ("D009", 3, "stuff") ]
+    (scan "d009_copypath.ml")
 
 let test_clean () = Alcotest.check finding "clean.ml" [] (scan "clean.ml")
 
@@ -170,6 +176,7 @@ let () =
           Alcotest.test_case "d004" `Quick test_d004;
           Alcotest.test_case "d005" `Quick test_d005;
           Alcotest.test_case "d006" `Quick test_d006;
+          Alcotest.test_case "d009" `Quick test_d009;
           Alcotest.test_case "clean" `Quick test_clean;
         ] );
       ( "scoping",

@@ -161,6 +161,112 @@ let test_physmem_sparse () =
   Physmem.write_u8 m (Int64.shift_left 1L 29) 1;
   Alcotest.(check int) "only touched frames" 2 (Physmem.touched_frames m)
 
+(* --- Bigarray backing: views, native-int entry points, snapshots -------- *)
+
+module Snapshot = Lastcpu_sim.Snapshot
+
+(* read_byte/write_byte are the int-native aliases of read_u8/write_u8 —
+   same store, same bounds discipline. *)
+let test_physmem_byte_aliases () =
+  let m = Physmem.create ~size:1_000_000L () in
+  Physmem.write_byte m 4097 0xAB;
+  Alcotest.(check int) "int write, i64 read" 0xAB (Physmem.read_u8 m 4097L);
+  Physmem.write_u8 m 4098L 0xCD;
+  Alcotest.(check int) "i64 write, int read" 0xCD (Physmem.read_byte m 4098);
+  Alcotest.(check int) "unmaterialised frame reads zero" 0
+    (Physmem.read_byte m 900_000);
+  Alcotest.check_raises "int bounds enforced"
+    (Invalid_argument "Physmem: access [0xf4240, +1) out of range") (fun () ->
+      ignore (Physmem.read_byte m 1_000_000))
+
+(* A view is a real window onto DRAM: bytes written through it are seen by
+   the copy path (including the cached chunk accessor) and vice versa. *)
+let test_physmem_view_coherence () =
+  let m = Physmem.create ~size:1_000_000L () in
+  Physmem.write_bytes m 8192L "before";
+  let v = Physmem.view m 8192L 64 in
+  Alcotest.(check string) "view sees prior writes" "before"
+    (String.init 6 (fun i -> Bigarray.Array1.get v i));
+  Bigarray.Array1.set v 0 'B';
+  Alcotest.(check string) "copy path sees view writes" "Before"
+    (Physmem.read_bytes m 8192L 6);
+  Physmem.write_byte m 8193 (Char.code 'E');
+  Alcotest.(check char) "view sees byte-path writes" 'E'
+    (Bigarray.Array1.get v 1);
+  (* Views must not cross the 64 KiB backing-chunk boundary. *)
+  Alcotest.check_raises "cross-chunk view rejected"
+    (Invalid_argument
+       "Physmem.view: [0xffdc, +100) crosses a chunk boundary") (fun () ->
+      ignore (Physmem.view m 65_500L 100))
+
+(* Touched frames under a view are save-visible even if only the view ever
+   wrote them. *)
+let test_physmem_view_then_save () =
+  let m = Physmem.create ~size:1_000_000L () in
+  let v = Physmem.view m 12_288L 16 in
+  Bigarray.Array1.set v 3 'Z';
+  let w = Snapshot.W.create () in
+  Physmem.save w m;
+  let m2 = Physmem.create ~size:1_000_000L () in
+  Physmem.restore (Snapshot.R.of_string (Snapshot.W.contents w)) m2;
+  Alcotest.(check int) "view write survives the round trip" (Char.code 'Z')
+    (Physmem.read_u8 m2 12_291L)
+
+let test_physmem_snapshot_roundtrip () =
+  let m = Physmem.create ~size:2_000_000L () in
+  Physmem.write_bytes m 0L "frame zero";
+  Physmem.write_bytes m 1_048_576L "a megabyte in";
+  Physmem.write_u8 m 1_999_999L 0x7E;
+  let w = Snapshot.W.create () in
+  Physmem.save w m;
+  let m2 = Physmem.create ~size:2_000_000L () in
+  Physmem.restore (Snapshot.R.of_string (Snapshot.W.contents w)) m2;
+  Alcotest.(check int) "frame count preserved" (Physmem.touched_frames m)
+    (Physmem.touched_frames m2);
+  Alcotest.(check string) "low frame" "frame zero" (Physmem.read_bytes m2 0L 10);
+  Alcotest.(check string) "high frame" "a megabyte in"
+    (Physmem.read_bytes m2 1_048_576L 13);
+  Alcotest.(check int) "last byte" 0x7E (Physmem.read_u8 m2 1_999_999L);
+  Alcotest.(check int) "untouched stays zero" 0 (Physmem.read_u8 m2 500_000L);
+  (* Restore replaces state: a dirty target ends up identical, and its
+     one-entry caches cannot leak stale pre-restore bytes. *)
+  let m3 = Physmem.create ~size:2_000_000L () in
+  Physmem.write_bytes m3 0L "stale stale";
+  ignore (Physmem.read_byte m3 4);
+  Physmem.restore (Snapshot.R.of_string (Snapshot.W.contents w)) m3;
+  Alcotest.(check string) "restore overwrote dirty target" "frame zero"
+    (Physmem.read_bytes m3 0L 10);
+  Alcotest.(check int) "cached chunk not stale" (Char.code 'r')
+    (Physmem.read_byte m3 1)
+
+(* The snapshot byte format predates the Bigarray backing: a checkpoint
+   handcrafted in the old writer's layout (i64 size, then a (i64 page
+   number, 4096-byte frame) list) must restore into today's store. *)
+let test_physmem_restores_old_format () =
+  let page = 4096 in
+  let frame = String.init page (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let w = Snapshot.W.create () in
+  Snapshot.W.i64 w 1_000_000L;
+  Snapshot.W.list w
+    (fun w (addr, bytes) ->
+      Snapshot.W.i64 w addr;
+      Snapshot.W.string w bytes)
+    [ (2L, frame); (16L, frame) ];  (* pages at 0x2000, 0x10000 *)
+  let m = Physmem.create ~size:1_000_000L () in
+  Physmem.restore (Snapshot.R.of_string (Snapshot.W.contents w)) m;
+  Alcotest.(check int) "two frames restored" 2 (Physmem.touched_frames m);
+  Alcotest.(check string) "frame content" frame
+    (Physmem.read_bytes m 8192L page);
+  Alcotest.(check int) "second frame, view path"
+    (Char.code frame.[17])
+    (Char.code (Bigarray.Array1.get (Physmem.view m 65_536L page) 17));
+  let w2 = Snapshot.W.create () in
+  Snapshot.W.i64 w2 999_999L;
+  let m2 = Physmem.create ~size:1_000_000L () in
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Physmem.restore: DRAM size differs from checkpoint")
+    (fun () -> Physmem.restore (Snapshot.R.of_string (Snapshot.W.contents w2)) m2)
+
 let physmem_roundtrip_prop =
   QCheck.Test.make ~name:"physmem write/read roundtrip" ~count:200
     QCheck.(pair (int_bound 100_000) (string_of_size Gen.(int_range 1 300)))
@@ -196,6 +302,13 @@ let () =
           Alcotest.test_case "cross page" `Quick test_physmem_cross_page;
           Alcotest.test_case "bounds" `Quick test_physmem_bounds;
           Alcotest.test_case "sparse" `Quick test_physmem_sparse;
+          Alcotest.test_case "byte aliases" `Quick test_physmem_byte_aliases;
+          Alcotest.test_case "view coherence" `Quick test_physmem_view_coherence;
+          Alcotest.test_case "view then save" `Quick test_physmem_view_then_save;
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_physmem_snapshot_roundtrip;
+          Alcotest.test_case "old snapshot format" `Quick
+            test_physmem_restores_old_format;
           QCheck_alcotest.to_alcotest physmem_roundtrip_prop;
         ] );
     ]

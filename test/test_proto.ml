@@ -5,6 +5,7 @@ module Token = Lastcpu_proto.Token
 module Message = Lastcpu_proto.Message
 module Codec = Lastcpu_proto.Codec
 module Wire = Lastcpu_proto.Wire
+module Slice = Lastcpu_proto.Slice
 
 (* --- Wire primitives ---------------------------------------------------- *)
 
@@ -266,6 +267,71 @@ let test_wire_size_positive () =
       Alcotest.(check bool) "positive" true (Message.wire_size msg > 0))
     sample_payloads
 
+(* --- Zero-copy codec ----------------------------------------------------- *)
+
+(* The contract behind direct-view encoding: for EVERY payload
+   constructor, [encoded_size] equals the byte length [encode] produces,
+   and [encode_into] lays down exactly those bytes at the requested view
+   offset. [sample_payloads] covers each constructor, so adding a payload
+   without extending the Emit functor trips this test. *)
+let test_encoded_size_all_constructors () =
+  let check_msg label msg =
+    let s = Codec.encode msg in
+    Alcotest.(check int)
+      (label ^ ": encoded_size")
+      (String.length s) (Codec.encoded_size msg);
+    let v = Slice.create (String.length s + 7) in
+    let n = Codec.encode_into msg v ~pos:3 in
+    Alcotest.(check int) (label ^ ": encode_into length") (String.length s) n;
+    Alcotest.(check string)
+      (label ^ ": encode_into bytes")
+      s
+      (Slice.to_string v ~pos:3 ~len:n)
+  in
+  List.iteri
+    (fun i payload ->
+      let msg =
+        Message.make ~src:(i mod 5)
+          ~dst:
+            (match i mod 3 with
+            | 0 -> Types.Device 9
+            | 1 -> Types.Bus
+            | _ -> Types.Broadcast)
+          ~corr:(i * 1000) payload
+      in
+      check_msg (Message.payload_tag payload) msg)
+    sample_payloads;
+  (* The deadline trailer changes the frame length; the sizer must track it. *)
+  check_msg "deadline trailer"
+    (Message.make ~src:1 ~dst:Types.Bus ~corr:7 ~deadline_ns:123_456_789L
+       Message.Heartbeat)
+
+(* --- CRC-32 stub --------------------------------------------------------- *)
+
+(* The C stub must be bit-identical to the original OCaml loop: WAL
+   records and NAND page checksums feed golden digests, so a divergence
+   would corrupt every pinned experiment. Lengths probe the slice-by-8
+   boundary (0..32) plus a full NAND page. *)
+let test_crc32_stub_matches_reference () =
+  let check s =
+    Alcotest.(check int)
+      (Printf.sprintf "crc32 of %d bytes" (String.length s))
+      (Wire.crc32_reference s) (Wire.crc32 s)
+  in
+  check "";
+  Alcotest.(check int) "IEEE 802.3 check value" 0xCBF43926
+    (Wire.crc32 "123456789");
+  for len = 0 to 32 do
+    check (String.init len (fun i -> Char.chr ((i * 37) land 0xff)))
+  done;
+  check (String.init 4096 (fun i -> Char.chr ((i * 131) land 0xff)));
+  let s = "hello, world" in
+  Alcotest.(check int) "crc32_sub window" (Wire.crc32 (String.sub s 3 5))
+    (Wire.crc32_sub s 3 5);
+  Alcotest.check_raises "crc32_sub bounds"
+    (Invalid_argument "Wire.crc32_sub") (fun () ->
+      ignore (Wire.crc32_sub s 8 10))
+
 let () =
   Alcotest.run "proto"
     [
@@ -294,5 +360,12 @@ let () =
           Alcotest.test_case "legacy frames" `Quick test_codec_accepts_legacy_frames;
           QCheck_alcotest.to_alcotest codec_fuzz_prop;
           Alcotest.test_case "wire size positive" `Quick test_wire_size_positive;
+          Alcotest.test_case "encoded_size every constructor" `Quick
+            test_encoded_size_all_constructors;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "stub matches reference" `Quick
+            test_crc32_stub_matches_reference;
         ] );
     ]

@@ -58,6 +58,98 @@ let test_dma_u16_u32 () =
   Dma.write_u32 dma_a (Int64.add va 8L) 0xDEADBEEF;
   Alcotest.(check int) "u32" 0xDEADBEEF (Dma.read_u32 dma_a (Int64.add va 8L))
 
+(* --- DMI grants and invalidation ----------------------------------------- *)
+
+(* map_single: single-page ranges yield a direct view backed by the same
+   DRAM the copy path reads. *)
+let test_dmi_map_single_view () =
+  let dma_a, dma_b, va = rig () in
+  Dma.write_bytes dma_a va "direct-map me";
+  (match Dma.map_single dma_b ~va ~len:13 ~perm:Iommu.Read with
+  | None -> Alcotest.fail "single-page map_single failed"
+  | Some v ->
+    Alcotest.(check string) "view sees DRAM" "direct-map me"
+      (Lastcpu_proto.Slice.to_string v ~pos:0 ~len:13));
+  (* Multi-page ranges must decline WITHOUT spending translations: the
+     caller's copy-path fallback is then the only translation pass. *)
+  let t_before = Dma.accesses dma_b in
+  (match
+     Dma.map_single dma_b ~va:(Int64.sub (Int64.add va page) 8L) ~len:64
+       ~perm:Iommu.Read
+   with
+  | Some _ -> Alcotest.fail "cross-page map_single should refuse"
+  | None -> ());
+  Alcotest.(check int) "no translations spent on refusal" t_before
+    (Dma.accesses dma_b)
+
+(* Repeated grants hit the host-side cache; unmap (the IOMMU invalidation
+   edge every revocation path funnels through) drops them. *)
+let test_dmi_grant_cache_and_unmap () =
+  let mem = Physmem.create () in
+  let iommu = Iommu.create () in
+  (match
+     Iommu.map iommu ~pasid:7 ~va:0x5000_0000L ~pa:0x40_0000L
+       ~bytes:(Int64.mul 4L page) ~perm:Types.perm_rw
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let dma = Dma.create ~iommu ~pasid:7 ~mem in
+  let va = 0x5000_0000L in
+  (match Dma.map_single dma ~va ~len:256 ~perm:Iommu.Read with
+  | None -> Alcotest.fail "grant failed"
+  | Some _ -> ());
+  let hits0 = Dma.dmi_hits dma in
+  (match Dma.map_single dma ~va ~len:256 ~perm:Iommu.Read with
+  | None -> Alcotest.fail "re-grant failed"
+  | Some _ -> ());
+  Alcotest.(check int) "second map is a cache hit" (hits0 + 1)
+    (Dma.dmi_hits dma);
+  let inv0 = Dma.dmi_invalidations dma in
+  ignore (Iommu.unmap iommu ~pasid:7 ~va ~bytes:page);
+  Alcotest.(check bool) "unmap dropped cached grants" true
+    (Dma.dmi_invalidations dma > inv0);
+  (match Dma.map_single dma ~va ~len:256 ~perm:Iommu.Read with
+  | exception Dma.Dma_fault f ->
+    Alcotest.(check bool) "probe faults like the copy path would" true
+      (f.Iommu.reason = Iommu.Not_mapped)
+  | Some _ -> Alcotest.fail "grant survived unmap"
+  | None -> Alcotest.fail "expected a fault, not a decline")
+
+(* PASID teardown (application exit, epoch revocation, quarantine — all
+   end in [clear_pasid]) must drop that PASID's grants and only that
+   PASID's. *)
+let test_dmi_pasid_teardown () =
+  let mem = Physmem.create () in
+  let iommu = Iommu.create () in
+  let mk pasid pa =
+    (match
+       Iommu.map iommu ~pasid ~va:0x5000_0000L ~pa ~bytes:page
+         ~perm:Types.perm_rw
+     with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    Dma.create ~iommu ~pasid ~mem
+  in
+  let dma7 = mk 7 0x40_0000L in
+  let dma8 = mk 8 0x80_0000L in
+  let grant dma =
+    match Dma.map_single dma ~va:0x5000_0000L ~len:64 ~perm:Iommu.Read with
+    | Some _ -> ()
+    | None -> Alcotest.fail "grant failed"
+  in
+  grant dma7;
+  grant dma8;
+  let inv8 = Dma.dmi_invalidations dma8 in
+  Iommu.clear_pasid iommu ~pasid:7;
+  Alcotest.(check bool) "pasid 7 grants dropped" true
+    (Dma.dmi_invalidations dma7 > 0);
+  Alcotest.(check int) "pasid 8 grants untouched" inv8
+    (Dma.dmi_invalidations dma8);
+  let hits8 = Dma.dmi_hits dma8 in
+  grant dma8;
+  Alcotest.(check int) "pasid 8 cache still warm" (hits8 + 1)
+    (Dma.dmi_hits dma8)
+
 (* --- Virtqueue --------------------------------------------------------------- *)
 
 let test_vq_layout_bytes () =
@@ -272,6 +364,48 @@ let vq_model_prop =
 
 (* --- Features ------------------------------------------------------------------ *)
 
+(* Device.drain must behave exactly like a pop/push_used loop: same
+   completions, same order, one call. *)
+let test_vq_drain_batched () =
+  let dma_a, dma_b, va = rig ~pages:32 () in
+  let size = 8 in
+  let driver = Vq.Driver.create ~dma:dma_a ~base:va ~size in
+  let device = Vq.Device.create ~dma:dma_b ~base:va ~size in
+  let slot i =
+    Int64.add va (Int64.of_int ((8 * 4096) + (i * 4096)))
+  in
+  for i = 0 to 3 do
+    match
+      Vq.Driver.add driver
+        [
+          { Vq.va = slot i; len = 100 + i; writable = false };
+          { Vq.va = Int64.add (slot i) 2048L; len = 512; writable = true };
+        ]
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  done;
+  let served = ref [] in
+  let n =
+    Vq.Device.drain device ~f:(fun { Vq.Device.buffers; _ } ->
+        match buffers with
+        | [ req; _resp ] ->
+          served := req.Vq.len :: !served;
+          req.Vq.len * 2
+        | _ -> Alcotest.fail "unexpected chain shape")
+  in
+  Alcotest.(check int) "drained all four" 4 n;
+  Alcotest.(check (list int)) "service order" [ 100; 101; 102; 103 ]
+    (List.rev !served);
+  let rec collect acc =
+    match Vq.Driver.poll_used driver with
+    | None -> List.rev acc
+    | Some (_, written) -> collect (written :: acc)
+  in
+  Alcotest.(check (list int)) "completion order and written counts"
+    [ 200; 202; 204; 206 ] (collect []);
+  Alcotest.(check int) "ring fully recycled" size (Vq.Driver.num_free driver)
+
 let test_features_negotiate () =
   let offered = Features.mask [ Features.version_1; Features.indirect_desc ] in
   let wanted = Features.mask [ Features.version_1 ] in
@@ -318,6 +452,18 @@ let () =
           Alcotest.test_case "indirect descriptors" `Quick test_vq_indirect_descriptors;
           Alcotest.test_case "empty chain rejected" `Quick test_vq_empty_chain_rejected;
           QCheck_alcotest.to_alcotest vq_model_prop;
+        ] );
+      ( "dmi",
+        [
+          Alcotest.test_case "map_single view" `Quick test_dmi_map_single_view;
+          Alcotest.test_case "grant cache + unmap" `Quick
+            test_dmi_grant_cache_and_unmap;
+          Alcotest.test_case "pasid teardown" `Quick test_dmi_pasid_teardown;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "batched drain equals pop/push loop" `Quick
+            test_vq_drain_batched;
         ] );
       ( "features",
         [

@@ -25,6 +25,13 @@
            contract. The blessed homes (the bus/net/device frameworks
            themselves and the centralized baseline) are exempted in
            lint.rules.
+     D009  [Physmem.read_bytes]/[Physmem.write_bytes] in data-plane hot
+           paths (lib/virtio, lib/flash, lib/net) — these are the copy
+           path; hot code should move bytes through views and grants
+           ([Physmem.view], [Dma.map_single]) per DESIGN Â§14. The copy
+           fallback itself (dma.ml) is the blessed home, exempted in
+           lint.rules; any other use needs a suppression saying why the
+           copy path is the right tool there.
 
    Rules D007/D008 (shard-ownership escape and snapshot coverage) share
    this config and suppression machinery but are computed by the
@@ -233,6 +240,15 @@ let classify path =
           "physical equality (%s) compares addresses, not contents; use = \
            / <> or an explicit key"
           (List.hd path) );
+    ]
+  | [ "Physmem"; (("read_bytes" | "write_bytes") as fn) ] ->
+    [
+      ( "D009",
+        Printf.sprintf
+          "Physmem.%s is the copy path; data-plane hot code should move \
+           bytes through views/grants (Physmem.view, Dma.map_single \
+           DESIGN #14) or justify the copy in lint.suppressions"
+          fn );
     ]
   | [ "Station"; (("submit" | "try_submit") as fn) ] ->
     [
